@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz experiments shapes examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark iteration per paper artifact plus the micro-benchmarks.
+bench:
+	$(GO) test -run NONE -bench . -benchmem -benchtime 1x ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzCompareTotalOrder -fuzztime 30s ./internal/ts
+	$(GO) test -fuzz FuzzBackedgeComputation -fuzztime 30s ./internal/graph
+
+# Regenerate every figure/table of the paper's evaluation (§5).
+experiments:
+	$(GO) run ./cmd/replbench -exp all -scale medium
+
+# Mechanically assert the paper's shape claims (takes several minutes).
+shapes:
+	REPRO_SHAPES=1 $(GO) test ./internal/harness -run TestPaperShapes -v -timeout 30m
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/anomaly
+	$(GO) run ./examples/warehouse
+	$(GO) run ./examples/telecom
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,153 @@
+// Command replbench regenerates the paper's evaluation (§5): it runs any
+// of the registered experiments and prints the figure's series as a text
+// table (or CSV for plotting).
+//
+// Usage:
+//
+//	replbench -list
+//	replbench -exp fig2a -scale medium
+//	replbench -exp fig3a -scale full -csv > fig3a.csv
+//	replbench -exp all -scale quick
+//
+// Scales: quick (seconds per point), medium (default), full (the paper's
+// 1000 transactions per thread — expect a long run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment name (see -list), or 'all'")
+		scale   = flag.String("scale", "medium", "workload scale: quick|medium|full")
+		latency = flag.Duration("latency", 0, "override network latency (default 150µs)")
+		seed    = flag.Int64("seed", 0, "override workload RNG seed")
+		tree    = flag.Bool("tree", false, "use the general (bushy) propagation tree instead of the chain")
+		minBack = flag.Bool("minbackedges", false, "compute the backedge set with the §4.2 weighted FAS heuristic (implies -tree)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a table")
+		plot    = flag.Bool("plot", false, "additionally render each figure as an ASCII chart")
+		verify  = flag.Bool("verify", false, "record and check serializability for every point (slower)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		stats   = flag.Bool("stats", false, "print placement statistics for the Table 1 default configuration and exit")
+	)
+	flag.Parse()
+
+	if *stats {
+		printStats(*seed)
+		return
+	}
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range repro.Experiments() {
+			fmt.Printf("  %-14s %s\n", e.Name, e.Paper)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun one with: replbench -exp <name> [-scale quick|medium|full]")
+		}
+		return
+	}
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	opts := repro.ExperimentOptions{
+		Scale:             sc,
+		Latency:           *latency,
+		Seed:              *seed,
+		GeneralTree:       *tree,
+		MinimizeBackedges: *minBack,
+		Verify:            *verify,
+	}
+
+	var exps []repro.Experiment
+	if *exp == "all" {
+		exps = repro.Experiments()
+	} else {
+		e, err := repro.LookupExperiment(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		exps = []repro.Experiment{e}
+	}
+
+	if *csv {
+		fmt.Println(repro.ExperimentCSVHeader)
+	}
+	for _, e := range exps {
+		if e.Name == "table1" {
+			if !*csv {
+				fmt.Printf("== table1 — Parameter Settings (Table 1) ==\n")
+				repro.PrintTable1(os.Stdout, opts)
+				fmt.Println()
+			}
+			continue
+		}
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Name, err))
+		}
+		if *csv {
+			res.WriteCSVRows(os.Stdout)
+		} else {
+			res.Print(os.Stdout)
+			if *plot {
+				res.PlotASCII(os.Stdout, 64, 16)
+			}
+			fmt.Printf("(%s in %s)\n\n", e.Name, time.Since(start).Round(time.Second))
+		}
+	}
+}
+
+// printStats shows how the §5.2 data-distribution scheme behaves at the
+// sweep endpoints — the counts the paper reasons with in §5.3 (e.g.
+// "at r=1, there are almost 500 replicas in the system").
+func printStats(seed int64) {
+	for _, setting := range []struct {
+		label string
+		mut   func(*workload.Config)
+	}{
+		{"defaults (Table 1)", func(*workload.Config) {}},
+		{"b=0", func(c *workload.Config) { c.BackedgeProb = 0 }},
+		{"b=1", func(c *workload.Config) { c.BackedgeProb = 1 }},
+		{"r=0.5", func(c *workload.Config) { c.ReplicationProb = 0.5 }},
+		{"r=1", func(c *workload.Config) { c.ReplicationProb = 1 }},
+	} {
+		cfg := workload.Default()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		setting.mut(&cfg)
+		p, err := cfg.GeneratePlacement()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-20s %v\n", setting.label+":", workload.Stats(p))
+	}
+}
+
+func parseScale(s string) (repro.Scale, error) {
+	switch s {
+	case "quick":
+		return repro.ScaleQuick, nil
+	case "medium":
+		return repro.ScaleMedium, nil
+	case "full":
+		return repro.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "replbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+// Command replnode runs ONE site of the replicated database over real TCP
+// sockets — the multi-process deployment the paper's prototype used (§5:
+// DataBlitz instances communicating through sockets). Start one process
+// per site with identical -sites/-items/-seed flags (so every node derives
+// the same data placement) and distinct -site values:
+//
+//	replnode -site 0 -peers 0=:7700,1=:7701,2=:7702 -protocol backedge
+//	replnode -site 1 -peers 0=:7700,1=:7701,2=:7702 -protocol backedge
+//	replnode -site 2 -peers 0=:7700,1=:7701,2=:7702 -protocol backedge
+//
+// Each node waits for its peers, runs its local client threads, drains,
+// and prints its report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		site    = flag.Int("site", -1, "this node's site id (0..m-1)")
+		peers   = flag.String("peers", "", "comma-separated id=host:port for EVERY site")
+		proto   = flag.String("protocol", "backedge", "psl|dagwt|dagt|backedge")
+		items   = flag.Int("items", 200, "number of items (same on all nodes)")
+		seed    = flag.Int64("seed", 1, "placement seed (same on all nodes)")
+		r       = flag.Float64("r", 0.2, "replication probability")
+		s       = flag.Float64("s", 0.5, "site probability")
+		b       = flag.Float64("b", 0.2, "backedge probability")
+		threads = flag.Int("threads", 3, "client threads at this site")
+		txns    = flag.Int("txns", 100, "transactions per thread")
+		readOp  = flag.Float64("readop", 0.7, "read operation probability")
+		readTxn = flag.Float64("readtxn", 0.5, "read transaction probability")
+		opCost  = flag.Duration("opcost", 200*time.Microsecond, "simulated per-operation CPU cost")
+		drain   = flag.Duration("drain", 3*time.Second, "time to keep serving after local threads finish")
+	)
+	flag.Parse()
+
+	addrs, err := parsePeers(*peers)
+	if err != nil {
+		fatal(err)
+	}
+	if *site < 0 || *site >= len(addrs) {
+		fatal(fmt.Errorf("-site %d out of range for %d peers", *site, len(addrs)))
+	}
+	protocol, err := core.ParseProtocol(*proto)
+	if err != nil {
+		fatal(err)
+	}
+
+	wl := workload.Default()
+	wl.Sites = len(addrs)
+	wl.Items = *items
+	wl.Seed = *seed
+	wl.ReplicationProb = *r
+	wl.SiteProb = *s
+	wl.BackedgeProb = *b
+	wl.ThreadsPerSite = *threads
+	wl.TxnsPerThread = *txns
+	wl.ReadOpProb = *readOp
+	wl.ReadTxnProb = *readTxn
+
+	placement, err := wl.GeneratePlacement()
+	if err != nil {
+		fatal(err)
+	}
+	g := graph.FromPlacement(placement)
+	order := make([]model.SiteID, wl.Sites)
+	for i := range order {
+		order[i] = model.SiteID(i)
+	}
+	backs := graph.OrderBackedges(g, order)
+	gdag := g.Without(backs)
+	switch protocol {
+	case core.DAGWT, core.DAGT:
+		if len(backs) > 0 {
+			fatal(fmt.Errorf("%v needs a DAG copy graph; this placement has %d backedges (set -b 0)", protocol, len(backs)))
+		}
+	}
+	tree := graph.BuildChain(order)
+	backSet := make(map[graph.Edge]bool)
+	for _, e := range backs {
+		backSet[e] = true
+	}
+
+	core.RegisterPayloads()
+	tr, err := comm.NewTCPTransport(model.SiteID(*site), addrs)
+	if err != nil {
+		fatal(err)
+	}
+	defer tr.Close()
+
+	collector := metrics.NewCollector(false)
+	params := core.DefaultParams()
+	params.OpCost = *opCost
+	shared := &core.SharedConfig{
+		Placement:    placement,
+		Graph:        gdag,
+		Order:        order,
+		Tree:         tree,
+		SubtreeItems: graph.SubtreeCopyItems(tree, placement),
+		Backedges:    backSet,
+		Params:       params,
+		Metrics:      collector,
+	}
+	engine, err := core.New(protocol, shared, model.SiteID(*site), tr)
+	if err != nil {
+		fatal(err)
+	}
+	engine.Start()
+	defer engine.Stop()
+
+	fmt.Printf("replnode: site %d of %d listening on %s (%v, %d backedges in graph)\n",
+		*site, wl.Sites, tr.Addr(), protocol, len(backs))
+	waitForPeers(addrs, model.SiteID(*site))
+
+	collector.Begin()
+	var wg sync.WaitGroup
+	for th := 0; th < wl.ThreadsPerSite; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			gen := workload.NewTxnGen(wl, placement, model.SiteID(*site), wl.Seed+int64(*site)*1000+int64(th)+7)
+			for i := 0; i < wl.TxnsPerThread; i++ {
+				_ = engine.Execute(gen.Next()) // aborts are counted in the report
+			}
+		}(th)
+	}
+	wg.Wait()
+	collector.End()
+	fmt.Printf("replnode: site %d local threads done; draining %v\n", *site, *drain)
+	time.Sleep(*drain)
+	fmt.Printf("replnode: site %d report: %v\n", *site, collector.Snapshot(1))
+}
+
+func parsePeers(spec string) (map[model.SiteID]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-peers is required (e.g. 0=:7700,1=:7701)")
+	}
+	out := make(map[model.SiteID]string)
+	for _, part := range strings.Split(spec, ",") {
+		var id int
+		var addr string
+		if n, err := fmt.Sscanf(part, "%d=%s", &id, &addr); n != 2 || err != nil {
+			return nil, fmt.Errorf("bad peer spec %q", part)
+		}
+		if !strings.Contains(addr, ":") {
+			return nil, fmt.Errorf("peer address %q must be host:port", addr)
+		}
+		out[model.SiteID(id)] = addr
+	}
+	for i := 0; i < len(out); i++ {
+		if _, ok := out[model.SiteID(i)]; !ok {
+			return nil, fmt.Errorf("peer ids must be contiguous from 0; missing %d", i)
+		}
+	}
+	return out, nil
+}
+
+// waitForPeers blocks until every other site accepts TCP connections, so
+// no protocol message is lost to a not-yet-listening peer.
+func waitForPeers(addrs map[model.SiteID]string, self model.SiteID) {
+	for id, addr := range addrs {
+		if id == self {
+			continue
+		}
+		for {
+			c, err := net.DialTimeout("tcp", addr, time.Second)
+			if err == nil {
+				c.Close()
+				break
+			}
+			fmt.Printf("replnode: waiting for site %d at %s\n", id, addr)
+			time.Sleep(500 * time.Millisecond)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "replnode:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestParsePeers(t *testing.T) {
+	addrs, err := parsePeers("0=127.0.0.1:7700,1=127.0.0.1:7701,2=host:99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 || addrs[0] != "127.0.0.1:7700" || addrs[2] != "host:99" {
+		t.Errorf("addrs = %v", addrs)
+	}
+	_ = addrs[model.SiteID(1)]
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"0=only-no-id",        // malformed entry
+		"1=127.0.0.1:7700",    // ids not contiguous from 0
+		"0=:7700,2=:7702",     // gap
+		"zero=127.0.0.1:7700", // non-numeric id
+	}
+	for _, in := range cases {
+		if _, err := parsePeers(in); err == nil {
+			t.Errorf("parsePeers(%q) accepted", in)
+		}
+	}
+}

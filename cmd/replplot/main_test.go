@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `experiment,x,protocol,throughput_per_site,abort_rate_pct,mean_response_ms,p95_response_ms,mean_prop_ms,messages,remote_reads,secondaries
+fig2a,0.000,BackEdge,150.0,12.0,8.0,20.0,15.0,100,0,80
+fig2a,0.000,PSL,50.0,20.0,30.0,60.0,0.0,200,150,0
+fig2a,1.000,BackEdge,70.0,26.0,15.0,40.0,25.0,300,0,200
+fig2a,1.000,PSL,48.0,23.0,40.0,80.0,0.0,250,180,0
+fig2b,0.000,BackEdge,100.0,19.0,11.0,30.0,10.0,10,0,5
+`
+
+func TestParseGroupsByExperiment(t *testing.T) {
+	results, order, err := parse(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "fig2a" || order[1] != "fig2b" {
+		t.Fatalf("order = %v", order)
+	}
+	if n := len(results["fig2a"].Points); n != 4 {
+		t.Errorf("fig2a points = %d, want 4", n)
+	}
+	p := results["fig2a"].Points[0]
+	if p.X != 0 || p.Report.ThroughputPerSite != 150 {
+		t.Errorf("first point = %+v", p)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	in := "experiment,x,protocol,thr\nnot,a,valid,row\n" + "fig2a,0.5,PSL,10,0,0,0,0,0,0,0\n"
+	results, order, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 || len(results["fig2a"].Points) != 1 {
+		t.Errorf("results = %v order = %v", results, order)
+	}
+}
+
+func TestParseEmptyErrors(t *testing.T) {
+	if _, _, err := parse(strings.NewReader("experiment,x\n")); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: a three-site replicated database running the DAG(T)
+// protocol. One update at the source site propagates lazily — but
+// serializably — to both replicas; we watch it arrive, run the Table 1
+// workload for a moment, and print the performance report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// Data layout (Example 1.1's): item 0 ("a") lives at site 0 with
+	// replicas at sites 1 and 2; item 1 ("b") lives at site 1 with a
+	// replica at site 2. The copy graph is the DAG s0->s1, s0->s2, s1->s2.
+	p := repro.NewPlacement(3, 2)
+	p.Primary[0], p.Replicas[0] = 0, []repro.SiteID{1, 2}
+	p.Primary[1], p.Replicas[1] = 1, []repro.SiteID{2}
+	if err := p.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	wl := repro.DefaultWorkload()
+	wl.TxnsPerThread = 0 // we drive transactions by hand below
+	cfg := repro.ClusterConfig{
+		Workload:         wl,
+		Protocol:         repro.DAGT,
+		Params:           repro.DefaultParams(),
+		Latency:          150 * time.Microsecond,
+		Placement:        p,
+		Record:           true,
+		TrackPropagation: true,
+	}
+	c, err := repro.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	// A transaction at site 0 updates item 0. It commits locally and
+	// returns immediately — propagation is lazy.
+	if err := c.Engine(0).Execute([]repro.Op{
+		{Kind: repro.OpWrite, Item: 0, Value: 42},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("site 0 committed w[0]=42; waiting for the replicas...")
+
+	if err := c.Quiesce(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// A transaction at site 2 now reads both items — serializably.
+	if err := c.Engine(2).Execute([]repro.Op{
+		{Kind: repro.OpRead, Item: 0},
+		{Kind: repro.OpRead, Item: 1},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := c.CheckSerializable(); err != nil {
+		log.Fatalf("serializability check failed: %v", err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		log.Fatalf("convergence check failed: %v", err)
+	}
+	fmt.Println("replicas converged and the execution is serializable")
+	fmt.Printf("report: %v\n", c.Metrics.Snapshot(3))
+}

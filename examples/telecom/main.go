@@ -1,0 +1,127 @@
+// Telecom: the network-management scenario from the paper's introduction
+// ("in telecom as well as data networks, network management applications
+// require real-time dissemination of updates to replicas with strong
+// consistency guarantees"). Two regional network-operation centers and a
+// national center each own part of the configuration and replicate each
+// other's hot state — which makes the copy graph CYCLIC, so neither DAG
+// protocol applies. The BackEdge protocol handles it: updates along the
+// cycle-closing edges propagate eagerly under two-phase commit, the rest
+// flow lazily, and the whole execution stays serializable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+const (
+	national = repro.SiteID(0)
+	nocEast  = repro.SiteID(1)
+	nocWest  = repro.SiteID(2)
+)
+
+func main() {
+	// 12 configuration items: 4 owned per center. National state is
+	// replicated at both NOCs (DAG edges); each NOC's alarm summary is
+	// replicated back at the national center (backedges), closing cycles.
+	p := repro.NewPlacement(3, 12)
+	for i := 0; i < 4; i++ {
+		p.Primary[i] = national
+		p.Replicas[i] = []repro.SiteID{nocEast, nocWest}
+	}
+	for i := 4; i < 8; i++ {
+		p.Primary[i] = nocEast
+		p.Replicas[i] = []repro.SiteID{national} // backedge east -> national
+	}
+	for i := 8; i < 12; i++ {
+		p.Primary[i] = nocWest
+		p.Replicas[i] = []repro.SiteID{national} // backedge west -> national
+	}
+	if err := p.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	wl := repro.DefaultWorkload()
+	wl.TxnsPerThread = 0
+	c, err := repro.NewCluster(repro.ClusterConfig{
+		Workload:         wl,
+		Protocol:         repro.BackEdge,
+		Params:           repro.DefaultParams(),
+		Latency:          time.Millisecond, // WAN-ish links between centers
+		Placement:        p,
+		Record:           true,
+		TrackPropagation: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("copy graph has %d backedges: %v\n", len(c.Backedges), c.Backedges)
+	c.Start()
+	defer c.Stop()
+
+	var wg sync.WaitGroup
+	commits := make([]int, 3)
+	aborts := make([]int, 3)
+	run := func(site repro.SiteID, mkOps func(rng *rand.Rand, i int) []repro.Op) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(site) + 1))
+		for i := 0; i < 60; i++ {
+			err := c.Engine(site).Execute(mkOps(rng, i))
+			switch {
+			case err == nil:
+				commits[site]++
+			case repro.IsAbort(err):
+				aborts[site]++ // deadlock victim; operators retry
+			default:
+				log.Fatalf("site %d: %v", site, err)
+			}
+		}
+	}
+
+	// National pushes policy updates (lazy fan-out to both NOCs) while
+	// reading the alarm summaries replicated from the NOCs.
+	wg.Add(1)
+	go run(national, func(rng *rand.Rand, i int) []repro.Op {
+		return []repro.Op{
+			{Kind: repro.OpRead, Item: repro.ItemID(4 + rng.Intn(8))},
+			{Kind: repro.OpWrite, Item: repro.ItemID(rng.Intn(4)), Value: int64(i)},
+		}
+	})
+	// Each NOC updates its alarm summary (eager, via the backedge: the
+	// national replica is updated atomically with the NOC's commit) while
+	// reading the national policy replica.
+	for _, noc := range []repro.SiteID{nocEast, nocWest} {
+		base := 4 + 4*(int(noc)-1)
+		wg.Add(1)
+		go run(noc, func(rng *rand.Rand, i int) []repro.Op {
+			return []repro.Op{
+				{Kind: repro.OpRead, Item: repro.ItemID(rng.Intn(4))},
+				{Kind: repro.OpWrite, Item: repro.ItemID(base + rng.Intn(4)), Value: int64(100*int(noc) + i)},
+			}
+		})
+	}
+	wg.Wait()
+
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.CheckSerializable(); err != nil {
+		log.Fatalf("serializability check failed: %v", err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		log.Fatalf("convergence check failed: %v", err)
+	}
+	rep := c.Metrics.Snapshot(3)
+	fmt.Println("network-management run complete on a CYCLIC copy graph:")
+	for s := 0; s < 3; s++ {
+		fmt.Printf("  site %d: %d committed, %d deadlock aborts\n", s, commits[s], aborts[s])
+	}
+	fmt.Printf("  secondaries=%d messages=%d mean response=%v\n",
+		rep.Secondaries, rep.Messages, rep.MeanResponse.Round(time.Millisecond))
+	fmt.Println("  execution serializable; all replicas converged")
+}

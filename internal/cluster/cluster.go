@@ -1,0 +1,312 @@
+// Package cluster assembles a complete replicated database: it generates
+// (or accepts) a data placement, derives the copy graph, the backedge set
+// and the propagation tree, instantiates one protocol engine per site over
+// an in-process transport, runs the client threads of §5.2, and exposes
+// the correctness checks (global serializability, replica convergence)
+// and the §5.3 performance report.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Config describes one experiment run.
+type Config struct {
+	Workload workload.Config
+	Protocol core.Protocol
+	Params   core.Params
+	// Latency is the one-way network latency between any two sites
+	// (Table 1 default: the 0.15 ms the paper measured on its ethernet).
+	Latency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter) per message;
+	// per-pair FIFO delivery is preserved.
+	Jitter time.Duration
+	// GeneralTree selects the bushy tree construction for DAG(WT) and
+	// BackEdge instead of the chain the prototype used (§5.1).
+	GeneralTree bool
+	// MinimizeBackedges computes the backedge set with the §4.2 weighted
+	// feedback-arc-set heuristic instead of taking the edges that point
+	// backwards in site-ID order, minimizing how many item updates must
+	// propagate eagerly. It implies GeneralTree (the chain is tied to the
+	// ID order).
+	MinimizeBackedges bool
+	// Record enables the serializability recorder (adds overhead; tests
+	// use it, benchmarks usually do not).
+	Record bool
+	// TrackPropagation enables propagation-delay measurement (E7).
+	TrackPropagation bool
+	// Placement overrides workload-based generation when non-nil (used by
+	// the examples, which lay data out by hand).
+	Placement *model.Placement
+}
+
+// Cluster is a running replicated database over m in-process sites.
+type Cluster struct {
+	Cfg       Config
+	Placement *model.Placement
+	Graph     *graph.CopyGraph
+	Backedges []graph.Edge
+	Tree      *graph.Tree
+	Recorder  *history.Recorder
+	Metrics   *metrics.Collector
+
+	transport *comm.MemTransport
+	engines   []core.Engine
+	pending   sync.WaitGroup
+
+	mu      sync.Mutex
+	failure error // first non-abort Execute error
+}
+
+// New builds (but does not start) a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	placement := cfg.Placement
+	if placement == nil {
+		var err error
+		placement, err = cfg.Workload.GeneratePlacement()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Manual layout: the workload dimensions follow the placement.
+		cfg.Workload.Sites = placement.NumSites
+		cfg.Workload.Items = placement.NumItems
+		if err := cfg.Workload.ValidateRun(); err != nil {
+			return nil, err
+		}
+	}
+	g := graph.FromPlacement(placement)
+	m := placement.NumSites
+
+	// The total order over sites is the ID order (the workload generator
+	// lays data out with respect to it); edges pointing backwards in it
+	// form the backedge set B, and removing them yields the DAG. With
+	// MinimizeBackedges, B instead comes from the §4.2 weighted
+	// feedback-arc-set heuristic, which cuts fewer (and lighter) edges.
+	order := make([]model.SiteID, m)
+	for i := range order {
+		order[i] = model.SiteID(i)
+	}
+	var backs []graph.Edge
+	if cfg.MinimizeBackedges {
+		cfg.GeneralTree = true // the chain is meaningful only for ID order
+		backs = graph.MinWeightBackedges(g)
+	} else {
+		backs = graph.OrderBackedges(g, order)
+	}
+	gdag := g.Without(backs)
+	if !gdag.IsDAG() {
+		return nil, fmt.Errorf("cluster: internal error: graph minus backedges is not a DAG")
+	}
+	switch cfg.Protocol {
+	case core.DAGWT, core.DAGT:
+		if len(backs) > 0 {
+			return nil, fmt.Errorf("cluster: %v requires an acyclic copy graph but the placement induces %d backedges; use BackEdge or set BackedgeProb=0",
+				cfg.Protocol, len(backs))
+		}
+	}
+
+	var tree *graph.Tree
+	if cfg.GeneralTree {
+		var err error
+		tree, err = graph.BuildTree(gdag)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tree = graph.BuildChain(order)
+	}
+	if e := graph.CheckAncestorProperty(gdag, tree); e != nil {
+		return nil, fmt.Errorf("cluster: propagation tree violates the ancestor property on edge %v", *e)
+	}
+	// BackEdge routing additionally requires every backedge target to be a
+	// tree ancestor of the origin (guaranteed for minimal backedge sets,
+	// §4.1; always true for the chain).
+	if cfg.Protocol == core.BackEdge {
+		for _, e := range backs {
+			if !tree.IsAncestor(e.To, e.From) {
+				return nil, fmt.Errorf("cluster: backedge %v target is not a tree ancestor of its origin", e)
+			}
+		}
+	}
+
+	backSet := make(map[graph.Edge]bool, len(backs))
+	for _, e := range backs {
+		backSet[e] = true
+	}
+
+	c := &Cluster{
+		Cfg:       cfg,
+		Placement: placement,
+		Graph:     g,
+		Backedges: backs,
+		Tree:      tree,
+		Metrics:   metrics.NewCollector(cfg.TrackPropagation),
+		transport: comm.NewMemTransport(cfg.Latency),
+	}
+	if cfg.Jitter > 0 {
+		c.transport.SetJitter(cfg.Jitter)
+	}
+	if cfg.Record {
+		c.Recorder = history.NewRecorder()
+	}
+
+	shared := &core.SharedConfig{
+		Placement:    placement,
+		Graph:        gdag, // engines see the DAG; backedges are handled eagerly
+		Order:        order,
+		Tree:         tree,
+		SubtreeItems: graph.SubtreeCopyItems(tree, placement),
+		Backedges:    backSet,
+		Params:       cfg.Params,
+		Recorder:     c.Recorder,
+		Metrics:      c.Metrics,
+		Pending:      &c.pending,
+	}
+	c.engines = make([]core.Engine, m)
+	for s := 0; s < m; s++ {
+		e, err := core.New(cfg.Protocol, shared, model.SiteID(s), c.transport)
+		if err != nil {
+			return nil, err
+		}
+		c.engines[s] = e
+	}
+	return c, nil
+}
+
+// Engine returns the protocol engine of site s.
+func (c *Cluster) Engine(s model.SiteID) core.Engine { return c.engines[s] }
+
+// Transport returns the in-process transport (tests use it to skew edge
+// latencies).
+func (c *Cluster) Transport() *comm.MemTransport { return c.transport }
+
+// Start launches every engine's background workers.
+func (c *Cluster) Start() {
+	for _, e := range c.engines {
+		e.Start()
+	}
+}
+
+// Stop shuts engines and transport down.
+func (c *Cluster) Stop() {
+	for _, e := range c.engines {
+		e.Stop()
+	}
+	_ = c.transport.Close()
+}
+
+// Run drives the §5.2 client threads to completion and returns the
+// performance report. The measured interval covers thread execution only
+// (not the quiesce drain), matching the paper's primary-subtransaction
+// throughput metric.
+func (c *Cluster) Run() (metrics.Report, error) {
+	wl := c.Cfg.Workload
+	var wg sync.WaitGroup
+	c.Metrics.Begin()
+	for s := 0; s < wl.Sites; s++ {
+		for th := 0; th < wl.ThreadsPerSite; th++ {
+			wg.Add(1)
+			seed := wl.Seed + int64(s)*1000 + int64(th) + 7
+			go func(site model.SiteID, seed int64) {
+				defer wg.Done()
+				gen := workload.NewTxnGen(wl, c.Placement, site, seed)
+				eng := c.engines[site]
+				for i := 0; i < wl.TxnsPerThread; i++ {
+					if err := eng.Execute(gen.Next()); err != nil && !errors.Is(err, txn.ErrAborted) {
+						c.fail(err)
+						return
+					}
+				}
+			}(model.SiteID(s), seed)
+		}
+	}
+	wg.Wait()
+	c.Metrics.End()
+	c.mu.Lock()
+	err := c.failure
+	c.mu.Unlock()
+	return c.Metrics.Snapshot(wl.Sites), err
+}
+
+func (c *Cluster) fail(err error) {
+	c.mu.Lock()
+	if c.failure == nil {
+		c.failure = err
+	}
+	c.mu.Unlock()
+}
+
+// Quiesce waits until every in-flight propagation message has been fully
+// consumed, or the timeout expires.
+func (c *Cluster) Quiesce(timeout time.Duration) error {
+	done := make(chan struct{})
+	go func() {
+		c.pending.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("cluster: propagation did not quiesce within %v", timeout)
+	}
+}
+
+// CheckSerializable verifies that the recorded execution has an acyclic
+// conflict graph over logical transactions. Requires Config.Record.
+func (c *Cluster) CheckSerializable() error {
+	if c.Recorder == nil {
+		return fmt.Errorf("cluster: serializability recording was not enabled")
+	}
+	return c.Recorder.CheckSerializable()
+}
+
+// CheckConvergence verifies, on a quiesced cluster, that every replica
+// equals its primary copy. Only meaningful for propagating protocols
+// (PSL leaves replicas stale by design).
+func (c *Cluster) CheckConvergence() error {
+	if !c.Cfg.Protocol.Propagates() {
+		return fmt.Errorf("cluster: %v does not propagate updates; convergence is undefined", c.Cfg.Protocol)
+	}
+	snaps := make([]map[model.ItemID]int64, len(c.engines))
+	for s := range c.engines {
+		snaps[s] = c.storeSnapshot(model.SiteID(s))
+	}
+	for item := 0; item < c.Placement.NumItems; item++ {
+		primary := c.Placement.Primary[item]
+		want := snaps[primary][model.ItemID(item)]
+		for _, r := range c.Placement.ReplicaSites(model.ItemID(item)) {
+			if got := snaps[r][model.ItemID(item)]; got != want {
+				return fmt.Errorf("cluster: item %d diverged: primary s%d=%d, replica s%d=%d",
+					item, primary, want, r, got)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) storeSnapshot(s model.SiteID) map[model.ItemID]int64 {
+	type snapshotter interface {
+		Snapshot() map[model.ItemID]int64
+	}
+	if sn, ok := c.engines[s].(snapshotter); ok {
+		return sn.Snapshot()
+	}
+	panic("cluster: engine does not expose Snapshot")
+}

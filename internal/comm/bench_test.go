@@ -1,0 +1,38 @@
+package comm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func BenchmarkMemTransportThroughput(b *testing.B) {
+	tr := NewMemTransport(0)
+	defer tr.Close()
+	var delivered atomic.Int64
+	tr.Register(1, func(Message) { delivered.Add(1) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Send(Message{From: 0, To: 1, Kind: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for delivered.Load() < int64(b.N) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	tr := NewMemTransport(0)
+	defer tr.Close()
+	server := NewRPC(1, tr)
+	client := NewRPC(0, tr)
+	tr.Register(1, func(m Message) { server.Reply(m, m.Payload) })
+	tr.Register(0, func(m Message) { client.HandleResponse(m) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(1, 1, i, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+)
+
+// ErrRPCTimeout is returned by Call when no response arrives in time.
+var ErrRPCTimeout = errors.New("comm: rpc timed out")
+
+// RemoteError carries an application-level failure back to the caller.
+type RemoteError struct{ Msg string }
+
+func (e RemoteError) Error() string { return "comm: remote error: " + e.Msg }
+
+// RPC layers request/reply on top of a Transport for one site. The owner
+// must route every incoming message with IsResp==true to HandleResponse;
+// requests are handled by the owner's normal message dispatch, which
+// answers them with Reply.
+type RPC struct {
+	site model.SiteID
+	tr   Transport
+
+	next    atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan Message
+}
+
+// NewRPC returns an RPC endpoint for site over tr.
+func NewRPC(site model.SiteID, tr Transport) *RPC {
+	return &RPC{site: site, tr: tr, pending: make(map[uint64]chan Message)}
+}
+
+// Call sends a request and waits for the matching response or the
+// timeout. A response whose payload is a RemoteError is unwrapped into an
+// error return.
+func (r *RPC) Call(to model.SiteID, kind int, payload any, timeout time.Duration) (any, error) {
+	id := r.next.Add(1)
+	ch := make(chan Message, 1)
+	r.mu.Lock()
+	r.pending[id] = ch
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.pending, id)
+		r.mu.Unlock()
+	}()
+
+	err := r.tr.Send(Message{From: r.site, To: to, Kind: kind, ReqID: id, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if re, ok := resp.Payload.(RemoteError); ok {
+			return nil, re
+		}
+		return resp.Payload, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: kind %d to s%d", ErrRPCTimeout, kind, to)
+	}
+}
+
+// Reply answers a request message. The response reuses the request's kind
+// with IsResp set.
+func (r *RPC) Reply(req Message, payload any) {
+	if req.ReqID == 0 {
+		panic("comm: Reply to a non-request message")
+	}
+	_ = r.tr.Send(Message{
+		From: r.site, To: req.From, Kind: req.Kind,
+		ReqID: req.ReqID, IsResp: true, Payload: payload,
+	})
+}
+
+// ReplyError answers a request with an application-level error.
+func (r *RPC) ReplyError(req Message, err error) {
+	r.Reply(req, RemoteError{Msg: err.Error()})
+}
+
+// HandleResponse routes a response message to its waiting caller. Late
+// responses (caller already timed out) are dropped.
+func (r *RPC) HandleResponse(msg Message) {
+	r.mu.Lock()
+	ch := r.pending[msg.ReqID]
+	r.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}

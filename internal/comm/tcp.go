@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// TCPTransport carries messages over real sockets, one outbound TCP
+// connection per destination site, gob-encoded. TCP's in-order delivery
+// gives the per-pair FIFO guarantee the protocols require; connections are
+// established lazily and persist, matching the prototype's socket usage
+// (§5). Register payload types with RegisterPayload before use.
+type TCPTransport struct {
+	site  model.SiteID
+	addrs map[model.SiteID]string // site -> host:port
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[model.SiteID]*gob.Encoder
+	raws    []net.Conn
+	handler Handler
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// RegisterPayload registers a payload type for gob encoding. Call once per
+// concrete payload type, before any Send.
+func RegisterPayload(v any) { gob.Register(v) }
+
+// NewTCPTransport creates a transport for one site. addrs maps every site
+// (including this one) to its listen address. The listener starts
+// immediately; Register installs the handler that receives inbound
+// messages.
+func NewTCPTransport(site model.SiteID, addrs map[model.SiteID]string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addrs[site])
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addrs[site], err)
+	}
+	t := &TCPTransport{
+		site:  site,
+		addrs: addrs,
+		ln:    ln,
+		conns: make(map[model.SiteID]*gob.Encoder),
+	}
+	t.wg.Add(1)
+	go t.accept()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address (useful when the
+// configured address used port 0).
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPTransport) accept() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.raws = append(t.raws, c)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serve(c)
+	}
+}
+
+func (t *TCPTransport) serve(c net.Conn) {
+	defer t.wg.Done()
+	dec := gob.NewDecoder(c)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			if err != io.EOF {
+				t.mu.Lock()
+				closed := t.closed
+				t.mu.Unlock()
+				if !closed {
+					// Peer failure: the model assumes reliable delivery, so
+					// surface loudly rather than silently dropping.
+					fmt.Printf("comm: tcp decode from peer: %v\n", err)
+				}
+			}
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(msg)
+		}
+	}
+}
+
+// Register implements Transport. Only this transport's own site may be
+// registered.
+func (t *TCPTransport) Register(site model.SiteID, h Handler) {
+	if site != t.site {
+		panic("comm: TCPTransport handles a single site")
+	}
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(msg Message) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	enc, ok := t.conns[msg.To]
+	if !ok {
+		addr, ok := t.addrs[msg.To]
+		if !ok {
+			return fmt.Errorf("comm: unknown site s%d", msg.To)
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("comm: dial s%d at %s: %w", msg.To, addr, err)
+		}
+		t.raws = append(t.raws, c)
+		enc = gob.NewEncoder(c)
+		t.conns[msg.To] = enc
+	}
+	if err := enc.Encode(msg); err != nil {
+		delete(t.conns, msg.To)
+		return fmt.Errorf("comm: send to s%d: %w", msg.To, err)
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.ln.Close()
+	for _, c := range t.raws {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

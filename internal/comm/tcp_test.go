@@ -1,0 +1,133 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+type tcpPayload struct{ N int }
+
+func init() { RegisterPayload(tcpPayload{}) }
+
+// tcpPair starts two TCP transports on loopback and returns them.
+func tcpPair(t *testing.T) (*TCPTransport, *TCPTransport) {
+	t.Helper()
+	// Bootstrap: bind both listeners on port 0, then teach each the
+	// other's real address.
+	addrs := map[model.SiteID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	a, err := NewTCPTransport(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPTransport(1, addrs)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	a.addrs = map[model.SiteID]string{0: a.Addr(), 1: b.Addr()}
+	b.addrs = map[model.SiteID]string{0: a.Addr(), 1: b.Addr()}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := tcpPair(t)
+	got := make(chan Message, 1)
+	b.Register(1, func(m Message) { got <- m })
+	a.Register(0, func(Message) {})
+	if err := a.Send(Message{From: 0, To: 1, Kind: 3, Payload: tcpPayload{N: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Kind != 3 || m.Payload.(tcpPayload).N != 9 {
+			t.Errorf("got %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestTCPFIFO(t *testing.T) {
+	a, b := tcpPair(t)
+	const n = 200
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	b.Register(1, func(m Message) {
+		mu.Lock()
+		got = append(got, m.Payload.(tcpPayload).N)
+		if len(got) == n {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	a.Register(0, func(Message) {})
+	for i := 0; i < n; i++ {
+		if err := a.Send(Message{From: 0, To: 1, Payload: tcpPayload{N: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only %d/%d delivered", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reordered at %d: %d", i, v)
+		}
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, b := tcpPair(t)
+	fromA := make(chan Message, 1)
+	fromB := make(chan Message, 1)
+	a.Register(0, func(m Message) { fromB <- m })
+	b.Register(1, func(m Message) { fromA <- m })
+	_ = a.Send(Message{From: 0, To: 1, Payload: tcpPayload{N: 1}})
+	_ = b.Send(Message{From: 1, To: 0, Payload: tcpPayload{N: 2}})
+	select {
+	case <-fromA:
+	case <-time.After(2 * time.Second):
+		t.Fatal("a->b lost")
+	}
+	select {
+	case <-fromB:
+	case <-time.After(2 * time.Second):
+		t.Fatal("b->a lost")
+	}
+}
+
+func TestTCPSendToUnknownSite(t *testing.T) {
+	a, _ := tcpPair(t)
+	if err := a.Send(Message{From: 0, To: 9}); err == nil {
+		t.Error("send to unknown site succeeded")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	addrs := map[model.SiteID]string{0: "127.0.0.1:0"}
+	tr, err := NewTCPTransport(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.Close()
+	if err := tr.Send(Message{From: 0, To: 0}); err != ErrClosed {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestTCPRegisterWrongSitePanics(t *testing.T) {
+	a, _ := tcpPair(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a.Register(5, func(Message) {})
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/twopc"
+	"repro/internal/txn"
+)
+
+// backedgeEngine implements the BackEdge protocol (§4.1), the hybrid that
+// makes arbitrary (cyclic) copy graphs serializable. It behaves exactly
+// like DAG(WT) for transactions whose updates stay inside the DAG; a
+// transaction that must propagate along backedges — i.e. to replica sites
+// that are its tree *ancestors* — runs the eager arm:
+//
+//  1. keep the primary's locks; send a backedge subtransaction directly to
+//     the farthest ancestor replica site si1;
+//  2. si1 executes it (holding locks, not committing) and relays a
+//     "special" secondary subtransaction down the tree path toward the
+//     origin; every backedge site on the path executes it the same way,
+//     every other path site just forwards it, all in FIFO queue order;
+//  3. when the special reaches the origin behind all earlier secondaries,
+//     the primary and all backedge subtransactions commit atomically via
+//     two-phase commit;
+//  4. only then do the remaining (descendant) replicas receive normal lazy
+//     DAG(WT) secondaries.
+//
+// Global deadlocks (Example 4.1) surface as the origin waiting too long
+// for its special to come home; after PrepareTimeout the origin aborts,
+// notifying the backedge sites so they release their locks.
+type backedgeEngine struct {
+	base
+	queue chan comm.Message
+
+	table *twopc.Table
+
+	mu       sync.Mutex
+	prepared map[model.TxnID]*txn.Txn     // executed backedge subtxns awaiting the decision
+	waiters  map[model.TxnID]*originState // origin-side transactions awaiting their special
+}
+
+// originState synchronizes the origin's Execute goroutine with the FIFO
+// applier: the applier signals arrival of the special and then blocks
+// until the origin resolves the transaction, preserving the FIFO commit
+// order of §2 across the eager commit.
+type originState struct {
+	arrived chan struct{}
+	done    chan struct{}
+}
+
+func newBackEdge(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *backedgeEngine {
+	return &backedgeEngine{
+		base:     newBase(cfg, id, tr),
+		queue:    make(chan comm.Message, 1<<16),
+		table:    twopc.NewTable(),
+		prepared: make(map[model.TxnID]*txn.Txn),
+		waiters:  make(map[model.TxnID]*originState),
+	}
+}
+
+func (e *backedgeEngine) Start() { go e.applier() }
+
+func (e *backedgeEngine) Stop() { close(e.stop) }
+
+// backedgeTargets returns the replica sites of the written items that are
+// tree ancestors of this site — the sites si1..sij of §4.1 — ordered
+// farthest-first (si1 has the smallest tree depth).
+func (e *backedgeEngine) backedgeTargets(writes []model.WriteOp) []model.SiteID {
+	seen := make(map[model.SiteID]bool)
+	var out []model.SiteID
+	for _, w := range writes {
+		for _, r := range e.cfg.Placement.ReplicaSites(w.Item) {
+			if !seen[r] && e.cfg.Tree.IsAncestor(r, e.id) {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return e.cfg.Tree.Depth(out[i]) < e.cfg.Tree.Depth(out[j]) })
+	return out
+}
+
+func (e *backedgeEngine) Execute(ops []model.Op) error {
+	start := time.Now()
+	tid := e.newTxnID()
+	t := e.tm.Begin(tid)
+	if err := e.runLocalOps(t, ops); err != nil {
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+	writes := t.Writes()
+	targets := e.backedgeTargets(writes)
+	if len(targets) == 0 {
+		// Pure DAG(WT) path (§4.1: such transactions execute exactly as
+		// they would under DAG(WT)).
+		e.commitMu.Lock()
+		err := t.Commit()
+		if err == nil {
+			e.forward(tid, writes)
+		}
+		e.commitMu.Unlock()
+		if err != nil {
+			e.cfg.Metrics.TxnAborted()
+			return err
+		}
+		e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+		return nil
+	}
+
+	// Eager arm. Register for the special's homecoming, then launch the
+	// backedge subtransaction at the farthest ancestor.
+	st := &originState{arrived: make(chan struct{}), done: make(chan struct{})}
+	e.mu.Lock()
+	e.waiters[tid] = st
+	e.mu.Unlock()
+	defer close(st.done)
+
+	// While parked on the round-trip this transaction is the designated
+	// deadlock victim: if a secondary subtransaction blocks on one of its
+	// locks it is wounded and aborts instead of stalling the site's FIFO
+	// queue — §2's fair victim selection, and exactly how Example 4.1
+	// resolves (the waiting primary is the one aborted).
+	wound := make(chan struct{}, 1)
+	e.locks.SetVulnerable(tid, func() {
+		select {
+		case wound <- struct{}{}:
+		default:
+		}
+	})
+
+	e.pendAdd(1)
+	e.send(comm.Message{
+		From: e.id, To: targets[0], Kind: kindBackedgeExec,
+		Payload: specialPayload{TID: tid, Origin: e.id, Writes: writes},
+	})
+
+	abortEager := func(why string) error {
+		e.locks.ClearVulnerable(tid)
+		e.mu.Lock()
+		delete(e.waiters, tid)
+		e.mu.Unlock()
+		t.Abort()
+		e.abortBackedges(tid, targets)
+		e.cfg.Metrics.TxnAborted()
+		return fmt.Errorf("core: %v aborted %s: %w", tid, why, txn.ErrAborted)
+	}
+
+	timer := time.NewTimer(e.cfg.Params.PrepareTimeout)
+	defer timer.Stop()
+	select {
+	case <-st.arrived:
+		e.locks.ClearVulnerable(tid)
+	case <-wound:
+		return abortEager("as global-deadlock victim (wounded by a secondary)")
+	case <-timer.C:
+		// Global deadlock suspicion (Example 4.1): abort and release.
+		return abortEager("waiting for backedge round-trip")
+	case <-e.stop:
+		e.locks.ClearVulnerable(tid)
+		t.Abort()
+		return fmt.Errorf("core: engine stopped: %w", txn.ErrAborted)
+	}
+
+	// The special is home and every earlier secondary has committed.
+	// Commit the primary and all backedge subtransactions atomically.
+	committed, _ := twopc.Run(tid, targets, twopc.Coordinator{
+		Prepare: func(p model.SiteID, id model.TxnID) (bool, error) {
+			resp, err := e.rpc.Call(p, kindPrepare, preparePayload{TID: id}, e.cfg.Params.RPCTimeout)
+			if err != nil {
+				return false, err
+			}
+			return resp.(prepareResp).Vote, nil
+		},
+		Decide: func(p model.SiteID, id model.TxnID, commit bool) error {
+			_, err := e.rpc.Call(p, kindDecision, decisionPayload{TID: id, Commit: commit}, e.cfg.Params.RPCTimeout)
+			return err
+		},
+	})
+	e.mu.Lock()
+	delete(e.waiters, tid)
+	e.mu.Unlock()
+	if !committed {
+		t.Abort()
+		e.cfg.Metrics.TxnAborted()
+		return fmt.Errorf("core: %v aborted by 2PC: %w", tid, txn.ErrAborted)
+	}
+	e.commitMu.Lock()
+	err := t.Commit()
+	if err == nil {
+		e.forward(tid, writes)
+	}
+	e.commitMu.Unlock()
+	if err != nil {
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	return nil
+}
+
+// abortBackedges tombstones the transaction at every backedge site so
+// executed subtransactions roll back and late-arriving specials are
+// skipped.
+func (e *backedgeEngine) abortBackedges(tid model.TxnID, targets []model.SiteID) {
+	for _, p := range targets {
+		e.send(comm.Message{
+			From: e.id, To: p, Kind: kindBackedgeAbort,
+			Payload: abortPayload{TID: tid},
+		})
+	}
+}
+
+// forward is the DAG(WT) lazy fan-out to relevant tree children; the
+// caller holds commitMu.
+func (e *backedgeEngine) forward(tid model.TxnID, writes []model.WriteOp) {
+	forwardTree(&e.base, tid, writes)
+}
+
+func (e *backedgeEngine) Handle(msg comm.Message) {
+	if msg.IsResp {
+		e.rpc.HandleResponse(msg)
+		return
+	}
+	switch msg.Kind {
+	case kindSecondary, kindSpecial:
+		e.queue <- msg
+	case kindBackedgeExec:
+		// Executed immediately and concurrently (§4.1 step 1: sent
+		// "directly ... to be executed"), not through the FIFO queue.
+		go e.execBackedge(msg.Payload.(specialPayload))
+	case kindBackedgeAbort:
+		go e.handleAbort(msg.Payload.(abortPayload).TID)
+	case kindPrepare:
+		p := msg.Payload.(preparePayload)
+		e.rpc.Reply(msg, prepareResp{Vote: e.table.Prepare(p.TID)})
+	case kindDecision:
+		// Decisions may take a lock-release step; keep the transport pair
+		// goroutine free.
+		go e.handleDecision(msg)
+	default:
+		panic("core: BackEdge received unexpected message kind")
+	}
+}
+
+// execBackedge runs a backedge subtransaction at the farthest ancestor
+// site: execute holding locks, then relay the special down the tree.
+func (e *backedgeEngine) execBackedge(p specialPayload) {
+	if e.executeHolding(p) {
+		e.relaySpecial(p)
+	}
+	e.pendDone()
+}
+
+// executeHolding acquires this site's locks for the subtransaction's
+// local writes, buffering them until the 2PC decision. It returns false
+// if the transaction was aborted (tombstoned) or the engine stopped; on
+// false the subtransaction holds nothing.
+func (e *backedgeEngine) executeHolding(p specialPayload) bool {
+	var local []model.WriteOp
+	for _, w := range p.Writes {
+		if e.store.Has(w.Item) {
+			local = append(local, w)
+		}
+	}
+	if len(local) == 0 {
+		// Pure relay site (no replica of any written item): nothing to
+		// execute, not a 2PC participant.
+		return !e.stopping()
+	}
+	for {
+		if e.stopping() {
+			return false
+		}
+		if e.table.Aborted(p.TID) {
+			return false
+		}
+		t := e.tm.BeginSecondary(p.TID)
+		ok := true
+		for _, w := range local {
+			if err := t.Write(w.Item, w.Value); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			e.cfg.Metrics.Retry()
+			e.retryBackoff()
+			continue
+		}
+		// Locks held, writes buffered. Register as a live participant —
+		// unless an abort raced in, in which case roll back. Registration
+		// and tombstone lookup are paired under e.mu so handleAbort can
+		// never miss a registered subtransaction.
+		e.mu.Lock()
+		err := e.table.Begin(p.TID)
+		if err == nil {
+			e.prepared[p.TID] = t
+		}
+		e.mu.Unlock()
+		if err != nil {
+			t.Abort()
+			return false
+		}
+		return true
+	}
+}
+
+// relaySpecial forwards the special secondary subtransaction one hop down
+// the tree toward the origin, atomically with respect to local commits so
+// downstream sites see a consistent order.
+func (e *backedgeEngine) relaySpecial(p specialPayload) {
+	next := e.cfg.Tree.NextHopDown(e.id, p.Origin)
+	e.commitMu.Lock()
+	e.pendAdd(1)
+	e.send(comm.Message{From: e.id, To: next, Kind: kindSpecial, Payload: p})
+	e.commitMu.Unlock()
+}
+
+// handleAbort processes the origin's global-deadlock abort: mark the
+// transaction aborted and roll back its executed subtransaction if any.
+func (e *backedgeEngine) handleAbort(tid model.TxnID) {
+	e.mu.Lock()
+	e.table.Finish(tid, false)
+	t := e.prepared[tid]
+	delete(e.prepared, tid)
+	e.mu.Unlock()
+	if t != nil {
+		t.Abort()
+	}
+}
+
+// handleDecision applies the 2PC outcome to the prepared subtransaction.
+func (e *backedgeEngine) handleDecision(msg comm.Message) {
+	d := msg.Payload.(decisionPayload)
+	e.mu.Lock()
+	act := e.table.Finish(d.TID, d.Commit)
+	t := e.prepared[d.TID]
+	delete(e.prepared, d.TID)
+	e.mu.Unlock()
+	if act && t != nil {
+		if d.Commit {
+			if err := t.Commit(); err != nil {
+				panic(fmt.Sprintf("core: backedge subtxn commit failed: %v", err))
+			}
+			e.cfg.Metrics.SecondaryApplied(d.TID)
+		} else {
+			t.Abort()
+		}
+	}
+	_ = e.table.Forget(d.TID)
+	e.rpc.Reply(msg, decisionResp{})
+}
+
+// applier drains the FIFO queue of normal and special secondaries.
+func (e *backedgeEngine) applier() {
+	for {
+		var msg comm.Message
+		select {
+		case msg = <-e.queue:
+		case <-e.stop:
+			return
+		}
+		switch msg.Kind {
+		case kindSecondary:
+			p := msg.Payload.(secondaryPayload)
+			if !e.applySecondary(p) {
+				return
+			}
+			e.pendDone()
+		case kindSpecial:
+			p := msg.Payload.(specialPayload)
+			if p.Origin == e.id {
+				e.specialHome(p)
+			} else {
+				// Intermediate (possibly backedge) site: execute holding
+				// locks if we replicate any written item, then relay.
+				if e.executeHolding(p) {
+					e.relaySpecial(p)
+				}
+				e.pendDone()
+			}
+		}
+	}
+}
+
+// specialHome hands the arrived special to the waiting origin transaction
+// and blocks until that transaction resolves, so later queue entries
+// commit after it — the FIFO commit order of §2 spans the eager commit.
+func (e *backedgeEngine) specialHome(p specialPayload) {
+	e.mu.Lock()
+	st := e.waiters[p.TID]
+	e.mu.Unlock()
+	e.pendDone()
+	if st == nil {
+		return // origin already aborted (PrepareTimeout)
+	}
+	close(st.arrived)
+	select {
+	case <-st.done:
+	case <-e.stop:
+	}
+}
+
+// applySecondary is the DAG(WT) lazy application with resubmission.
+func (e *backedgeEngine) applySecondary(p secondaryPayload) bool {
+	for {
+		if e.stopping() {
+			return false
+		}
+		t := e.tm.BeginSecondary(p.TID)
+		ok := true
+		for _, w := range p.Writes {
+			if !e.store.Has(w.Item) {
+				continue
+			}
+			e.simulateOp()
+			if err := t.Write(w.Item, w.Value); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			e.cfg.Metrics.Retry()
+			e.retryBackoff()
+			continue
+		}
+		e.commitMu.Lock()
+		err := t.Commit()
+		if err == nil {
+			e.forward(p.TID, p.Writes)
+		}
+		e.commitMu.Unlock()
+		if err != nil {
+			e.cfg.Metrics.Retry()
+			e.retryBackoff()
+			continue
+		}
+		e.cfg.Metrics.SecondaryApplied(p.TID)
+		return true
+	}
+}

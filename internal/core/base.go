@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/lock"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// base carries the per-site substrate every protocol engine shares: the
+// main-memory store holding the site's copies, the strict-2PL lock
+// manager, the local transaction manager, the transport endpoints, and the
+// commit mutex that makes commit-and-forward atomic (the critical sections
+// of §2 and §3.2.2).
+type base struct {
+	cfg *SharedConfig
+	id  model.SiteID
+
+	store *storage.Store
+	locks *lock.Manager
+	tm    *txn.Manager
+	tr    comm.Transport
+	rpc   *comm.RPC
+
+	seq atomic.Uint64
+
+	// commitMu serializes transaction commits with the scheduling of their
+	// secondary subtransactions, so that if Ti commits before Tj at this
+	// site, Ti's updates are forwarded before Tj's.
+	commitMu sync.Mutex
+
+	stop chan struct{}
+}
+
+func newBase(cfg *SharedConfig, id model.SiteID, tr comm.Transport) base {
+	st := storage.NewStore()
+	for _, item := range cfg.Placement.CopiesAt(id) {
+		if err := st.Create(item, 0); err != nil {
+			panic(fmt.Sprintf("core: duplicate copy at s%d: %v", id, err))
+		}
+	}
+	lm := lock.NewManager(cfg.Params.DetectDeadlocks)
+	lm.SetWoundGrace(cfg.Params.WoundGrace)
+	return base{
+		cfg:   cfg,
+		id:    id,
+		store: st,
+		locks: lm,
+		tm:    txn.NewManager(id, st, lm, cfg.Params.LockTimeout, cfg.Recorder),
+		tr:    tr,
+		rpc:   comm.NewRPC(id, tr),
+		stop:  make(chan struct{}),
+	}
+}
+
+func (b *base) Site() model.SiteID { return b.id }
+
+// Snapshot exposes the site's store contents for convergence checks on a
+// quiesced cluster.
+func (b *base) Snapshot() map[model.ItemID]int64 { return b.store.Snapshot() }
+
+// newTxnID mints a system-wide unique transaction identifier.
+func (b *base) newTxnID() model.TxnID {
+	return model.TxnID{Site: b.id, Seq: b.seq.Add(1)}
+}
+
+// simulateOp burns the configured per-operation CPU cost. It spins
+// (yielding to the scheduler) rather than sleeping: time.Sleep has a
+// millisecond-scale floor on many kernels, which would inflate a 200µs
+// operation ~6x and poison every lock-contention measurement, whereas
+// spinning both hits the target precisely and models what the prototype's
+// CPUs actually did — execute, time-shared among the site's threads.
+func (b *base) simulateOp() {
+	c := b.cfg.Params.OpCost
+	if c <= 0 {
+		return
+	}
+	end := time.Now().Add(c)
+	for time.Now().Before(end) {
+		runtime.Gosched()
+	}
+}
+
+// runLocalOps executes a transaction program against local copies under
+// strict 2PL. On any failure the transaction has been aborted.
+func (b *base) runLocalOps(t *txn.Txn, ops []model.Op) error {
+	for _, op := range ops {
+		b.simulateOp()
+		switch op.Kind {
+		case model.OpRead:
+			if !b.store.Has(op.Item) {
+				t.Abort()
+				return fmt.Errorf("core: s%d has no copy of item %d to read", b.id, op.Item)
+			}
+			if _, err := t.Read(op.Item); err != nil {
+				return err
+			}
+		case model.OpWrite:
+			if !b.cfg.Placement.IsPrimary(b.id, op.Item) {
+				t.Abort()
+				return fmt.Errorf("core: s%d is not the primary of item %d", b.id, op.Item)
+			}
+			if err := t.Write(op.Item, op.Value); err != nil {
+				return err
+			}
+		default:
+			t.Abort()
+			return fmt.Errorf("core: unknown op kind %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+// forwardTree schedules secondary subtransactions at the relevant tree
+// children (§2): a child is relevant iff it or one of its tree
+// descendants holds a copy of an updated item, and it receives exactly
+// the writes its subtree can use. The caller holds commitMu so the
+// forwarding order matches the site's commit order.
+func forwardTree(b *base, tid model.TxnID, writes []model.WriteOp) {
+	if len(writes) == 0 {
+		return
+	}
+	for _, c := range b.cfg.Tree.Children(b.id) {
+		sub := b.cfg.SubtreeItems[c]
+		var local []model.WriteOp
+		for _, w := range writes {
+			if sub[w.Item] {
+				local = append(local, w)
+			}
+		}
+		if len(local) == 0 {
+			continue
+		}
+		b.pendAdd(1)
+		b.send(comm.Message{
+			From: b.id, To: c, Kind: kindSecondary,
+			Payload: secondaryPayload{TID: tid, Writes: local},
+		})
+	}
+}
+
+// send transmits a message and counts it.
+func (b *base) send(msg comm.Message) {
+	b.cfg.Metrics.MsgSent(1)
+	if err := b.tr.Send(msg); err != nil {
+		// Shutdown race: the run is over and the transport is closed.
+		return
+	}
+}
+
+// pendAdd/pendDone track in-flight propagation for cluster quiescing.
+func (b *base) pendAdd(n int) {
+	if b.cfg.Pending != nil {
+		b.cfg.Pending.Add(n)
+	}
+}
+
+func (b *base) pendDone() {
+	if b.cfg.Pending != nil {
+		b.cfg.Pending.Done()
+	}
+}
+
+// stopping reports whether Stop was called.
+func (b *base) stopping() bool {
+	select {
+	case <-b.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// retryBackoff sleeps briefly between secondary-subtransaction
+// resubmissions so a retry storm does not starve the lock holders it
+// waits for.
+func (b *base) retryBackoff() {
+	d := b.cfg.Params.LockTimeout / 10
+	if d < 100*time.Microsecond {
+		d = 100 * time.Microsecond
+	}
+	select {
+	case <-time.After(d):
+	case <-b.stop:
+	}
+}

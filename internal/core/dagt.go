@@ -1,0 +1,314 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/ts"
+)
+
+// dagtEngine implements the DAG(T) protocol (§3). Updates travel directly
+// along copy-graph edges; each site keeps one incoming queue per
+// copy-graph parent and executes the secondary subtransaction with the
+// minimum timestamp among the queue heads, but only once every queue is
+// non-empty. Epoch numbers advanced by the sources, plus dummy
+// subtransactions on idle edges, guarantee progress (§3.3).
+type dagtEngine struct {
+	base
+
+	parents  []model.SiteID
+	children []model.SiteID
+	// childItems[c] is the set of items whose primary is here with a
+	// replica at child c; a child is relevant for a transaction iff it
+	// replicates one of the updated items (§3.2.2 step 3).
+	childItems map[model.SiteID]map[model.ItemID]bool
+
+	// tsMu guards the site timestamp state; it is the §3.2.2 critical
+	// section together with commitMu.
+	tsMu     sync.Mutex
+	siteTS   ts.Timestamp
+	ltsi     uint64 // primary subtransactions committed here (LTSi)
+	lastSent map[model.SiteID]time.Time
+
+	// qMu/qCond guard the per-parent queues.
+	qMu    sync.Mutex
+	qCond  *sync.Cond
+	queues map[model.SiteID][]secondaryPayload
+}
+
+func newDAGT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagtEngine {
+	e := &dagtEngine{
+		base:       newBase(cfg, id, tr),
+		parents:    cfg.Graph.Parents(id),
+		children:   cfg.Graph.Children(id),
+		childItems: make(map[model.SiteID]map[model.ItemID]bool),
+		siteTS:     ts.New(id),
+		lastSent:   make(map[model.SiteID]time.Time),
+		queues:     make(map[model.SiteID][]secondaryPayload),
+	}
+	e.qCond = sync.NewCond(&e.qMu)
+	for _, c := range e.children {
+		e.childItems[c] = make(map[model.ItemID]bool)
+		e.lastSent[c] = time.Now()
+	}
+	p := cfg.Placement
+	for _, item := range p.PrimariesAt(id) {
+		for _, r := range p.ReplicaSites(item) {
+			if set, ok := e.childItems[r]; ok {
+				set[item] = true
+			}
+		}
+	}
+	for _, par := range e.parents {
+		e.queues[par] = nil
+	}
+	return e
+}
+
+func (e *dagtEngine) Start() {
+	if len(e.parents) > 0 {
+		go e.scheduler()
+	}
+	if len(e.children) > 0 {
+		go e.dummyTicker()
+	}
+	if len(e.parents) == 0 && len(e.children) > 0 {
+		go e.epochTicker()
+	}
+}
+
+func (e *dagtEngine) Stop() {
+	close(e.stop)
+	e.qCond.Broadcast()
+}
+
+// Execute runs a primary subtransaction. At commit, inside the critical
+// section, the site's local timestamp counter is incremented, the
+// transaction takes the site timestamp, and secondary subtransactions are
+// scheduled at the relevant children (§3.2.2).
+func (e *dagtEngine) Execute(ops []model.Op) error {
+	start := time.Now()
+	tid := e.newTxnID()
+	t := e.tm.Begin(tid)
+	if err := e.runLocalOps(t, ops); err != nil {
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+	e.commitMu.Lock()
+	e.tsMu.Lock()
+	e.ltsi++
+	e.siteTS.Tuples[len(e.siteTS.Tuples)-1].LTS = e.ltsi
+	tsT := e.siteTS.Clone()
+	e.tsMu.Unlock()
+	err := t.Commit()
+	if err == nil {
+		e.schedule(tid, tsT, t.Writes())
+	}
+	e.commitMu.Unlock()
+	if err != nil {
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	return nil
+}
+
+// schedule appends the transaction's writes to the incoming queues of the
+// relevant children. The caller holds commitMu.
+func (e *dagtEngine) schedule(tid model.TxnID, tsT ts.Timestamp, writes []model.WriteOp) {
+	for _, c := range e.children {
+		var local []model.WriteOp
+		items := e.childItems[c]
+		for _, w := range writes {
+			if items[w.Item] {
+				local = append(local, w)
+			}
+		}
+		if len(local) == 0 {
+			continue
+		}
+		e.tsMu.Lock()
+		e.lastSent[c] = time.Now()
+		e.tsMu.Unlock()
+		e.pendAdd(1)
+		e.send(comm.Message{
+			From: e.id, To: c, Kind: kindSecondary,
+			Payload: secondaryPayload{TID: tid, TS: tsT, Writes: local},
+		})
+	}
+}
+
+// dummyTicker sends a dummy secondary subtransaction down any copy-graph
+// edge that has been silent for DummyPeriod, pushing the site timestamp
+// (and with it, epoch advances) forward so children never stall (§3.3).
+func (e *dagtEngine) dummyTicker() {
+	t := time.NewTicker(e.cfg.Params.DummyPeriod / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-e.stop:
+			return
+		}
+		now := time.Now()
+		var idle []model.SiteID
+		e.tsMu.Lock()
+		for _, c := range e.children {
+			if now.Sub(e.lastSent[c]) >= e.cfg.Params.DummyPeriod {
+				idle = append(idle, c)
+				e.lastSent[c] = now
+			}
+		}
+		var tsD ts.Timestamp
+		if len(idle) > 0 {
+			// A dummy is a primary subtransaction with no updates: it bumps
+			// LTSi so every timestamp sent down an edge is strictly larger
+			// than its predecessors.
+			e.ltsi++
+			e.siteTS.Tuples[len(e.siteTS.Tuples)-1].LTS = e.ltsi
+			tsD = e.siteTS.Clone()
+		}
+		e.tsMu.Unlock()
+		for _, c := range idle {
+			e.cfg.Metrics.Dummy()
+			e.send(comm.Message{
+				From: e.id, To: c, Kind: kindSecondary,
+				Payload: secondaryPayload{TS: tsD, Dummy: true},
+			})
+		}
+	}
+}
+
+// epochTicker advances the epoch at source sites with the common period
+// (§3.3); the new epoch reaches descendants through the timestamps of
+// subsequent (real or dummy) secondary subtransactions.
+func (e *dagtEngine) epochTicker() {
+	t := time.NewTicker(e.cfg.Params.EpochPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-e.stop:
+			return
+		}
+		e.tsMu.Lock()
+		e.siteTS.Epoch++
+		e.tsMu.Unlock()
+	}
+}
+
+func (e *dagtEngine) Handle(msg comm.Message) {
+	if msg.IsResp {
+		e.rpc.HandleResponse(msg)
+		return
+	}
+	switch msg.Kind {
+	case kindSecondary:
+		p := msg.Payload.(secondaryPayload)
+		e.qMu.Lock()
+		e.queues[msg.From] = append(e.queues[msg.From], p)
+		e.qCond.Broadcast()
+		e.qMu.Unlock()
+	default:
+		panic("core: DAG(T) received unexpected message kind")
+	}
+}
+
+// nextSecondary blocks until every parent queue is non-empty (or the
+// engine stops) and pops the head with the minimum timestamp (§3.2.3).
+func (e *dagtEngine) nextSecondary() (secondaryPayload, bool) {
+	e.qMu.Lock()
+	defer e.qMu.Unlock()
+	for {
+		if e.stopping() {
+			return secondaryPayload{}, false
+		}
+		ready := true
+		var minP model.SiteID
+		var minTS ts.Timestamp
+		first := true
+		for _, par := range e.parents {
+			q := e.queues[par]
+			if len(q) == 0 {
+				ready = false
+				break
+			}
+			if first || q[0].TS.Less(minTS) {
+				minP, minTS, first = par, q[0].TS, false
+			}
+		}
+		if ready {
+			p := e.queues[minP][0]
+			e.queues[minP] = e.queues[minP][1:]
+			return p, true
+		}
+		e.qCond.Wait()
+	}
+}
+
+// scheduler executes secondary subtransactions one at a time in timestamp
+// order. On commit the site timestamp becomes TS(Ti)(si, LTSi) and the
+// site epoch follows the subtransaction's epoch (§3.2.3, §3.3).
+func (e *dagtEngine) scheduler() {
+	for {
+		p, ok := e.nextSecondary()
+		if !ok {
+			return
+		}
+		if p.Dummy {
+			e.advanceTS(p.TS)
+			continue
+		}
+		if !e.applySecondary(p) {
+			return
+		}
+		e.pendDone()
+	}
+}
+
+// advanceTS installs the timestamp rule for a committed secondary.
+func (e *dagtEngine) advanceTS(tsT ts.Timestamp) {
+	e.tsMu.Lock()
+	e.siteTS = tsT.Append(ts.Tuple{Site: e.id, LTS: e.ltsi})
+	e.tsMu.Unlock()
+}
+
+func (e *dagtEngine) applySecondary(p secondaryPayload) bool {
+	for {
+		if e.stopping() {
+			return false
+		}
+		t := e.tm.BeginSecondary(p.TID)
+		ok := true
+		for _, w := range p.Writes {
+			if !e.store.Has(w.Item) {
+				continue
+			}
+			e.simulateOp()
+			if err := t.Write(w.Item, w.Value); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			e.cfg.Metrics.Retry()
+			e.retryBackoff()
+			continue
+		}
+		e.commitMu.Lock()
+		err := t.Commit()
+		if err == nil {
+			e.advanceTS(p.TS)
+		}
+		e.commitMu.Unlock()
+		if err != nil {
+			e.cfg.Metrics.Retry()
+			e.retryBackoff()
+			continue
+		}
+		e.cfg.Metrics.SecondaryApplied(p.TID)
+		return true
+	}
+}

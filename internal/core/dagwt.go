@@ -1,0 +1,135 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+)
+
+// dagwtEngine implements the DAG(WT) protocol (§2). Updates travel only
+// along the edges of the tree cfg.Tree; every site has (at most) one tree
+// parent, so a single FIFO queue holds the incoming secondary
+// subtransactions, which are applied and forwarded in receipt order. The
+// commit mutex makes "commit, then forward to relevant children" atomic,
+// so the forwarding order at a site always equals its commit order.
+type dagwtEngine struct {
+	base
+	queue chan comm.Message
+}
+
+func newDAGWT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagwtEngine {
+	return &dagwtEngine{
+		base:  newBase(cfg, id, tr),
+		queue: make(chan comm.Message, 1<<16),
+	}
+}
+
+func (e *dagwtEngine) Start() { go e.applier() }
+
+func (e *dagwtEngine) Stop() { close(e.stop) }
+
+// Execute runs a primary subtransaction: purely local execution under
+// strict 2PL, then an atomic commit-and-forward.
+func (e *dagwtEngine) Execute(ops []model.Op) error {
+	start := time.Now()
+	tid := e.newTxnID()
+	t := e.tm.Begin(tid)
+	if err := e.runLocalOps(t, ops); err != nil {
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+	e.commitMu.Lock()
+	err := t.Commit()
+	if err == nil {
+		e.forward(tid, t.Writes())
+	}
+	e.commitMu.Unlock()
+	if err != nil {
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	return nil
+}
+
+// forward schedules secondary subtransactions at the relevant tree
+// children: those whose subtree holds a replica of an updated item. The
+// caller holds commitMu.
+func (e *dagwtEngine) forward(tid model.TxnID, writes []model.WriteOp) {
+	forwardTree(&e.base, tid, writes)
+}
+
+func (e *dagwtEngine) Handle(msg comm.Message) {
+	if msg.IsResp {
+		e.rpc.HandleResponse(msg)
+		return
+	}
+	switch msg.Kind {
+	case kindSecondary:
+		e.queue <- msg
+	default:
+		panic("core: DAG(WT) received unexpected message kind")
+	}
+}
+
+// applier consumes the FIFO queue: each secondary subtransaction is
+// executed to commit (resubmitting after deadlock timeouts, §2) and then
+// forwarded onward, preserving receipt order.
+func (e *dagwtEngine) applier() {
+	for {
+		select {
+		case msg := <-e.queue:
+			p := msg.Payload.(secondaryPayload)
+			if e.applySecondary(p) {
+				e.pendDone()
+			} else {
+				return // stopped mid-retry
+			}
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// applySecondary retries the subtransaction until it commits; it reports
+// false only if the engine stopped first. On commit the subtransaction is
+// forwarded to the relevant children atomically.
+func (e *dagwtEngine) applySecondary(p secondaryPayload) bool {
+	for {
+		if e.stopping() {
+			return false
+		}
+		t := e.tm.BeginSecondary(p.TID)
+		ok := true
+		for _, w := range p.Writes {
+			if !e.store.Has(w.Item) {
+				continue
+			}
+			e.simulateOp()
+			if err := t.Write(w.Item, w.Value); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			e.cfg.Metrics.Retry()
+			e.retryBackoff()
+			continue
+		}
+		e.commitMu.Lock()
+		err := t.Commit()
+		if err == nil {
+			e.forward(p.TID, p.Writes)
+		}
+		e.commitMu.Unlock()
+		if err != nil {
+			// Unreachable: writes target local copies only.
+			e.cfg.Metrics.Retry()
+			e.retryBackoff()
+			continue
+		}
+		e.cfg.Metrics.SecondaryApplied(p.TID)
+		return true
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func TestDiagFig3bPoint(t *testing.T) {
+	wl := workload.Default()
+	wl.TxnsPerThread = 40
+	wl.BackedgeProb = 1
+	wl.ReplicationProb = 0.5
+	wl.ReadTxnProb = 0
+	wl.ReadOpProb = 0.5
+	p, err := wl.GeneratePlacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.OpCost = 50 * time.Microsecond
+	s := buildSystem(t, BackEdge, p, params, 150*time.Microsecond)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	kinds := map[string]int{}
+	commits := 0
+	for site := 0; site < wl.Sites; site++ {
+		for th := 0; th < wl.ThreadsPerSite; th++ {
+			wg.Add(1)
+			go func(site, th int) {
+				defer wg.Done()
+				gen := workload.NewTxnGen(wl, p, model.SiteID(site), int64(site*100+th))
+				for i := 0; i < wl.TxnsPerThread; i++ {
+					err := s.engines[site].Execute(gen.Next())
+					mu.Lock()
+					switch {
+					case err == nil:
+						commits++
+					case !errors.Is(err, txn.ErrAborted):
+						t.Errorf("bad: %v", err)
+					case strings.Contains(err.Error(), "round-trip"):
+						kinds["prepare-timeout"]++
+					case strings.Contains(err.Error(), "wounded"):
+						kinds["wounded"]++
+					case strings.Contains(err.Error(), "2PC"):
+						kinds["2pc"]++
+					default:
+						kinds["lock-timeout"]++
+					}
+					mu.Unlock()
+				}
+			}(site, th)
+		}
+	}
+	wg.Wait()
+	s.quiesce(t)
+	rep := s.collector.Snapshot(wl.Sites)
+	t.Logf("commits=%d kinds=%v", commits, kinds)
+	t.Logf("rep=%v prop=%v/%v retries=%d", rep, rep.MeanPropDelay, rep.MaxPropDelay, rep.Retries)
+}

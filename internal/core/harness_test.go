@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// testParams are Table 1 parameters scaled for test speed.
+func testParams() Params {
+	return Params{
+		LockTimeout:    20 * time.Millisecond,
+		PrepareTimeout: 250 * time.Millisecond,
+		EpochPeriod:    5 * time.Millisecond,
+		DummyPeriod:    3 * time.Millisecond,
+		OpCost:         0,
+		RPCTimeout:     100 * time.Millisecond,
+	}
+}
+
+// system is a hand-assembled mini-cluster for driving engines directly.
+type system struct {
+	placement *model.Placement
+	engines   []Engine
+	transport *comm.MemTransport
+	recorder  *history.Recorder
+	collector *metrics.Collector
+	pending   sync.WaitGroup
+}
+
+// placement builds a model.Placement from primaries and replica lists.
+func placement(t *testing.T, sites int, primary []model.SiteID, replicas [][]model.SiteID) *model.Placement {
+	t.Helper()
+	p := model.NewPlacement(sites, len(primary))
+	copy(p.Primary, primary)
+	for i, r := range replicas {
+		p.Replicas[i] = r
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// buildSystem wires engines exactly the way the cluster package does
+// (ID-order chain, order backedges) but under test control.
+func buildSystem(t *testing.T, proto Protocol, p *model.Placement, params Params, latency time.Duration) *system {
+	t.Helper()
+	return buildSystemWithTree(t, proto, p, params, latency, nil)
+}
+
+// buildSystemWithTree is buildSystem with an explicit propagation tree
+// (nil selects the ID-order chain).
+func buildSystemWithTree(t *testing.T, proto Protocol, p *model.Placement, params Params, latency time.Duration, tree *graph.Tree) *system {
+	t.Helper()
+	g := graph.FromPlacement(p)
+	order := make([]model.SiteID, p.NumSites)
+	for i := range order {
+		order[i] = model.SiteID(i)
+	}
+	backs := graph.OrderBackedges(g, order)
+	gdag := g.Without(backs)
+	if tree == nil {
+		tree = graph.BuildChain(order)
+	}
+	backSet := make(map[graph.Edge]bool)
+	for _, e := range backs {
+		backSet[e] = true
+	}
+	s := &system{
+		placement: p,
+		transport: comm.NewMemTransport(latency),
+		recorder:  history.NewRecorder(),
+		collector: metrics.NewCollector(true),
+	}
+	shared := &SharedConfig{
+		Placement:    p,
+		Graph:        gdag,
+		Order:        order,
+		Tree:         tree,
+		SubtreeItems: graph.SubtreeCopyItems(tree, p),
+		Backedges:    backSet,
+		Params:       params,
+		Recorder:     s.recorder,
+		Metrics:      s.collector,
+		Pending:      &s.pending,
+	}
+	s.collector.Begin()
+	for i := 0; i < p.NumSites; i++ {
+		e, err := New(proto, shared, model.SiteID(i), s.transport)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.engines = append(s.engines, e)
+		e.Start()
+	}
+	t.Cleanup(func() {
+		for _, e := range s.engines {
+			e.Stop()
+		}
+		_ = s.transport.Close()
+	})
+	return s
+}
+
+// quiesce waits for all in-flight propagation.
+func (s *system) quiesce(t *testing.T) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("propagation did not quiesce")
+	}
+}
+
+// value reads the committed store value of item at site (bypassing
+// concurrency control; use on quiet copies only).
+func (s *system) value(t *testing.T, site model.SiteID, item model.ItemID) int64 {
+	t.Helper()
+	type snapshotter interface {
+		Snapshot() map[model.ItemID]int64
+	}
+	return s.engines[site].(snapshotter).Snapshot()[item]
+}
+
+// waitValue polls until the copy of item at site reaches want.
+func (s *system) waitValue(t *testing.T, site model.SiteID, item model.ItemID, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.value(t, site, item) == want {
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	t.Fatalf("s%d copy of item %d never reached %d (have %d)", site, item, want, s.value(t, site, item))
+}
+
+// example11Placement is the data layout of Example 1.1: item 0 ("a")
+// primary at s0 with replicas at s1 and s2; item 1 ("b") primary at s1
+// with a replica at s2.
+func example11Placement(t *testing.T) *model.Placement {
+	return placement(t, 3,
+		[]model.SiteID{0, 1},
+		[][]model.SiteID{{1, 2}, {2}})
+}
+
+// example41Placement is the layout of Example 4.1: item 0 ("a") primary
+// at s0 replicated at s1; item 1 ("b") primary at s1 replicated at s0 —
+// a two-site cycle in the copy graph.
+func example41Placement(t *testing.T) *model.Placement {
+	return placement(t, 2,
+		[]model.SiteID{0, 1},
+		[][]model.SiteID{{1}, {0}})
+}
+
+func r(item model.ItemID) model.Op { return model.Op{Kind: model.OpRead, Item: item} }
+func w(item model.ItemID, v int64) model.Op {
+	return model.Op{Kind: model.OpWrite, Item: item, Value: v}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+)
+
+// naiveEngine is the indiscriminate lazy propagation most commercial
+// systems offered (§1, §1.2): after a transaction commits, its updates
+// are shipped directly to every replica site and applied there as
+// independent transactions with no ordering control beyond per-edge FIFO.
+// Example 1.1 shows this is NOT serializable even on a DAG copy graph;
+// the engine exists as the negative control for the serializability
+// checker and the anomaly example.
+type naiveEngine struct {
+	base
+}
+
+func newNaive(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *naiveEngine {
+	return &naiveEngine{base: newBase(cfg, id, tr)}
+}
+
+func (e *naiveEngine) Start() {}
+
+func (e *naiveEngine) Stop() { close(e.stop) }
+
+func (e *naiveEngine) Execute(ops []model.Op) error {
+	start := time.Now()
+	tid := e.newTxnID()
+	t := e.tm.Begin(tid)
+	if err := e.runLocalOps(t, ops); err != nil {
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+	e.commitMu.Lock()
+	err := t.Commit()
+	var writes []model.WriteOp
+	if err == nil {
+		writes = t.Writes()
+		// Ship each replica site exactly the writes it stores.
+		perSite := make(map[model.SiteID][]model.WriteOp)
+		for _, w := range writes {
+			for _, r := range e.cfg.Placement.ReplicaSites(w.Item) {
+				perSite[r] = append(perSite[r], w)
+			}
+		}
+		for r, ws := range perSite {
+			e.pendAdd(1)
+			e.send(comm.Message{
+				From: e.id, To: r, Kind: kindSecondary,
+				Payload: secondaryPayload{TID: tid, Writes: ws},
+			})
+		}
+	}
+	e.commitMu.Unlock()
+	if err != nil {
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	return nil
+}
+
+func (e *naiveEngine) Handle(msg comm.Message) {
+	if msg.IsResp {
+		e.rpc.HandleResponse(msg)
+		return
+	}
+	switch msg.Kind {
+	case kindSecondary:
+		// Applied on arrival, concurrently — this is precisely the
+		// indiscriminate behaviour that loses serializability.
+		go e.applySecondary(msg.Payload.(secondaryPayload))
+	default:
+		panic("core: NaiveLazy received unexpected message kind")
+	}
+}
+
+func (e *naiveEngine) applySecondary(p secondaryPayload) {
+	defer e.pendDone()
+	for {
+		if e.stopping() {
+			return
+		}
+		t := e.tm.BeginSecondary(p.TID)
+		ok := true
+		for _, w := range p.Writes {
+			if !e.store.Has(w.Item) {
+				continue
+			}
+			e.simulateOp()
+			if err := t.Write(w.Item, w.Value); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			e.cfg.Metrics.Retry()
+			e.retryBackoff()
+			continue
+		}
+		if err := t.Commit(); err != nil {
+			e.cfg.Metrics.Retry()
+			e.retryBackoff()
+			continue
+		}
+		e.cfg.Metrics.SecondaryApplied(p.TID)
+		return
+	}
+}

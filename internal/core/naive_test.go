@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+)
+
+// TestNaiveLazyDirectFanout: NaiveLazy sends one message per replica
+// site, straight from the origin — no tree relays.
+func TestNaiveLazyDirectFanout(t *testing.T) {
+	// Item 0 primary at s0, replicas at s1 AND s2 (skipping s1 would be
+	// impossible under tree routing; naive goes direct).
+	p := placement(t, 3, []model.SiteID{0}, [][]model.SiteID{{1, 2}})
+	s := buildSystem(t, NaiveLazy, p, testParams(), time.Millisecond)
+	if err := s.engines[0].Execute([]model.Op{w(0, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	s.waitValue(t, 1, 0, 9)
+	s.waitValue(t, 2, 0, 9)
+	s.quiesce(t)
+	rep := s.collector.Snapshot(3)
+	if rep.Messages != 2 {
+		t.Errorf("messages = %d, want exactly 2 (direct fan-out)", rep.Messages)
+	}
+}
+
+// TestNaiveLazySecondaryRetries: like the serializable protocols, naive
+// application must survive lock conflicts by resubmitting.
+func TestNaiveLazySecondaryRetries(t *testing.T) {
+	p := placement(t, 2, []model.SiteID{0}, [][]model.SiteID{{1}})
+	s := buildSystem(t, NaiveLazy, p, testParams(), 0)
+	e1 := s.engines[1].(*naiveEngine)
+	blocker := e1.tm.Begin(e1.newTxnID())
+	if _, err := blocker.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.engines[0].Execute([]model.Op{w(0, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * testParams().LockTimeout)
+	if got := s.value(t, 1, 0); got != 0 {
+		t.Fatalf("applied through a held lock: %d", got)
+	}
+	blocker.Abort()
+	s.waitValue(t, 1, 0, 3)
+	if rep := s.collector.Snapshot(2); rep.Retries == 0 {
+		t.Error("no retries counted")
+	}
+}
+
+// TestNaiveLazyUnreplicatedWriteSendsNothing: a write to a local-only
+// item never touches the network.
+func TestNaiveLazyUnreplicatedWriteSendsNothing(t *testing.T) {
+	p := placement(t, 2, []model.SiteID{0}, [][]model.SiteID{nil})
+	s := buildSystem(t, NaiveLazy, p, testParams(), 0)
+	if err := s.engines[0].Execute([]model.Op{w(0, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	s.quiesce(t)
+	if rep := s.collector.Snapshot(2); rep.Messages != 0 {
+		t.Errorf("messages = %d, want 0", rep.Messages)
+	}
+}
+
+// TestEngineSiteAccessor covers the trivial but public Site method for
+// every engine type.
+func TestEngineSiteAccessor(t *testing.T) {
+	p := example41Placement(t)
+	for _, proto := range []Protocol{PSL, BackEdge, NaiveLazy} {
+		s := buildSystem(t, proto, p, testParams(), 0)
+		for i, e := range s.engines {
+			if e.Site() != model.SiteID(i) {
+				t.Errorf("%v engine %d reports site %d", proto, i, e.Site())
+			}
+		}
+	}
+}
+
+// TestRegisterPayloadsIsIdempotent: TCP deployments call it at startup;
+// calling twice must not panic (gob re-registration of identical types).
+func TestRegisterPayloadsIsIdempotent(t *testing.T) {
+	RegisterPayloads()
+	RegisterPayloads()
+}
+
+// TestHandlePanicsOnForeignKind: protocol engines fail loudly on message
+// kinds they do not speak, instead of silently dropping them.
+func TestHandlePanicsOnForeignKind(t *testing.T) {
+	p := example11Placement(t)
+	for _, proto := range []Protocol{DAGWT, DAGT, NaiveLazy, PSL} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			s := buildSystem(t, proto, p, testParams(), 0)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v accepted an unknown message kind", proto)
+				}
+			}()
+			s.engines[0].Handle(comm.Message{From: 1, To: 0, Kind: 9999})
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/lock"
+	"repro/internal/model"
+	"repro/internal/txn"
+)
+
+// pslEngine implements the lazy primary-site-locking baseline of §5.1 (a
+// variant of the lazy-master approach of Gray et al.): reads and updates
+// of locally-primary items are handled locally; a read of a replica takes
+// a shared lock on the item at its *primary* site and the current value
+// is shipped back with the lock grant. Updates never propagate — a remote
+// site always sees the latest value because it always reads the primary —
+// and all locks (local and remote) are released at commit.
+type pslEngine struct {
+	base
+
+	// reads is the site's remote-read service queue. Like the lazy
+	// protocols' single secondary applier, one server goroutine works it:
+	// a site is one database instance, and remote requests contend for it
+	// the way they did for the prototype's DataBlitz server.
+	reads chan comm.Message
+
+	// released tombstones transactions whose remote locks were already
+	// released, so a lock granted to a late-racing read request is not
+	// leaked (the release and the request travel on the same FIFO edge,
+	// but the request is served asynchronously). The map grows with the
+	// number of remote transactions that ever touched this site — bounded
+	// by the run length, which matches the model's finite workloads; a
+	// production system would age entries out.
+	relMu    sync.Mutex
+	released map[model.TxnID]bool
+}
+
+func newPSL(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *pslEngine {
+	return &pslEngine{
+		base:     newBase(cfg, id, tr),
+		reads:    make(chan comm.Message, 1<<16),
+		released: make(map[model.TxnID]bool),
+	}
+}
+
+func (e *pslEngine) Start() { go e.readServer() }
+
+func (e *pslEngine) Stop() { close(e.stop) }
+
+func (e *pslEngine) readServer() {
+	for {
+		select {
+		case msg := <-e.reads:
+			e.serveRead(msg)
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *pslEngine) Execute(ops []model.Op) error {
+	start := time.Now()
+	tid := e.newTxnID()
+	t := e.tm.Begin(tid)
+	remotes := make(map[model.SiteID]bool)
+
+	fail := func(err error) error {
+		t.Abort()
+		e.releaseRemotes(tid, remotes)
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+
+	for _, op := range ops {
+		e.simulateOp()
+		switch op.Kind {
+		case model.OpRead:
+			primary := e.cfg.Placement.Primary[op.Item]
+			if primary == e.id {
+				if _, err := t.Read(op.Item); err != nil {
+					e.releaseRemotes(tid, remotes)
+					e.cfg.Metrics.TxnAborted()
+					return err
+				}
+				continue
+			}
+			// Replica read: shared lock + value ship from the primary.
+			e.cfg.Metrics.RemoteRead()
+			resp, err := e.rpc.Call(primary, kindPSLRead, pslReadReq{TID: tid, Item: op.Item}, e.cfg.Params.RPCTimeout)
+			if err != nil {
+				// The lock may still be granted remotely after our timeout;
+				// the release below cancels or undoes it.
+				remotes[primary] = true
+				return fail(fmt.Errorf("%w: remote r[%d] at s%d: %v", txn.ErrAborted, op.Item, primary, err))
+			}
+			remotes[primary] = true
+			rr := resp.(pslReadResp)
+			t.ObserveRemoteRead(primary, op.Item, rr.Version)
+		case model.OpWrite:
+			if !e.cfg.Placement.IsPrimary(e.id, op.Item) {
+				return fail(fmt.Errorf("core: s%d is not the primary of item %d", e.id, op.Item))
+			}
+			if err := t.Write(op.Item, op.Value); err != nil {
+				e.releaseRemotes(tid, remotes)
+				e.cfg.Metrics.TxnAborted()
+				return err
+			}
+		}
+	}
+	if err := t.Commit(); err != nil {
+		e.releaseRemotes(tid, remotes)
+		e.cfg.Metrics.TxnAborted()
+		return err
+	}
+	e.releaseRemotes(tid, remotes)
+	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	return nil
+}
+
+func (e *pslEngine) releaseRemotes(tid model.TxnID, remotes map[model.SiteID]bool) {
+	for s := range remotes {
+		e.send(comm.Message{
+			From: e.id, To: s, Kind: kindPSLRelease,
+			Payload: pslReleasePayload{TID: tid},
+		})
+	}
+}
+
+func (e *pslEngine) Handle(msg comm.Message) {
+	if msg.IsResp {
+		e.rpc.HandleResponse(msg)
+		return
+	}
+	switch msg.Kind {
+	case kindPSLRead:
+		// Lock waits block; serve through the site's read server, off the
+		// transport goroutine.
+		e.reads <- msg
+	case kindPSLRelease:
+		go e.serveRelease(msg.Payload.(pslReleasePayload).TID)
+	default:
+		panic("core: PSL received unexpected message kind")
+	}
+}
+
+// serveRead grants a shared lock on the primary copy and ships the
+// current value (§5.1).
+func (e *pslEngine) serveRead(msg comm.Message) {
+	req := msg.Payload.(pslReadReq)
+	if e.isReleased(req.TID) {
+		e.rpc.ReplyError(msg, fmt.Errorf("transaction already released"))
+		return
+	}
+	// Serving a remote read is real work at the primary (hash lookup, lock
+	// management, marshaling the value for shipment): it costs one
+	// operation, like the reader's own operations do.
+	e.simulateOp()
+	if err := e.locks.Acquire(req.TID, req.Item, lock.Shared, e.cfg.Params.LockTimeout); err != nil {
+		e.rpc.ReplyError(msg, err)
+		return
+	}
+	if e.isReleased(req.TID) {
+		// The caller aborted while we waited; undo the grant.
+		e.locks.ReleaseAll(req.TID)
+		e.rpc.ReplyError(msg, fmt.Errorf("transaction aborted during lock wait"))
+		return
+	}
+	ver, err := e.store.Read(req.Item)
+	if err != nil {
+		e.locks.ReleaseAll(req.TID)
+		e.rpc.ReplyError(msg, err)
+		return
+	}
+	e.rpc.Reply(msg, pslReadResp{Value: ver.Value, Version: ver.Num})
+}
+
+func (e *pslEngine) serveRelease(tid model.TxnID) {
+	e.relMu.Lock()
+	e.released[tid] = true
+	e.relMu.Unlock()
+	e.locks.ReleaseAll(tid)
+}
+
+func (e *pslEngine) isReleased(tid model.TxnID) bool {
+	e.relMu.Lock()
+	defer e.relMu.Unlock()
+	return e.released[tid]
+}

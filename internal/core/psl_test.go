@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/txn"
+)
+
+// TestPSLRemoteReadShipsLatestValue: updates never propagate, but a
+// replica read goes to the primary and must observe the newest value.
+func TestPSLRemoteReadShipsLatestValue(t *testing.T) {
+	p := placement(t, 2, []model.SiteID{0}, [][]model.SiteID{{1}})
+	s := buildSystem(t, PSL, p, testParams(), time.Millisecond)
+	if err := s.engines[0].Execute([]model.Op{w(0, 123)}); err != nil {
+		t.Fatal(err)
+	}
+	// The replica at s1 is stale by design...
+	if got := s.value(t, 1, 0); got != 0 {
+		t.Errorf("PSL propagated an update: replica = %d", got)
+	}
+	// ...but a transaction at s1 still reads 123 via the primary. Drive
+	// the engine directly and verify through the recorder: the read must
+	// observe version 1 at site 0.
+	if err := s.engines[1].Execute([]model.Op{r(0)}); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.collector.Snapshot(2)
+	if rep.RemoteReads != 1 {
+		t.Errorf("remote reads = %d, want 1", rep.RemoteReads)
+	}
+	if err := s.recorder.CheckSerializable(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPSLRemoteLocksReleasedAfterCommit: after the reader commits, the
+// primary's lock must be free so a writer proceeds without waiting out a
+// timeout.
+func TestPSLRemoteLocksReleasedAfterCommit(t *testing.T) {
+	p := placement(t, 2, []model.SiteID{0}, [][]model.SiteID{{1}})
+	s := buildSystem(t, PSL, p, testParams(), time.Millisecond)
+	if err := s.engines[1].Execute([]model.Op{r(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Release message is asynchronous; give it a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := s.engines[0].Execute([]model.Op{w(0, 1)})
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("primary still locked long after reader committed: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPSLRemoteReaderBlocksWriter: while a remote reader's transaction is
+// open, the primary's writer must wait (shared lock held at primary).
+func TestPSLRemoteReaderBlocksWriter(t *testing.T) {
+	p := placement(t, 2, []model.SiteID{0}, [][]model.SiteID{{1}})
+	params := testParams()
+	params.OpCost = 40 * time.Millisecond // reader holds its locks a while
+	s := buildSystem(t, PSL, p, params, time.Millisecond)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	readerDone := make(chan time.Time, 1)
+	go func() {
+		defer wg.Done()
+		// Two ops, 40ms each: the remote S lock is held ~40-80ms.
+		if err := s.engines[1].Execute([]model.Op{r(0), r(0)}); err != nil {
+			t.Errorf("reader: %v", err)
+		}
+		readerDone <- time.Now()
+	}()
+	time.Sleep(50 * time.Millisecond) // let the reader acquire the remote lock
+	writerStart := time.Now()
+	err := s.engines[0].Execute([]model.Op{w(0, 5)})
+	writerEnd := time.Now()
+	wg.Wait()
+	rd := <-readerDone
+	if err == nil && writerEnd.Before(rd) && writerEnd.Sub(writerStart) < 5*time.Millisecond {
+		t.Error("writer proceeded instantly while remote reader held the shared lock")
+	}
+	s.quiesce(t)
+	if serr := s.recorder.CheckSerializable(); serr != nil {
+		t.Error(serr)
+	}
+}
+
+// TestPSLConflictTimeoutAborts: a writer holding the primary's exclusive
+// lock forces a remote reader into the timeout path and an abort.
+func TestPSLConflictTimeoutAborts(t *testing.T) {
+	p := placement(t, 2, []model.SiteID{0}, [][]model.SiteID{{1}})
+	s := buildSystem(t, PSL, p, testParams(), time.Millisecond)
+	e0 := s.engines[0].(*pslEngine)
+	blocker := e0.tm.Begin(e0.newTxnID())
+	if err := blocker.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := s.engines[1].Execute([]model.Op{r(0)})
+	if !errors.Is(err, txn.ErrAborted) {
+		t.Fatalf("want abort, got %v", err)
+	}
+	blocker.Abort()
+	// The aborted reader must not leave a lock behind at the primary:
+	// a writer succeeds promptly (the release/cancel path ran).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := s.engines[0].Execute([]model.Op{w(0, 2)}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("aborted remote reader leaked a lock at the primary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPSLSerializableUnderContention: concurrent writers at the primary
+// and remote readers must produce a serializable execution.
+func TestPSLSerializableUnderContention(t *testing.T) {
+	p := placement(t, 3,
+		[]model.SiteID{0, 1},
+		[][]model.SiteID{{1, 2}, {0, 2}})
+	s := buildSystem(t, PSL, p, testParams(), 300*time.Microsecond)
+	var wg sync.WaitGroup
+	for site := 0; site < 3; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			prims := s.placement.PrimariesAt(model.SiteID(site))
+			for i := 0; i < 40; i++ {
+				var ops []model.Op
+				ops = append(ops, r(model.ItemID(i%2)))
+				if len(prims) > 0 {
+					ops = append(ops, w(prims[0], int64(site*1000+i)))
+				}
+				if err := s.engines[site].Execute(ops); err != nil && !errors.Is(err, txn.ErrAborted) {
+					t.Errorf("s%d: %v", site, err)
+					return
+				}
+			}
+		}(site)
+	}
+	wg.Wait()
+	if err := s.recorder.CheckSerializable(); err != nil {
+		t.Fatalf("PSL produced a non-serializable execution: %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/txn"
+)
+
+// randomPlacement builds an arbitrary placement: every item gets a random
+// primary and a random replica set, so the copy graph can be any shape
+// (cycles included).
+func randomPlacement(t *testing.T, rng *rand.Rand, sites, items int, allowBackedges bool) *model.Placement {
+	t.Helper()
+	p := model.NewPlacement(sites, items)
+	for i := 0; i < items; i++ {
+		p.Primary[i] = model.SiteID(i % sites) // every site writes something
+		lo := int(p.Primary[i]) + 1
+		if allowBackedges && rng.Intn(2) == 0 {
+			lo = 0
+		}
+		for s := lo; s < sites; s++ {
+			if model.SiteID(s) != p.Primary[i] && rng.Float64() < 0.4 {
+				p.Replicas[i] = append(p.Replicas[i], model.SiteID(s))
+			}
+		}
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runRandomWorkload drives concurrent random transactions at every site
+// and returns (commits, aborts).
+func runRandomWorkload(t *testing.T, s *system, seed int64, txnsPerThread int) (int, int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	commits, aborts := 0, 0
+	for site := 0; site < s.placement.NumSites; site++ {
+		for th := 0; th < 2; th++ {
+			wg.Add(1)
+			go func(site, th int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(site*10+th)))
+				prims := s.placement.PrimariesAt(model.SiteID(site))
+				copies := s.placement.CopiesAt(model.SiteID(site))
+				for i := 0; i < txnsPerThread; i++ {
+					nops := 1 + rng.Intn(5)
+					ops := make([]model.Op, 0, nops)
+					for k := 0; k < nops; k++ {
+						if rng.Float64() < 0.6 || len(prims) == 0 {
+							ops = append(ops, model.Op{Kind: model.OpRead, Item: copies[rng.Intn(len(copies))]})
+						} else {
+							ops = append(ops, model.Op{
+								Kind: model.OpWrite, Item: prims[rng.Intn(len(prims))],
+								Value: rng.Int63(),
+							})
+						}
+					}
+					err := s.engines[site].Execute(ops)
+					mu.Lock()
+					if err == nil {
+						commits++
+					} else if errors.Is(err, txn.ErrAborted) {
+						aborts++
+					} else {
+						mu.Unlock()
+						t.Errorf("unexpected failure: %v", err)
+						return
+					}
+					mu.Unlock()
+				}
+			}(site, th)
+		}
+	}
+	wg.Wait()
+	return commits, aborts
+}
+
+// checkConverged verifies every replica equals its primary on a quiesced
+// system.
+func checkConverged(t *testing.T, s *system) {
+	t.Helper()
+	for item := 0; item < s.placement.NumItems; item++ {
+		want := s.value(t, s.placement.Primary[item], model.ItemID(item))
+		for _, r := range s.placement.ReplicaSites(model.ItemID(item)) {
+			if got := s.value(t, r, model.ItemID(item)); got != want {
+				t.Errorf("item %d diverged: primary=%d, s%d=%d", item, want, r, got)
+			}
+		}
+	}
+}
+
+// TestRandomizedSerializabilityDAGProtocols is the protocol-level
+// property test: across random DAG placements and random concurrent
+// workloads, DAG(WT) and DAG(T) always produce serializable executions
+// and convergent replicas.
+func TestRandomizedSerializabilityDAGProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized soak")
+	}
+	for _, proto := range []Protocol{DAGWT, DAGT} {
+		proto := proto
+		for seed := int64(0); seed < 4; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("%v/seed=%d", proto, seed), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(seed))
+				sites := 3 + rng.Intn(3)
+				p := randomPlacement(t, rng, sites, 8*sites, false)
+				s := buildSystem(t, proto, p, testParams(), 200*time.Microsecond)
+				commits, _ := runRandomWorkload(t, s, seed, 20)
+				if commits == 0 {
+					t.Fatal("nothing committed")
+				}
+				s.quiesce(t)
+				if err := s.recorder.CheckSerializable(); err != nil {
+					t.Fatalf("%v violated serializability: %v", proto, err)
+				}
+				checkConverged(t, s)
+			})
+		}
+	}
+}
+
+// TestRandomizedSerializabilityBackEdge is the same property on
+// arbitrary (cyclic) placements under the BackEdge protocol.
+func TestRandomizedSerializabilityBackEdge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized soak")
+	}
+	for seed := int64(10); seed < 16; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			sites := 3 + rng.Intn(3)
+			p := randomPlacement(t, rng, sites, 8*sites, true)
+			params := testParams()
+			params.PrepareTimeout = 300 * time.Millisecond
+			s := buildSystem(t, BackEdge, p, params, 200*time.Microsecond)
+			commits, aborts := runRandomWorkload(t, s, seed, 20)
+			if commits == 0 {
+				t.Fatal("nothing committed")
+			}
+			s.quiesce(t)
+			if err := s.recorder.CheckSerializable(); err != nil {
+				t.Fatalf("BackEdge violated serializability: %v", err)
+			}
+			checkConverged(t, s)
+			t.Logf("commits=%d aborts=%d", commits, aborts)
+		})
+	}
+}
+
+// TestRandomizedSerializabilityPSL: PSL never propagates, but its
+// executions must still be serializable under arbitrary placements.
+func TestRandomizedSerializabilityPSL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized soak")
+	}
+	for seed := int64(20); seed < 24; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			sites := 3 + rng.Intn(3)
+			p := randomPlacement(t, rng, sites, 8*sites, true)
+			s := buildSystem(t, PSL, p, testParams(), 200*time.Microsecond)
+			commits, _ := runRandomWorkload(t, s, seed, 20)
+			if commits == 0 {
+				t.Fatal("nothing committed")
+			}
+			if err := s.recorder.CheckSerializable(); err != nil {
+				t.Fatalf("PSL violated serializability: %v", err)
+			}
+		})
+	}
+}
+
+// TestStopWithInFlightPropagation verifies a cluster can be torn down
+// abruptly — queues full, secondaries mid-retry — without panics or
+// hangs.
+func TestStopWithInFlightPropagation(t *testing.T) {
+	for _, proto := range []Protocol{DAGWT, DAGT, BackEdge, NaiveLazy} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			p := randomPlacement(t, rng, 4, 24, proto == BackEdge || proto == NaiveLazy)
+			s := buildSystem(t, proto, p, testParams(), 5*time.Millisecond)
+			runRandomWorkload(t, s, 42, 10)
+			// Deliberately NO quiesce: Stop (from t.Cleanup) races the
+			// in-flight propagation. Success == no panic, no deadlock.
+		})
+	}
+}

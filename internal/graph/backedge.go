@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// DFSBackedges computes a minimal set of backedges B using depth-first
+// search, as suggested in §4: the DFS back edges (edges into a vertex
+// currently on the recursion stack) break every cycle, and each of them
+// closes a cycle with the surviving tree path, so B is minimal — inserting
+// any member back into Gdag recreates a cycle.
+//
+// The DFS roots and neighbour order are taken smallest-site-first so the
+// result is deterministic.
+func DFSBackedges(g *CopyGraph) []Edge {
+	const (
+		white = iota // unvisited
+		grey         // on stack
+		black        // done
+	)
+	color := make([]int, g.N)
+	var backs []Edge
+
+	var visit func(u model.SiteID)
+	visit = func(u model.SiteID) {
+		color[u] = grey
+		for _, v := range g.Children(u) {
+			switch color[v] {
+			case white:
+				visit(v)
+			case grey:
+				backs = append(backs, Edge{u, v})
+			}
+		}
+		color[u] = black
+	}
+	for u := 0; u < g.N; u++ {
+		if color[u] == white {
+			visit(model.SiteID(u))
+		}
+	}
+	return backs
+}
+
+// OrderBackedges returns the edges of g that go "backwards" with respect
+// to a total order on the sites: edge u→v is a backedge iff v precedes u.
+// This is the backedge notion used by the prototype's data-distribution
+// scheme (§5.2), where the total order is also the propagation chain.
+// Removing them always yields a DAG because every surviving edge goes
+// strictly forward in the order.
+func OrderBackedges(g *CopyGraph, order []model.SiteID) []Edge {
+	pos := make([]int, g.N)
+	for i, s := range order {
+		pos[s] = i
+	}
+	var backs []Edge
+	for _, e := range g.Edges() {
+		if pos[e.To] < pos[e.From] {
+			backs = append(backs, e)
+		}
+	}
+	return backs
+}
+
+// GreedyFAS computes a vertex sequence using the Eades–Lin–Smyth greedy
+// heuristic for the (weighted) minimum feedback arc set problem, which the
+// paper points at in §4.2 (the exact problem is NP-hard [GJ79]). The edges
+// pointing leftward in the returned sequence form a feedback arc set whose
+// total weight the heuristic keeps small.
+//
+// The returned order lists sinks last and sources first; ties are broken
+// by weighted (out-in) degree difference, then by site ID for determinism.
+func GreedyFAS(g *CopyGraph) []model.SiteID {
+	type vert struct {
+		id      model.SiteID
+		outW    int
+		inW     int
+		removed bool
+	}
+	verts := make([]*vert, g.N)
+	for v := 0; v < g.N; v++ {
+		verts[v] = &vert{id: model.SiteID(v)}
+	}
+	for e, w := range g.weight {
+		verts[e.From].outW += w
+		verts[e.To].inW += w
+	}
+	// Live adjacency for degree maintenance.
+	out := make([]map[model.SiteID]int, g.N)
+	in := make([]map[model.SiteID]int, g.N)
+	for v := 0; v < g.N; v++ {
+		out[v] = make(map[model.SiteID]int)
+		in[v] = make(map[model.SiteID]int)
+	}
+	for e, w := range g.weight {
+		out[e.From][e.To] = w
+		in[e.To][e.From] = w
+	}
+
+	var left, right []model.SiteID // s1 built left-to-right, s2 right-to-left
+	remaining := g.N
+
+	remove := func(v *vert) {
+		v.removed = true
+		remaining--
+		for u, w := range out[v.id] {
+			verts[u].inW -= w
+			delete(in[u], v.id)
+		}
+		for u, w := range in[v.id] {
+			verts[u].outW -= w
+			delete(out[u], v.id)
+		}
+	}
+
+	for remaining > 0 {
+		// Strip sinks.
+		progress := true
+		for progress {
+			progress = false
+			for _, v := range verts {
+				if !v.removed && v.outW == 0 {
+					right = append(right, v.id)
+					remove(v)
+					progress = true
+				}
+			}
+			// Strip sources.
+			for _, v := range verts {
+				if !v.removed && v.inW == 0 && v.outW > 0 {
+					left = append(left, v.id)
+					remove(v)
+					progress = true
+				}
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		// Pick the vertex maximizing outW-inW (weighted ELS rule).
+		var best *vert
+		for _, v := range verts {
+			if v.removed {
+				continue
+			}
+			if best == nil || v.outW-v.inW > best.outW-best.inW ||
+				(v.outW-v.inW == best.outW-best.inW && v.id < best.id) {
+				best = v
+			}
+		}
+		left = append(left, best.id)
+		remove(best)
+	}
+	// right was collected sinks-first; reverse it.
+	for i, j := 0, len(right)-1; i < j; i, j = i+1, j-1 {
+		right[i], right[j] = right[j], right[i]
+	}
+	return append(left, right...)
+}
+
+// MinWeightBackedges returns a feedback arc set for g computed by running
+// GreedyFAS and taking the edges that point leftward in the resulting
+// sequence, then pruning it to a minimal set (dropping any member whose
+// reinsertion leaves the graph acyclic). The result removal always yields
+// a DAG and the set is minimal in the §4 sense.
+func MinWeightBackedges(g *CopyGraph) []Edge {
+	order := GreedyFAS(g)
+	backs := OrderBackedges(g, order)
+	return Minimalize(g, backs)
+}
+
+// Minimalize prunes a feedback arc set to a minimal one: it repeatedly
+// reinserts edges whose return does not recreate a cycle. The input set
+// must itself be a feedback arc set (g.Without(backs) acyclic); the output
+// is a subset with the same property such that reinserting any member
+// creates a cycle. Heavier edges are considered for reinsertion first so
+// the pruned set tends to be light.
+func Minimalize(g *CopyGraph, backs []Edge) []Edge {
+	kept := append([]Edge(nil), backs...)
+	sort.Slice(kept, func(i, j int) bool {
+		if g.Weight(kept[i]) != g.Weight(kept[j]) {
+			return g.Weight(kept[i]) > g.Weight(kept[j])
+		}
+		if kept[i].From != kept[j].From {
+			return kept[i].From < kept[j].From
+		}
+		return kept[i].To < kept[j].To
+	})
+	out := append([]Edge(nil), kept...)
+	for _, cand := range kept {
+		// Try putting cand back: remove it from the removal set.
+		trial := out[:0:0]
+		for _, e := range out {
+			if e != cand {
+				trial = append(trial, e)
+			}
+		}
+		if g.Without(trial).IsDAG() {
+			out = trial
+		}
+	}
+	return out
+}
+
+// TotalWeight sums the weights of the given edges in g.
+func TotalWeight(g *CopyGraph, edges []Edge) int {
+	total := 0
+	for _, e := range edges {
+		total += g.Weight(e)
+	}
+	return total
+}

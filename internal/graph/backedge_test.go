@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestDFSBackedgesBreaksAllCycles(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0) // cycle 0-1-2
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2) // cycle 2-3
+	backs := DFSBackedges(g)
+	if g.Without(backs).IsDAG() == false {
+		t.Fatalf("removing %v does not yield a DAG", backs)
+	}
+	if len(backs) != 2 {
+		t.Errorf("expected 2 backedges, got %v", backs)
+	}
+}
+
+func TestDFSBackedgesEmptyOnDAG(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	if backs := DFSBackedges(g); len(backs) != 0 {
+		t.Errorf("DAG produced backedges %v", backs)
+	}
+}
+
+// isMinimal reports whether reinserting any member of backs recreates a
+// cycle (the §4 minimality requirement).
+func isMinimal(g *CopyGraph, backs []Edge) bool {
+	for i := range backs {
+		trial := make([]Edge, 0, len(backs)-1)
+		trial = append(trial, backs[:i]...)
+		trial = append(trial, backs[i+1:]...)
+		if g.Without(trial).IsDAG() {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDFSBackedgesMinimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 10)
+		backs := DFSBackedges(g)
+		return g.Without(backs).IsDAG() && isMinimal(g, backs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderBackedges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1) // backward w.r.t. order 0<1<2
+	g.AddEdge(1, 2)
+	order := []model.SiteID{0, 1, 2}
+	backs := OrderBackedges(g, order)
+	if len(backs) != 1 || backs[0] != (Edge{2, 1}) {
+		t.Errorf("backs = %v, want [s2->s1]", backs)
+	}
+	if !g.Without(backs).IsDAG() {
+		t.Error("removal must yield a DAG")
+	}
+}
+
+func TestOrderBackedgesAlwaysYieldsDAGProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 12)
+		order := make([]model.SiteID, g.N)
+		for i := range order {
+			order[i] = model.SiteID(i)
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		return g.Without(OrderBackedges(g, order)).IsDAG()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyFASOrderCoversAllSites(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 12)
+		order := GreedyFAS(g)
+		if len(order) != g.N {
+			return false
+		}
+		seen := make(map[model.SiteID]bool)
+		for _, s := range order {
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyFASNoLeftEdgesOnDAG(t *testing.T) {
+	// On a DAG the heuristic must find a perfect (zero-weight) order.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(2, 4)
+	order := GreedyFAS(g)
+	if backs := OrderBackedges(g, order); len(backs) != 0 {
+		t.Errorf("DAG got leftward edges %v under order %v", backs, order)
+	}
+}
+
+func TestMinWeightBackedgesPrefersLightEdges(t *testing.T) {
+	// Cycle 0->1->0 where 0->1 carries weight 5 and 1->0 weight 1: the
+	// heuristic should cut the light edge.
+	g := New(2)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(0, 1)
+	}
+	g.AddEdge(1, 0)
+	backs := MinWeightBackedges(g)
+	if len(backs) != 1 || backs[0] != (Edge{1, 0}) {
+		t.Errorf("backs = %v, want the weight-1 edge s1->s0", backs)
+	}
+	if TotalWeight(g, backs) != 1 {
+		t.Errorf("total weight = %d, want 1", TotalWeight(g, backs))
+	}
+}
+
+func TestMinWeightBackedgesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 10)
+		backs := MinWeightBackedges(g)
+		return g.Without(backs).IsDAG() && isMinimal(g, backs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimalizePrunesRedundantEdges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	// The whole edge set is a (non-minimal) feedback arc set.
+	backs := Minimalize(g, g.Edges())
+	if len(backs) != 1 {
+		t.Errorf("minimal set for a single 3-cycle is 1 edge, got %v", backs)
+	}
+	if !g.Without(backs).IsDAG() {
+		t.Error("pruned set no longer breaks the cycle")
+	}
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// benchPlacement builds a random placement resembling the §5.2 scheme
+// without importing the workload package (which itself imports graph).
+func benchPlacement(b *testing.B, sites, items int, backedgeProb float64) *model.Placement {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	p := model.NewPlacement(sites, items)
+	for i := 0; i < items; i++ {
+		p.Primary[i] = model.SiteID(i % sites)
+		if rng.Float64() >= 0.5 {
+			continue
+		}
+		lo := int(p.Primary[i]) + 1
+		if rng.Float64() < backedgeProb {
+			lo = 0
+		}
+		for s := lo; s < sites; s++ {
+			if model.SiteID(s) != p.Primary[i] && rng.Float64() < 0.5 {
+				p.Replicas[i] = append(p.Replicas[i], model.SiteID(s))
+			}
+		}
+	}
+	if err := p.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchGraph(b *testing.B, backedgeProb float64) *CopyGraph {
+	b.Helper()
+	return FromPlacement(benchPlacement(b, 15, 500, backedgeProb))
+}
+
+func BenchmarkFromPlacement(b *testing.B) {
+	p := benchPlacement(b, 9, 200, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromPlacement(p)
+	}
+}
+
+func BenchmarkDFSBackedges(b *testing.B) {
+	g := benchGraph(b, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DFSBackedges(g)
+	}
+}
+
+func BenchmarkGreedyFAS(b *testing.B) {
+	g := benchGraph(b, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GreedyFAS(g)
+	}
+}
+
+func BenchmarkMinWeightBackedges(b *testing.B) {
+	g := benchGraph(b, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MinWeightBackedges(g)
+	}
+}
+
+func BenchmarkBuildTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 15
+	g := New(n)
+	for i := 0; i < 4*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u < v {
+			g.AddEdge(model.SiteID(u), model.SiteID(v))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTree(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopoOrder(b *testing.B) {
+	g := benchGraph(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.TopoOrder(); !ok {
+			b.Fatal("not a DAG")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package graph implements the copy-graph machinery of the paper: building
+// the copy graph from a data placement, DAG tests and topological orders,
+// backedge-set computation (the minimal sets of §4 and the weighted
+// feedback-arc-set heuristic of §4.2), and construction of the propagation
+// tree T with the ancestor property required by the DAG(WT) protocol (§2).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Edge is a directed copy-graph edge: some item's primary copy is at From
+// and a secondary copy is at To.
+type Edge struct {
+	From, To model.SiteID
+}
+
+func (e Edge) String() string { return fmt.Sprintf("s%d->s%d", e.From, e.To) }
+
+// CopyGraph is the directed graph whose vertices are sites and whose edge
+// si→sj says that site si is the primary of at least one item replicated
+// at sj. Weights count how many items induce each edge (used by the
+// weighted feedback-arc-set heuristic).
+type CopyGraph struct {
+	N      int // number of sites
+	adj    [][]model.SiteID
+	weight map[Edge]int
+}
+
+// New returns an empty copy graph over n sites.
+func New(n int) *CopyGraph {
+	return &CopyGraph{N: n, adj: make([][]model.SiteID, n), weight: make(map[Edge]int)}
+}
+
+// FromPlacement builds the copy graph induced by a data placement.
+func FromPlacement(p *model.Placement) *CopyGraph {
+	g := New(p.NumSites)
+	for i := 0; i < p.NumItems; i++ {
+		from := p.Primary[i]
+		for _, to := range p.Replicas[i] {
+			g.AddEdge(from, to)
+		}
+	}
+	return g
+}
+
+// AddEdge inserts (or re-weights) the edge from→to. Self-loops are ignored:
+// a site is never its own replica.
+func (g *CopyGraph) AddEdge(from, to model.SiteID) {
+	if from == to {
+		return
+	}
+	e := Edge{from, to}
+	if g.weight[e] == 0 {
+		g.adj[from] = append(g.adj[from], to)
+	}
+	g.weight[e]++
+}
+
+// HasEdge reports whether the edge from→to exists.
+func (g *CopyGraph) HasEdge(from, to model.SiteID) bool { return g.weight[Edge{from, to}] > 0 }
+
+// Weight returns the number of items inducing edge e (0 if absent).
+func (g *CopyGraph) Weight(e Edge) int { return g.weight[e] }
+
+// Children returns the out-neighbours of site s, sorted ascending.
+func (g *CopyGraph) Children(s model.SiteID) []model.SiteID {
+	out := append([]model.SiteID(nil), g.adj[s]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parents returns the in-neighbours of site s, sorted ascending.
+func (g *CopyGraph) Parents(s model.SiteID) []model.SiteID {
+	var out []model.SiteID
+	for u := 0; u < g.N; u++ {
+		if g.HasEdge(model.SiteID(u), s) {
+			out = append(out, model.SiteID(u))
+		}
+	}
+	return out
+}
+
+// Edges returns every edge, sorted by (From, To).
+func (g *CopyGraph) Edges() []Edge {
+	var out []Edge
+	for e := range g.weight {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// NumEdges returns the number of distinct edges.
+func (g *CopyGraph) NumEdges() int { return len(g.weight) }
+
+// Without returns a copy of g with the given edges removed. Weights of the
+// surviving edges are preserved.
+func (g *CopyGraph) Without(remove []Edge) *CopyGraph {
+	rm := make(map[Edge]bool, len(remove))
+	for _, e := range remove {
+		rm[e] = true
+	}
+	out := New(g.N)
+	for e, w := range g.weight {
+		if rm[e] {
+			continue
+		}
+		out.adj[e.From] = append(out.adj[e.From], e.To)
+		out.weight[e] = w
+	}
+	return out
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *CopyGraph) IsDAG() bool {
+	_, ok := g.TopoOrder()
+	return ok
+}
+
+// TopoOrder returns a topological order of the sites (smallest-ID-first
+// tie-break, so the order is deterministic) and true, or nil and false if
+// the graph has a cycle. When the graph is a DAG this order serves as the
+// total order s1 < s2 < ... < sm of §3.1.
+func (g *CopyGraph) TopoOrder() ([]model.SiteID, bool) {
+	indeg := make([]int, g.N)
+	for e := range g.weight {
+		indeg[e.To]++
+	}
+	// Kahn's algorithm with a sorted frontier for determinism.
+	var frontier []model.SiteID
+	for v := 0; v < g.N; v++ {
+		if indeg[v] == 0 {
+			frontier = append(frontier, model.SiteID(v))
+		}
+	}
+	var order []model.SiteID
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		v := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, v)
+		for _, w := range g.adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	if len(order) != g.N {
+		return nil, false
+	}
+	return order, true
+}
+
+// Sources returns the sites with no parents. In a DAG these are the sites
+// that drive epoch advancement in the DAG(T) protocol (§3.3).
+func (g *CopyGraph) Sources() []model.SiteID {
+	indeg := make([]int, g.N)
+	for e := range g.weight {
+		indeg[e.To]++
+	}
+	var out []model.SiteID
+	for v := 0; v < g.N; v++ {
+		if indeg[v] == 0 {
+			out = append(out, model.SiteID(v))
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of sites reachable from s (excluding s itself
+// unless s lies on a cycle through s).
+func (g *CopyGraph) Reachable(s model.SiteID) map[model.SiteID]bool {
+	seen := make(map[model.SiteID]bool)
+	var stack []model.SiteID
+	stack = append(stack, g.adj[s]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		stack = append(stack, g.adj[v]...)
+	}
+	return seen
+}
+
+// Ancestors returns, for every site, the set of its copy-graph ancestors
+// (sites from which it is reachable). O(V·E); fine at site counts the
+// paper considers (3–15) and acceptable far beyond.
+func (g *CopyGraph) Ancestors() []map[model.SiteID]bool {
+	anc := make([]map[model.SiteID]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		anc[v] = make(map[model.SiteID]bool)
+	}
+	for u := 0; u < g.N; u++ {
+		for v := range g.Reachable(model.SiteID(u)) {
+			anc[v][model.SiteID(u)] = true
+		}
+	}
+	return anc
+}

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// paperGraph builds the 3-site copy graph of Example 1.1: item a primary
+// at s0 replicated at s1 and s2; item b primary at s1 replicated at s2.
+func paperGraph(t *testing.T) (*CopyGraph, *model.Placement) {
+	t.Helper()
+	p := model.NewPlacement(3, 2)
+	p.Primary = []model.SiteID{0, 1}
+	p.Replicas = [][]model.SiteID{{1, 2}, {2}}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return FromPlacement(p), p
+}
+
+func TestFromPlacement(t *testing.T) {
+	g, _ := paperGraph(t)
+	want := []Edge{{0, 1}, {0, 2}, {1, 2}}
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", got, want)
+		}
+	}
+	if g.Weight(Edge{0, 1}) != 1 || g.Weight(Edge{0, 2}) != 1 {
+		t.Error("edge weights should count inducing items")
+	}
+}
+
+func TestEdgeWeightAccumulates(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	if w := g.Weight(Edge{0, 1}); w != 3 {
+		t.Errorf("weight = %d, want 3", w)
+	}
+	if n := g.NumEdges(); n != 1 {
+		t.Errorf("NumEdges = %d, want 1", n)
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New(2)
+	g.AddEdge(1, 1)
+	if g.NumEdges() != 0 {
+		t.Error("self loop should be ignored")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g, _ := paperGraph(t)
+	order, ok := g.TopoOrder()
+	if !ok {
+		t.Fatal("paper graph is a DAG")
+	}
+	pos := map[model.SiteID]int{}
+	for i, s := range order {
+		pos[s] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violates topo order %v", e, order)
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, ok := g.TopoOrder(); ok {
+		t.Error("cycle not detected")
+	}
+	if g.IsDAG() {
+		t.Error("IsDAG true on a cycle")
+	}
+}
+
+func TestSourcesAndParents(t *testing.T) {
+	g, _ := paperGraph(t)
+	src := g.Sources()
+	if len(src) != 1 || src[0] != 0 {
+		t.Errorf("sources = %v, want [0]", src)
+	}
+	par := g.Parents(2)
+	if len(par) != 2 || par[0] != 0 || par[1] != 1 {
+		t.Errorf("parents(2) = %v, want [0 1]", par)
+	}
+	if ch := g.Children(0); len(ch) != 2 {
+		t.Errorf("children(0) = %v", ch)
+	}
+}
+
+func TestReachableAndAncestors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	reach := g.Reachable(0)
+	if !reach[1] || !reach[2] || reach[3] || reach[0] {
+		t.Errorf("Reachable(0) = %v", reach)
+	}
+	anc := g.Ancestors()
+	if !anc[2][0] || !anc[2][1] || len(anc[0]) != 0 || len(anc[3]) != 0 {
+		t.Errorf("Ancestors = %v", anc)
+	}
+}
+
+func TestWithout(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	h := g.Without([]Edge{{2, 0}})
+	if h.HasEdge(2, 0) || !h.HasEdge(0, 1) {
+		t.Error("Without removed the wrong edges")
+	}
+	if !h.IsDAG() {
+		t.Error("removal should break the cycle")
+	}
+	// Original untouched.
+	if !g.HasEdge(2, 0) {
+		t.Error("Without mutated the receiver")
+	}
+}
+
+// randomGraph builds a pseudo-random directed graph for property tests.
+func randomGraph(rng *rand.Rand, maxN int) *CopyGraph {
+	n := 2 + rng.Intn(maxN-1)
+	g := New(n)
+	edges := rng.Intn(3 * n)
+	for i := 0; i < edges; i++ {
+		g.AddEdge(model.SiteID(rng.Intn(n)), model.SiteID(rng.Intn(n)))
+	}
+	return g
+}
+
+func TestTopoOrderPropertyRandomDAGs(t *testing.T) {
+	// Property: for random graphs restricted to forward edges (hence
+	// DAGs), TopoOrder succeeds and respects every edge.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u < v {
+				g.AddEdge(model.SiteID(u), model.SiteID(v))
+			}
+		}
+		order, ok := g.TopoOrder()
+		if !ok {
+			return false
+		}
+		pos := make([]int, n)
+		for i, s := range order {
+			pos[s] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Tree is a rooted forest over the sites, used by the DAG(WT) protocol to
+// route secondary subtransactions. It must satisfy the §2 ancestor
+// property with respect to the copy graph: if sj is a child of si in the
+// copy graph, then sj is a descendant of si in the tree.
+type Tree struct {
+	N      int
+	parent []model.SiteID // model.NoSite for roots
+	child  [][]model.SiteID
+	depth  []int
+}
+
+func newTree(n int) *Tree {
+	t := &Tree{N: n, parent: make([]model.SiteID, n), depth: make([]int, n)}
+	for i := range t.parent {
+		t.parent[i] = model.NoSite
+	}
+	return t
+}
+
+// rebuild recomputes children lists and depths from the parent array.
+func (t *Tree) rebuild() {
+	t.child = make([][]model.SiteID, t.N)
+	for v := 0; v < t.N; v++ {
+		if p := t.parent[v]; p != model.NoSite {
+			t.child[p] = append(t.child[p], model.SiteID(v))
+		}
+	}
+	for v := 0; v < t.N; v++ {
+		t.depth[v] = -1
+	}
+	var dep func(v model.SiteID) int
+	dep = func(v model.SiteID) int {
+		if t.depth[v] >= 0 {
+			return t.depth[v]
+		}
+		if t.parent[v] == model.NoSite {
+			t.depth[v] = 0
+		} else {
+			t.depth[v] = dep(t.parent[v]) + 1
+		}
+		return t.depth[v]
+	}
+	for v := 0; v < t.N; v++ {
+		dep(model.SiteID(v))
+	}
+}
+
+// Parent returns the tree parent of s, or model.NoSite for a root.
+func (t *Tree) Parent(s model.SiteID) model.SiteID { return t.parent[s] }
+
+// Children returns the tree children of s.
+func (t *Tree) Children(s model.SiteID) []model.SiteID { return t.child[s] }
+
+// Depth returns the depth of s (0 for roots).
+func (t *Tree) Depth(s model.SiteID) int { return t.depth[s] }
+
+// Roots returns the roots of the forest.
+func (t *Tree) Roots() []model.SiteID {
+	var out []model.SiteID
+	for v := 0; v < t.N; v++ {
+		if t.parent[v] == model.NoSite {
+			out = append(out, model.SiteID(v))
+		}
+	}
+	return out
+}
+
+// IsAncestor reports whether a is a proper ancestor of d in the tree.
+func (t *Tree) IsAncestor(a, d model.SiteID) bool {
+	if a == d {
+		return false
+	}
+	for v := t.parent[d]; v != model.NoSite; v = t.parent[v] {
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+// NextHopDown returns the child of anc on the tree path toward its
+// descendant desc. It panics if anc is not a proper ancestor of desc.
+func (t *Tree) NextHopDown(anc, desc model.SiteID) model.SiteID {
+	v := desc
+	for t.parent[v] != model.NoSite {
+		if t.parent[v] == anc {
+			return v
+		}
+		v = t.parent[v]
+	}
+	panic(fmt.Sprintf("graph: s%d is not an ancestor of s%d", anc, desc))
+}
+
+// PathDown returns the tree path from anc (exclusive) to desc (inclusive).
+func (t *Tree) PathDown(anc, desc model.SiteID) []model.SiteID {
+	var rev []model.SiteID
+	v := desc
+	for v != anc {
+		rev = append(rev, v)
+		v = t.parent[v]
+		if v == model.NoSite {
+			panic(fmt.Sprintf("graph: s%d is not an ancestor of s%d", anc, desc))
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// pathSet returns s plus all its tree ancestors.
+func (t *Tree) pathSet(s model.SiteID) map[model.SiteID]bool {
+	set := map[model.SiteID]bool{s: true}
+	for v := t.parent[s]; v != model.NoSite; v = t.parent[v] {
+		set[v] = true
+	}
+	return set
+}
+
+// BuildChain builds the chain tree used by the prototype (§5.1): sites are
+// linked in the given total order (which must be consistent with the DAG),
+// so every later site is a descendant of every earlier one and the §2
+// ancestor property holds trivially.
+func BuildChain(order []model.SiteID) *Tree {
+	t := newTree(len(order))
+	for i := 1; i < len(order); i++ {
+		t.parent[order[i]] = order[i-1]
+	}
+	t.rebuild()
+	return t
+}
+
+// BuildTree constructs a tree with the §2 ancestor property from an
+// acyclic copy graph, preferring bushy shapes over the chain so that
+// unrelated branches of the DAG do not forward each other's traffic. The
+// construction (sketched in the [BKRSS98] technical report) processes
+// sites in topological order and attaches each under the deepest of its
+// copy-graph ancestors; when those ancestors straddle several branches the
+// branches are serialized by re-parenting — which only ever moves a
+// subtree deeper, so previously established ancestor relations survive.
+//
+// BuildTree returns an error if g is not a DAG.
+func BuildTree(g *CopyGraph) (*Tree, error) {
+	order, ok := g.TopoOrder()
+	if !ok {
+		return nil, fmt.Errorf("graph: copy graph has a cycle; remove backedges first")
+	}
+	anc := g.Ancestors()
+	t := newTree(g.N)
+	t.rebuild()
+
+	for _, v := range order {
+		a := anc[v]
+		if len(a) == 0 {
+			continue // root of the forest
+		}
+		for iter := 0; ; iter++ {
+			if iter > 2*g.N {
+				return nil, fmt.Errorf("graph: tree construction failed to converge at s%d", v)
+			}
+			d := deepestOf(t, a)
+			path := t.pathSet(d)
+			stray := model.NoSite
+			for u := range a {
+				if !path[u] && (stray == model.NoSite || betterStray(t, u, stray)) {
+					stray = u
+				}
+			}
+			if stray == model.NoSite {
+				t.parent[v] = d
+				t.rebuild()
+				break
+			}
+			mergeBranches(t, stray, d)
+		}
+	}
+	return t, nil
+}
+
+func deepestOf(t *Tree, set map[model.SiteID]bool) model.SiteID {
+	best := model.NoSite
+	for u := range set {
+		if best == model.NoSite || t.depth[u] > t.depth[best] ||
+			(t.depth[u] == t.depth[best] && u < best) {
+			best = u
+		}
+	}
+	return best
+}
+
+func betterStray(t *Tree, a, b model.SiteID) bool {
+	if t.depth[a] != t.depth[b] {
+		return t.depth[a] > t.depth[b]
+	}
+	return a < b
+}
+
+// mergeBranches re-parents the branch containing stray so that stray
+// becomes a descendant of d. The subtree that moves keeps all of its old
+// ancestors (its new position is strictly deeper under a descendant of its
+// old parent, or under d when the two were in different trees of the
+// forest), so the ancestor property is preserved for every already-placed
+// site.
+func mergeBranches(t *Tree, stray, d model.SiteID) {
+	// Find the lowest common ancestor of stray and d, if any.
+	dPath := t.pathSet(d)
+	v := stray
+	for v != model.NoSite && !dPath[v] {
+		if t.parent[v] == model.NoSite {
+			// Different trees: move stray's whole tree under d.
+			t.parent[v] = d
+			t.rebuild()
+			return
+		}
+		if dPath[t.parent[v]] {
+			// parent(v) is the LCA; v is the branch top on stray's side.
+			t.parent[v] = d
+			t.rebuild()
+			return
+		}
+		v = t.parent[v]
+	}
+	panic("graph: mergeBranches called with stray already on d's path")
+}
+
+// CheckAncestorProperty verifies the §2 requirement that every copy-graph
+// edge u→v has u as a proper tree ancestor of v. It returns the first
+// violating edge, or nil.
+func CheckAncestorProperty(g *CopyGraph, t *Tree) *Edge {
+	for _, e := range g.Edges() {
+		if !t.IsAncestor(e.From, e.To) {
+			bad := e
+			return &bad
+		}
+	}
+	return nil
+}
+
+// SubtreeCopyItems computes, for every site, the set of items that have a
+// copy (primary or secondary) at the site or at any of its tree
+// descendants. DAG(WT) uses this to decide which children are "relevant"
+// for a secondary subtransaction (§2): a child is relevant iff it or one
+// of its descendants replicates an updated item.
+func SubtreeCopyItems(t *Tree, p *model.Placement) []map[model.ItemID]bool {
+	out := make([]map[model.ItemID]bool, t.N)
+	var fill func(v model.SiteID) map[model.ItemID]bool
+	fill = func(v model.SiteID) map[model.ItemID]bool {
+		set := make(map[model.ItemID]bool)
+		for _, it := range p.CopiesAt(v) {
+			set[it] = true
+		}
+		for _, c := range t.Children(v) {
+			for it := range fill(c) {
+				set[it] = true
+			}
+		}
+		out[v] = set
+		return set
+	}
+	for _, r := range t.Roots() {
+		fill(r)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestBuildChain(t *testing.T) {
+	order := []model.SiteID{2, 0, 1}
+	tr := BuildChain(order)
+	if tr.Parent(2) != model.NoSite {
+		t.Error("first site in order must be the root")
+	}
+	if tr.Parent(0) != 2 || tr.Parent(1) != 0 {
+		t.Errorf("chain parents wrong: %v %v", tr.Parent(0), tr.Parent(1))
+	}
+	if tr.Depth(1) != 2 {
+		t.Errorf("depth(1) = %d, want 2", tr.Depth(1))
+	}
+	if !tr.IsAncestor(2, 1) || tr.IsAncestor(1, 2) || tr.IsAncestor(1, 1) {
+		t.Error("IsAncestor wrong on chain")
+	}
+}
+
+func TestChainSatisfiesAncestorProperty(t *testing.T) {
+	g, _ := paperGraph(t)
+	order, _ := g.TopoOrder()
+	tr := BuildChain(order)
+	if e := CheckAncestorProperty(g, tr); e != nil {
+		t.Errorf("chain violates ancestor property on %v", *e)
+	}
+}
+
+func TestBuildTreePaperExample(t *testing.T) {
+	// Example 1.1's graph: s0->s1, s0->s2, s1->s2. The only valid tree is
+	// the chain s0-s1-s2 (§2 discusses exactly this).
+	g, _ := paperGraph(t)
+	tr, err := BuildTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Parent(1) != 0 || tr.Parent(2) != 1 {
+		t.Errorf("tree = parents[%v %v %v], want chain s0-s1-s2",
+			tr.Parent(0), tr.Parent(1), tr.Parent(2))
+	}
+}
+
+func TestBuildTreeKeepsIndependentBranchesApart(t *testing.T) {
+	// s0->s1 and s0->s2 with no s1/s2 relation: a bushy tree keeps s1 and
+	// s2 as siblings so neither forwards the other's traffic.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	tr, err := BuildTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Parent(1) != 0 || tr.Parent(2) != 0 {
+		t.Errorf("want s1,s2 both children of s0; got parents %v %v", tr.Parent(1), tr.Parent(2))
+	}
+}
+
+func TestBuildTreeDiamondForcesSerialization(t *testing.T) {
+	// Diamond: s0->s1, s0->s2, s1->s3, s2->s3. s3 needs both s1 and s2 as
+	// ancestors, so the construction must serialize them onto one path.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	tr, err := BuildTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := CheckAncestorProperty(g, tr); e != nil {
+		t.Fatalf("ancestor property violated on %v", *e)
+	}
+	if !tr.IsAncestor(1, 3) || !tr.IsAncestor(2, 3) {
+		t.Error("s1 and s2 must both be ancestors of s3")
+	}
+}
+
+func TestBuildTreeRejectsCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := BuildTree(g); err == nil {
+		t.Error("BuildTree accepted a cyclic graph")
+	}
+}
+
+func TestBuildTreeAncestorPropertyOnRandomDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u < v {
+				g.AddEdge(model.SiteID(u), model.SiteID(v))
+			}
+		}
+		tr, err := BuildTree(g)
+		if err != nil {
+			return false
+		}
+		if CheckAncestorProperty(g, tr) != nil {
+			return false
+		}
+		// Structural sanity: every non-root has a valid parent, depths
+		// consistent.
+		for v := 0; v < n; v++ {
+			if p := tr.Parent(model.SiteID(v)); p != model.NoSite {
+				if tr.Depth(model.SiteID(v)) != tr.Depth(p)+1 {
+					return false
+				}
+			} else if tr.Depth(model.SiteID(v)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextHopDownAndPathDown(t *testing.T) {
+	tr := BuildChain([]model.SiteID{0, 1, 2, 3})
+	if hop := tr.NextHopDown(0, 3); hop != 1 {
+		t.Errorf("NextHopDown(0,3) = %v, want 1", hop)
+	}
+	if hop := tr.NextHopDown(2, 3); hop != 3 {
+		t.Errorf("NextHopDown(2,3) = %v, want 3", hop)
+	}
+	path := tr.PathDown(0, 3)
+	want := []model.SiteID{1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("PathDown = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("PathDown = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestNextHopDownPanicsOnNonAncestor(t *testing.T) {
+	tr := BuildChain([]model.SiteID{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.NextHopDown(1, 0)
+}
+
+func TestSubtreeCopyItems(t *testing.T) {
+	_, p := paperGraph(t)
+	tr := BuildChain([]model.SiteID{0, 1, 2})
+	sub := SubtreeCopyItems(tr, p)
+	// s2 (leaf) stores replicas of items 0 and 1.
+	if !sub[2][0] || !sub[2][1] {
+		t.Errorf("subtree items of s2 = %v", sub[2])
+	}
+	// s1's subtree covers everything s1 and s2 store.
+	if !sub[1][0] || !sub[1][1] {
+		t.Errorf("subtree items of s1 = %v", sub[1])
+	}
+	// The root's subtree covers all copies.
+	if len(sub[0]) != 2 {
+		t.Errorf("subtree items of s0 = %v", sub[0])
+	}
+}
+
+func TestTreeRoots(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	// s2, s3 isolated: forest with three roots.
+	tr, err := BuildTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roots := tr.Roots(); len(roots) != 3 {
+		t.Errorf("roots = %v, want 3 of them", roots)
+	}
+}

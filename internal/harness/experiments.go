@@ -1,0 +1,311 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	Name  string
+	Paper string // which table/figure/§ it regenerates
+	Run   func(o Options) (Result, error)
+}
+
+// Experiments returns the registry, ordered as in DESIGN.md's
+// per-experiment index.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1 (parameter settings)", runTable1},
+		{"fig2a", "Figure 2(a): throughput vs backedge probability", Fig2a},
+		{"fig2b", "Figure 2(b): throughput vs replication probability", Fig2b},
+		{"fig3a", "Figure 3(a): throughput vs read-op probability, b=0", Fig3a},
+		{"fig3b", "Figure 3(b): throughput vs read-op probability, b=1", Fig3b},
+		{"responsetime", "§5.3.4 response times at the default setting", ResponseTime},
+		{"propdelay", "§5.3.4 propagation delay at the default setting", PropDelay},
+		{"sites", "§5.2 range: sites 3–15", Sites},
+		{"threads", "§5.2 range: threads/site 1–5", Threads},
+		{"latency", "§5.2 range: network latency 0.15–100 ms", Latency},
+		{"dagablation", "ablation: DAG(WT) chain vs tree vs DAG(T) vs BackEdge vs PSL on a DAG", DAGAblation},
+		{"deadlocks", "ablation: timeout (the paper's 50 ms) vs wait-for-graph deadlock handling", DeadlockAblation},
+		{"skew", "extension: throughput vs Zipf access skew (the paper's workload is uniform)", Skew},
+		{"fas", "ablation: §4.2 minimized backedge set vs the prototype's site-order split", FASAblation},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", name)
+}
+
+var mainProtos = []core.Protocol{core.BackEdge, core.PSL}
+
+// Fig2a sweeps the backedge probability b from 0 to 1 (Figure 2(a)).
+func Fig2a(o Options) (Result, error) {
+	return o.sweep("fig2a", "Throughput vs Backedge Probability", "b",
+		mainProtos, []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
+		func(wl *workload.Config, x float64) { wl.BackedgeProb = x })
+}
+
+// Fig2b sweeps the replication probability r from 0 to 1 (Figure 2(b)).
+func Fig2b(o Options) (Result, error) {
+	return o.sweep("fig2b", "Throughput vs Replication Probability", "r",
+		mainProtos, []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0},
+		func(wl *workload.Config, x float64) { wl.ReplicationProb = x })
+}
+
+// fig3 is the extreme setting of §5.3.3: r=0.5, no read-only
+// transactions, sweeping the read-operation probability.
+func fig3(o Options, name, title string, b float64) (Result, error) {
+	return o.sweep(name, title, "readOp",
+		mainProtos, []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0},
+		func(wl *workload.Config, x float64) {
+			wl.BackedgeProb = b
+			wl.ReplicationProb = 0.5
+			wl.ReadTxnProb = 0
+			wl.ReadOpProb = x
+		})
+}
+
+// Fig3a is Figure 3(a): backedge probability 0.
+func Fig3a(o Options) (Result, error) {
+	return fig3(o, "fig3a", "Throughput vs Read Operation Probability (b=0)", 0)
+}
+
+// Fig3b is Figure 3(b): backedge probability 1.
+func Fig3b(o Options) (Result, error) {
+	return fig3(o, "fig3b", "Throughput vs Read Operation Probability (b=1)", 1)
+}
+
+// ResponseTime measures mean response times at the default setting
+// (§5.3.4 reports ~180 ms for BackEdge vs ~260 ms for PSL).
+func ResponseTime(o Options) (Result, error) {
+	return o.sweep("responsetime", "Mean Response Time (default setting)", "default",
+		mainProtos, []float64{0}, func(*workload.Config, float64) {})
+}
+
+// PropDelay measures the time from a primary's commit until each replica
+// applies its secondary subtransaction (§5.3.4: a few hundred ms).
+func PropDelay(o Options) (Result, error) {
+	return o.sweep("propdelay", "Update Propagation Delay (default setting)", "default",
+		[]core.Protocol{core.BackEdge}, []float64{0}, func(*workload.Config, float64) {})
+}
+
+// Sites sweeps the number of sites over the §5.2 range 3–15.
+func Sites(o Options) (Result, error) {
+	return o.sweep("sites", "Throughput vs Number of Sites", "m",
+		mainProtos, []float64{3, 6, 9, 12, 15},
+		func(wl *workload.Config, x float64) { wl.Sites = int(x) })
+}
+
+// Threads sweeps the multiprogramming level over the §5.2 range 1–5.
+func Threads(o Options) (Result, error) {
+	return o.sweep("threads", "Throughput vs Threads per Site", "threads",
+		mainProtos, []float64{1, 2, 3, 4, 5},
+		func(wl *workload.Config, x float64) { wl.ThreadsPerSite = int(x) })
+}
+
+// Latency sweeps the network latency over the §5.2 range 0.15–100 ms.
+func Latency(o Options) (Result, error) {
+	res := Result{Name: "latency", Title: "Throughput vs Network Latency", XLabel: "ms"}
+	for _, ms := range []float64{0.15, 1, 10, 100} {
+		for _, proto := range mainProtos {
+			wl := o.baseWorkload()
+			if o.tweak != nil {
+				o.tweak(&wl)
+			}
+			rep, err := RunPoint(cluster.Config{
+				Workload:         wl,
+				Protocol:         proto,
+				Params:           o.params(),
+				Latency:          time.Duration(ms * float64(time.Millisecond)),
+				GeneralTree:      o.GeneralTree,
+				Record:           o.Verify,
+				TrackPropagation: true,
+			})
+			if err != nil {
+				return res, err
+			}
+			res.Points = append(res.Points, Point{X: ms, Protocol: proto, Report: rep})
+		}
+	}
+	return res, nil
+}
+
+// DAGAblation compares every protocol (and both tree shapes for DAG(WT))
+// on the default workload restricted to a DAG (b=0) — the §3 trade-off
+// between tree routing and direct timestamped delivery, plus the §5.1
+// chain-vs-tree design choice.
+func DAGAblation(o Options) (Result, error) {
+	res := Result{Name: "dagablation", Title: "Protocols on a DAG copy graph (b=0)", XLabel: "variant"}
+	type variant struct {
+		proto core.Protocol
+		tree  bool
+		x     float64
+	}
+	variants := []variant{
+		{core.DAGWT, false, 0}, // chain
+		{core.DAGWT, true, 1},  // bushy tree
+		{core.DAGT, false, 2},
+		{core.BackEdge, false, 3},
+		{core.PSL, false, 4},
+	}
+	for _, v := range variants {
+		wl := o.baseWorkload()
+		wl.BackedgeProb = 0
+		if o.tweak != nil {
+			o.tweak(&wl)
+		}
+		rep, err := RunPoint(cluster.Config{
+			Workload:         wl,
+			Protocol:         v.proto,
+			Params:           o.params(),
+			Latency:          o.latency(),
+			GeneralTree:      v.tree,
+			Record:           o.Verify,
+			TrackPropagation: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, Point{X: v.x, Protocol: v.proto, Report: rep})
+	}
+	return res, nil
+}
+
+// Skew sweeps an item-access Zipf parameter over the default workload —
+// an extension beyond the paper, whose §5.2 generator is uniform
+// (x = 0 means uniform; larger x concentrates traffic on hot items and
+// amplifies every contention effect the paper studies).
+func Skew(o Options) (Result, error) {
+	return o.sweep("skew", "Throughput vs Access Skew (Zipf s; 0 = uniform)", "s",
+		mainProtos, []float64{0, 1.2, 1.5, 2.0},
+		func(wl *workload.Config, x float64) { wl.Skew = x })
+}
+
+// FASAblation compares BackEdge with the prototype's site-order backedge
+// split (x=0) against the §4.2 weighted feedback-arc-set heuristic over a
+// general tree (x=1), at an elevated backedge probability where the cut
+// actually matters.
+func FASAblation(o Options) (Result, error) {
+	res := Result{Name: "fas", Title: "BackEdge: site-order backedges vs §4.2 minimized set (b=0.6)", XLabel: "minimized"}
+	for _, min := range []bool{false, true} {
+		oo := o
+		oo.MinimizeBackedges = min
+		x := 0.0
+		if min {
+			x = 1.0
+		}
+		wl := oo.baseWorkload()
+		wl.BackedgeProb = 0.6
+		if oo.tweak != nil {
+			oo.tweak(&wl)
+		}
+		rep, err := RunPoint(cluster.Config{
+			Workload:          wl,
+			Protocol:          core.BackEdge,
+			Params:            oo.params(),
+			Latency:           oo.latency(),
+			MinimizeBackedges: min,
+			Record:            oo.Verify,
+			TrackPropagation:  true,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, Point{X: x, Protocol: core.BackEdge, Report: rep})
+	}
+	return res, nil
+}
+
+// DeadlockAblation compares the paper's deadlock-handling choice (pure
+// 50 ms lock timeouts, §5) against a local wait-for-graph detector on the
+// default workload: x=0 is timeout-only, x=1 adds the detector. Only
+// local deadlocks are detectable locally, so BackEdge keeps its
+// PrepareTimeout either way.
+func DeadlockAblation(o Options) (Result, error) {
+	res := Result{Name: "deadlocks", Title: "Deadlock handling: timeout vs wait-for-graph detector", XLabel: "detector"}
+	for _, detect := range []bool{false, true} {
+		oo := o
+		oo.Detect = detect
+		x := 0.0
+		if detect {
+			x = 1.0
+		}
+		for _, proto := range mainProtos {
+			wl := oo.baseWorkload()
+			if oo.tweak != nil {
+				oo.tweak(&wl)
+			}
+			rep, err := RunPoint(cluster.Config{
+				Workload:         wl,
+				Protocol:         proto,
+				Params:           oo.params(),
+				Latency:          oo.latency(),
+				GeneralTree:      oo.GeneralTree,
+				Record:           oo.Verify,
+				TrackPropagation: true,
+			})
+			if err != nil {
+				return res, err
+			}
+			res.Points = append(res.Points, Point{X: x, Protocol: proto, Report: rep})
+		}
+	}
+	return res, nil
+}
+
+// runTable1 does not measure anything: it prints the Table 1 parameter
+// settings in force for the given options, as a Result with no points.
+func runTable1(o Options) (Result, error) {
+	return Result{Name: "table1", Title: "Parameter Settings (Table 1)", XLabel: ""}, nil
+}
+
+// PrintTable1 renders Table 1 with the effective values.
+func PrintTable1(w io.Writer, o Options) {
+	wl := o.baseWorkload()
+	p := o.params()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Parameter\tSymbol\tValue\tPaper default")
+	rows := [][4]string{
+		{"Number of Sites", "m", fmt.Sprint(wl.Sites), "9"},
+		{"Number of Items", "n", fmt.Sprint(wl.Items), "200"},
+		{"Replication Probability", "r", fmt.Sprint(wl.ReplicationProb), "0.2"},
+		{"Site Probability", "s", fmt.Sprint(wl.SiteProb), "0.5"},
+		{"Backedge Probability", "b", fmt.Sprint(wl.BackedgeProb), "0.2"},
+		{"Operations/Transaction", "", fmt.Sprint(wl.OpsPerTxn), "10"},
+		{"Threads/Site", "", fmt.Sprint(wl.ThreadsPerSite), "3"},
+		{"Transactions/Thread", "", fmt.Sprint(wl.TxnsPerThread), "1000"},
+		{"Read Operation Probability", "", fmt.Sprint(wl.ReadOpProb), "0.7"},
+		{"Read Transaction Probability", "", fmt.Sprint(wl.ReadTxnProb), "0.5"},
+		{"Network Latency", "", o.latency().String(), "~0.15ms"},
+		{"Deadlock Timeout Interval", "", p.LockTimeout.String(), "50ms"},
+		{"Per-Operation CPU Cost (sim)", "", p.OpCost.String(), "n/a (real HW)"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r[0], r[1], r[2], r[3])
+	}
+	tw.Flush()
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func quickOpts() Options {
+	return Options{Scale: Quick, Latency: 100 * time.Microsecond}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{"quick": Quick, "medium": Medium, "full": Full} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestScaleKnobs(t *testing.T) {
+	if Full.txnsPerThread() != 1000 {
+		t.Error("Full must run the paper's 1000 txns/thread")
+	}
+	if Quick.txnsPerThread() >= Medium.txnsPerThread() {
+		t.Error("Quick must be smaller than Medium")
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// The DESIGN.md index: every paper artifact has an experiment.
+	want := []string{"table1", "fig2a", "fig2b", "fig3a", "fig3b",
+		"responsetime", "propdelay", "sites", "threads", "latency", "dagablation", "deadlocks", "skew", "fas"}
+	names := Names()
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing from registry", w)
+		}
+	}
+}
+
+func TestRunPointExecutesAndVerifies(t *testing.T) {
+	wl := workload.Default()
+	wl.Sites = 3
+	wl.Items = 30
+	wl.TxnsPerThread = 15
+	wl.BackedgeProb = 0
+	rep, err := RunPoint(cluster.Config{
+		Workload: wl,
+		Protocol: core.DAGWT,
+		Params:   quickParams(),
+		Latency:  50 * time.Microsecond,
+		Record:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed == 0 {
+		t.Error("nothing committed")
+	}
+}
+
+func quickParams() core.Params {
+	p := core.DefaultParams()
+	p.LockTimeout = 20 * time.Millisecond
+	p.OpCost = 0
+	p.EpochPeriod = 5 * time.Millisecond
+	p.DummyPeriod = 3 * time.Millisecond
+	return p
+}
+
+// TestFig2aQuickShape runs a reduced Figure 2(a) and checks the headline
+// shape claims of §5.3.1 that survive a tiny workload: at b=0 the
+// BackEdge protocol beats PSL.
+func TestFig2aQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	o := quickOpts()
+	res, err := o.sweep("fig2a", "t", "b", mainProtos, []float64{0},
+		func(wl *workload.Config, x float64) { wl.BackedgeProb = x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, _ := res.Get(0, core.BackEdge)
+	psl, _ := res.Get(0, core.PSL)
+	if be.ThroughputPerSite <= psl.ThroughputPerSite {
+		t.Errorf("at b=0 BackEdge (%.1f) should beat PSL (%.1f)",
+			be.ThroughputPerSite, psl.ThroughputPerSite)
+	}
+}
+
+func TestResultPrintFormats(t *testing.T) {
+	res := Result{Name: "x", Title: "T", XLabel: "b"}
+	res.Points = append(res.Points, Point{X: 0.5, Protocol: core.PSL})
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "PSL") || !strings.Contains(buf.String(), "0.50") {
+		t.Errorf("Print output missing data:\n%s", buf.String())
+	}
+	buf.Reset()
+	res.PrintCSV(&buf)
+	if !strings.Contains(buf.String(), "x,0.500,PSL") {
+		t.Errorf("CSV output wrong:\n%s", buf.String())
+	}
+}
+
+func TestResultGet(t *testing.T) {
+	res := Result{Points: []Point{{X: 1, Protocol: core.PSL}}}
+	if _, ok := res.Get(1, core.PSL); !ok {
+		t.Error("Get missed an existing point")
+	}
+	if _, ok := res.Get(2, core.PSL); ok {
+		t.Error("Get found a missing point")
+	}
+}
+
+func TestPrintTable1(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable1(&buf, Options{Scale: Full})
+	out := buf.String()
+	for _, want := range []string{"Number of Sites", "9", "Deadlock Timeout", "50ms", "1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// tiny shrinks any experiment point to unit-test size: 3 sites, few
+// transactions, fast clocks.
+func tiny() Options {
+	return Options{
+		Scale:   Quick,
+		Latency: 100 * time.Microsecond,
+		tweak: func(wl *workload.Config) {
+			wl.Sites = 3
+			wl.Items = 30
+			wl.ThreadsPerSite = 2
+			wl.TxnsPerThread = 6
+		},
+	}
+}
+
+// TestEveryExperimentRunsTiny executes every registered experiment at
+// microscopic scale: the registry stays runnable end to end and each
+// produces the expected series shape (every x has every protocol).
+func TestEveryExperimentRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every sweep")
+	}
+	for _, e := range Experiments() {
+		e := e
+		if e.Name == "latency" && testing.Short() {
+			continue
+		}
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(tiny())
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if e.Name == "table1" {
+				return // prints only
+			}
+			if len(res.Points) == 0 {
+				t.Fatalf("%s produced no points", e.Name)
+			}
+			perX := map[float64]int{}
+			for _, p := range res.Points {
+				perX[p.X]++
+				if p.Report.Committed == 0 {
+					t.Errorf("%s x=%v %v: nothing committed", e.Name, p.X, p.Protocol)
+				}
+			}
+			want := perX[res.Points[0].X]
+			for x, n := range perX {
+				if n != want {
+					t.Errorf("%s: x=%v has %d protocols, others have %d", e.Name, x, n, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPropDelayExperimentQuick checks E7 wiring: the propagation-delay
+// experiment produces nonzero samples.
+func TestPropDelayExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	o := Options{Scale: Quick, Latency: 200 * time.Microsecond}
+	res, err := PropDelay(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := res.Get(0, core.BackEdge)
+	if !ok {
+		t.Fatal("missing point")
+	}
+	if rep.Secondaries == 0 || rep.MeanPropDelay == 0 {
+		t.Errorf("no propagation measured: %+v", rep)
+	}
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func plotResult() Result {
+	res := Result{Name: "t", Title: "Test Figure", XLabel: "b"}
+	for i, thr := range []float64{30, 20, 10} {
+		res.Points = append(res.Points,
+			Point{X: float64(i), Protocol: core.BackEdge, Report: metrics.Report{ThroughputPerSite: thr}},
+			Point{X: float64(i), Protocol: core.PSL, Report: metrics.Report{ThroughputPerSite: thr / 2}},
+		)
+	}
+	return res
+}
+
+func TestPlotASCIIRendersSeries(t *testing.T) {
+	var buf bytes.Buffer
+	plotResult().PlotASCII(&buf, 40, 10)
+	out := buf.String()
+	for _, want := range []string{"Test Figure", "B=BackEdge", "P=PSL", "30.0", "0.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both glyphs must appear in the grid.
+	if !strings.Contains(out, "B") || !strings.Contains(out, "P") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+10+2+1 { // title + grid + axis rows + legend
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotASCIIHandlesEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	(Result{}).PlotASCII(&buf, 40, 10)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty result not handled")
+	}
+	// Single point, zero throughput: must not divide by zero.
+	buf.Reset()
+	res := Result{Title: "one", XLabel: "x",
+		Points: []Point{{X: 5, Protocol: core.PSL}}}
+	res.PlotASCII(&buf, 0, 0) // also exercises the minimum-size clamps
+	if buf.Len() == 0 {
+		t.Error("degenerate plot produced nothing")
+	}
+}
+
+func TestPlotASCIIMarksOverlap(t *testing.T) {
+	res := Result{Title: "o", XLabel: "x"}
+	res.Points = append(res.Points,
+		Point{X: 0, Protocol: core.BackEdge, Report: metrics.Report{ThroughputPerSite: 10}},
+		Point{X: 0, Protocol: core.PSL, Report: metrics.Report{ThroughputPerSite: 10}},
+	)
+	var buf bytes.Buffer
+	res.PlotASCII(&buf, 40, 10)
+	if !strings.Contains(buf.String(), "*") {
+		t.Errorf("overlapping points not marked:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestPaperShapes asserts the qualitative claims of §5.3 against a
+// medium-scale run. It takes several minutes, so it only runs when
+// REPRO_SHAPES=1 — it is the executable form of EXPERIMENTS.md.
+func TestPaperShapes(t *testing.T) {
+	if os.Getenv("REPRO_SHAPES") == "" {
+		t.Skip("set REPRO_SHAPES=1 to run the medium-scale shape assertions")
+	}
+	o := Options{Scale: Medium, Latency: 150 * time.Microsecond}
+
+	t.Run("fig2a", func(t *testing.T) {
+		res, err := Fig2a(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be0, _ := res.Get(0, core.BackEdge)
+		psl0, _ := res.Get(0, core.PSL)
+		be1, _ := res.Get(1, core.BackEdge)
+		psl1, _ := res.Get(1, core.PSL)
+		// §5.3.1: BackEdge performs best at b=0, well above PSL.
+		if be0.ThroughputPerSite < 1.3*psl0.ThroughputPerSite {
+			t.Errorf("b=0: BackEdge %.1f not clearly above PSL %.1f", be0.ThroughputPerSite, psl0.ThroughputPerSite)
+		}
+		// BackEdge degrades as b grows; abort rate rises.
+		if be1.ThroughputPerSite >= be0.ThroughputPerSite {
+			t.Errorf("BackEdge throughput did not fall from b=0 (%.1f) to b=1 (%.1f)", be0.ThroughputPerSite, be1.ThroughputPerSite)
+		}
+		if be1.AbortRate <= be0.AbortRate {
+			t.Errorf("BackEdge abort rate did not rise with b: %.1f%% -> %.1f%%", be0.AbortRate, be1.AbortRate)
+		}
+		// Even at b=1 BackEdge stays in PSL's neighbourhood (paper: above).
+		if be1.ThroughputPerSite < 0.7*psl1.ThroughputPerSite {
+			t.Errorf("b=1: BackEdge %.1f collapsed far below PSL %.1f", be1.ThroughputPerSite, psl1.ThroughputPerSite)
+		}
+	})
+
+	t.Run("fig2b", func(t *testing.T) {
+		res, err := Fig2b(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// §5.3.2: BackEdge ≈ 2x PSL for every r except 0; both decline.
+		for _, r := range []float64{0.2, 0.6, 1.0} {
+			be, _ := res.Get(r, core.BackEdge)
+			psl, _ := res.Get(r, core.PSL)
+			if be.ThroughputPerSite < 1.3*psl.ThroughputPerSite {
+				t.Errorf("r=%.1f: BackEdge %.1f not clearly above PSL %.1f", r, be.ThroughputPerSite, psl.ThroughputPerSite)
+			}
+		}
+		psl0, _ := res.Get(0, core.PSL)
+		psl1, _ := res.Get(1, core.PSL)
+		if psl1.ThroughputPerSite >= psl0.ThroughputPerSite {
+			t.Errorf("PSL did not decline with replication: %.1f -> %.1f", psl0.ThroughputPerSite, psl1.ThroughputPerSite)
+		}
+	})
+
+	t.Run("fig3a", func(t *testing.T) {
+		res, err := Fig3a(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// §5.3.3 (b=0): BackEdge rises monotonically with the read share
+		// and dominates decisively in the read-heavy half.
+		var prev float64
+		for _, x := range []float64{0.25, 0.5, 0.75, 1.0} {
+			be, _ := res.Get(x, core.BackEdge)
+			if be.ThroughputPerSite < prev*0.8 {
+				t.Errorf("BackEdge not (weakly) rising at readOp=%.2f: %.1f after %.1f", x, be.ThroughputPerSite, prev)
+			}
+			prev = be.ThroughputPerSite
+		}
+		be75, _ := res.Get(0.75, core.BackEdge)
+		psl75, _ := res.Get(0.75, core.PSL)
+		if be75.ThroughputPerSite < 2*psl75.ThroughputPerSite {
+			t.Errorf("readOp=0.75: BackEdge %.1f not >> PSL %.1f", be75.ThroughputPerSite, psl75.ThroughputPerSite)
+		}
+	})
+
+	t.Run("fig3b", func(t *testing.T) {
+		res, err := Fig3b(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// §5.3.3 (b=1): BackEdge does not win at the update-only end, but
+		// crosses above PSL once reads dominate.
+		be0, _ := res.Get(0, core.BackEdge)
+		psl0, _ := res.Get(0, core.PSL)
+		if be0.ThroughputPerSite > 1.5*psl0.ThroughputPerSite {
+			t.Errorf("readOp=0 at b=1: BackEdge %.1f should not dominate PSL %.1f", be0.ThroughputPerSite, psl0.ThroughputPerSite)
+		}
+		be9, _ := res.Get(0.9, core.BackEdge)
+		psl9, _ := res.Get(0.9, core.PSL)
+		if be9.ThroughputPerSite < psl9.ThroughputPerSite {
+			t.Errorf("readOp=0.9 at b=1: BackEdge %.1f below PSL %.1f — the crossover did not happen", be9.ThroughputPerSite, psl9.ThroughputPerSite)
+		}
+	})
+
+	t.Run("responsetime", func(t *testing.T) {
+		res, err := ResponseTime(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, _ := res.Get(0, core.BackEdge)
+		psl, _ := res.Get(0, core.PSL)
+		// §5.3.4: BackEdge responses are shorter at the default setting.
+		if be.MeanResponse >= psl.MeanResponse {
+			t.Errorf("BackEdge response %v not below PSL %v", be.MeanResponse, psl.MeanResponse)
+		}
+	})
+}

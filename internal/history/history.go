@@ -1,0 +1,213 @@
+// Package history records every committed read and write in the
+// distributed system and checks global serializability after a run.
+//
+// The check implements the correctness criterion of the paper's model:
+// each site runs strict 2PL, so each local schedule serializes in commit
+// order; the global execution over *logical* transactions is serializable
+// iff the union of the per-copy conflict orders is acyclic. We derive
+// those orders from version numbers: every committed write installs
+// version v of a copy, every read observes some version, and the induced
+// edges are
+//
+//	writer(v)  -> writer(v+1)   (ww, per copy)
+//	writer(v)  -> reader of v   (wr)
+//	reader(v)  -> writer(v+1)   (rw)
+//
+// A cycle among logical transactions certifies a non-serializable
+// execution (this is how the Example 1.1 anomaly shows up for the naive
+// lazy protocol); acyclicity certifies serializability with respect to
+// the version order the protocols actually produced.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// copyKey identifies one physical copy.
+type copyKey struct {
+	Site model.SiteID
+	Item model.ItemID
+}
+
+// ReadObs is one committed read observation.
+type ReadObs struct {
+	Site    model.SiteID
+	Item    model.ItemID
+	Version uint64
+	Reader  model.TxnID
+}
+
+// Recorder accumulates observations from every site of a run. The zero
+// Recorder is not usable; call NewRecorder. A nil *Recorder is a valid
+// no-op sink, so benchmarks can disable recording entirely.
+type Recorder struct {
+	mu     sync.Mutex
+	reads  []ReadObs
+	writes map[copyKey][]model.TxnID // index = version number - 1
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{writes: make(map[copyKey][]model.TxnID)}
+}
+
+// Read records that reader observed the given version of item's copy at
+// site. Version 0 is the initial database state.
+func (r *Recorder) Read(site model.SiteID, item model.ItemID, version uint64, reader model.TxnID) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.reads = append(r.reads, ReadObs{site, item, version, reader})
+	r.mu.Unlock()
+}
+
+// Write records that writer installed the given version (>= 1) of item's
+// copy at site. Versions may be reported out of order across goroutines;
+// they are slotted by number.
+func (r *Recorder) Write(site model.SiteID, item model.ItemID, version uint64, writer model.TxnID) {
+	if r == nil {
+		return
+	}
+	if version == 0 {
+		panic("history: committed writes start at version 1")
+	}
+	k := copyKey{site, item}
+	r.mu.Lock()
+	ws := r.writes[k]
+	for uint64(len(ws)) < version {
+		ws = append(ws, model.TxnID{})
+	}
+	ws[version-1] = writer
+	r.writes[k] = ws
+	r.mu.Unlock()
+}
+
+// NumReads returns the count of recorded reads.
+func (r *Recorder) NumReads() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.reads)
+}
+
+// Graph is the conflict graph over logical transactions.
+type Graph struct {
+	adj map[model.TxnID]map[model.TxnID]bool
+}
+
+func (g *Graph) addEdge(from, to model.TxnID) {
+	if from == to || from.Zero() || to.Zero() {
+		return
+	}
+	if g.adj[from] == nil {
+		g.adj[from] = make(map[model.TxnID]bool)
+	}
+	g.adj[from][to] = true
+}
+
+// Edges returns the number of distinct edges.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n
+}
+
+// BuildGraph derives the conflict graph from the recorded observations.
+func (r *Recorder) BuildGraph() *Graph {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := &Graph{adj: make(map[model.TxnID]map[model.TxnID]bool)}
+	for _, ws := range r.writes {
+		for i := 1; i < len(ws); i++ {
+			g.addEdge(ws[i-1], ws[i])
+		}
+	}
+	for _, ro := range r.reads {
+		ws := r.writes[copyKey{ro.Site, ro.Item}]
+		if ro.Version > 0 && int(ro.Version) <= len(ws) {
+			g.addEdge(ws[ro.Version-1], ro.Reader) // wr
+		}
+		if int(ro.Version) < len(ws) {
+			g.addEdge(ro.Reader, ws[ro.Version]) // rw: next writer
+		}
+	}
+	return g
+}
+
+// FindCycle returns a cycle in the graph as a transaction sequence
+// (first == last), or nil if the graph is acyclic.
+func (g *Graph) FindCycle() []model.TxnID {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[model.TxnID]int)
+	parent := make(map[model.TxnID]model.TxnID)
+	var cycle []model.TxnID
+
+	var nodes []model.TxnID
+	for n := range g.adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Site != nodes[j].Site {
+			return nodes[i].Site < nodes[j].Site
+		}
+		return nodes[i].Seq < nodes[j].Seq
+	})
+
+	var visit func(u model.TxnID) bool
+	visit = func(u model.TxnID) bool {
+		color[u] = grey
+		for v := range g.adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if visit(v) {
+					return true
+				}
+			case grey:
+				// Reconstruct u -> ... -> v cycle.
+				cycle = []model.TxnID{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				cycle = append(cycle, v)
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && visit(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// CheckSerializable builds the conflict graph and returns an error
+// describing a cycle if the recorded execution was not serializable.
+func (r *Recorder) CheckSerializable() error {
+	if r == nil {
+		return nil
+	}
+	if cyc := r.BuildGraph().FindCycle(); cyc != nil {
+		return fmt.Errorf("history: serialization cycle %v", cyc)
+	}
+	return nil
+}

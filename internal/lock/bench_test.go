@@ -1,0 +1,55 @@
+package lock
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func BenchmarkAcquireReleaseUncontended(b *testing.B) {
+	m := NewManager(false)
+	owner := model.TxnID{Site: 0, Seq: 1}
+	for i := 0; i < b.N; i++ {
+		if err := m.Acquire(owner, 1, Exclusive, time.Second); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(owner)
+	}
+}
+
+func BenchmarkAcquireSharedFanIn(b *testing.B) {
+	// Many readers on one item: the common read-heavy pattern of the
+	// paper's workload (read-op probability 0.7).
+	m := NewManager(false)
+	b.RunParallel(func(pb *testing.PB) {
+		seq := uint64(0)
+		for pb.Next() {
+			seq++
+			owner := model.TxnID{Site: 1, Seq: seq}
+			if err := m.Acquire(owner, 1, Shared, time.Second); err != nil {
+				b.Fatal(err)
+			}
+			m.ReleaseAll(owner)
+		}
+	})
+}
+
+func BenchmarkStrict2PLTenItems(b *testing.B) {
+	// A full Table 1 transaction's lock footprint: 10 items, held, then
+	// released together.
+	m := NewManager(false)
+	for i := 0; i < b.N; i++ {
+		owner := model.TxnID{Site: 0, Seq: uint64(i + 1)}
+		for item := 0; item < 10; item++ {
+			mode := Shared
+			if item%3 == 0 {
+				mode = Exclusive
+			}
+			if err := m.Acquire(owner, model.ItemID(item), mode, time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.ReleaseAll(owner)
+	}
+}

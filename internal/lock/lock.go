@@ -1,0 +1,479 @@
+// Package lock implements the strict two-phase-locking lock manager every
+// site runs (§1.1 of the paper): shared/exclusive item locks with FIFO
+// wait queues, lock upgrade, and the two deadlock-handling policies the
+// paper discusses — lock-request timeouts (the prototype's mechanism,
+// default 50 ms, handling both local and global deadlocks) and an optional
+// local wait-for-graph detector.
+//
+// "Strict" 2PL here means callers hold every lock until commit/abort and
+// then call ReleaseAll; the manager itself never releases early.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// ErrTimeout is returned when a lock request waits longer than its
+// timeout; the caller is expected to treat itself as the deadlock victim
+// and abort.
+var ErrTimeout = errors.New("lock: request timed out (deadlock victim)")
+
+// ErrDeadlock is returned when the wait-for-graph detector (if enabled)
+// proves that blocking this request would close a waits-for cycle.
+var ErrDeadlock = errors.New("lock: wait-for cycle detected")
+
+// Stats counts lock-manager events; read them with Manager.Stats.
+type Stats struct {
+	Acquired  uint64
+	Waited    uint64
+	Timeouts  uint64
+	Deadlocks uint64 // detector-resolved
+	WaitTime  time.Duration
+}
+
+type waiter struct {
+	owner   model.TxnID
+	item    model.ItemID
+	mode    Mode
+	upgrade bool
+	granted chan error // buffered(1); nil error = granted
+	dead    bool       // timed out / cancelled; skip when granting
+}
+
+type entry struct {
+	holders map[model.TxnID]Mode
+	queue   []*waiter
+}
+
+// Priority marks a lock request made on behalf of a secondary
+// subtransaction. Secondaries must eventually succeed (§2 of the paper:
+// they are resubmitted until they commit), so when one blocks on a holder
+// that has declared itself vulnerable — a primary parked on its backedge
+// round-trip — the holder is wounded: its registered callback fires and
+// it aborts, implementing the paper's fair victim selection ("the
+// transaction which arrived at the site the latest").
+type Priority bool
+
+// Priority levels for AcquireEx.
+const (
+	// Normal requests never wound anybody.
+	Normal Priority = false
+	// Secondary requests wound vulnerable holders they block on.
+	Secondary Priority = true
+)
+
+// Manager is one site's lock table. All methods are safe for concurrent
+// use.
+type Manager struct {
+	mu         sync.Mutex
+	items      map[model.ItemID]*entry
+	held       map[model.TxnID]map[model.ItemID]Mode
+	waits      map[model.TxnID]model.ItemID // owner -> item it is queued on
+	vulnerable map[model.TxnID]*vulnState   // owner -> wound state
+	grace      time.Duration
+	detect     bool
+	stats      Stats
+}
+
+// vulnState tracks one vulnerable owner: when it became vulnerable and
+// what to call to wound it.
+type vulnState struct {
+	since time.Time
+	fn    func()
+}
+
+// NewManager returns an empty lock manager. If detectDeadlocks is true,
+// requests that would close a local waits-for cycle fail fast with
+// ErrDeadlock instead of waiting for the timeout.
+func NewManager(detectDeadlocks bool) *Manager {
+	return &Manager{
+		items:      make(map[model.ItemID]*entry),
+		held:       make(map[model.TxnID]map[model.ItemID]Mode),
+		waits:      make(map[model.TxnID]model.ItemID),
+		vulnerable: make(map[model.TxnID]*vulnState),
+		detect:     detectDeadlocks,
+	}
+}
+
+// Acquire obtains a lock on item for owner in the given mode, waiting at
+// most timeout. Re-acquiring an already-held lock (same or weaker mode) is
+// a no-op; holding Shared and requesting Exclusive performs an upgrade.
+// A timeout of zero or less means "do not wait": fail immediately if the
+// lock cannot be granted.
+func (m *Manager) Acquire(owner model.TxnID, item model.ItemID, mode Mode, timeout time.Duration) error {
+	return m.AcquireEx(owner, item, mode, timeout, Normal)
+}
+
+// SetVulnerable registers owner as woundable: if a Secondary-priority
+// request blocks on one of owner's locks after the wound grace period
+// (see SetWoundGrace) has elapsed, fn runs (once, from the requester's
+// goroutine, without the manager lock held). The owner is expected to
+// abort promptly. ClearVulnerable must be called when the vulnerable
+// phase ends.
+func (m *Manager) SetVulnerable(owner model.TxnID, fn func()) {
+	m.mu.Lock()
+	m.vulnerable[owner] = &vulnState{since: time.Now(), fn: fn}
+	m.mu.Unlock()
+}
+
+// SetWoundGrace sets how long an owner may stay vulnerable before a
+// blocking secondary actually wounds it. A grace of zero (the default)
+// wounds immediately; a positive grace lets short backedge round-trips
+// finish instead of being killed by the first passing secondary, at the
+// cost of stalling that secondary's queue for up to the grace period.
+func (m *Manager) SetWoundGrace(d time.Duration) {
+	m.mu.Lock()
+	m.grace = d
+	m.mu.Unlock()
+}
+
+// ClearVulnerable removes owner's wound callback.
+func (m *Manager) ClearVulnerable(owner model.TxnID) {
+	m.mu.Lock()
+	delete(m.vulnerable, owner)
+	m.mu.Unlock()
+}
+
+// AcquireEx is Acquire with an explicit priority class.
+func (m *Manager) AcquireEx(owner model.TxnID, item model.ItemID, mode Mode, timeout time.Duration, prio Priority) error {
+	m.mu.Lock()
+	e := m.items[item]
+	if e == nil {
+		e = &entry{holders: make(map[model.TxnID]Mode)}
+		m.items[item] = e
+	}
+	if cur, ok := e.holders[owner]; ok && (cur == Exclusive || mode == Shared) {
+		m.mu.Unlock()
+		return nil // already held strongly enough
+	}
+	_, upgrading := e.holders[owner]
+
+	if m.canGrant(e, owner, mode) {
+		m.grantLocked(e, owner, item, mode)
+		m.stats.Acquired++
+		m.mu.Unlock()
+		return nil
+	}
+	if timeout <= 0 {
+		m.mu.Unlock()
+		return ErrTimeout
+	}
+	if m.detect && m.wouldDeadlock(owner, e) {
+		m.stats.Deadlocks++
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	// A blocking secondary wounds vulnerable holders in its way — those
+	// already past the grace period now, the rest when their grace runs
+	// out (woundAt).
+	wounds, woundAt := m.collectWoundsLocked(e, owner, mode, prio)
+	w := &waiter{owner: owner, item: item, mode: mode, upgrade: upgrading, granted: make(chan error, 1)}
+	if upgrading {
+		// Upgraders jump the queue: they already hold Shared, so making
+		// them wait behind queued writers guarantees deadlock.
+		e.queue = append([]*waiter{w}, e.queue...)
+	} else {
+		e.queue = append(e.queue, w)
+	}
+	m.waits[owner] = item
+	m.stats.Waited++
+	start := time.Now()
+	m.mu.Unlock()
+
+	for _, fn := range wounds {
+		fn()
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		var wt *time.Timer
+		var woundTimer <-chan time.Time
+		if !woundAt.IsZero() {
+			wt = time.NewTimer(time.Until(woundAt))
+			woundTimer = wt.C
+		}
+		select {
+		case err := <-w.granted:
+			if wt != nil {
+				wt.Stop()
+			}
+			m.mu.Lock()
+			delete(m.waits, owner)
+			m.stats.WaitTime += time.Since(start)
+			m.mu.Unlock()
+			return err
+		case <-woundTimer:
+			// Grace expired for at least one vulnerable holder; wound the
+			// ones still in the way and keep waiting.
+			m.mu.Lock()
+			wounds, woundAt = m.collectWoundsLocked(e, owner, mode, prio)
+			m.mu.Unlock()
+			for _, fn := range wounds {
+				fn()
+			}
+		case <-timer.C:
+			if wt != nil {
+				wt.Stop()
+			}
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			select {
+			case err := <-w.granted:
+				// Granted in the race window; keep the lock.
+				delete(m.waits, owner)
+				m.stats.WaitTime += time.Since(start)
+				return err
+			default:
+			}
+			w.dead = true
+			delete(m.waits, owner)
+			m.stats.Timeouts++
+			m.stats.WaitTime += time.Since(start)
+			m.sweepLocked(e)
+			return ErrTimeout
+		}
+	}
+}
+
+// collectWoundsLocked gathers the wound callbacks of vulnerable holders
+// blocking the (owner, mode) request whose grace has expired, removing
+// them from the vulnerable set, and returns the earliest future instant
+// at which another blocking holder becomes woundable (zero if none).
+// Non-secondary requests never wound. Caller holds m.mu.
+func (m *Manager) collectWoundsLocked(e *entry, owner model.TxnID, mode Mode, prio Priority) ([]func(), time.Time) {
+	if prio != Secondary {
+		return nil, time.Time{}
+	}
+	now := time.Now()
+	var wounds []func()
+	var woundAt time.Time
+	for h, hm := range e.holders {
+		if h == owner || (mode == Shared && hm == Shared) {
+			continue
+		}
+		vs, ok := m.vulnerable[h]
+		if !ok {
+			continue
+		}
+		if now.Sub(vs.since) >= m.grace {
+			wounds = append(wounds, vs.fn)
+			delete(m.vulnerable, h)
+		} else if due := vs.since.Add(m.grace); woundAt.IsZero() || due.Before(woundAt) {
+			woundAt = due
+		}
+	}
+	return wounds, woundAt
+}
+
+// canGrant reports whether owner may take item in mode right now,
+// respecting FIFO fairness: a Shared request does not overtake queued
+// waiters (unless it is an upgrade, which bypasses the queue).
+func (m *Manager) canGrant(e *entry, owner model.TxnID, mode Mode) bool {
+	live := 0
+	for _, w := range e.queue {
+		if !w.dead {
+			live++
+		}
+	}
+	if mode == Shared {
+		if live > 0 {
+			return false
+		}
+		for _, hm := range e.holders {
+			if hm == Exclusive {
+				return false
+			}
+		}
+		return true
+	}
+	// Exclusive: must be sole holder (upgrade) or no holders, and no live
+	// queue ahead.
+	if live > 0 {
+		return false
+	}
+	for h, hm := range e.holders {
+		if h != owner || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grantLocked(e *entry, owner model.TxnID, item model.ItemID, mode Mode) {
+	e.holders[owner] = mode
+	hm := m.held[owner]
+	if hm == nil {
+		hm = make(map[model.ItemID]Mode)
+		m.held[owner] = hm
+	}
+	hm[item] = mode
+}
+
+// sweepLocked grants as many queued waiters as compatibility allows, in
+// FIFO order, skipping dead waiters.
+func (m *Manager) sweepLocked(e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if w.dead {
+			e.queue = e.queue[1:]
+			continue
+		}
+		ok := false
+		if w.mode == Shared {
+			ok = true
+			for _, hm := range e.holders {
+				if hm == Exclusive {
+					ok = false
+				}
+			}
+		} else {
+			ok = true
+			for h, hm := range e.holders {
+				if h != w.owner || hm == Exclusive {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			return
+		}
+		e.queue = e.queue[1:]
+		m.grantLocked(e, w.owner, w.item, w.mode)
+		m.stats.Acquired++
+		w.granted <- nil
+		if w.mode == Exclusive {
+			return
+		}
+		// A granted Shared lock may be followed by more compatible
+		// Shared grants; keep sweeping.
+	}
+}
+
+// wouldDeadlock reports whether making owner wait on entry e closes a
+// cycle in the local waits-for graph.
+func (m *Manager) wouldDeadlock(owner model.TxnID, e *entry) bool {
+	// Build blockers of a waiter: holders of the item it waits on plus
+	// live waiters queued ahead of it. For the probe we only need "waits
+	// on item" -> holders, iterated transitively.
+	visited := map[model.TxnID]bool{}
+	var blocked func(t model.TxnID) bool // true if t transitively waits on owner
+	blocked = func(t model.TxnID) bool {
+		if t == owner {
+			return true
+		}
+		if visited[t] {
+			return false
+		}
+		visited[t] = true
+		it, waiting := m.waits[t]
+		if !waiting {
+			return false
+		}
+		ent := m.items[it]
+		if ent == nil {
+			return false
+		}
+		for h := range ent.holders {
+			if h != t && blocked(h) {
+				return true
+			}
+		}
+		return false
+	}
+	for h := range e.holders {
+		if h != owner && blocked(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseAll drops every lock held by owner and wakes compatible waiters.
+// It is the commit/abort-time release of strict 2PL.
+func (m *Manager) ReleaseAll(owner model.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.vulnerable, owner)
+	for item := range m.held[owner] {
+		e := m.items[item]
+		delete(e.holders, owner)
+		m.sweepLocked(e)
+	}
+	delete(m.held, owner)
+}
+
+// Release drops owner's lock on a single item (used by protocols that
+// release remote read locks individually).
+func (m *Manager) Release(owner model.TxnID, item model.ItemID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hm := m.held[owner]; hm != nil {
+		delete(hm, item)
+		if len(hm) == 0 {
+			delete(m.held, owner)
+		}
+	}
+	if e := m.items[item]; e != nil {
+		delete(e.holders, owner)
+		m.sweepLocked(e)
+	}
+}
+
+// Holds reports the mode owner currently holds on item, if any.
+func (m *Manager) Holds(owner model.TxnID, item model.ItemID) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mode, ok := m.held[owner][item]
+	return mode, ok
+}
+
+// HeldCount returns the number of locks owner holds.
+func (m *Manager) HeldCount(owner model.TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[owner])
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// String renders the lock table; for debugging deadlocks in tests.
+func (m *Manager) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := ""
+	for item, e := range m.items {
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			continue
+		}
+		s += fmt.Sprintf("item %d: holders=%v queue=%d\n", item, e.holders, len(e.queue))
+	}
+	return s
+}

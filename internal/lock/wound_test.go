@@ -1,0 +1,155 @@
+package lock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSecondaryWoundsVulnerableHolder(t *testing.T) {
+	m := NewManager(false)
+	holder, sec := tid(1), tid(2)
+	if err := m.Acquire(holder, 1, Exclusive, wait); err != nil {
+		t.Fatal(err)
+	}
+	var wounded atomic.Bool
+	m.SetVulnerable(holder, func() { wounded.Store(true) })
+
+	done := make(chan error, 1)
+	go func() { done <- m.AcquireEx(sec, 1, Exclusive, 200*time.Millisecond, Secondary) }()
+	// The wound fires immediately (zero grace); the holder "aborts".
+	deadline := time.Now().Add(time.Second)
+	for !wounded.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("vulnerable holder never wounded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.ReleaseAll(holder) // the wounded holder aborts
+	if err := <-done; err != nil {
+		t.Fatalf("secondary not granted after wound: %v", err)
+	}
+}
+
+func TestNormalRequestNeverWounds(t *testing.T) {
+	m := NewManager(false)
+	holder := tid(1)
+	_ = m.Acquire(holder, 1, Exclusive, wait)
+	var wounded atomic.Bool
+	m.SetVulnerable(holder, func() { wounded.Store(true) })
+	_ = m.Acquire(tid(2), 1, Exclusive, 30*time.Millisecond) // Normal priority, times out
+	if wounded.Load() {
+		t.Fatal("normal-priority request wounded a holder")
+	}
+	m.ClearVulnerable(holder)
+	m.ReleaseAll(holder)
+}
+
+func TestSharedSecondaryDoesNotWoundSharedHolder(t *testing.T) {
+	m := NewManager(false)
+	holder := tid(1)
+	_ = m.Acquire(holder, 1, Shared, wait)
+	var wounded atomic.Bool
+	m.SetVulnerable(holder, func() { wounded.Store(true) })
+	// S-S is compatible: the secondary is granted without wounding anyone.
+	if err := m.AcquireEx(tid(2), 1, Shared, wait, Secondary); err != nil {
+		t.Fatal(err)
+	}
+	if wounded.Load() {
+		t.Fatal("compatible request wounded the holder")
+	}
+}
+
+func TestWoundGraceDelaysWound(t *testing.T) {
+	m := NewManager(false)
+	m.SetWoundGrace(60 * time.Millisecond)
+	holder, sec := tid(1), tid(2)
+	_ = m.Acquire(holder, 1, Exclusive, wait)
+	woundAt := make(chan time.Time, 1)
+	start := time.Now()
+	m.SetVulnerable(holder, func() { woundAt <- time.Now() })
+
+	done := make(chan error, 1)
+	go func() { done <- m.AcquireEx(sec, 1, Exclusive, time.Second, Secondary) }()
+	select {
+	case at := <-woundAt:
+		if d := at.Sub(start); d < 50*time.Millisecond {
+			t.Errorf("wounded after %v, before the 60ms grace", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wound never fired after grace")
+	}
+	m.ReleaseAll(holder)
+	if err := <-done; err != nil {
+		t.Fatalf("secondary not granted: %v", err)
+	}
+}
+
+func TestWoundSkippedWhenHolderFinishesWithinGrace(t *testing.T) {
+	m := NewManager(false)
+	m.SetWoundGrace(150 * time.Millisecond)
+	holder, sec := tid(1), tid(2)
+	_ = m.Acquire(holder, 1, Exclusive, wait)
+	var wounded atomic.Bool
+	m.SetVulnerable(holder, func() { wounded.Store(true) })
+
+	done := make(chan error, 1)
+	go func() { done <- m.AcquireEx(sec, 1, Exclusive, time.Second, Secondary) }()
+	time.Sleep(30 * time.Millisecond)
+	// Holder completes (commit) well inside the grace: no wound.
+	m.ReleaseAll(holder)
+	if err := <-done; err != nil {
+		t.Fatalf("secondary: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if wounded.Load() {
+		t.Fatal("holder was wounded despite finishing within the grace period")
+	}
+}
+
+func TestWoundFiresOnce(t *testing.T) {
+	m := NewManager(false)
+	holder := tid(1)
+	_ = m.Acquire(holder, 1, Exclusive, wait)
+	_ = m.Acquire(holder, 2, Exclusive, wait)
+	var count atomic.Int64
+	m.SetVulnerable(holder, func() { count.Add(1) })
+	// Two secondaries block on two different items of the same holder.
+	go m.AcquireEx(tid(2), 1, Exclusive, 50*time.Millisecond, Secondary)
+	go m.AcquireEx(tid(3), 2, Exclusive, 50*time.Millisecond, Secondary)
+	time.Sleep(100 * time.Millisecond)
+	if n := count.Load(); n != 1 {
+		t.Fatalf("wound callback fired %d times, want exactly 1", n)
+	}
+	m.ReleaseAll(holder)
+}
+
+func TestClearVulnerablePreventsWound(t *testing.T) {
+	m := NewManager(false)
+	holder := tid(1)
+	_ = m.Acquire(holder, 1, Exclusive, wait)
+	var wounded atomic.Bool
+	m.SetVulnerable(holder, func() { wounded.Store(true) })
+	m.ClearVulnerable(holder)
+	_ = m.AcquireEx(tid(2), 1, Exclusive, 30*time.Millisecond, Secondary)
+	if wounded.Load() {
+		t.Fatal("cleared vulnerability still wounded")
+	}
+	m.ReleaseAll(holder)
+}
+
+func TestReleaseAllClearsVulnerability(t *testing.T) {
+	m := NewManager(false)
+	holder := tid(1)
+	_ = m.Acquire(holder, 1, Exclusive, wait)
+	var wounded atomic.Bool
+	m.SetVulnerable(holder, func() { wounded.Store(true) })
+	m.ReleaseAll(holder)
+	// New life for the same item; a blocking secondary must not wound the
+	// finished holder.
+	_ = m.Acquire(tid(9), 1, Exclusive, wait)
+	_ = m.AcquireEx(tid(2), 1, Exclusive, 30*time.Millisecond, Secondary)
+	if wounded.Load() {
+		t.Fatal("released holder still wounded")
+	}
+}

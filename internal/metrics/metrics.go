@@ -1,0 +1,259 @@
+// Package metrics collects the performance measures of §5.3: average
+// per-site throughput of primary subtransactions, abort rate, response
+// times (§5.3.4), and update-propagation delay (§5.3.4), plus message
+// counters used to explain the PSL-vs-BackEdge communication trade-off.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Collector accumulates one run's measurements. All methods are safe for
+// concurrent use; a nil *Collector is a valid no-op sink.
+type Collector struct {
+	start atomic.Int64 // unix nanos
+	end   atomic.Int64
+
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+
+	messages    atomic.Uint64
+	remoteReads atomic.Uint64
+	secondaries atomic.Uint64
+	dummies     atomic.Uint64
+	retries     atomic.Uint64 // secondary subtransaction re-submissions
+
+	mu        sync.Mutex
+	resp      durStats
+	prop      durStats
+	commitAt  map[model.TxnID]time.Time
+	keepTimes bool
+}
+
+type durStats struct {
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	samples []time.Duration // capped reservoir for percentiles
+}
+
+const maxSamples = 1 << 16
+
+func (d *durStats) add(v time.Duration) {
+	d.count++
+	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+	if len(d.samples) < maxSamples {
+		d.samples = append(d.samples, v)
+	}
+}
+
+func (d *durStats) mean() time.Duration {
+	if d.count == 0 {
+		return 0
+	}
+	return time.Duration(int64(d.sum) / int64(d.count))
+}
+
+func (d *durStats) percentile(p float64) time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// NewCollector returns a collector. If trackPropagation is true it keeps a
+// per-transaction commit-time map so replica applications can be turned
+// into propagation-delay samples (E7).
+func NewCollector(trackPropagation bool) *Collector {
+	c := &Collector{keepTimes: trackPropagation}
+	if trackPropagation {
+		c.commitAt = make(map[model.TxnID]time.Time)
+	}
+	return c
+}
+
+// Begin marks the start of the measured interval.
+func (c *Collector) Begin() {
+	if c == nil {
+		return
+	}
+	c.start.Store(time.Now().UnixNano())
+}
+
+// End marks the end of the measured interval.
+func (c *Collector) End() {
+	if c == nil {
+		return
+	}
+	c.end.Store(time.Now().UnixNano())
+}
+
+// TxnCommitted records a committed primary subtransaction and its
+// response time.
+func (c *Collector) TxnCommitted(tid model.TxnID, resp time.Duration) {
+	if c == nil {
+		return
+	}
+	c.committed.Add(1)
+	c.mu.Lock()
+	c.resp.add(resp)
+	if c.keepTimes {
+		c.commitAt[tid] = time.Now()
+	}
+	c.mu.Unlock()
+}
+
+// TxnAborted records an aborted primary subtransaction.
+func (c *Collector) TxnAborted() {
+	if c == nil {
+		return
+	}
+	c.aborted.Add(1)
+}
+
+// SecondaryApplied records a committed secondary subtransaction; the
+// elapsed time since the primary's commit becomes a propagation-delay
+// sample when tracking is enabled.
+func (c *Collector) SecondaryApplied(tid model.TxnID) {
+	if c == nil {
+		return
+	}
+	c.secondaries.Add(1)
+	if !c.keepTimes {
+		return
+	}
+	c.mu.Lock()
+	if at, ok := c.commitAt[tid]; ok {
+		c.prop.add(time.Since(at))
+	}
+	c.mu.Unlock()
+}
+
+// MsgSent counts protocol messages.
+func (c *Collector) MsgSent(n int) {
+	if c == nil {
+		return
+	}
+	c.messages.Add(uint64(n))
+}
+
+// RemoteRead counts a PSL remote read.
+func (c *Collector) RemoteRead() {
+	if c == nil {
+		return
+	}
+	c.remoteReads.Add(1)
+}
+
+// Dummy counts a DAG(T) dummy subtransaction.
+func (c *Collector) Dummy() {
+	if c == nil {
+		return
+	}
+	c.dummies.Add(1)
+}
+
+// Retry counts a secondary subtransaction resubmission after a local
+// deadlock timeout (§2).
+func (c *Collector) Retry() {
+	if c == nil {
+		return
+	}
+	c.retries.Add(1)
+}
+
+// Report is an immutable summary of a run.
+type Report struct {
+	Elapsed time.Duration
+
+	Committed uint64
+	Aborted   uint64
+
+	// ThroughputPerSite is the paper's "average throughput": committed
+	// primary subtransactions per second, averaged over the sites.
+	ThroughputPerSite float64
+	// AbortRate is the percentage of primary subtransactions that
+	// aborted.
+	AbortRate float64
+
+	MeanResponse, P50Response, P95Response, MaxResponse time.Duration
+	MeanPropDelay, P95PropDelay, MaxPropDelay           time.Duration
+
+	Messages    uint64
+	RemoteReads uint64
+	Secondaries uint64
+	Dummies     uint64
+	Retries     uint64
+}
+
+// Snapshot computes the report for a run over m sites. Call End first (or
+// Snapshot uses the current time).
+func (c *Collector) Snapshot(m int) Report {
+	if c == nil {
+		return Report{}
+	}
+	endNs := c.end.Load()
+	if endNs == 0 {
+		endNs = time.Now().UnixNano()
+	}
+	elapsed := time.Duration(endNs - c.start.Load())
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	committed := c.committed.Load()
+	aborted := c.aborted.Load()
+	r := Report{
+		Elapsed:       elapsed,
+		Committed:     committed,
+		Aborted:       aborted,
+		MeanResponse:  c.resp.mean(),
+		P50Response:   c.resp.percentile(0.50),
+		P95Response:   c.resp.percentile(0.95),
+		MaxResponse:   c.resp.max,
+		MeanPropDelay: c.prop.mean(),
+		P95PropDelay:  c.prop.percentile(0.95),
+		MaxPropDelay:  c.prop.max,
+		Messages:      c.messages.Load(),
+		RemoteReads:   c.remoteReads.Load(),
+		Secondaries:   c.secondaries.Load(),
+		Dummies:       c.dummies.Load(),
+		Retries:       c.retries.Load(),
+	}
+	if m > 0 {
+		r.ThroughputPerSite = float64(committed) / elapsed.Seconds() / float64(m)
+	}
+	if committed+aborted > 0 {
+		r.AbortRate = 100 * float64(aborted) / float64(committed+aborted)
+	}
+	return r
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"thr/site=%.2f tps  aborts=%.1f%%  resp(mean/p95)=%s/%s  prop(mean/max)=%s/%s  msgs=%d remoteReads=%d secondaries=%d",
+		r.ThroughputPerSite, r.AbortRate,
+		r.MeanResponse.Round(time.Microsecond), r.P95Response.Round(time.Microsecond),
+		r.MeanPropDelay.Round(time.Microsecond), r.MaxPropDelay.Round(time.Microsecond),
+		r.Messages, r.RemoteReads, r.Secondaries)
+}

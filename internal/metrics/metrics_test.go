@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func txid(n uint64) model.TxnID { return model.TxnID{Site: 0, Seq: n} }
+
+func TestThroughputAndAbortRate(t *testing.T) {
+	c := NewCollector(false)
+	c.Begin()
+	for i := 0; i < 30; i++ {
+		c.TxnCommitted(txid(uint64(i+1)), time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		c.TxnAborted()
+	}
+	time.Sleep(20 * time.Millisecond)
+	c.End()
+	r := c.Snapshot(3)
+	if r.Committed != 30 || r.Aborted != 10 {
+		t.Errorf("counts = %d/%d", r.Committed, r.Aborted)
+	}
+	if r.AbortRate != 25 {
+		t.Errorf("abort rate = %v, want 25%%", r.AbortRate)
+	}
+	wantTPS := float64(30) / r.Elapsed.Seconds() / 3
+	if diff := r.ThroughputPerSite - wantTPS; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("throughput = %v, want %v", r.ThroughputPerSite, wantTPS)
+	}
+}
+
+func TestResponseStats(t *testing.T) {
+	c := NewCollector(false)
+	c.Begin()
+	for i := 1; i <= 100; i++ {
+		c.TxnCommitted(txid(uint64(i)), time.Duration(i)*time.Millisecond)
+	}
+	r := c.Snapshot(1)
+	if r.MeanResponse != 50500*time.Microsecond {
+		t.Errorf("mean = %v", r.MeanResponse)
+	}
+	if r.P50Response != 50*time.Millisecond {
+		t.Errorf("p50 = %v", r.P50Response)
+	}
+	if r.P95Response != 95*time.Millisecond {
+		t.Errorf("p95 = %v", r.P95Response)
+	}
+	if r.MaxResponse != 100*time.Millisecond {
+		t.Errorf("max = %v", r.MaxResponse)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	c := NewCollector(true)
+	c.Begin()
+	c.TxnCommitted(txid(1), time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	c.SecondaryApplied(txid(1))
+	c.SecondaryApplied(txid(99)) // unknown primary: no sample
+	r := c.Snapshot(1)
+	if r.Secondaries != 2 {
+		t.Errorf("secondaries = %d", r.Secondaries)
+	}
+	if r.MeanPropDelay < 8*time.Millisecond {
+		t.Errorf("prop delay = %v, want ~10ms", r.MeanPropDelay)
+	}
+}
+
+func TestPropagationDisabled(t *testing.T) {
+	c := NewCollector(false)
+	c.Begin()
+	c.TxnCommitted(txid(1), time.Millisecond)
+	c.SecondaryApplied(txid(1))
+	if r := c.Snapshot(1); r.MeanPropDelay != 0 {
+		t.Errorf("prop delay tracked while disabled: %v", r.MeanPropDelay)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCollector(false)
+	c.Begin()
+	c.MsgSent(3)
+	c.MsgSent(2)
+	c.RemoteRead()
+	c.Dummy()
+	c.Retry()
+	r := c.Snapshot(1)
+	if r.Messages != 5 || r.RemoteReads != 1 || r.Dummies != 1 || r.Retries != 1 {
+		t.Errorf("counters = %+v", r)
+	}
+}
+
+func TestNilCollectorIsNoop(t *testing.T) {
+	var c *Collector
+	c.Begin()
+	c.TxnCommitted(txid(1), time.Second)
+	c.TxnAborted()
+	c.SecondaryApplied(txid(1))
+	c.MsgSent(1)
+	c.RemoteRead()
+	c.Dummy()
+	c.Retry()
+	c.End()
+	if r := c.Snapshot(9); r.Committed != 0 {
+		t.Errorf("nil collector recorded: %+v", r)
+	}
+}
+
+func TestSnapshotWithoutEndUsesNow(t *testing.T) {
+	c := NewCollector(false)
+	c.Begin()
+	c.TxnCommitted(txid(1), time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	r := c.Snapshot(1)
+	if r.Elapsed < 4*time.Millisecond {
+		t.Errorf("elapsed = %v", r.Elapsed)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := NewCollector(true)
+	c.Begin()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := model.TxnID{Site: model.SiteID(g), Seq: uint64(i + 1)}
+				c.TxnCommitted(id, time.Microsecond)
+				c.SecondaryApplied(id)
+				c.MsgSent(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	r := c.Snapshot(8)
+	if r.Committed != 1600 || r.Messages != 1600 || r.Secondaries != 1600 {
+		t.Errorf("lost updates: %+v", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := NewCollector(false)
+	c.Begin()
+	c.TxnCommitted(txid(1), time.Millisecond)
+	s := c.Snapshot(1).String()
+	if s == "" {
+		t.Error("empty report string")
+	}
+}

@@ -1,0 +1,176 @@
+// Package model defines the small set of identifiers and value types shared
+// by every layer of the replicated database: site and item identifiers,
+// global transaction identifiers, operations, and the data-placement map
+// that induces the copy graph.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SiteID identifies a database site. Sites are numbered 0..m-1 and the
+// numbering is a total order consistent with the copy-graph DAG (smaller
+// IDs are "earlier"); the paper writes this order s1 < s2 < ... < sm.
+type SiteID int
+
+// NoSite is the zero-value sentinel for "no site".
+const NoSite SiteID = -1
+
+// ItemID identifies a logical data item. Each item has exactly one primary
+// copy (at its primary site) and zero or more secondary copies (replicas).
+type ItemID int
+
+// TxnID is a system-wide unique identifier for a logical transaction. A
+// logical transaction originates at exactly one site (its primary
+// subtransaction); all of its secondary subtransactions carry the same
+// TxnID so the serializability checker can attribute every physical
+// operation to the logical transaction that issued it.
+type TxnID struct {
+	Site SiteID // originating site
+	Seq  uint64 // per-site sequence number, 1-based
+}
+
+// Zero reports whether t is the zero TxnID (no transaction).
+func (t TxnID) Zero() bool { return t == TxnID{} }
+
+func (t TxnID) String() string {
+	if t.Zero() {
+		return "T<nil>"
+	}
+	return fmt.Sprintf("T(s%d:%d)", t.Site, t.Seq)
+}
+
+// OpKind distinguishes read and write operations.
+type OpKind uint8
+
+const (
+	// OpRead reads an item.
+	OpRead OpKind = iota
+	// OpWrite writes an item.
+	OpWrite
+)
+
+func (k OpKind) String() string {
+	if k == OpRead {
+		return "r"
+	}
+	return "w"
+}
+
+// Op is one operation of a transaction program. For writes, Value is the
+// value to install; for reads Value is ignored.
+type Op struct {
+	Kind  OpKind
+	Item  ItemID
+	Value int64
+}
+
+func (o Op) String() string { return fmt.Sprintf("%s[%d]", o.Kind, o.Item) }
+
+// WriteOp records one installed write, shipped to replicas inside
+// secondary subtransactions.
+type WriteOp struct {
+	Item  ItemID
+	Value int64
+}
+
+// Placement maps every item to its primary site and replica sites. It is
+// the static data-distribution input from which the copy graph is derived
+// (an edge si→sj exists iff some item has its primary at si and a replica
+// at sj).
+type Placement struct {
+	NumSites int
+	NumItems int
+
+	// Primary[i] is the primary site of item i.
+	Primary []SiteID
+	// Replicas[i] lists the sites holding secondary copies of item i,
+	// sorted ascending and never containing Primary[i].
+	Replicas [][]SiteID
+
+	// Derived indexes, built by Finish.
+	primariesAt [][]ItemID // site -> items whose primary copy lives there
+	replicasAt  [][]ItemID // site -> items with a secondary copy there
+	hasCopy     []map[ItemID]bool
+}
+
+// NewPlacement allocates an empty placement for the given dimensions.
+// Callers fill Primary and Replicas and then call Finish.
+func NewPlacement(sites, items int) *Placement {
+	return &Placement{
+		NumSites: sites,
+		NumItems: items,
+		Primary:  make([]SiteID, items),
+		Replicas: make([][]SiteID, items),
+	}
+}
+
+// Finish validates the placement and builds the per-site indexes. It must
+// be called once after Primary/Replicas are populated and before any query
+// method is used.
+func (p *Placement) Finish() error {
+	if p.NumSites <= 0 {
+		return fmt.Errorf("placement: NumSites must be positive, got %d", p.NumSites)
+	}
+	if len(p.Primary) != p.NumItems || len(p.Replicas) != p.NumItems {
+		return fmt.Errorf("placement: Primary/Replicas length mismatch with NumItems=%d", p.NumItems)
+	}
+	p.primariesAt = make([][]ItemID, p.NumSites)
+	p.replicasAt = make([][]ItemID, p.NumSites)
+	p.hasCopy = make([]map[ItemID]bool, p.NumSites)
+	for s := 0; s < p.NumSites; s++ {
+		p.hasCopy[s] = make(map[ItemID]bool)
+	}
+	for i := 0; i < p.NumItems; i++ {
+		ps := p.Primary[i]
+		if ps < 0 || int(ps) >= p.NumSites {
+			return fmt.Errorf("placement: item %d has invalid primary site %d", i, ps)
+		}
+		p.primariesAt[ps] = append(p.primariesAt[ps], ItemID(i))
+		p.hasCopy[ps][ItemID(i)] = true
+		reps := p.Replicas[i]
+		sort.Slice(reps, func(a, b int) bool { return reps[a] < reps[b] })
+		for j, r := range reps {
+			if r < 0 || int(r) >= p.NumSites {
+				return fmt.Errorf("placement: item %d has invalid replica site %d", i, r)
+			}
+			if r == ps {
+				return fmt.Errorf("placement: item %d lists its primary site %d as a replica", i, r)
+			}
+			if j > 0 && reps[j-1] == r {
+				return fmt.Errorf("placement: item %d lists replica site %d twice", i, r)
+			}
+			p.replicasAt[r] = append(p.replicasAt[r], ItemID(i))
+			p.hasCopy[r][ItemID(i)] = true
+		}
+	}
+	return nil
+}
+
+// PrimariesAt returns the items whose primary copy is at site s.
+func (p *Placement) PrimariesAt(s SiteID) []ItemID { return p.primariesAt[s] }
+
+// ReplicasAt returns the items with a secondary copy at site s.
+func (p *Placement) ReplicasAt(s SiteID) []ItemID { return p.replicasAt[s] }
+
+// HasCopy reports whether site s stores any copy (primary or secondary) of
+// item i.
+func (p *Placement) HasCopy(s SiteID, i ItemID) bool { return p.hasCopy[s][i] }
+
+// IsPrimary reports whether site s holds the primary copy of item i.
+func (p *Placement) IsPrimary(s SiteID, i ItemID) bool { return p.Primary[i] == s }
+
+// ReplicaSites returns the secondary-copy sites of item i.
+func (p *Placement) ReplicaSites(i ItemID) []SiteID { return p.Replicas[i] }
+
+// CopiesAt returns every item stored at site s (primaries then replicas).
+func (p *Placement) CopiesAt(s SiteID) []ItemID {
+	out := make([]ItemID, 0, len(p.primariesAt[s])+len(p.replicasAt[s]))
+	out = append(out, p.primariesAt[s]...)
+	out = append(out, p.replicasAt[s]...)
+	return out
+}
+
+// IsReplicated reports whether item i has at least one secondary copy.
+func (p *Placement) IsReplicated(i ItemID) bool { return len(p.Replicas[i]) > 0 }

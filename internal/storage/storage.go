@@ -1,0 +1,103 @@
+// Package storage is the DataBlitz stand-in: a main-memory item store
+// with a hash index on the item identifier (the paper's prototype, §5.2,
+// used exactly this access path). Each site owns one Store holding the
+// copies placed there. The store keeps a per-copy version counter tagged
+// with the logical transaction that installed each value, which feeds the
+// serializability checker; concurrency control is the caller's job (the
+// lock manager), so the internal mutex only protects map structure.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Version describes the current state of one item copy.
+type Version struct {
+	Value  int64
+	Num    uint64      // 0 for the initial value, then 1, 2, ...
+	Writer model.TxnID // zero TxnID for the initial value
+}
+
+type copyState struct {
+	ver Version
+}
+
+// Store holds the item copies resident at one site.
+type Store struct {
+	mu    sync.RWMutex
+	items map[model.ItemID]*copyState
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{items: make(map[model.ItemID]*copyState)}
+}
+
+// Create installs item with its initial value (version 0). Creating an
+// existing item is an error: placement is static in this system.
+func (s *Store) Create(item model.ItemID, initial int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[item]; ok {
+		return fmt.Errorf("storage: item %d already exists", item)
+	}
+	s.items[item] = &copyState{ver: Version{Value: initial}}
+	return nil
+}
+
+// Has reports whether a copy of item resides here.
+func (s *Store) Has(item model.ItemID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.items[item]
+	return ok
+}
+
+// Read returns the current version of item. The caller must hold at least
+// a shared lock on the item (the store mutex only protects its own
+// structures, not transactional isolation).
+func (s *Store) Read(item model.ItemID) (Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cs, ok := s.items[item]
+	if !ok {
+		return Version{}, fmt.Errorf("storage: no copy of item %d at this site", item)
+	}
+	return cs.ver, nil
+}
+
+// Apply installs a new committed value for item on behalf of writer and
+// returns the new version. The caller must hold the exclusive lock on the
+// item.
+func (s *Store) Apply(item model.ItemID, value int64, writer model.TxnID) (Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.items[item]
+	if !ok {
+		return Version{}, fmt.Errorf("storage: no copy of item %d at this site", item)
+	}
+	cs.ver = Version{Value: value, Num: cs.ver.Num + 1, Writer: writer}
+	return cs.ver, nil
+}
+
+// Snapshot returns the current value of every copy. Only meaningful when
+// the site is quiesced.
+func (s *Store) Snapshot() map[model.ItemID]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[model.ItemID]int64, len(s.items))
+	for id, cs := range s.items {
+		out[id] = cs.ver.Value
+	}
+	return out
+}
+
+// Len returns the number of copies stored here.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}

@@ -1,0 +1,41 @@
+package ts
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTimestamps(n int) []Timestamp {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]Timestamp, n)
+	for i := range out {
+		out[i] = genTS(rng)
+	}
+	return out
+}
+
+func BenchmarkCompare(b *testing.B) {
+	tss := benchTimestamps(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tss[i%256].Compare(tss[(i+1)%256])
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	base := New(0)
+	for i := 0; i < 6; i++ {
+		base = base.Append(Tuple{Site: base.Last().Site + 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = base.Append(Tuple{Site: 99, LTS: uint64(i)})
+	}
+}
+
+func BenchmarkBumpLast(b *testing.B) {
+	t := New(3)
+	for i := 0; i < b.N; i++ {
+		t = t.BumpLast()
+	}
+}

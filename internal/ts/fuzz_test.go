@@ -1,0 +1,65 @@
+package ts
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// decodeTS turns fuzz bytes into a structurally valid timestamp: strictly
+// ascending sites over a small universe, bounded LTS values.
+func decodeTS(data []byte) Timestamp {
+	t := Timestamp{}
+	if len(data) > 0 {
+		t.Epoch = uint64(data[0] % 3)
+		data = data[1:]
+	}
+	site := -1
+	for i := 0; i+1 < len(data) && len(t.Tuples) < 6; i += 2 {
+		site += 1 + int(data[i]%3)
+		t.Tuples = append(t.Tuples, Tuple{
+			Site: model.SiteID(site),
+			LTS:  uint64(data[i+1] % 5),
+		})
+	}
+	if len(t.Tuples) == 0 {
+		t.Tuples = []Tuple{{Site: 0, LTS: 0}}
+	}
+	return t
+}
+
+// FuzzCompareTotalOrder checks the Definition 3.3 comparator's algebraic
+// laws on fuzz-generated timestamp triples: antisymmetry, equality
+// consistency, transitivity, and agreement with the prefix rule.
+func FuzzCompareTotalOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 1}, []byte{0, 1, 1, 2, 1}, []byte{1, 0, 0})
+	f.Add([]byte{2}, []byte{2, 3, 4}, []byte{2, 3, 4, 1, 1})
+	f.Fuzz(func(t *testing.T, ab, bb, cb []byte) {
+		a, b, c := decodeTS(ab), decodeTS(bb), decodeTS(cb)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid timestamp: %v", err)
+		}
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+		}
+		if (a.Compare(b) == 0) != a.Equal(b) {
+			t.Fatalf("equality inconsistent: %v vs %v", a, b)
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			t.Fatalf("transitivity violated: %v < %v < %v", a, b, c)
+		}
+		if a.IsPrefixOf(b) && len(a.Tuples) < len(b.Tuples) && !a.Less(b) {
+			t.Fatalf("prefix rule violated: %v should be < %v", a, b)
+		}
+		// Appending always strictly increases (the invariant the DAG(T)
+		// site-timestamp update relies on).
+		bigger := a.Append(Tuple{Site: a.Last().Site + 1, LTS: 0})
+		if !a.Less(bigger) {
+			t.Fatalf("append did not increase: %v vs %v", a, bigger)
+		}
+		// Bumping the last tuple strictly increases.
+		if !a.Less(a.BumpLast()) {
+			t.Fatalf("bump did not increase: %v", a)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package ts implements the DAG(T) protocol's timestamps (§3 of the
+// paper): vectors of (site, local-timestamp) tuples compared
+// lexicographically with a *reversed* site order (Definition 3.3), plus
+// the epoch-number extension of §3.3 that guarantees progress.
+//
+// Site identifiers used inside tuples must be positions in the total
+// order s1 < s2 < ... < sm over the sites that is consistent with the copy
+// graph DAG (§3.1); the cluster layer numbers sites topologically so the
+// raw SiteID serves directly.
+package ts
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Tuple is the ordered pair (si, LTSi) of Definition 3.1: a site and the
+// count of primary subtransactions that had committed there.
+type Tuple struct {
+	Site model.SiteID
+	LTS  uint64
+}
+
+func (t Tuple) String() string { return fmt.Sprintf("(s%d,%d)", t.Site, t.LTS) }
+
+// Timestamp is a vector of tuples (Definition 3.2) extended with the
+// epoch number of §3.3. Tuples appear in ascending site order; the tuple
+// for the owning site is last because every other tuple belongs to one of
+// its copy-graph ancestors, which precede it in the total order.
+type Timestamp struct {
+	Epoch  uint64
+	Tuples []Tuple
+}
+
+// New returns the initial timestamp (si, 0) of a site.
+func New(site model.SiteID) Timestamp {
+	return Timestamp{Tuples: []Tuple{{Site: site, LTS: 0}}}
+}
+
+// Clone returns a deep copy of t.
+func (t Timestamp) Clone() Timestamp {
+	return Timestamp{Epoch: t.Epoch, Tuples: append([]Tuple(nil), t.Tuples...)}
+}
+
+// Append returns the concatenation t · u, the operation performed when a
+// secondary subtransaction commits at a site (§3.2.3): the site timestamp
+// becomes TS(Ti)(si, LTSi).
+func (t Timestamp) Append(u Tuple) Timestamp {
+	out := Timestamp{Epoch: t.Epoch, Tuples: make([]Tuple, 0, len(t.Tuples)+1)}
+	out.Tuples = append(out.Tuples, t.Tuples...)
+	out.Tuples = append(out.Tuples, u)
+	return out
+}
+
+// WithEpoch returns a copy of t with the epoch set to e.
+func (t Timestamp) WithEpoch(e uint64) Timestamp {
+	out := t.Clone()
+	out.Epoch = e
+	return out
+}
+
+// Last returns the final tuple of the vector (the owning site's own
+// tuple). It panics on an empty timestamp.
+func (t Timestamp) Last() Tuple { return t.Tuples[len(t.Tuples)-1] }
+
+// BumpLast returns a copy of t whose final tuple's LTS is incremented —
+// step 1 of the primary-subtransaction commit (§3.2.2).
+func (t Timestamp) BumpLast() Timestamp {
+	out := t.Clone()
+	out.Tuples[len(out.Tuples)-1].LTS++
+	return out
+}
+
+// Compare returns -1, 0 or +1 as t is before, equal to, or after u in the
+// total order of Definition 3.3 extended with epochs (§3.3):
+//
+//   - different epochs: the smaller epoch is earlier;
+//   - t a strict prefix of u: t is earlier (and vice versa);
+//   - otherwise at the first differing tuple position, (si, li) vs
+//     (sj, lj): t is earlier iff si > sj (reverse site order!), or
+//     si == sj and li < lj.
+func (t Timestamp) Compare(u Timestamp) int {
+	if t.Epoch != u.Epoch {
+		if t.Epoch < u.Epoch {
+			return -1
+		}
+		return +1
+	}
+	n := len(t.Tuples)
+	if len(u.Tuples) < n {
+		n = len(u.Tuples)
+	}
+	for i := 0; i < n; i++ {
+		a, b := t.Tuples[i], u.Tuples[i]
+		if a == b {
+			continue
+		}
+		if a.Site != b.Site {
+			if a.Site > b.Site { // reverse ordering on sites
+				return -1
+			}
+			return +1
+		}
+		if a.LTS < b.LTS {
+			return -1
+		}
+		return +1
+	}
+	switch {
+	case len(t.Tuples) < len(u.Tuples):
+		return -1 // prefix rule
+	case len(t.Tuples) > len(u.Tuples):
+		return +1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether t orders strictly before u.
+func (t Timestamp) Less(u Timestamp) bool { return t.Compare(u) < 0 }
+
+// Equal reports whether t and u are identical timestamps.
+func (t Timestamp) Equal(u Timestamp) bool { return t.Compare(u) == 0 }
+
+// IsPrefixOf reports whether t's tuple vector is a (possibly equal) prefix
+// of u's and the epochs match.
+func (t Timestamp) IsPrefixOf(u Timestamp) bool {
+	if t.Epoch != u.Epoch || len(t.Tuples) > len(u.Tuples) {
+		return false
+	}
+	for i, tup := range t.Tuples {
+		if u.Tuples[i] != tup {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the structural invariant of Definition 3.2: tuples
+// appear in strictly ascending site order.
+func (t Timestamp) Validate() error {
+	if len(t.Tuples) == 0 {
+		return fmt.Errorf("ts: empty timestamp")
+	}
+	for i := 1; i < len(t.Tuples); i++ {
+		if t.Tuples[i].Site <= t.Tuples[i-1].Site {
+			return fmt.Errorf("ts: tuples out of site order at %d: %v", i, t)
+		}
+	}
+	return nil
+}
+
+func (t Timestamp) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%d:", t.Epoch)
+	for _, tup := range t.Tuples {
+		b.WriteString(tup.String())
+	}
+	return b.String()
+}

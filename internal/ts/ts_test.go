@@ -1,0 +1,188 @@
+package ts
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// mk builds a timestamp from (site, lts) pairs.
+func mk(epoch uint64, pairs ...uint64) Timestamp {
+	t := Timestamp{Epoch: epoch}
+	for i := 0; i < len(pairs); i += 2 {
+		t.Tuples = append(t.Tuples, Tuple{Site: model.SiteID(pairs[i]), LTS: pairs[i+1]})
+	}
+	return t
+}
+
+// TestPaperOrderingExamples checks the three orderings Definition 3.3
+// lists explicitly:
+//
+//  1. (s1,1) < (s1,1)(s2,1)            — prefix rule
+//  2. (s1,1)(s3,1) < (s1,1)(s2,1)      — reverse site comparison
+//  3. (s1,1)(s2,1) < (s1,1)(s2,2)      — LTS comparison
+func TestPaperOrderingExamples(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+	}{
+		{mk(0, 1, 1), mk(0, 1, 1, 2, 1)},
+		{mk(0, 1, 1, 3, 1), mk(0, 1, 1, 2, 1)},
+		{mk(0, 1, 1, 2, 1), mk(0, 1, 1, 2, 2)},
+	}
+	for i, c := range cases {
+		if !c.a.Less(c.b) {
+			t.Errorf("case %d: %v should be < %v", i+1, c.a, c.b)
+		}
+		if c.b.Less(c.a) {
+			t.Errorf("case %d: %v should not be < %v", i+1, c.b, c.a)
+		}
+	}
+}
+
+func TestEpochDominatesComparison(t *testing.T) {
+	a := mk(1, 5, 9) // higher tuple content, lower epoch
+	b := mk(2, 1, 1)
+	if !a.Less(b) || b.Less(a) {
+		t.Errorf("smaller epoch must order first: %v vs %v", a, b)
+	}
+}
+
+func TestCompareEqual(t *testing.T) {
+	a := mk(3, 1, 1, 2, 5)
+	b := mk(3, 1, 1, 2, 5)
+	if a.Compare(b) != 0 || !a.Equal(b) {
+		t.Error("identical timestamps must compare equal")
+	}
+}
+
+func TestExample11Timestamps(t *testing.T) {
+	// §3.2.3 trace of Example 1.1: T1 gets (s1,1); after T1 commits at s2
+	// the site timestamp is (s1,1)(s2,0); T2 then gets (s1,1)(s2,1).
+	// T1's timestamp is a prefix of T2's, so s3 executes T1 first.
+	s2 := New(2 - 1) // using 0-based sites: s2 is site 1
+	t1 := mk(0, 0, 1)
+	s2after := t1.Append(Tuple{Site: 1, LTS: 0})
+	if got := mk(0, 0, 1, 1, 0); !s2after.Equal(got) {
+		t.Fatalf("site timestamp after T1 = %v, want %v", s2after, got)
+	}
+	t2 := s2after.BumpLast()
+	if !t1.Less(t2) {
+		t.Errorf("T1 (%v) must order before T2 (%v)", t1, t2)
+	}
+	if !t1.IsPrefixOf(t2) {
+		t.Errorf("T1 (%v) should be a prefix of T2 (%v)", t1, t2)
+	}
+	// And the interleaving §3.1 motivates: T3 committing at s3 right after
+	// T1 gets (s1,1)(s3,1), which must order BEFORE (s1,1)(s2,1).
+	t3 := mk(0, 0, 1, 2, 1)
+	if !t3.Less(t2) {
+		t.Errorf("(s1,1)(s3,1)=%v must order before (s1,1)(s2,1)=%v", t3, t2)
+	}
+	_ = s2
+}
+
+func TestNewAndBump(t *testing.T) {
+	ts := New(4)
+	if ts.Last() != (Tuple{Site: 4, LTS: 0}) {
+		t.Errorf("New = %v", ts)
+	}
+	b := ts.BumpLast()
+	if b.Last().LTS != 1 || ts.Last().LTS != 0 {
+		t.Error("BumpLast must not mutate the receiver")
+	}
+}
+
+func TestAppendDoesNotAlias(t *testing.T) {
+	a := mk(0, 0, 1)
+	b := a.Append(Tuple{Site: 1, LTS: 2})
+	b.Tuples[0].LTS = 99
+	if a.Tuples[0].LTS != 1 {
+		t.Error("Append aliases the receiver's tuple slice")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := mk(0, 0, 1, 1, 0).Validate(); err != nil {
+		t.Errorf("valid timestamp rejected: %v", err)
+	}
+	if err := mk(0, 1, 1, 0, 1).Validate(); err == nil {
+		t.Error("out-of-order sites accepted")
+	}
+	if err := mk(0, 1, 1, 1, 2).Validate(); err == nil {
+		t.Error("duplicate site accepted")
+	}
+	if err := (Timestamp{}).Validate(); err == nil {
+		t.Error("empty timestamp accepted")
+	}
+}
+
+func TestWithEpochAndClone(t *testing.T) {
+	a := mk(1, 0, 1)
+	b := a.WithEpoch(7)
+	if b.Epoch != 7 || a.Epoch != 1 {
+		t.Error("WithEpoch wrong")
+	}
+	c := a.Clone()
+	c.Tuples[0].LTS = 42
+	if a.Tuples[0].LTS != 1 {
+		t.Error("Clone aliases tuples")
+	}
+}
+
+// genTS generates a structurally valid random timestamp over a small site
+// universe so that comparisons exercise prefixes and shared tuples often.
+func genTS(rng *rand.Rand) Timestamp {
+	n := 1 + rng.Intn(4)
+	t := Timestamp{Epoch: uint64(rng.Intn(2))}
+	site := -1
+	for i := 0; i < n; i++ {
+		site += 1 + rng.Intn(2)
+		t.Tuples = append(t.Tuples, Tuple{Site: model.SiteID(site), LTS: uint64(rng.Intn(3))})
+	}
+	return t
+}
+
+func TestOrderingIsStrictTotalOrder(t *testing.T) {
+	// Properties of Definition 3.3 (+epochs): trichotomy, asymmetry and
+	// transitivity over random structurally-valid timestamps.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := genTS(rng), genTS(rng), genTS(rng)
+		// Trichotomy: exactly one of <, ==, > holds.
+		cmp := a.Compare(b)
+		if cmp != -b.Compare(a) {
+			return false
+		}
+		if (cmp == 0) != a.Equal(b) {
+			return false
+		}
+		// Transitivity.
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		// Irreflexivity.
+		if a.Less(a) {
+			return false
+		}
+		// Prefix rule consistency: a strict prefix is always smaller.
+		if len(a.Tuples) > 1 {
+			pre := Timestamp{Epoch: a.Epoch, Tuples: a.Tuples[:len(a.Tuples)-1]}
+			if !pre.Less(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	got := mk(2, 0, 1, 3, 4).String()
+	if got != "e2:(s0,1)(s3,4)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+// Package twopc implements the distributed atomic-commit protocol the
+// BackEdge protocol uses in step 3 of §4.1: a primary subtransaction and
+// its backedge subtransactions, spread over several sites and all holding
+// their locks, must commit atomically. The coordinator (the transaction's
+// origin site) runs classic two-phase commit; participants are the
+// backedge sites, which have already executed and therefore vote yes
+// unless they were aborted in the meantime.
+//
+// The package is transport-agnostic: the engine supplies Prepare/Decide
+// callbacks that speak its RPC layer. A participant-side state table
+// enforces the legal transitions and is shared by tests.
+package twopc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Coordinator supplies the per-participant communication callbacks.
+type Coordinator struct {
+	// Prepare asks a participant to prepare tid and returns its vote.
+	// An error (timeout, site unreachable) counts as a no vote.
+	Prepare func(p model.SiteID, tid model.TxnID) (bool, error)
+	// Decide delivers the decision to a participant and waits for its ack.
+	Decide func(p model.SiteID, tid model.TxnID, commit bool) error
+}
+
+// Run executes two-phase commit for tid over the participants. It returns
+// whether the transaction committed, plus the first decision-delivery
+// error (the decision itself stands regardless: participants that missed
+// it must recover by asking the coordinator, which this in-memory system
+// does not need since sites do not crash).
+func Run(tid model.TxnID, participants []model.SiteID, c Coordinator) (bool, error) {
+	if len(participants) == 0 {
+		return true, nil
+	}
+	// Phase 1: collect votes in parallel.
+	votes := make([]bool, len(participants))
+	var wg sync.WaitGroup
+	for i, p := range participants {
+		wg.Add(1)
+		go func(i int, p model.SiteID) {
+			defer wg.Done()
+			ok, err := c.Prepare(p, tid)
+			votes[i] = ok && err == nil
+		}(i, p)
+	}
+	wg.Wait()
+	commit := true
+	for _, v := range votes {
+		if !v {
+			commit = false
+			break
+		}
+	}
+	// Phase 2: deliver the decision in parallel.
+	errs := make([]error, len(participants))
+	for i, p := range participants {
+		wg.Add(1)
+		go func(i int, p model.SiteID) {
+			defer wg.Done()
+			errs[i] = c.Decide(p, tid, commit)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return commit, fmt.Errorf("twopc: decision delivery: %w", err)
+		}
+	}
+	return commit, nil
+}
+
+// State is a participant-side transaction state.
+type State int
+
+const (
+	// StateWorking means the subtransaction is executing (locks being
+	// acquired, writes buffered).
+	StateWorking State = iota
+	// StatePrepared means the participant voted yes and awaits a decision.
+	StatePrepared
+	// StateCommitted is terminal.
+	StateCommitted
+	// StateAborted is terminal.
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateWorking:
+		return "working"
+	case StatePrepared:
+		return "prepared"
+	case StateCommitted:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// Table tracks participant-side transaction states and validates
+// transitions. All methods are safe for concurrent use.
+type Table struct {
+	mu sync.Mutex
+	m  map[model.TxnID]State
+}
+
+// NewTable returns an empty state table.
+func NewTable() *Table {
+	return &Table{m: make(map[model.TxnID]State)}
+}
+
+// Begin registers tid as working. Registering a known tid is an error.
+func (t *Table) Begin(tid model.TxnID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.m[tid]; ok {
+		return fmt.Errorf("twopc: %v already %v", tid, s)
+	}
+	t.m[tid] = StateWorking
+	return nil
+}
+
+// Prepare moves tid from working to prepared and returns the yes vote;
+// if tid was already aborted (a racing abort won) the vote is no.
+func (t *Table) Prepare(tid model.TxnID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.m[tid] {
+	case StateWorking:
+		t.m[tid] = StatePrepared
+		return true
+	default:
+		return false
+	}
+}
+
+// Finish moves tid to its terminal state and reports whether the caller
+// should act (install or roll back); a second Finish is a no-op.
+func (t *Table) Finish(tid model.TxnID, commit bool) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.m[tid]
+	if s == StateCommitted || s == StateAborted {
+		return false
+	}
+	if commit {
+		t.m[tid] = StateCommitted
+	} else {
+		t.m[tid] = StateAborted
+	}
+	return true
+}
+
+// State returns tid's current state and whether it is known.
+func (t *Table) State(tid model.TxnID) (State, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[tid]
+	return s, ok
+}
+
+// Aborted reports whether tid has been aborted.
+func (t *Table) Aborted(tid model.TxnID) bool {
+	s, ok := t.State(tid)
+	return ok && s == StateAborted
+}
+
+// Forget drops a terminal tid from the table (bounding memory in long
+// runs). Forgetting a live transaction is an error.
+func (t *Table) Forget(tid model.TxnID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.m[tid] {
+	case StateCommitted, StateAborted:
+		delete(t.m, tid)
+		return nil
+	default:
+		return fmt.Errorf("twopc: cannot forget live %v", tid)
+	}
+}

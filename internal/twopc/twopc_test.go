@@ -1,0 +1,191 @@
+package twopc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func txid(n uint64) model.TxnID { return model.TxnID{Site: 0, Seq: n} }
+
+// fakeParticipants simulates a set of participant sites with scripted
+// votes.
+type fakeParticipants struct {
+	mu       sync.Mutex
+	votes    map[model.SiteID]bool
+	prepared map[model.SiteID]bool
+	decided  map[model.SiteID]bool
+	decision map[model.SiteID]bool
+}
+
+func newFake(votes map[model.SiteID]bool) *fakeParticipants {
+	return &fakeParticipants{
+		votes:    votes,
+		prepared: make(map[model.SiteID]bool),
+		decided:  make(map[model.SiteID]bool),
+		decision: make(map[model.SiteID]bool),
+	}
+}
+
+func (f *fakeParticipants) coordinator() Coordinator {
+	return Coordinator{
+		Prepare: func(p model.SiteID, _ model.TxnID) (bool, error) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			f.prepared[p] = true
+			return f.votes[p], nil
+		},
+		Decide: func(p model.SiteID, _ model.TxnID, commit bool) error {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			f.decided[p] = true
+			f.decision[p] = commit
+			return nil
+		},
+	}
+}
+
+func TestRunCommitsOnUnanimousYes(t *testing.T) {
+	parts := []model.SiteID{1, 2, 3}
+	f := newFake(map[model.SiteID]bool{1: true, 2: true, 3: true})
+	committed, err := Run(txid(1), parts, f.coordinator())
+	if err != nil || !committed {
+		t.Fatalf("committed=%v err=%v", committed, err)
+	}
+	for _, p := range parts {
+		if !f.prepared[p] || !f.decided[p] || !f.decision[p] {
+			t.Errorf("participant %d: prepared=%v decided=%v decision=%v",
+				p, f.prepared[p], f.decided[p], f.decision[p])
+		}
+	}
+}
+
+func TestRunAbortsOnAnyNo(t *testing.T) {
+	parts := []model.SiteID{1, 2}
+	f := newFake(map[model.SiteID]bool{1: true, 2: false})
+	committed, err := Run(txid(1), parts, f.coordinator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed {
+		t.Fatal("committed despite a no vote")
+	}
+	// Every participant still receives the (abort) decision.
+	for _, p := range parts {
+		if !f.decided[p] || f.decision[p] {
+			t.Errorf("participant %d missing abort decision", p)
+		}
+	}
+}
+
+func TestRunAbortsOnPrepareError(t *testing.T) {
+	c := Coordinator{
+		Prepare: func(p model.SiteID, _ model.TxnID) (bool, error) {
+			if p == 2 {
+				return true, errors.New("unreachable")
+			}
+			return true, nil
+		},
+		Decide: func(model.SiteID, model.TxnID, bool) error { return nil },
+	}
+	committed, err := Run(txid(1), []model.SiteID{1, 2}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed {
+		t.Fatal("a prepare error must count as a no vote")
+	}
+}
+
+func TestRunNoParticipantsCommits(t *testing.T) {
+	committed, err := Run(txid(1), nil, Coordinator{})
+	if err != nil || !committed {
+		t.Fatalf("empty participant set: committed=%v err=%v", committed, err)
+	}
+}
+
+func TestRunReportsDecisionDeliveryError(t *testing.T) {
+	c := Coordinator{
+		Prepare: func(model.SiteID, model.TxnID) (bool, error) { return true, nil },
+		Decide:  func(model.SiteID, model.TxnID, bool) error { return errors.New("lost") },
+	}
+	committed, err := Run(txid(1), []model.SiteID{1}, c)
+	if !committed {
+		t.Fatal("the decision stands even if delivery fails")
+	}
+	if err == nil {
+		t.Fatal("delivery failure not reported")
+	}
+}
+
+func TestTableLifecycle(t *testing.T) {
+	tb := NewTable()
+	id := txid(1)
+	if err := tb.Begin(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Begin(id); err == nil {
+		t.Error("double Begin accepted")
+	}
+	if !tb.Prepare(id) {
+		t.Error("Prepare of working txn voted no")
+	}
+	if s, _ := tb.State(id); s != StatePrepared {
+		t.Errorf("state = %v", s)
+	}
+	if !tb.Finish(id, true) {
+		t.Error("Finish reported no action")
+	}
+	if tb.Finish(id, true) {
+		t.Error("second Finish reported action")
+	}
+	if s, _ := tb.State(id); s != StateCommitted {
+		t.Errorf("state = %v", s)
+	}
+	if err := tb.Forget(id); err != nil {
+		t.Errorf("Forget: %v", err)
+	}
+	if _, known := tb.State(id); known {
+		t.Error("forgotten txn still known")
+	}
+}
+
+func TestTableAbortTombstone(t *testing.T) {
+	tb := NewTable()
+	id := txid(2)
+	// Abort arrives before the subtransaction ever begins.
+	if !tb.Finish(id, false) {
+		t.Fatal("tombstoning unknown txn reported no action")
+	}
+	if !tb.Aborted(id) {
+		t.Fatal("tombstone not visible")
+	}
+	if err := tb.Begin(id); err == nil {
+		t.Error("Begin after tombstone accepted")
+	}
+	if tb.Prepare(id) {
+		t.Error("Prepare after abort voted yes")
+	}
+}
+
+func TestTableForgetLiveRejected(t *testing.T) {
+	tb := NewTable()
+	id := txid(3)
+	_ = tb.Begin(id)
+	if err := tb.Forget(id); err == nil {
+		t.Error("Forget of a live txn accepted")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateWorking: "working", StatePrepared: "prepared",
+		StateCommitted: "committed", StateAborted: "aborted",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package txn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+func benchManager(b *testing.B) *Manager {
+	b.Helper()
+	st := storage.NewStore()
+	for i := 0; i < 32; i++ {
+		if err := st.Create(model.ItemID(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return NewManager(0, st, lock.NewManager(false), 50*time.Millisecond, nil)
+}
+
+// BenchmarkLocalTransaction measures a full Table 1 transaction through
+// the local transaction manager: 7 reads, 3 writes, commit — the
+// DataBlitz-equivalent critical path under every protocol.
+func BenchmarkLocalTransaction(b *testing.B) {
+	m := benchManager(b)
+	for i := 0; i < b.N; i++ {
+		t := m.Begin(model.TxnID{Site: 0, Seq: uint64(i + 1)})
+		for op := 0; op < 10; op++ {
+			item := model.ItemID((i + op) % 32)
+			var err error
+			if op%3 == 0 {
+				err = t.Write(item, int64(i))
+			} else {
+				_, err = t.Read(item)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := t.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSecondaryApply measures the write-only install path secondary
+// subtransactions take.
+func BenchmarkSecondaryApply(b *testing.B) {
+	m := benchManager(b)
+	for i := 0; i < b.N; i++ {
+		t := m.BeginSecondary(model.TxnID{Site: 1, Seq: uint64(i + 1)})
+		for w := 0; w < 3; w++ {
+			if err := t.Write(model.ItemID((i+w)%32), int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := t.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAbort(b *testing.B) {
+	m := benchManager(b)
+	for i := 0; i < b.N; i++ {
+		t := m.Begin(model.TxnID{Site: 0, Seq: uint64(i + 1)})
+		if err := t.Write(model.ItemID(i%32), 1); err != nil {
+			b.Fatal(err)
+		}
+		t.Abort()
+	}
+}

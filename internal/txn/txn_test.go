@@ -1,0 +1,213 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/lock"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+func newTestManager(t *testing.T, rec *history.Recorder) *Manager {
+	t.Helper()
+	st := storage.NewStore()
+	for i := 0; i < 5; i++ {
+		if err := st.Create(model.ItemID(i), int64(10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewManager(0, st, lock.NewManager(false), 50*time.Millisecond, rec)
+}
+
+func txid(n uint64) model.TxnID { return model.TxnID{Site: 0, Seq: n} }
+
+func TestReadWriteCommit(t *testing.T) {
+	rec := history.NewRecorder()
+	m := newTestManager(t, rec)
+	tx := m.Begin(txid(1))
+	v, err := tx.Read(1)
+	if err != nil || v != 10 {
+		t.Fatalf("read = %d, %v", v, err)
+	}
+	if err := tx.Write(2, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ver, _ := m.Store.Read(2)
+	if ver.Value != 99 || ver.Writer != txid(1) {
+		t.Errorf("committed version = %+v", ver)
+	}
+	if m.Locks.HeldCount(txid(1)) != 0 {
+		t.Error("locks not released at commit")
+	}
+	if rec.NumReads() != 1 {
+		t.Error("read observation not flushed")
+	}
+}
+
+func TestReadsOwnWrites(t *testing.T) {
+	m := newTestManager(t, nil)
+	tx := m.Begin(txid(1))
+	_ = tx.Write(1, 77)
+	v, err := tx.Read(1)
+	if err != nil || v != 77 {
+		t.Errorf("own write invisible: %d, %v", v, err)
+	}
+	// The store must still hold the old value until commit.
+	ver, _ := m.Store.Read(1)
+	if ver.Value != 10 {
+		t.Errorf("write leaked before commit: %+v", ver)
+	}
+	tx.Abort()
+}
+
+func TestAbortDiscardsWritesAndObservations(t *testing.T) {
+	rec := history.NewRecorder()
+	m := newTestManager(t, rec)
+	tx := m.Begin(txid(1))
+	_, _ = tx.Read(3)
+	_ = tx.Write(1, 55)
+	tx.Abort()
+	ver, _ := m.Store.Read(1)
+	if ver.Value != 10 || ver.Num != 0 {
+		t.Errorf("abort leaked a write: %+v", ver)
+	}
+	if m.Locks.HeldCount(txid(1)) != 0 {
+		t.Error("locks not released at abort")
+	}
+	if rec.NumReads() != 0 {
+		t.Error("aborted transaction flushed read observations")
+	}
+}
+
+func TestLockConflictAbortsTransaction(t *testing.T) {
+	m := newTestManager(t, nil)
+	m.Timeout = 10 * time.Millisecond
+	holder := m.Begin(txid(1))
+	if err := holder.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin(txid(2))
+	_, err := tx.Read(1)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	if !tx.Finished() {
+		t.Error("transaction not marked finished after forced abort")
+	}
+	if m.Locks.HeldCount(txid(2)) != 0 {
+		t.Error("aborted txn left locks behind")
+	}
+	holder.Abort()
+}
+
+func TestStrictTwoPhaseLocking(t *testing.T) {
+	m := newTestManager(t, nil)
+	tx := m.Begin(txid(1))
+	_, _ = tx.Read(1)
+	_ = tx.Write(2, 1)
+	// Locks are held (not released between operations).
+	if _, held := m.Locks.Holds(txid(1), 1); !held {
+		t.Error("read lock released early")
+	}
+	if _, held := m.Locks.Holds(txid(1), 2); !held {
+		t.Error("write lock released early")
+	}
+	_ = tx.Commit()
+	if m.Locks.HeldCount(txid(1)) != 0 {
+		t.Error("locks survived commit")
+	}
+}
+
+func TestWriteThenReadKeepsExclusive(t *testing.T) {
+	m := newTestManager(t, nil)
+	tx := m.Begin(txid(1))
+	_ = tx.Write(1, 5)
+	_, _ = tx.Read(1)
+	if mode, _ := m.Locks.Holds(txid(1), 1); mode != lock.Exclusive {
+		t.Error("read after write downgraded the lock")
+	}
+	tx.Abort()
+}
+
+func TestUseAfterFinishRejected(t *testing.T) {
+	m := newTestManager(t, nil)
+	tx := m.Begin(txid(1))
+	_ = tx.Commit()
+	if _, err := tx.Read(1); err == nil {
+		t.Error("read after commit succeeded")
+	}
+	if err := tx.Write(1, 1); err == nil {
+		t.Error("write after commit succeeded")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("double commit succeeded")
+	}
+}
+
+func TestAbortIdempotent(t *testing.T) {
+	m := newTestManager(t, nil)
+	tx := m.Begin(txid(1))
+	tx.Abort()
+	tx.Abort() // must not panic or error
+	if !tx.Finished() {
+		t.Error("not finished")
+	}
+}
+
+func TestWritesReturnsWriteOrder(t *testing.T) {
+	m := newTestManager(t, nil)
+	tx := m.Begin(txid(1))
+	_ = tx.Write(3, 30)
+	_ = tx.Write(1, 11)
+	_ = tx.Write(3, 33) // overwrite: order keeps first position
+	ws := tx.Writes()
+	if len(ws) != 2 || ws[0] != (model.WriteOp{Item: 3, Value: 33}) || ws[1] != (model.WriteOp{Item: 1, Value: 11}) {
+		t.Errorf("Writes = %v", ws)
+	}
+	if tx.NumWrites() != 2 {
+		t.Errorf("NumWrites = %d", tx.NumWrites())
+	}
+	tx.Abort()
+}
+
+func TestCommitObservationsMatchVersions(t *testing.T) {
+	rec := history.NewRecorder()
+	m := newTestManager(t, rec)
+	t1 := m.Begin(txid(1))
+	_ = t1.Write(1, 100)
+	_ = t1.Commit()
+	t2 := m.Begin(txid(2))
+	v, _ := t2.Read(1)
+	if v != 100 {
+		t.Fatalf("read = %d", v)
+	}
+	_ = t2.Commit()
+	// wr edge t1 -> t2 and nothing else: acyclic.
+	g := rec.BuildGraph()
+	if g.Edges() != 1 {
+		t.Errorf("edges = %d, want 1", g.Edges())
+	}
+	if err := rec.CheckSerializable(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObserveRemoteRead(t *testing.T) {
+	rec := history.NewRecorder()
+	m := newTestManager(t, rec)
+	tx := m.Begin(txid(1))
+	tx.ObserveRemoteRead(3, 7, 2)
+	if rec.NumReads() != 0 {
+		t.Error("remote observation flushed before commit")
+	}
+	_ = tx.Commit()
+	if rec.NumReads() != 1 {
+		t.Error("remote observation lost at commit")
+	}
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// PlacementStats summarizes a data placement the way the paper reasons
+// about it in §5.3: how many items are replicated, how many physical
+// replicas exist (at r=1 the paper notes "almost 500 replicas"), and how
+// heavy the backedge side of the copy graph is.
+type PlacementStats struct {
+	Items           int
+	ReplicatedItems int
+	Replicas        int     // physical secondary copies
+	CopyEdges       int     // distinct copy-graph edges
+	Backedges       int     // distinct edges pointing backwards in site order
+	BackedgeWeight  int     // items inducing backedges
+	RemoteReadFrac  float64 // fraction of a uniform site-local read that hits a replica
+}
+
+// Stats computes placement statistics with respect to the site-ID order.
+func Stats(p *model.Placement) PlacementStats {
+	st := PlacementStats{Items: p.NumItems}
+	for i := 0; i < p.NumItems; i++ {
+		reps := p.ReplicaSites(model.ItemID(i))
+		if len(reps) > 0 {
+			st.ReplicatedItems++
+		}
+		st.Replicas += len(reps)
+	}
+	g := graph.FromPlacement(p)
+	st.CopyEdges = g.NumEdges()
+	order := make([]model.SiteID, p.NumSites)
+	for i := range order {
+		order[i] = model.SiteID(i)
+	}
+	backs := graph.OrderBackedges(g, order)
+	st.Backedges = len(backs)
+	st.BackedgeWeight = graph.TotalWeight(g, backs)
+
+	// Average, over sites, of replicas/(replicas+primaries): the chance a
+	// uniformly chosen readable item at a site is a secondary copy — which
+	// under PSL is exactly the remote-read probability.
+	var acc float64
+	for s := 0; s < p.NumSites; s++ {
+		prim := len(p.PrimariesAt(model.SiteID(s)))
+		repl := len(p.ReplicasAt(model.SiteID(s)))
+		if prim+repl > 0 {
+			acc += float64(repl) / float64(prim+repl)
+		}
+	}
+	st.RemoteReadFrac = acc / float64(p.NumSites)
+	return st
+}
+
+func (st PlacementStats) String() string {
+	return fmt.Sprintf("items=%d replicated=%d replicas=%d edges=%d backedges=%d(w=%d) remoteReadFrac=%.2f",
+		st.Items, st.ReplicatedItems, st.Replicas, st.CopyEdges, st.Backedges, st.BackedgeWeight, st.RemoteReadFrac)
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestStatsHandBuilt(t *testing.T) {
+	p := model.NewPlacement(3, 4)
+	p.Primary = []model.SiteID{0, 0, 1, 2}
+	p.Replicas = [][]model.SiteID{{1, 2}, nil, {2}, {0}} // s2->s0 is a backedge
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(p)
+	if st.Items != 4 || st.ReplicatedItems != 3 || st.Replicas != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Backedges != 1 || st.BackedgeWeight != 1 {
+		t.Errorf("backedges = %d (w=%d), want 1 (w=1)", st.Backedges, st.BackedgeWeight)
+	}
+	if st.CopyEdges != 4 {
+		t.Errorf("copy edges = %d, want 4", st.CopyEdges)
+	}
+	// Per-site replica fractions: s0: 1/3, s1: 1/2, s2: 2/3 -> avg 0.5.
+	if st.RemoteReadFrac < 0.49 || st.RemoteReadFrac > 0.51 {
+		t.Errorf("remote read frac = %v, want 0.5", st.RemoteReadFrac)
+	}
+	if !strings.Contains(st.String(), "backedges=1") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestStatsAtR1MatchPaperReplicaCount(t *testing.T) {
+	// §5.3.2: "at r = 1, there are almost 500 replicas in the system"
+	// for the default 200 items, 9 sites, s=0.5, b=0.2.
+	c := Default()
+	c.ReplicationProb = 1
+	p, err := c.GeneratePlacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(p)
+	if st.Replicas < 350 || st.Replicas > 650 {
+		t.Errorf("replicas at r=1: %d, paper reports ~500", st.Replicas)
+	}
+}
+
+func TestStatsBackedgeWeightZeroAtBZero(t *testing.T) {
+	c := Default()
+	c.BackedgeProb = 0
+	p, err := c.GeneratePlacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := Stats(p); st.Backedges != 0 {
+		t.Errorf("b=0 placement has backedges: %+v", st)
+	}
+}

@@ -1,0 +1,181 @@
+// Package repro is a from-scratch Go reproduction of "Update Propagation
+// Protocols For Replicated Databases" (Breitbart, Komondoor, Rastogi,
+// Seshadri, Silberschatz — SIGMOD 1999): lazy replica-update protocols
+// that guarantee global serializability.
+//
+// The library implements the paper's two DAG protocols — DAG(WT), which
+// routes secondary subtransactions along a tree derived from the copy
+// graph, and DAG(T), which orders them with vector timestamps and epoch
+// numbers — plus the hybrid BackEdge protocol for arbitrary (cyclic) copy
+// graphs, the lazy primary-site-locking baseline (PSL), and the
+// indiscriminate NaiveLazy propagation that demonstrates why ordering is
+// needed. Every substrate is included: a DataBlitz-style main-memory
+// store, a strict-2PL lock manager with timeout deadlock handling,
+// FIFO transports (in-process and TCP), two-phase commit, the copy-graph
+// machinery (backedge sets, feedback-arc-set heuristics, propagation
+// trees), the §5.2 workload generator, and a harness that regenerates
+// every figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	cfg := repro.ClusterConfig{
+//		Workload: repro.DefaultWorkload(),
+//		Protocol: repro.BackEdge,
+//		Params:   repro.DefaultParams(),
+//		Latency:  150 * time.Microsecond,
+//	}
+//	c, err := repro.NewCluster(cfg)
+//	if err != nil { ... }
+//	c.Start()
+//	defer c.Stop()
+//	report, err := c.Run()           // drive the Table 1 client threads
+//	_ = c.Quiesce(time.Minute)       // drain propagation
+//	fmt.Println(report)
+//
+// Individual transactions run through a site's engine:
+//
+//	err := c.Engine(0).Execute([]repro.Op{
+//		{Kind: repro.OpRead, Item: 3},
+//		{Kind: repro.OpWrite, Item: 7, Value: 42},
+//	})
+//
+// See the examples/ directory for complete programs and EXPERIMENTS.md
+// for the reproduced evaluation.
+package repro
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// ErrAborted is wrapped by every Execute error caused by a transaction
+// abort (deadlock timeout, global-deadlock victim, 2PC abort). Any other
+// Execute error indicates a misuse (e.g. writing a non-local primary).
+var ErrAborted = txn.ErrAborted
+
+// IsAbort reports whether err is a transaction abort — the expected,
+// retryable outcome under contention — rather than a programming error.
+func IsAbort(err error) bool { return errors.Is(err, txn.ErrAborted) }
+
+// Core protocol selection.
+type (
+	// Protocol selects an update-propagation protocol.
+	Protocol = core.Protocol
+	// Params are the protocol tunables of Table 1 (lock timeout, epoch
+	// period, simulated per-operation cost, ...).
+	Params = core.Params
+	// Engine is one site's running protocol instance.
+	Engine = core.Engine
+)
+
+// The five protocols.
+const (
+	// PSL is the lazy primary-site-locking baseline (§5.1).
+	PSL = core.PSL
+	// DAGWT is the tree-routed lazy protocol (§2); requires a DAG copy
+	// graph.
+	DAGWT = core.DAGWT
+	// DAGT is the timestamp-ordered lazy protocol (§3); requires a DAG
+	// copy graph.
+	DAGT = core.DAGT
+	// BackEdge is the hybrid protocol (§4) for arbitrary copy graphs.
+	BackEdge = core.BackEdge
+	// NaiveLazy is indiscriminate propagation — NOT serializable; it
+	// exists to demonstrate the Example 1.1 anomaly.
+	NaiveLazy = core.NaiveLazy
+)
+
+// Identifiers, operations and placement.
+type (
+	// SiteID identifies a database site (0..m-1, topologically ordered).
+	SiteID = model.SiteID
+	// ItemID identifies a logical data item.
+	ItemID = model.ItemID
+	// TxnID is a system-wide unique logical transaction identifier.
+	TxnID = model.TxnID
+	// Op is one read or write of a transaction program.
+	Op = model.Op
+	// Placement maps items to their primary and replica sites.
+	Placement = model.Placement
+)
+
+// Operation kinds.
+const (
+	// OpRead reads an item (any local copy).
+	OpRead = model.OpRead
+	// OpWrite writes an item (primary copy must be local).
+	OpWrite = model.OpWrite
+)
+
+// Cluster assembly and measurement.
+type (
+	// ClusterConfig describes a replicated database to assemble.
+	ClusterConfig = cluster.Config
+	// Cluster is a running multi-site replicated database.
+	Cluster = cluster.Cluster
+	// WorkloadConfig is the §5.2 workload parameter set (Table 1).
+	WorkloadConfig = workload.Config
+	// Report summarizes a run: per-site throughput, abort rate, response
+	// times, propagation delay, message counts.
+	Report = metrics.Report
+)
+
+// Experiment harness.
+type (
+	// Experiment is a named reproduction of one paper figure or metric.
+	Experiment = harness.Experiment
+	// ExperimentOptions configure scale, latency, seed and verification.
+	ExperimentOptions = harness.Options
+	// ExperimentResult holds the measured series of one experiment.
+	ExperimentResult = harness.Result
+	// Scale selects quick/medium/full (paper-sized) workloads.
+	Scale = harness.Scale
+)
+
+// Experiment scales.
+const (
+	// ScaleQuick finishes in seconds per point.
+	ScaleQuick = harness.Quick
+	// ScaleMedium is the interactive default.
+	ScaleMedium = harness.Medium
+	// ScaleFull is the paper's Table 1 workload.
+	ScaleFull = harness.Full
+)
+
+// NewCluster builds (without starting) a replicated database.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// DefaultWorkload returns the Table 1 default workload parameters.
+func DefaultWorkload() WorkloadConfig { return workload.Default() }
+
+// DefaultParams returns the prototype's protocol parameters (Table 1).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// ParseProtocol converts a user-facing name ("psl", "dagwt", "dagt",
+// "backedge", "naive") to a Protocol.
+func ParseProtocol(s string) (Protocol, error) { return core.ParseProtocol(s) }
+
+// NewPlacement allocates an empty placement for hand-built layouts; fill
+// Primary and Replicas, then call Finish.
+func NewPlacement(sites, items int) *Placement { return model.NewPlacement(sites, items) }
+
+// Experiments returns the registry of paper-evaluation experiments
+// (fig2a, fig2b, fig3a, fig3b, responsetime, propdelay, ...).
+func Experiments() []Experiment { return harness.Experiments() }
+
+// LookupExperiment finds a registered experiment by name.
+func LookupExperiment(name string) (Experiment, error) { return harness.Lookup(name) }
+
+// PrintTable1 renders the effective Table 1 parameter settings.
+func PrintTable1(w io.Writer, o ExperimentOptions) { harness.PrintTable1(w, o) }
+
+// ExperimentCSVHeader is the column row for ExperimentResult.WriteCSVRows.
+const ExperimentCSVHeader = harness.CSVHeader

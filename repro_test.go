@@ -1,0 +1,115 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func fastParams() repro.Params {
+	p := repro.DefaultParams()
+	p.LockTimeout = 20 * time.Millisecond
+	p.OpCost = 0
+	p.EpochPeriod = 5 * time.Millisecond
+	p.DummyPeriod = 3 * time.Millisecond
+	return p
+}
+
+// TestPublicAPILifecycle exercises the documented quick-start flow end to
+// end through the facade only.
+func TestPublicAPILifecycle(t *testing.T) {
+	wl := repro.DefaultWorkload()
+	wl.Sites = 4
+	wl.Items = 40
+	wl.TxnsPerThread = 25
+	cfg := repro.ClusterConfig{
+		Workload: wl,
+		Protocol: repro.BackEdge,
+		Params:   fastParams(),
+		Latency:  100 * time.Microsecond,
+		Record:   true,
+	}
+	c, err := repro.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if err := c.Quiesce(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckSerializable(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManualTransactionThroughFacade runs hand-written transactions on a
+// hand-built placement, all through the public API.
+func TestManualTransactionThroughFacade(t *testing.T) {
+	p := repro.NewPlacement(2, 1)
+	p.Primary[0] = 0
+	p.Replicas[0] = []repro.SiteID{1}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	wl := repro.DefaultWorkload()
+	wl.Sites, wl.Items, wl.TxnsPerThread = 2, 1, 0
+	c, err := repro.NewCluster(repro.ClusterConfig{
+		Workload:  wl,
+		Protocol:  repro.DAGWT,
+		Params:    fastParams(),
+		Placement: p,
+		Record:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if err := c.Engine(0).Execute([]repro.Op{{Kind: repro.OpWrite, Item: 0, Value: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Engine(1).Execute([]repro.Op{{Kind: repro.OpRead, Item: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if p, err := repro.ParseProtocol("backedge"); err != nil || p != repro.BackEdge {
+		t.Errorf("ParseProtocol: %v %v", p, err)
+	}
+	if len(repro.Experiments()) < 10 {
+		t.Errorf("only %d experiments registered", len(repro.Experiments()))
+	}
+	if _, err := repro.LookupExperiment("fig2a"); err != nil {
+		t.Error(err)
+	}
+	var buf bytes.Buffer
+	repro.PrintTable1(&buf, repro.ExperimentOptions{Scale: repro.ScaleFull})
+	if !strings.Contains(buf.String(), "Backedge Probability") {
+		t.Error("Table 1 output incomplete")
+	}
+	wl := repro.DefaultWorkload()
+	if wl.Sites != 9 {
+		t.Error("DefaultWorkload diverges from Table 1")
+	}
+}

@@ -2,19 +2,25 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments shapes examples clean
+.PHONY: all build vet test race check cover bench fuzz experiments shapes examples clean
 
-all: build test
+all: check
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/...
+
+# The pre-merge gate: compile, static checks, full test suite, and the
+# race detector over the concurrent internals.
+check: build vet test race
 
 cover:
 	$(GO) test -cover ./...

@@ -17,9 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -36,11 +40,29 @@ func main() {
 		verify  = flag.Bool("verify", false, "record and check serializability for every point (slower)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		stats   = flag.Bool("stats", false, "print placement statistics for the Table 1 default configuration and exit")
+
+		traceOut   = flag.String("trace", "", "run one traced cluster and write its propagation events to this JSONL file")
+		traceProto = flag.String("traceproto", "backedge", "protocol for the -trace run: psl|dagwt|dagt|backedge")
+		traceSum   = flag.String("tracesummary", "", "summarize a JSONL trace file: per-protocol p50/p95/max propagation delay")
+		jsonOut    = flag.Bool("json", false, "with -trace: print the run's metrics report as JSON")
 	)
 	flag.Parse()
 
 	if *stats {
 		printStats(*seed)
+		return
+	}
+
+	if *traceSum != "" {
+		if err := summarizeTrace(*traceSum); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *traceOut != "" {
+		if err := runTraced(*traceOut, *traceProto, *seed, *jsonOut); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -106,6 +128,105 @@ func main() {
 			fmt.Printf("(%s in %s)\n\n", e.Name, time.Since(start).Round(time.Second))
 		}
 	}
+}
+
+// runTraced runs one short Table 1 cluster with the propagation trace
+// recorder attached and writes every lifecycle event to out as JSONL.
+// With jsonReport, the run's metrics report is printed as JSON instead of
+// the human-readable line, so scripts can consume both artifacts.
+func runTraced(out, protoName string, seed int64, jsonReport bool) error {
+	protocol, err := core.ParseProtocol(protoName)
+	if err != nil {
+		return err
+	}
+	wl := workload.Default()
+	wl.TxnsPerThread = 100 // a traced run is a sample, not a benchmark
+	if seed != 0 {
+		wl.Seed = seed
+	}
+	if !protocol.Propagates() || protocol == core.DAGWT || protocol == core.DAGT {
+		// The Table 1 placement induces backedges; the DAG-only protocols
+		// need them gone.
+		wl.BackedgeProb = 0
+	}
+	rec := trace.NewRecorder()
+	c, err := cluster.New(cluster.Config{
+		Workload:         wl,
+		Protocol:         protocol,
+		Params:           core.DefaultParams(),
+		Latency:          150 * time.Microsecond,
+		TrackPropagation: true,
+		Trace:            rec,
+	})
+	if err != nil {
+		return err
+	}
+	c.Start()
+	defer c.Stop()
+	report, err := c.Run()
+	if err != nil {
+		return err
+	}
+	if err := c.Quiesce(time.Minute); err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "replbench: wrote %d events to %s\n", rec.Len(), out)
+	if jsonReport {
+		b, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("%v: %v\n", protocol, report)
+	}
+	return nil
+}
+
+// summarizeTrace reads a JSONL trace (possibly the concatenation of
+// several runs) and prints, per protocol, the propagation-delay quantiles
+// over all commit-to-apply spans.
+func summarizeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	delays := trace.PropDelays(events)
+	if len(delays) == 0 {
+		fmt.Println("no commit-to-apply spans in trace")
+		return nil
+	}
+	protos := make([]int, 0, len(delays))
+	for p := range delays {
+		protos = append(protos, int(p))
+	}
+	sort.Ints(protos)
+	fmt.Printf("%-10s %8s %12s %12s %12s\n", "protocol", "samples", "p50", "p95", "max")
+	for _, p := range protos {
+		ds := delays[uint8(p)]
+		fmt.Printf("%-10s %8d %12s %12s %12s\n",
+			core.Protocol(p), len(ds),
+			trace.Quantile(ds, 0.50).Round(time.Microsecond),
+			trace.Quantile(ds, 0.95).Round(time.Microsecond),
+			trace.Quantile(ds, 1).Round(time.Microsecond))
+	}
+	return nil
 }
 
 // printStats shows how the §5.2 data-distribution scheme behaves at the

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -45,6 +47,7 @@ func main() {
 		readTxn = flag.Float64("readtxn", 0.5, "read transaction probability")
 		opCost  = flag.Duration("opcost", 200*time.Microsecond, "simulated per-operation CPU cost")
 		drain   = flag.Duration("drain", 3*time.Second, "time to keep serving after local threads finish")
+		obsAddr = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -105,6 +108,29 @@ func main() {
 	collector := metrics.NewCollector(false)
 	params := core.DefaultParams()
 	params.OpCost = *opCost
+
+	// Live observability: a registry the engine and transport feed, served
+	// over HTTP for scraping and ad-hoc inspection while the node runs.
+	var registry *obs.Registry
+	if *obsAddr != "" {
+		registry = obs.NewRegistry()
+		registry.Gauge("repl_protocol_info",
+			obs.Label{Key: "protocol", Value: protocol.String()}).Set(1)
+		tr.SetStats(obs.NewCommStats(registry))
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("-obs listen: %w", err))
+		}
+		srv := &http.Server{Handler: registry.Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "replnode: obs server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("replnode: site %d observability on http://%s/metrics\n", *site, ln.Addr())
+	}
+
 	shared := &core.SharedConfig{
 		Placement:    placement,
 		Graph:        gdag,
@@ -114,6 +140,7 @@ func main() {
 		Backedges:    backSet,
 		Params:       params,
 		Metrics:      collector,
+		Obs:          registry,
 	}
 	engine, err := core.New(protocol, shared, model.SiteID(*site), tr)
 	if err != nil {

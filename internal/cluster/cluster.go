@@ -18,6 +18,8 @@ import (
 	"repro/internal/history"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/txn"
 	"repro/internal/workload"
 )
@@ -50,6 +52,13 @@ type Config struct {
 	// Placement overrides workload-based generation when non-nil (used by
 	// the examples, which lay data out by hand).
 	Placement *model.Placement
+	// Trace, when non-nil, receives every engine's propagation lifecycle
+	// events (tracing adds one branch per event site when nil).
+	Trace *trace.Recorder
+	// Obs, when non-nil, is the live metrics registry: engines register
+	// per-site counters and queue-depth gauges, and the transport reports
+	// per-edge message/byte/latency series into it.
+	Obs *obs.Registry
 }
 
 // Cluster is a running replicated database over m in-process sites.
@@ -165,6 +174,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Record {
 		c.Recorder = history.NewRecorder()
 	}
+	if cfg.Obs != nil {
+		c.transport.SetStats(obs.NewCommStats(cfg.Obs))
+		cfg.Obs.Gauge("repl_protocol_info",
+			obs.Label{Key: "protocol", Value: cfg.Protocol.String()}).Set(1)
+	}
 
 	shared := &core.SharedConfig{
 		Placement:    placement,
@@ -176,6 +190,8 @@ func New(cfg Config) (*Cluster, error) {
 		Params:       cfg.Params,
 		Recorder:     c.Recorder,
 		Metrics:      c.Metrics,
+		Trace:        cfg.Trace,
+		Obs:          cfg.Obs,
 		Pending:      &c.pending,
 	}
 	c.engines = make([]core.Engine, m)

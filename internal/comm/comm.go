@@ -55,14 +55,49 @@ type Transport interface {
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("comm: transport closed")
 
+// Stats observes transport activity for the live metrics registry.
+// Implementations must be safe for concurrent use and cheap: the
+// callbacks run on the send path and the delivery goroutines. A nil
+// Stats disables observation.
+type Stats interface {
+	// CommSent is called once per message handed to the transport, with
+	// the message's wire size in bytes (exact for TCP, approximated via
+	// PayloadSizer for the in-process transport).
+	CommSent(from, to model.SiteID, bytes int)
+	// CommLatency reports one per-edge latency sample: transit latency
+	// (send to handler invocation) on the in-process transport, local
+	// send latency (encode + write) on TCP. Negative means unknown.
+	CommLatency(from, to model.SiteID, d time.Duration)
+}
+
+// PayloadSizer lets protocol payloads report their approximate wire size
+// so the in-process transport can account bytes without serializing.
+type PayloadSizer interface{ WireSize() int }
+
+// Per-message envelope overhead (From/To/Kind/ReqID/IsResp plus framing),
+// and the fallback payload estimate for payloads that do not implement
+// PayloadSizer (all such payloads are small fixed-size structs).
+const (
+	msgHeaderSize      = 32
+	defaultPayloadSize = 48
+)
+
+func msgWireSize(m Message) int {
+	if s, ok := m.Payload.(PayloadSizer); ok {
+		return msgHeaderSize + s.WireSize()
+	}
+	return msgHeaderSize + defaultPayloadSize
+}
+
 // sleepFloor is the shortest delay worth sleeping for; see deliver.
 const sleepFloor = 500 * time.Microsecond
 
 type pair struct{ from, to model.SiteID }
 
 type timedMsg struct {
-	msg Message
-	due time.Time
+	msg  Message
+	sent time.Time
+	due  time.Time
 }
 
 // MemTransport is the in-process transport. Each ordered site pair gets a
@@ -77,6 +112,7 @@ type MemTransport struct {
 	jitter   time.Duration
 	edgeLat  map[pair]time.Duration
 	rng      *rand.Rand
+	stats    Stats
 	closed   bool
 	done     chan struct{}
 	wg       sync.WaitGroup
@@ -112,6 +148,14 @@ func (t *MemTransport) SetJitter(j time.Duration) {
 	t.jitter = j
 }
 
+// SetStats installs the transport activity observer (nil disables). Call
+// before traffic starts.
+func (t *MemTransport) SetStats(s Stats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = s
+}
+
 // Register implements Transport.
 func (t *MemTransport) Register(site model.SiteID, h Handler) {
 	t.mu.Lock()
@@ -141,11 +185,16 @@ func (t *MemTransport) Send(msg Message) error {
 	if t.jitter > 0 {
 		lat += time.Duration(t.rng.Int63n(int64(t.jitter)))
 	}
+	stats := t.stats
 	t.mu.Unlock()
+	if stats != nil {
+		stats.CommSent(msg.From, msg.To, msgWireSize(msg))
+	}
+	now := time.Now()
 	// Block if the queue is full (reliable delivery, never drop), but give
 	// up if the transport shuts down meanwhile.
 	select {
-	case ch <- timedMsg{msg: msg, due: time.Now().Add(lat)}:
+	case ch <- timedMsg{msg: msg, sent: now, due: now.Add(lat)}:
 		return nil
 	case <-t.done:
 		return ErrClosed
@@ -176,9 +225,13 @@ func (t *MemTransport) deliver(p pair, ch chan timedMsg) {
 		}
 		t.mu.Lock()
 		h := t.handlers[p.to]
+		stats := t.stats
 		t.mu.Unlock()
 		if h == nil {
 			panic(fmt.Sprintf("comm: no handler registered for site %d", p.to))
+		}
+		if stats != nil {
+			stats.CommLatency(p.from, p.to, time.Since(tm.sent))
 		}
 		h(tm.msg)
 	}

@@ -1,0 +1,124 @@
+package comm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// recordingStats is a test double for the Stats observer.
+type recordingStats struct {
+	mu       sync.Mutex
+	sent     int
+	bytes    int
+	latSeen  int
+	lastFrom model.SiteID
+	lastTo   model.SiteID
+}
+
+func (s *recordingStats) CommSent(from, to model.SiteID, bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sent++
+	s.bytes += bytes
+	s.lastFrom, s.lastTo = from, to
+}
+
+func (s *recordingStats) CommLatency(from, to model.SiteID, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d >= 0 {
+		s.latSeen++
+	}
+}
+
+type sizedPayload struct{ N int }
+
+func (p sizedPayload) WireSize() int { return p.N }
+
+func TestMemTransportStats(t *testing.T) {
+	tr := NewMemTransport(time.Millisecond)
+	defer tr.Close()
+	stats := &recordingStats{}
+	tr.SetStats(stats)
+
+	var delivered atomic.Int32
+	done := make(chan struct{})
+	tr.Register(1, func(m Message) {
+		if delivered.Add(1) == 2 {
+			close(done)
+		}
+	})
+	if err := tr.Send(Message{From: 0, To: 1, Kind: 1, Payload: sizedPayload{N: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{From: 0, To: 1, Kind: 1, Payload: "unsized"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("messages not delivered")
+	}
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	if stats.sent != 2 {
+		t.Fatalf("sent = %d", stats.sent)
+	}
+	// Sized payload: header + 100; unsized: header + default estimate.
+	if want := (msgHeaderSize + 100) + (msgHeaderSize + defaultPayloadSize); stats.bytes != want {
+		t.Fatalf("bytes = %d, want %d", stats.bytes, want)
+	}
+	if stats.latSeen != 2 {
+		t.Fatalf("latency samples = %d", stats.latSeen)
+	}
+	if stats.lastFrom != 0 || stats.lastTo != 1 {
+		t.Fatalf("edge = %d->%d", stats.lastFrom, stats.lastTo)
+	}
+}
+
+func TestTCPTransportStats(t *testing.T) {
+	RegisterPayload(sizedPayload{})
+	addrs := map[model.SiteID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	t0, err := NewTCPTransport(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	addrs[0] = t0.Addr()
+	t1, err := NewTCPTransport(1, map[model.SiteID]string{0: t0.Addr(), 1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	addrs[1] = t1.Addr()
+	t0.addrs[1] = t1.Addr()
+
+	stats := &recordingStats{}
+	t0.SetStats(stats)
+
+	got := make(chan Message, 1)
+	t1.Register(1, func(m Message) { got <- m })
+	if err := t0.Send(Message{From: 0, To: 1, Kind: 7, Payload: sizedPayload{N: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Kind != 7 {
+			t.Fatalf("kind = %d", m.Kind)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message not delivered")
+	}
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	if stats.sent != 1 || stats.bytes == 0 {
+		t.Fatalf("sent=%d bytes=%d; TCP must report exact nonzero wire bytes", stats.sent, stats.bytes)
+	}
+	if stats.latSeen != 1 {
+		t.Fatalf("latency samples = %d", stats.latSeen)
+	}
+}

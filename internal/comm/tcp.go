@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/model"
 )
@@ -21,11 +22,30 @@ type TCPTransport struct {
 
 	mu      sync.Mutex
 	ln      net.Listener
-	conns   map[model.SiteID]*gob.Encoder
+	conns   map[model.SiteID]*tcpConn
 	raws    []net.Conn
 	handler Handler
+	stats   Stats
 	closed  bool
 	wg      sync.WaitGroup
+}
+
+// tcpConn pairs an outbound encoder with the counting writer underneath
+// it, so Send can report the exact bytes each message put on the wire.
+type tcpConn struct {
+	enc *gob.Encoder
+	cw  *countWriter
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // RegisterPayload registers a payload type for gob encoding. Call once per
@@ -45,7 +65,7 @@ func NewTCPTransport(site model.SiteID, addrs map[model.SiteID]string) (*TCPTran
 		site:  site,
 		addrs: addrs,
 		ln:    ln,
-		conns: make(map[model.SiteID]*gob.Encoder),
+		conns: make(map[model.SiteID]*tcpConn),
 	}
 	t.wg.Add(1)
 	go t.accept()
@@ -114,6 +134,16 @@ func (t *TCPTransport) Register(site model.SiteID, h Handler) {
 	t.mu.Unlock()
 }
 
+// SetStats installs the transport activity observer (nil disables). Call
+// before traffic starts. Sent messages report exact wire bytes; the
+// latency samples are local send latency (encode + write), since one-way
+// transit cannot be measured without synchronized clocks.
+func (t *TCPTransport) SetStats(s Stats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = s
+}
+
 // Send implements Transport.
 func (t *TCPTransport) Send(msg Message) error {
 	t.mu.Lock()
@@ -121,7 +151,7 @@ func (t *TCPTransport) Send(msg Message) error {
 	if t.closed {
 		return ErrClosed
 	}
-	enc, ok := t.conns[msg.To]
+	tc, ok := t.conns[msg.To]
 	if !ok {
 		addr, ok := t.addrs[msg.To]
 		if !ok {
@@ -132,12 +162,19 @@ func (t *TCPTransport) Send(msg Message) error {
 			return fmt.Errorf("comm: dial s%d at %s: %w", msg.To, addr, err)
 		}
 		t.raws = append(t.raws, c)
-		enc = gob.NewEncoder(c)
-		t.conns[msg.To] = enc
+		cw := &countWriter{w: c}
+		tc = &tcpConn{enc: gob.NewEncoder(cw), cw: cw}
+		t.conns[msg.To] = tc
 	}
-	if err := enc.Encode(msg); err != nil {
+	before := tc.cw.n
+	start := time.Now()
+	if err := tc.enc.Encode(msg); err != nil {
 		delete(t.conns, msg.To)
 		return fmt.Errorf("comm: send to s%d: %w", msg.To, err)
+	}
+	if t.stats != nil {
+		t.stats.CommSent(msg.From, msg.To, int(tc.cw.n-before))
+		t.stats.CommLatency(msg.From, msg.To, time.Since(start))
 	}
 	return nil
 }

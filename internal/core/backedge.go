@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/twopc"
 	"repro/internal/txn"
 )
@@ -55,7 +56,7 @@ type originState struct {
 
 func newBackEdge(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *backedgeEngine {
 	return &backedgeEngine{
-		base:     newBase(cfg, id, tr),
+		base:     newBase(cfg, BackEdge, id, tr),
 		queue:    make(chan comm.Message, 1<<16),
 		table:    twopc.NewTable(),
 		prepared: make(map[model.TxnID]*txn.Txn),
@@ -88,9 +89,10 @@ func (e *backedgeEngine) backedgeTargets(writes []model.WriteOp) []model.SiteID 
 func (e *backedgeEngine) Execute(ops []model.Op) error {
 	start := time.Now()
 	tid := e.newTxnID()
+	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
 	writes := t.Writes()
@@ -101,14 +103,15 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		e.commitMu.Lock()
 		err := t.Commit()
 		if err == nil {
+			e.traceEvent(trace.TxnCommit, model.NoSite, tid)
 			e.forward(tid, writes)
 		}
 		e.commitMu.Unlock()
 		if err != nil {
-			e.cfg.Metrics.TxnAborted()
+			e.recAbort(tid)
 			return err
 		}
-		e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+		e.recCommit(tid, start)
 		return nil
 	}
 
@@ -118,6 +121,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	e.mu.Lock()
 	e.waiters[tid] = st
 	e.mu.Unlock()
+	e.obs.eagerDepth.Inc()
 	defer close(st.done)
 
 	// While parked on the round-trip this transaction is the designated
@@ -134,6 +138,8 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	})
 
 	e.pendAdd(1)
+	e.obs.forwarded.Inc()
+	e.traceEvent(trace.SecondaryForwarded, targets[0], tid)
 	e.send(comm.Message{
 		From: e.id, To: targets[0], Kind: kindBackedgeExec,
 		Payload: specialPayload{TID: tid, Origin: e.id, Writes: writes},
@@ -144,9 +150,10 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		e.mu.Lock()
 		delete(e.waiters, tid)
 		e.mu.Unlock()
+		e.obs.eagerDepth.Dec()
 		t.Abort()
 		e.abortBackedges(tid, targets)
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return fmt.Errorf("core: %v aborted %s: %w", tid, why, txn.ErrAborted)
 	}
 
@@ -168,6 +175,8 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 
 	// The special is home and every earlier secondary has committed.
 	// Commit the primary and all backedge subtransactions atomically.
+	e.obs.bePrepares.Inc()
+	e.traceEvent(trace.BackedgePrepare, targets[0], tid)
 	committed, _ := twopc.Run(tid, targets, twopc.Coordinator{
 		Prepare: func(p model.SiteID, id model.TxnID) (bool, error) {
 			resp, err := e.rpc.Call(p, kindPrepare, preparePayload{TID: id}, e.cfg.Params.RPCTimeout)
@@ -184,22 +193,26 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	e.mu.Lock()
 	delete(e.waiters, tid)
 	e.mu.Unlock()
+	e.obs.eagerDepth.Dec()
 	if !committed {
 		t.Abort()
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return fmt.Errorf("core: %v aborted by 2PC: %w", tid, txn.ErrAborted)
 	}
+	e.obs.beCommits.Inc()
+	e.traceEvent(trace.BackedgeCommit, targets[0], tid)
 	e.commitMu.Lock()
 	err := t.Commit()
 	if err == nil {
+		e.traceEvent(trace.TxnCommit, model.NoSite, tid)
 		e.forward(tid, writes)
 	}
 	e.commitMu.Unlock()
 	if err != nil {
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
-	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	e.recCommit(tid, start)
 	return nil
 }
 
@@ -228,6 +241,15 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 	}
 	switch msg.Kind {
 	case kindSecondary, kindSpecial:
+		if e.tracing() {
+			switch p := msg.Payload.(type) {
+			case secondaryPayload:
+				e.traceEvent(trace.SecondaryEnqueued, msg.From, p.TID)
+			case specialPayload:
+				e.traceEvent(trace.SecondaryEnqueued, msg.From, p.TID)
+			}
+		}
+		e.obs.fifoDepth.Inc()
 		e.queue <- msg
 	case kindBackedgeExec:
 		// Executed immediately and concurrently (§4.1 step 1: sent
@@ -237,6 +259,8 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 		go e.handleAbort(msg.Payload.(abortPayload).TID)
 	case kindPrepare:
 		p := msg.Payload.(preparePayload)
+		e.obs.bePrepares.Inc()
+		e.traceEvent(trace.BackedgePrepare, msg.From, p.TID)
 		e.rpc.Reply(msg, prepareResp{Vote: e.table.Prepare(p.TID)})
 	case kindDecision:
 		// Decisions may take a lock-release step; keep the transport pair
@@ -317,6 +341,8 @@ func (e *backedgeEngine) relaySpecial(p specialPayload) {
 	next := e.cfg.Tree.NextHopDown(e.id, p.Origin)
 	e.commitMu.Lock()
 	e.pendAdd(1)
+	e.obs.forwarded.Inc()
+	e.traceEvent(trace.SecondaryForwarded, next, p.TID)
 	e.send(comm.Message{From: e.id, To: next, Kind: kindSpecial, Payload: p})
 	e.commitMu.Unlock()
 }
@@ -347,7 +373,9 @@ func (e *backedgeEngine) handleDecision(msg comm.Message) {
 			if err := t.Commit(); err != nil {
 				panic(fmt.Sprintf("core: backedge subtxn commit failed: %v", err))
 			}
-			e.cfg.Metrics.SecondaryApplied(d.TID)
+			e.obs.beCommits.Inc()
+			e.traceEvent(trace.BackedgeCommit, msg.From, d.TID)
+			e.recApplied(d.TID)
 		} else {
 			t.Abort()
 		}
@@ -362,6 +390,7 @@ func (e *backedgeEngine) applier() {
 		var msg comm.Message
 		select {
 		case msg = <-e.queue:
+			e.obs.fifoDepth.Dec()
 		case <-e.stop:
 			return
 		}
@@ -425,7 +454,7 @@ func (e *backedgeEngine) applySecondary(p secondaryPayload) bool {
 			}
 		}
 		if !ok {
-			e.cfg.Metrics.Retry()
+			e.recRetry()
 			e.retryBackoff()
 			continue
 		}
@@ -436,11 +465,11 @@ func (e *backedgeEngine) applySecondary(p secondaryPayload) bool {
 		}
 		e.commitMu.Unlock()
 		if err != nil {
-			e.cfg.Metrics.Retry()
+			e.recRetry()
 			e.retryBackoff()
 			continue
 		}
-		e.cfg.Metrics.SecondaryApplied(p.TID)
+		e.recApplied(p.TID)
 		return true
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/model"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -20,14 +21,16 @@ import (
 // commit mutex that makes commit-and-forward atomic (the critical sections
 // of §2 and §3.2.2).
 type base struct {
-	cfg *SharedConfig
-	id  model.SiteID
+	cfg   *SharedConfig
+	id    model.SiteID
+	proto Protocol
 
 	store *storage.Store
 	locks *lock.Manager
 	tm    *txn.Manager
 	tr    comm.Transport
 	rpc   *comm.RPC
+	obs   siteObs
 
 	seq atomic.Uint64
 
@@ -39,7 +42,7 @@ type base struct {
 	stop chan struct{}
 }
 
-func newBase(cfg *SharedConfig, id model.SiteID, tr comm.Transport) base {
+func newBase(cfg *SharedConfig, proto Protocol, id model.SiteID, tr comm.Transport) base {
 	st := storage.NewStore()
 	for _, item := range cfg.Placement.CopiesAt(id) {
 		if err := st.Create(item, 0); err != nil {
@@ -51,11 +54,13 @@ func newBase(cfg *SharedConfig, id model.SiteID, tr comm.Transport) base {
 	return base{
 		cfg:   cfg,
 		id:    id,
+		proto: proto,
 		store: st,
 		locks: lm,
 		tm:    txn.NewManager(id, st, lm, cfg.Params.LockTimeout, cfg.Recorder),
 		tr:    tr,
 		rpc:   comm.NewRPC(id, tr),
+		obs:   newSiteObs(cfg.Obs, id),
 		stop:  make(chan struct{}),
 	}
 }
@@ -139,6 +144,8 @@ func forwardTree(b *base, tid model.TxnID, writes []model.WriteOp) {
 			continue
 		}
 		b.pendAdd(1)
+		b.obs.forwarded.Inc()
+		b.traceEvent(trace.SecondaryForwarded, c, tid)
 		b.send(comm.Message{
 			From: b.id, To: c, Kind: kindSecondary,
 			Payload: secondaryPayload{TID: tid, Writes: local},

@@ -26,6 +26,8 @@ import (
 	"repro/internal/history"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/ts"
 )
 
@@ -177,6 +179,12 @@ type SharedConfig struct {
 	Params   Params
 	Recorder *history.Recorder  // nil disables serializability recording
 	Metrics  *metrics.Collector // nil disables measurement
+	// Trace receives per-transaction propagation lifecycle events; nil
+	// disables tracing (engines then pay one branch per event site).
+	Trace *trace.Recorder
+	// Obs is the live metrics registry (counters, queue-depth gauges);
+	// nil disables it — engines keep nil handles, which are no-ops.
+	Obs *obs.Registry
 	// Pending tracks in-flight real (non-dummy) propagation messages so
 	// the cluster can quiesce; nil disables tracking.
 	Pending *sync.WaitGroup
@@ -246,6 +254,13 @@ type secondaryPayload struct {
 	Dummy  bool
 }
 
+// WireSize implements comm.PayloadSizer for byte accounting on the
+// in-process transport: TID + flags, 16 bytes per write, 16 per
+// timestamp tuple plus the epoch.
+func (p secondaryPayload) WireSize() int {
+	return 24 + 16*len(p.Writes) + 16*len(p.TS.Tuples)
+}
+
 // specialPayload carries a BackEdge transaction's writes: directly to the
 // farthest backedge site (kindBackedgeExec) and then hop-by-hop down the
 // tree back to the origin (kindSpecial).
@@ -254,6 +269,9 @@ type specialPayload struct {
 	Origin model.SiteID
 	Writes []model.WriteOp
 }
+
+// WireSize implements comm.PayloadSizer.
+func (p specialPayload) WireSize() int { return 24 + 16*len(p.Writes) }
 
 type preparePayload struct{ TID model.TxnID }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/ts"
 )
 
@@ -40,7 +41,7 @@ type dagtEngine struct {
 
 func newDAGT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagtEngine {
 	e := &dagtEngine{
-		base:       newBase(cfg, id, tr),
+		base:       newBase(cfg, DAGT, id, tr),
 		parents:    cfg.Graph.Parents(id),
 		children:   cfg.Graph.Children(id),
 		childItems: make(map[model.SiteID]map[model.ItemID]bool),
@@ -91,9 +92,10 @@ func (e *dagtEngine) Stop() {
 func (e *dagtEngine) Execute(ops []model.Op) error {
 	start := time.Now()
 	tid := e.newTxnID()
+	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
 	e.commitMu.Lock()
@@ -104,14 +106,15 @@ func (e *dagtEngine) Execute(ops []model.Op) error {
 	e.tsMu.Unlock()
 	err := t.Commit()
 	if err == nil {
+		e.traceEvent(trace.TxnCommit, model.NoSite, tid)
 		e.schedule(tid, tsT, t.Writes())
 	}
 	e.commitMu.Unlock()
 	if err != nil {
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
-	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	e.recCommit(tid, start)
 	return nil
 }
 
@@ -133,6 +136,8 @@ func (e *dagtEngine) schedule(tid model.TxnID, tsT ts.Timestamp, writes []model.
 		e.lastSent[c] = time.Now()
 		e.tsMu.Unlock()
 		e.pendAdd(1)
+		e.obs.forwarded.Inc()
+		e.traceEvent(trace.SecondaryForwarded, c, tid)
 		e.send(comm.Message{
 			From: e.id, To: c, Kind: kindSecondary,
 			Payload: secondaryPayload{TID: tid, TS: tsT, Writes: local},
@@ -173,6 +178,8 @@ func (e *dagtEngine) dummyTicker() {
 		e.tsMu.Unlock()
 		for _, c := range idle {
 			e.cfg.Metrics.Dummy()
+			e.obs.dummies.Inc()
+			e.traceEvent(trace.DummySent, c, model.TxnID{})
 			e.send(comm.Message{
 				From: e.id, To: c, Kind: kindSecondary,
 				Payload: secondaryPayload{TS: tsD, Dummy: true},
@@ -196,6 +203,8 @@ func (e *dagtEngine) epochTicker() {
 		e.tsMu.Lock()
 		e.siteTS.Epoch++
 		e.tsMu.Unlock()
+		e.obs.epochs.Inc()
+		e.traceEvent(trace.EpochAdvance, model.NoSite, model.TxnID{})
 	}
 }
 
@@ -207,6 +216,10 @@ func (e *dagtEngine) Handle(msg comm.Message) {
 	switch msg.Kind {
 	case kindSecondary:
 		p := msg.Payload.(secondaryPayload)
+		if !p.Dummy {
+			e.traceEvent(trace.SecondaryEnqueued, msg.From, p.TID)
+		}
+		e.obs.tsDepth.Inc()
 		e.qMu.Lock()
 		e.queues[msg.From] = append(e.queues[msg.From], p)
 		e.qCond.Broadcast()
@@ -293,7 +306,7 @@ func (e *dagtEngine) applySecondary(p secondaryPayload) bool {
 			}
 		}
 		if !ok {
-			e.cfg.Metrics.Retry()
+			e.recRetry()
 			e.retryBackoff()
 			continue
 		}
@@ -304,11 +317,11 @@ func (e *dagtEngine) applySecondary(p secondaryPayload) bool {
 		}
 		e.commitMu.Unlock()
 		if err != nil {
-			e.cfg.Metrics.Retry()
+			e.recRetry()
 			e.retryBackoff()
 			continue
 		}
-		e.cfg.Metrics.SecondaryApplied(p.TID)
+		e.recApplied(p.TID)
 		return true
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // dagwtEngine implements the DAG(WT) protocol (§2). Updates travel only
@@ -20,7 +21,7 @@ type dagwtEngine struct {
 
 func newDAGWT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagwtEngine {
 	return &dagwtEngine{
-		base:  newBase(cfg, id, tr),
+		base:  newBase(cfg, DAGWT, id, tr),
 		queue: make(chan comm.Message, 1<<16),
 	}
 }
@@ -34,22 +35,24 @@ func (e *dagwtEngine) Stop() { close(e.stop) }
 func (e *dagwtEngine) Execute(ops []model.Op) error {
 	start := time.Now()
 	tid := e.newTxnID()
+	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
 	e.commitMu.Lock()
 	err := t.Commit()
 	if err == nil {
+		e.traceEvent(trace.TxnCommit, model.NoSite, tid)
 		e.forward(tid, t.Writes())
 	}
 	e.commitMu.Unlock()
 	if err != nil {
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
-	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	e.recCommit(tid, start)
 	return nil
 }
 
@@ -67,6 +70,10 @@ func (e *dagwtEngine) Handle(msg comm.Message) {
 	}
 	switch msg.Kind {
 	case kindSecondary:
+		if e.tracing() {
+			e.traceEvent(trace.SecondaryEnqueued, msg.From, msg.Payload.(secondaryPayload).TID)
+		}
+		e.obs.fifoDepth.Inc()
 		e.queue <- msg
 	default:
 		panic("core: DAG(WT) received unexpected message kind")
@@ -80,6 +87,7 @@ func (e *dagwtEngine) applier() {
 	for {
 		select {
 		case msg := <-e.queue:
+			e.obs.fifoDepth.Dec()
 			p := msg.Payload.(secondaryPayload)
 			if e.applySecondary(p) {
 				e.pendDone()
@@ -113,7 +121,7 @@ func (e *dagwtEngine) applySecondary(p secondaryPayload) bool {
 			}
 		}
 		if !ok {
-			e.cfg.Metrics.Retry()
+			e.recRetry()
 			e.retryBackoff()
 			continue
 		}
@@ -125,11 +133,11 @@ func (e *dagwtEngine) applySecondary(p secondaryPayload) bool {
 		e.commitMu.Unlock()
 		if err != nil {
 			// Unreachable: writes target local copies only.
-			e.cfg.Metrics.Retry()
+			e.recRetry()
 			e.retryBackoff()
 			continue
 		}
-		e.cfg.Metrics.SecondaryApplied(p.TID)
+		e.recApplied(p.TID)
 		return true
 	}
 }

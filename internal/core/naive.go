@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // naiveEngine is the indiscriminate lazy propagation most commercial
@@ -19,7 +20,7 @@ type naiveEngine struct {
 }
 
 func newNaive(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *naiveEngine {
-	return &naiveEngine{base: newBase(cfg, id, tr)}
+	return &naiveEngine{base: newBase(cfg, NaiveLazy, id, tr)}
 }
 
 func (e *naiveEngine) Start() {}
@@ -29,15 +30,17 @@ func (e *naiveEngine) Stop() { close(e.stop) }
 func (e *naiveEngine) Execute(ops []model.Op) error {
 	start := time.Now()
 	tid := e.newTxnID()
+	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
 	e.commitMu.Lock()
 	err := t.Commit()
 	var writes []model.WriteOp
 	if err == nil {
+		e.traceEvent(trace.TxnCommit, model.NoSite, tid)
 		writes = t.Writes()
 		// Ship each replica site exactly the writes it stores.
 		perSite := make(map[model.SiteID][]model.WriteOp)
@@ -48,6 +51,8 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 		}
 		for r, ws := range perSite {
 			e.pendAdd(1)
+			e.obs.forwarded.Inc()
+			e.traceEvent(trace.SecondaryForwarded, r, tid)
 			e.send(comm.Message{
 				From: e.id, To: r, Kind: kindSecondary,
 				Payload: secondaryPayload{TID: tid, Writes: ws},
@@ -56,10 +61,10 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 	}
 	e.commitMu.Unlock()
 	if err != nil {
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
-	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	e.recCommit(tid, start)
 	return nil
 }
 
@@ -72,6 +77,9 @@ func (e *naiveEngine) Handle(msg comm.Message) {
 	case kindSecondary:
 		// Applied on arrival, concurrently — this is precisely the
 		// indiscriminate behaviour that loses serializability.
+		if e.tracing() {
+			e.traceEvent(trace.SecondaryEnqueued, msg.From, msg.Payload.(secondaryPayload).TID)
+		}
 		go e.applySecondary(msg.Payload.(secondaryPayload))
 	default:
 		panic("core: NaiveLazy received unexpected message kind")
@@ -97,16 +105,16 @@ func (e *naiveEngine) applySecondary(p secondaryPayload) {
 			}
 		}
 		if !ok {
-			e.cfg.Metrics.Retry()
+			e.recRetry()
 			e.retryBackoff()
 			continue
 		}
 		if err := t.Commit(); err != nil {
-			e.cfg.Metrics.Retry()
+			e.recRetry()
 			e.retryBackoff()
 			continue
 		}
-		e.cfg.Metrics.SecondaryApplied(p.TID)
+		e.recApplied(p.TID)
 		return
 	}
 }

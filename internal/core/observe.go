@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// siteObs holds a site's pre-resolved live-metric handles so the hot
+// paths never touch the registry. With observation disabled every handle
+// is nil, and nil handles are no-ops — the same one-branch discipline as
+// the nil trace recorder and nil metrics collector.
+type siteObs struct {
+	committed   *obs.Counter
+	aborted     *obs.Counter
+	applied     *obs.Counter
+	forwarded   *obs.Counter
+	dummies     *obs.Counter
+	epochs      *obs.Counter
+	remoteReads *obs.Counter
+	retries     *obs.Counter
+	bePrepares  *obs.Counter
+	beCommits   *obs.Counter
+
+	// Queue-depth gauges: the DAG(WT)/BackEdge FIFO applier queue, the
+	// DAG(T) timestamp-hold queues, the BackEdge origins parked on their
+	// backedge round-trip, and the PSL remote-read service queue.
+	fifoDepth  *obs.Gauge
+	tsDepth    *obs.Gauge
+	eagerDepth *obs.Gauge
+	readsDepth *obs.Gauge
+}
+
+func newSiteObs(r *obs.Registry, id model.SiteID) siteObs {
+	if r == nil {
+		return siteObs{}
+	}
+	site := obs.Label{Key: "site", Value: strconv.Itoa(int(id))}
+	queue := func(q string) *obs.Gauge {
+		return r.Gauge("repl_queue_depth", site, obs.Label{Key: "queue", Value: q})
+	}
+	return siteObs{
+		committed:   r.Counter("repl_txn_committed_total", site),
+		aborted:     r.Counter("repl_txn_aborted_total", site),
+		applied:     r.Counter("repl_secondary_applied_total", site),
+		forwarded:   r.Counter("repl_secondary_forwarded_total", site),
+		dummies:     r.Counter("repl_dummy_sent_total", site),
+		epochs:      r.Counter("repl_epoch_advances_total", site),
+		remoteReads: r.Counter("repl_remote_reads_total", site),
+		retries:     r.Counter("repl_secondary_retries_total", site),
+		bePrepares:  r.Counter("repl_backedge_prepares_total", site),
+		beCommits:   r.Counter("repl_backedge_commits_total", site),
+		fifoDepth:   queue("fifo"),
+		tsDepth:     queue("ts"),
+		eagerDepth:  queue("eager"),
+		readsDepth:  queue("reads"),
+	}
+}
+
+// traceEvent records one lifecycle event tagged with this site and
+// protocol; with tracing disabled the call is one branch, no allocation.
+func (b *base) traceEvent(k trace.Kind, peer model.SiteID, tid model.TxnID) {
+	b.cfg.Trace.Record(k, b.id, peer, tid, uint8(b.proto))
+}
+
+// tracing reports whether events are being recorded; call sites that
+// would pay extra work just to build an event (e.g. a payload type
+// assertion) gate on it.
+func (b *base) tracing() bool { return b.cfg.Trace != nil }
+
+// recCommit folds the bookkeeping for a committed primary
+// subtransaction: run collector, live registry. (The TxnCommit trace
+// event is recorded separately, inside the commit critical section, so
+// it is ordered before the transaction's forward events.)
+func (b *base) recCommit(tid model.TxnID, start time.Time) {
+	b.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	b.obs.committed.Inc()
+}
+
+// recAbort folds the bookkeeping for an aborted primary subtransaction.
+func (b *base) recAbort(tid model.TxnID) {
+	b.cfg.Metrics.TxnAborted()
+	b.obs.aborted.Inc()
+	b.traceEvent(trace.TxnAbort, model.NoSite, tid)
+}
+
+// recApplied folds the bookkeeping for a committed secondary
+// subtransaction.
+func (b *base) recApplied(tid model.TxnID) {
+	b.cfg.Metrics.SecondaryApplied(tid)
+	b.obs.applied.Inc()
+	b.traceEvent(trace.SecondaryApplied, model.NoSite, tid)
+}
+
+// recRetry folds the bookkeeping for a secondary resubmission.
+func (b *base) recRetry() {
+	b.cfg.Metrics.Retry()
+	b.obs.retries.Inc()
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/lock"
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -40,7 +41,7 @@ type pslEngine struct {
 
 func newPSL(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *pslEngine {
 	return &pslEngine{
-		base:     newBase(cfg, id, tr),
+		base:     newBase(cfg, PSL, id, tr),
 		reads:    make(chan comm.Message, 1<<16),
 		released: make(map[model.TxnID]bool),
 	}
@@ -54,6 +55,7 @@ func (e *pslEngine) readServer() {
 	for {
 		select {
 		case msg := <-e.reads:
+			e.obs.readsDepth.Dec()
 			e.serveRead(msg)
 		case <-e.stop:
 			return
@@ -64,13 +66,14 @@ func (e *pslEngine) readServer() {
 func (e *pslEngine) Execute(ops []model.Op) error {
 	start := time.Now()
 	tid := e.newTxnID()
+	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
 	t := e.tm.Begin(tid)
 	remotes := make(map[model.SiteID]bool)
 
 	fail := func(err error) error {
 		t.Abort()
 		e.releaseRemotes(tid, remotes)
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
 
@@ -82,13 +85,15 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 			if primary == e.id {
 				if _, err := t.Read(op.Item); err != nil {
 					e.releaseRemotes(tid, remotes)
-					e.cfg.Metrics.TxnAborted()
+					e.recAbort(tid)
 					return err
 				}
 				continue
 			}
 			// Replica read: shared lock + value ship from the primary.
 			e.cfg.Metrics.RemoteRead()
+			e.obs.remoteReads.Inc()
+			e.traceEvent(trace.RemoteRead, primary, tid)
 			resp, err := e.rpc.Call(primary, kindPSLRead, pslReadReq{TID: tid, Item: op.Item}, e.cfg.Params.RPCTimeout)
 			if err != nil {
 				// The lock may still be granted remotely after our timeout;
@@ -105,18 +110,19 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 			}
 			if err := t.Write(op.Item, op.Value); err != nil {
 				e.releaseRemotes(tid, remotes)
-				e.cfg.Metrics.TxnAborted()
+				e.recAbort(tid)
 				return err
 			}
 		}
 	}
 	if err := t.Commit(); err != nil {
 		e.releaseRemotes(tid, remotes)
-		e.cfg.Metrics.TxnAborted()
+		e.recAbort(tid)
 		return err
 	}
+	e.traceEvent(trace.TxnCommit, model.NoSite, tid)
 	e.releaseRemotes(tid, remotes)
-	e.cfg.Metrics.TxnCommitted(tid, time.Since(start))
+	e.recCommit(tid, start)
 	return nil
 }
 
@@ -138,6 +144,7 @@ func (e *pslEngine) Handle(msg comm.Message) {
 	case kindPSLRead:
 		// Lock waits block; serve through the site's read server, off the
 		// transport goroutine.
+		e.obs.readsDepth.Inc()
 		e.reads <- msg
 	case kindPSLRelease:
 		go e.serveRelease(msg.Payload.(pslReleasePayload).TID)

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -64,9 +65,17 @@ func (d *durStats) mean() time.Duration {
 	return time.Duration(int64(d.sum) / int64(d.count))
 }
 
+// percentile returns the p-quantile (nearest-rank) of the reservoir.
+// Edge cases are pinned down explicitly: no samples yields zero (there is
+// no meaningful percentile of an empty run), a single sample IS every
+// percentile, and p outside (0, 1] clamps to the extremes rather than
+// indexing out of range.
 func (d *durStats) percentile(p float64) time.Duration {
-	if len(d.samples) == 0 {
+	switch len(d.samples) {
+	case 0:
 		return 0
+	case 1:
+		return d.samples[0]
 	}
 	s := append([]time.Duration(nil), d.samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
@@ -247,6 +256,13 @@ func (c *Collector) Snapshot(m int) Report {
 		r.AbortRate = 100 * float64(aborted) / float64(committed+aborted)
 	}
 	return r
+}
+
+// JSON renders the report as machine-readable JSON (durations in
+// nanoseconds, the encoding/json default for time.Duration), for tooling
+// that consumes replbench output.
+func (r Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 func (r Report) String() string {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"sync"
 	"testing"
 	"time"
@@ -152,5 +153,63 @@ func TestReportString(t *testing.T) {
 	s := c.Snapshot(1).String()
 	if s == "" {
 		t.Error("empty report string")
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	var d durStats
+	if got := d.percentile(0.95); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	d.add(7 * time.Millisecond)
+	for _, p := range []float64{-1, 0, 0.5, 0.95, 1, 2} {
+		if got := d.percentile(p); got != 7*time.Millisecond {
+			t.Errorf("single-sample percentile(%v) = %v, want the sample", p, got)
+		}
+	}
+	d.add(1 * time.Millisecond)
+	d.add(3 * time.Millisecond)
+	if got := d.percentile(-1); got != time.Millisecond {
+		t.Errorf("percentile(-1) = %v, want the minimum", got)
+	}
+	if got := d.percentile(2); got != 7*time.Millisecond {
+		t.Errorf("percentile(2) = %v, want the maximum", got)
+	}
+	if got := d.percentile(0.5); got != 3*time.Millisecond {
+		t.Errorf("percentile(0.5) = %v, want the median", got)
+	}
+}
+
+func TestSnapshotSingleSample(t *testing.T) {
+	c := NewCollector(true)
+	c.Begin()
+	c.TxnCommitted(txid(1), 5*time.Millisecond)
+	c.SecondaryApplied(txid(1))
+	c.End()
+	r := c.Snapshot(1)
+	if r.P50Response != 5*time.Millisecond || r.P95Response != 5*time.Millisecond {
+		t.Errorf("single-sample response percentiles = %v/%v, want the sample", r.P50Response, r.P95Response)
+	}
+	if r.P95PropDelay == 0 || r.P95PropDelay != r.MaxPropDelay {
+		t.Errorf("single-sample propagation p95 = %v, max = %v", r.P95PropDelay, r.MaxPropDelay)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	c := NewCollector(false)
+	c.Begin()
+	c.TxnCommitted(txid(1), time.Millisecond)
+	c.TxnAborted()
+	c.End()
+	b, err := c.Snapshot(1).JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Committed != 1 || back.Aborted != 1 || back.MeanResponse != time.Millisecond {
+		t.Errorf("round trip lost fields: %+v", back)
 	}
 }

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar package keeps a single process-global variable namespace and
+// panics on duplicate Publish, so the registry is exported through one
+// published Func that reads whichever registry most recently asked to be
+// exported (tests create many registries; the live binary creates one).
+var (
+	expvarOnce    sync.Once
+	expvarCurrent atomic.Pointer[Registry]
+)
+
+func (r *Registry) publishExpvar() {
+	expvarCurrent.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("repl", expvar.Func(func() any {
+			return expvarCurrent.Load().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the observability endpoint for a running node:
+//
+//	/metrics          Prometheus text exposition of every series
+//	/debug/vars       expvar JSON (this registry under "repl", plus the
+//	                  runtime's memstats/cmdline)
+//	/debug/pprof/*    the standard pprof profiles
+//
+// Mount it on its own listener (cmd/replnode's -obs flag) or into an
+// existing mux.
+func (r *Registry) Handler() http.Handler {
+	r.publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,252 @@
+// Package trace records structured per-transaction lifecycle events as
+// they flow through the propagation protocols: primary begin/commit/abort,
+// secondary subtransactions enqueued, applied and forwarded site-to-site,
+// DAG(T) dummies and epoch advances, BackEdge 2PC rounds, and PSL remote
+// reads. Each event is tagged with the site, the logical transaction id,
+// the protocol, and a monotonic timestamp, so a run's full propagation
+// behaviour — the subject of the paper's Figures 5–9 — can be replayed
+// offline: see PathOf for per-transaction propagation trees and PropDelays
+// for commit-to-replica delay distributions.
+//
+// The recorder is lock-sharded by site so concurrent engines rarely
+// contend, and a nil *Recorder is a true no-op: disabled tracing costs the
+// hot paths exactly one nil check and zero allocations.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Kind enumerates the event taxonomy.
+type Kind uint8
+
+const (
+	// TxnBegin marks the start of a primary subtransaction at its origin.
+	TxnBegin Kind = iota + 1
+	// TxnCommit marks a committed primary subtransaction.
+	TxnCommit
+	// TxnAbort marks an aborted primary subtransaction.
+	TxnAbort
+	// SecondaryEnqueued marks a secondary subtransaction entering a site's
+	// incoming queue; Peer is the sending site.
+	SecondaryEnqueued
+	// SecondaryApplied marks a secondary subtransaction committing at a
+	// replica site.
+	SecondaryApplied
+	// SecondaryForwarded marks a site shipping a secondary subtransaction
+	// to Peer (tree child, copy-graph child, or backedge target).
+	SecondaryForwarded
+	// DummySent marks a DAG(T) dummy subtransaction sent down an idle edge
+	// to Peer (§3.3); its TID is zero.
+	DummySent
+	// EpochAdvance marks a DAG(T) source site advancing its epoch (§3.3).
+	EpochAdvance
+	// BackedgePrepare marks a 2PC prepare: at the origin when the round
+	// starts, at a participant when it votes.
+	BackedgePrepare
+	// BackedgeCommit marks a 2PC commit decision: at the origin when the
+	// round succeeds, at a participant when it applies the decision.
+	BackedgeCommit
+	// RemoteRead marks a PSL remote read issued to the primary site Peer.
+	RemoteRead
+
+	kindEnd
+)
+
+var kindNames = [kindEnd]string{
+	TxnBegin:           "TxnBegin",
+	TxnCommit:          "TxnCommit",
+	TxnAbort:           "TxnAbort",
+	SecondaryEnqueued:  "SecondaryEnqueued",
+	SecondaryApplied:   "SecondaryApplied",
+	SecondaryForwarded: "SecondaryForwarded",
+	DummySent:          "DummySent",
+	EpochAdvance:       "EpochAdvance",
+	BackedgePrepare:    "BackedgePrepare",
+	BackedgeCommit:     "BackedgeCommit",
+	RemoteRead:         "RemoteRead",
+}
+
+func (k Kind) String() string {
+	if k > 0 && k < kindEnd {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MarshalText renders the kind name, making JSONL human-readable.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name.
+func (k *Kind) UnmarshalText(b []byte) error {
+	s := string(b)
+	for i := Kind(1); i < kindEnd; i++ {
+		if kindNames[i] == s {
+			*k = i
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// Event is one recorded lifecycle event. T is nanoseconds since the
+// recorder was created (monotonic); Peer is the counterpart site of the
+// event (sender, receiver, or remote-read primary) or model.NoSite.
+type Event struct {
+	T     int64        `json:"t"`
+	Kind  Kind         `json:"kind"`
+	Site  model.SiteID `json:"site"`
+	Peer  model.SiteID `json:"peer"`
+	TID   model.TxnID  `json:"-"`
+	Proto uint8        `json:"proto"`
+}
+
+// jsonEvent flattens TID so each JSONL line is a single small object.
+type jsonEvent struct {
+	T     int64        `json:"t"`
+	Kind  Kind         `json:"kind"`
+	Site  model.SiteID `json:"site"`
+	Peer  model.SiteID `json:"peer"`
+	TSite model.SiteID `json:"tsite"`
+	TSeq  uint64       `json:"tseq"`
+	Proto uint8        `json:"proto"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonEvent{
+		T: e.T, Kind: e.Kind, Site: e.Site, Peer: e.Peer,
+		TSite: e.TID.Site, TSeq: e.TID.Seq, Proto: e.Proto,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var j jsonEvent
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*e = Event{
+		T: j.T, Kind: j.Kind, Site: j.Site, Peer: j.Peer,
+		TID: model.TxnID{Site: j.TSite, Seq: j.TSeq}, Proto: j.Proto,
+	}
+	return nil
+}
+
+// shardCount trades memory for contention; sharding is by site, so any
+// power of two comfortably above the typical site count works.
+const shardCount = 32
+
+type shard struct {
+	mu     sync.Mutex
+	events []Event
+	// pad shards apart so neighbouring locks do not share a cache line.
+	_ [40]byte
+}
+
+// Recorder accumulates events from concurrently-running engines. All
+// methods are safe for concurrent use; a nil *Recorder is a valid no-op
+// sink whose Record costs one branch and never allocates.
+type Recorder struct {
+	start  time.Time
+	shards [shardCount]shard
+}
+
+// NewRecorder returns an empty recorder; its creation time is the zero
+// point of every event timestamp.
+func NewRecorder() *Recorder { return &Recorder{start: time.Now()} }
+
+// Record appends one event. All arguments are scalars so the disabled
+// (nil-recorder) path performs no interface boxing and no allocation.
+func (r *Recorder) Record(k Kind, site, peer model.SiteID, tid model.TxnID, proto uint8) {
+	if r == nil {
+		return
+	}
+	t := int64(time.Since(r.start))
+	s := &r.shards[uint(site)%shardCount]
+	s.mu.Lock()
+	s.events = append(s.events, Event{T: t, Kind: k, Site: site, Peer: peer, TID: tid, Proto: proto})
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot returns every recorded event, sorted by timestamp. It may be
+// called while engines are still recording.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// WriteJSONL writes the sorted event stream as one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Snapshot())
+}
+
+// WriteJSONL writes events as one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses an event stream produced by WriteJSONL. Blank lines are
+// skipped, so concatenated trace files parse cleanly.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

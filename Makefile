@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench fuzz experiments shapes examples clean
+.PHONY: all build vet test race check chaos cover bench fuzz experiments shapes examples clean
 
 all: check
 
@@ -18,9 +18,15 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# The pre-merge gate: compile, static checks, full test suite, and the
-# race detector over the concurrent internals.
-check: build vet test race
+# Seeded chaos suite (docs/FAULTS.md): every engine over the
+# reliable-delivery sublayer and the fault injector, under the race
+# detector.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestReliable|TestBackEdgeRecovers' -count 1 ./internal/cluster ./internal/comm ./internal/core ./internal/fault
+
+# The pre-merge gate: compile, static checks, full test suite, the race
+# detector over the concurrent internals, and the chaos suite.
+check: build vet test race chaos
 
 cover:
 	$(GO) test -cover ./...

@@ -14,15 +14,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -45,6 +51,13 @@ func main() {
 		traceProto = flag.String("traceproto", "backedge", "protocol for the -trace run: psl|dagwt|dagt|backedge")
 		traceSum   = flag.String("tracesummary", "", "summarize a JSONL trace file: per-protocol p50/p95/max propagation delay")
 		jsonOut    = flag.Bool("json", false, "with -trace: print the run's metrics report as JSON")
+
+		faultDrop  = flag.Float64("faultdrop", 0, "with -trace: per-message drop probability injected under the engines")
+		faultDup   = flag.Float64("faultdup", 0, "with -trace: per-message duplication probability")
+		faultDelay = flag.Float64("faultdelay", 0, "with -trace: per-message extra-delay probability (0.5ms-3ms holds)")
+		faultSeed  = flag.Int64("faultseed", 1, "seed rooting the fault injector's per-edge decision streams and the -chaossched schedule")
+		reliable   = flag.Bool("reliable", false, "with -trace: wrap the network in the reliable-delivery sublayer (required when faults drop messages)")
+		chaosSched = flag.Bool("chaossched", false, "with -trace: play a seeded partition-and-heal plus crash-and-restart schedule during the run (implies -reliable semantics; see docs/FAULTS.md)")
 	)
 	flag.Parse()
 
@@ -60,7 +73,11 @@ func main() {
 		return
 	}
 	if *traceOut != "" {
-		if err := runTraced(*traceOut, *traceProto, *seed, *jsonOut); err != nil {
+		fo := faultOptions{
+			Drop: *faultDrop, Dup: *faultDup, Delay: *faultDelay,
+			Seed: *faultSeed, Reliable: *reliable, Schedule: *chaosSched,
+		}
+		if err := runTraced(*traceOut, *traceProto, *seed, *jsonOut, fo); err != nil {
 			fatal(err)
 		}
 		return
@@ -130,14 +147,33 @@ func main() {
 	}
 }
 
+// faultOptions carries the -fault*/-reliable/-chaossched flags into the
+// traced run: a seeded fault injector under the engines, the reliable
+// sublayer hiding it, and optionally a partition/crash schedule.
+type faultOptions struct {
+	Drop, Dup, Delay float64
+	Seed             int64
+	Reliable         bool
+	Schedule         bool
+}
+
+func (f faultOptions) active() bool {
+	return f.Drop > 0 || f.Dup > 0 || f.Delay > 0 || f.Schedule
+}
+
 // runTraced runs one short Table 1 cluster with the propagation trace
 // recorder attached and writes every lifecycle event to out as JSONL.
 // With jsonReport, the run's metrics report is printed as JSON instead of
-// the human-readable line, so scripts can consume both artifacts.
-func runTraced(out, protoName string, seed int64, jsonReport bool) error {
+// the human-readable line, so scripts can consume both artifacts; when
+// fault injection is on, the JSON also carries the repl_fault_* and
+// repl_reliable_* counters.
+func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptions) error {
 	protocol, err := core.ParseProtocol(protoName)
 	if err != nil {
 		return err
+	}
+	if fo.Drop > 0 && !fo.Reliable {
+		return fmt.Errorf("-faultdrop without -reliable: the engines assume reliable FIFO delivery and would stall on the first lost message")
 	}
 	wl := workload.Default()
 	wl.TxnsPerThread = 100 // a traced run is a sample, not a benchmark
@@ -150,23 +186,45 @@ func runTraced(out, protoName string, seed int64, jsonReport bool) error {
 		wl.BackedgeProb = 0
 	}
 	rec := trace.NewRecorder()
-	c, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Workload:         wl,
 		Protocol:         protocol,
 		Params:           core.DefaultParams(),
 		Latency:          150 * time.Microsecond,
 		TrackPropagation: true,
 		Trace:            rec,
-	})
+	}
+	var registry *obs.Registry
+	if fo.active() || fo.Reliable {
+		registry = obs.NewRegistry()
+		cfg.Obs = registry
+		cfg.Fault = &fault.Config{Seed: fo.Seed, Faults: fault.Faults{
+			Drop: fo.Drop, Duplicate: fo.Dup, Delay: fo.Delay,
+			DelayMin: 500 * time.Microsecond, DelayMax: 3 * time.Millisecond,
+		}}
+		cfg.Reliable = fo.Reliable
+	}
+	c, err := cluster.New(cfg)
 	if err != nil {
 		return err
 	}
 	c.Start()
 	defer c.Stop()
+	var player sync.WaitGroup
+	if fo.Schedule {
+		sched := fault.Generate(fo.Seed, wl.Sites, 2*time.Second)
+		fmt.Fprintf(os.Stderr, "replbench: playing fault schedule:\n%s", sched)
+		player.Add(1)
+		go func() {
+			defer player.Done()
+			c.Fault().Play(sched)
+		}()
+	}
 	report, err := c.Run()
 	if err != nil {
 		return err
 	}
+	player.Wait()
 	if err := c.Quiesce(time.Minute); err != nil {
 		return err
 	}
@@ -183,13 +241,41 @@ func runTraced(out, protoName string, seed int64, jsonReport bool) error {
 	}
 	fmt.Fprintf(os.Stderr, "replbench: wrote %d events to %s\n", rec.Len(), out)
 	if jsonReport {
-		b, err := report.JSON()
+		var b []byte
+		if registry != nil {
+			// Fault runs also publish what the injector did and what the
+			// reliable sublayer absorbed, next to the usual report.
+			counters := make(map[string]int64)
+			for k, v := range registry.Snapshot() {
+				if strings.HasPrefix(k, "repl_fault_") || strings.HasPrefix(k, "repl_reliable_") {
+					counters[k] = v
+				}
+			}
+			b, err = json.MarshalIndent(struct {
+				Report   metrics.Report   `json:"report"`
+				Counters map[string]int64 `json:"counters"`
+			}{report, counters}, "", "  ")
+		} else {
+			b, err = report.JSON()
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(b))
 	} else {
 		fmt.Printf("%v: %v\n", protocol, report)
+		if registry != nil {
+			var dropped, retrans int64
+			for k, v := range registry.Snapshot() {
+				if strings.HasPrefix(k, "repl_fault_dropped_total") {
+					dropped += v
+				}
+				if strings.HasPrefix(k, "repl_reliable_retransmits_total") {
+					retrans += v
+				}
+			}
+			fmt.Printf("faults: dropped=%d retransmits=%d\n", dropped, retrans)
+		}
 	}
 	return nil
 }

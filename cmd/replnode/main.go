@@ -33,21 +33,22 @@ import (
 
 func main() {
 	var (
-		site    = flag.Int("site", -1, "this node's site id (0..m-1)")
-		peers   = flag.String("peers", "", "comma-separated id=host:port for EVERY site")
-		proto   = flag.String("protocol", "backedge", "psl|dagwt|dagt|backedge")
-		items   = flag.Int("items", 200, "number of items (same on all nodes)")
-		seed    = flag.Int64("seed", 1, "placement seed (same on all nodes)")
-		r       = flag.Float64("r", 0.2, "replication probability")
-		s       = flag.Float64("s", 0.5, "site probability")
-		b       = flag.Float64("b", 0.2, "backedge probability")
-		threads = flag.Int("threads", 3, "client threads at this site")
-		txns    = flag.Int("txns", 100, "transactions per thread")
-		readOp  = flag.Float64("readop", 0.7, "read operation probability")
-		readTxn = flag.Float64("readtxn", 0.5, "read transaction probability")
-		opCost  = flag.Duration("opcost", 200*time.Microsecond, "simulated per-operation CPU cost")
-		drain   = flag.Duration("drain", 3*time.Second, "time to keep serving after local threads finish")
-		obsAddr = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+		site     = flag.Int("site", -1, "this node's site id (0..m-1)")
+		peers    = flag.String("peers", "", "comma-separated id=host:port for EVERY site")
+		proto    = flag.String("protocol", "backedge", "psl|dagwt|dagt|backedge")
+		items    = flag.Int("items", 200, "number of items (same on all nodes)")
+		seed     = flag.Int64("seed", 1, "placement seed (same on all nodes)")
+		r        = flag.Float64("r", 0.2, "replication probability")
+		s        = flag.Float64("s", 0.5, "site probability")
+		b        = flag.Float64("b", 0.2, "backedge probability")
+		threads  = flag.Int("threads", 3, "client threads at this site")
+		txns     = flag.Int("txns", 100, "transactions per thread")
+		readOp   = flag.Float64("readop", 0.7, "read operation probability")
+		readTxn  = flag.Float64("readtxn", 0.5, "read transaction probability")
+		opCost   = flag.Duration("opcost", 200*time.Microsecond, "simulated per-operation CPU cost")
+		drain    = flag.Duration("drain", 3*time.Second, "time to keep serving after local threads finish")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+		reliable = flag.Bool("reliable", false, "run the reliable-delivery sublayer over TCP (must match on every node); survives killed connections without message loss or reorder")
 	)
 	flag.Parse()
 
@@ -99,9 +100,21 @@ func main() {
 	}
 
 	core.RegisterPayloads()
-	tr, err := comm.NewTCPTransport(model.SiteID(*site), addrs)
+	tcp, err := comm.NewTCPTransport(model.SiteID(*site), addrs)
 	if err != nil {
 		fatal(err)
+	}
+	// The engines speak to tr; with -reliable that is the exactly-once FIFO
+	// sublayer (sequence numbers, retransmission, dedup) wrapped around the
+	// sockets, so a dropped TCP connection costs a reconnect and some
+	// retransmits instead of lost protocol messages. Closing tr closes the
+	// sockets too.
+	var tr comm.Transport = tcp
+	var rel *comm.Reliable
+	if *reliable {
+		comm.RegisterReliablePayloads()
+		rel = comm.NewReliable(tcp, comm.ReliableConfig{})
+		tr = rel
 	}
 	defer tr.Close()
 
@@ -116,7 +129,10 @@ func main() {
 		registry = obs.NewRegistry()
 		registry.Gauge("repl_protocol_info",
 			obs.Label{Key: "protocol", Value: protocol.String()}).Set(1)
-		tr.SetStats(obs.NewCommStats(registry))
+		tcp.SetStats(obs.NewCommStats(registry))
+		if rel != nil {
+			rel.SetStats(obs.NewReliableStats(registry))
+		}
 		ln, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			fatal(fmt.Errorf("-obs listen: %w", err))
@@ -150,7 +166,7 @@ func main() {
 	defer engine.Stop()
 
 	fmt.Printf("replnode: site %d of %d listening on %s (%v, %d backedges in graph)\n",
-		*site, wl.Sites, tr.Addr(), protocol, len(backs))
+		*site, wl.Sites, tcp.Addr(), protocol, len(backs))
 	waitForPeers(addrs, model.SiteID(*site))
 
 	collector.Begin()

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/metrics"
@@ -59,6 +60,20 @@ type Config struct {
 	// per-site counters and queue-depth gauges, and the transport reports
 	// per-edge message/byte/latency series into it.
 	Obs *obs.Registry
+	// Fault, when non-nil, interposes a fault-injection layer over the
+	// in-process transport: seeded random drops/duplications/delays plus
+	// scripted partitions and site crashes (see internal/fault). Unless the
+	// faults are pure delays, combine with Reliable — the engines assume
+	// the §1.1 reliable-FIFO network, and a dropped message otherwise
+	// stalls quiescing forever.
+	Fault *fault.Config
+	// Reliable runs the exactly-once FIFO delivery sublayer (comm.Reliable)
+	// on top of the (possibly faulty) transport, restoring the network
+	// contract the protocols assume.
+	Reliable bool
+	// ReliableCfg tunes the sublayer when Reliable is set; the zero value
+	// uses the defaults (20 ms initial RTO).
+	ReliableCfg comm.ReliableConfig
 }
 
 // Cluster is a running replicated database over m in-process sites.
@@ -72,6 +87,8 @@ type Cluster struct {
 	Metrics   *metrics.Collector
 
 	transport *comm.MemTransport
+	faultTr   *fault.Transport // non-nil iff Cfg.Fault was set
+	top       comm.Transport   // the layer engines actually send through
 	engines   []core.Engine
 	pending   sync.WaitGroup
 
@@ -180,6 +197,32 @@ func New(cfg Config) (*Cluster, error) {
 			obs.Label{Key: "protocol", Value: cfg.Protocol.String()}).Set(1)
 	}
 
+	// Assemble the transport stack bottom-up: memory, then fault injection,
+	// then the reliable-delivery sublayer that hides the faults from the
+	// engines — engine → Reliable → fault → MemTransport.
+	c.top = c.transport
+	if cfg.Fault != nil {
+		ft, err := fault.New(c.top, *cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Obs != nil {
+			ft.SetObs(cfg.Obs)
+		}
+		if cfg.Trace != nil {
+			ft.SetTrace(cfg.Trace)
+		}
+		c.faultTr = ft
+		c.top = ft
+	}
+	if cfg.Reliable {
+		rel := comm.NewReliable(c.top, cfg.ReliableCfg)
+		if cfg.Obs != nil {
+			rel.SetStats(obs.NewReliableStats(cfg.Obs))
+		}
+		c.top = rel
+	}
+
 	shared := &core.SharedConfig{
 		Placement:    placement,
 		Graph:        gdag, // engines see the DAG; backedges are handled eagerly
@@ -196,7 +239,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.engines = make([]core.Engine, m)
 	for s := 0; s < m; s++ {
-		e, err := core.New(cfg.Protocol, shared, model.SiteID(s), c.transport)
+		e, err := core.New(cfg.Protocol, shared, model.SiteID(s), c.top)
 		if err != nil {
 			return nil, err
 		}
@@ -212,6 +255,11 @@ func (c *Cluster) Engine(s model.SiteID) core.Engine { return c.engines[s] }
 // latencies).
 func (c *Cluster) Transport() *comm.MemTransport { return c.transport }
 
+// Fault returns the fault-injection layer, or nil when Config.Fault was
+// not set. Tests and the chaos harness use it to cut partitions, crash
+// sites, and play schedules mid-run.
+func (c *Cluster) Fault() *fault.Transport { return c.faultTr }
+
 // Start launches every engine's background workers.
 func (c *Cluster) Start() {
 	for _, e := range c.engines {
@@ -219,12 +267,13 @@ func (c *Cluster) Start() {
 	}
 }
 
-// Stop shuts engines and transport down.
+// Stop shuts engines and transport down (closing the top of the
+// transport stack closes every layer beneath it).
 func (c *Cluster) Stop() {
 	for _, e := range c.engines {
 		e.Stop()
 	}
-	_ = c.transport.Close()
+	_ = c.top.Close()
 }
 
 // Run drives the §5.2 client threads to completion and returns the

@@ -148,6 +148,31 @@ func (t *MemTransport) SetJitter(j time.Duration) {
 	t.jitter = j
 }
 
+// SetSeed reseeds the jitter RNG (the default seed is 1). The jitter
+// stream is drawn under the transport lock in Send order, so a fixed seed
+// yields the same delay sequence whenever the send order is the same —
+// deterministic for single-sender tests, best-effort for concurrent ones.
+func (t *MemTransport) SetSeed(seed int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rng = rand.New(rand.NewSource(seed))
+}
+
+// delayFor computes one message's delivery delay on edge p: the edge
+// override if present (else the default latency), plus one jitter draw.
+// The caller holds t.mu — the single RNG stream is part of the seeded
+// determinism contract above.
+func (t *MemTransport) delayFor(p pair) time.Duration {
+	lat := t.latency
+	if d, ok := t.edgeLat[p]; ok {
+		lat = d
+	}
+	if t.jitter > 0 {
+		lat += time.Duration(t.rng.Int63n(int64(t.jitter)))
+	}
+	return lat
+}
+
 // SetStats installs the transport activity observer (nil disables). Call
 // before traffic starts.
 func (t *MemTransport) SetStats(s Stats) {
@@ -178,13 +203,7 @@ func (t *MemTransport) Send(msg Message) error {
 		t.wg.Add(1)
 		go t.deliver(p, ch)
 	}
-	lat := t.latency
-	if d, ok := t.edgeLat[p]; ok {
-		lat = d
-	}
-	if t.jitter > 0 {
-		lat += time.Duration(t.rng.Int63n(int64(t.jitter)))
-	}
+	lat := t.delayFor(p)
 	stats := t.stats
 	t.mu.Unlock()
 	if stats != nil {

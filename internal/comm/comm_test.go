@@ -226,3 +226,72 @@ func TestReplyToNonRequestPanics(t *testing.T) {
 	}()
 	r.Reply(Message{ReqID: 0}, nil)
 }
+
+// TestMemTransportJitterDeterministicUnderSeed pins the seeded-jitter
+// contract: same seed, same draw order → the identical delay sequence
+// (chaos runs depend on this for reproducibility); a different seed must
+// diverge.
+func TestMemTransportJitterDeterministicUnderSeed(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		tr := NewMemTransport(time.Millisecond)
+		defer tr.Close()
+		tr.SetJitter(5 * time.Millisecond)
+		tr.SetSeed(seed)
+		out := make([]time.Duration, 100)
+		tr.mu.Lock()
+		for i := range out {
+			out[i] = tr.delayFor(pair{0, 1})
+		}
+		tr.mu.Unlock()
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical jitter sequence")
+	}
+}
+
+// TestMemTransportDelayForEdgeOverride verifies the per-edge override
+// replaces (not augments) the default latency, only on its own edge, and
+// composes with jitter as base + draw.
+func TestMemTransportDelayForEdgeOverride(t *testing.T) {
+	tr := NewMemTransport(time.Millisecond)
+	defer tr.Close()
+	tr.SetEdgeLatency(0, 2, 40*time.Millisecond)
+
+	tr.mu.Lock()
+	plain := tr.delayFor(pair{0, 1})
+	slow := tr.delayFor(pair{0, 2})
+	reverse := tr.delayFor(pair{2, 0})
+	tr.mu.Unlock()
+	if plain != time.Millisecond {
+		t.Errorf("default edge: %v, want 1ms", plain)
+	}
+	if slow != 40*time.Millisecond {
+		t.Errorf("overridden edge: %v, want 40ms", slow)
+	}
+	if reverse != time.Millisecond {
+		t.Errorf("override leaked to the reverse edge: %v", reverse)
+	}
+
+	tr.SetJitter(5 * time.Millisecond)
+	tr.mu.Lock()
+	jittered := tr.delayFor(pair{0, 2})
+	tr.mu.Unlock()
+	if jittered < 40*time.Millisecond || jittered >= 45*time.Millisecond {
+		t.Errorf("override+jitter: %v, want in [40ms, 45ms)", jittered)
+	}
+}

@@ -1,0 +1,386 @@
+package comm
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// The protocols require exactly-once FIFO delivery between each ordered
+// site pair (§1.1); Reliable manufactures that contract out of a transport
+// that may drop, duplicate, delay or reorder messages (fault.Transport, or
+// a TCP connection that died mid-stream). Classic ARQ: the sender stamps
+// each edge's messages with a monotonic sequence number and keeps them in
+// an unacked outbox, retransmitting with exponential backoff and jitter;
+// the receiver acknowledges cumulatively, drops duplicates, and buffers
+// out-of-order arrivals so the application handler sees every message
+// exactly once, in send order. Every protocol engine runs unmodified on
+// top of a lossy network when wrapped in this sublayer.
+
+// Reserved message kinds for the reliability envelope; protocol kinds are
+// positive, so the sublayer's control traffic can never collide.
+const (
+	kindRelData = -1
+	kindRelAck  = -2
+)
+
+// RelDataPayload envelopes one application message with its per-edge
+// sequence number (starting at 1).
+type RelDataPayload struct {
+	Seq uint64
+	Msg Message
+}
+
+// WireSize implements PayloadSizer: the inner message plus the sequence
+// number.
+func (p RelDataPayload) WireSize() int { return 8 + msgWireSize(p.Msg) }
+
+// RelAckPayload acknowledges every sequence number <= Cum on its edge.
+type RelAckPayload struct {
+	Cum uint64
+}
+
+// WireSize implements PayloadSizer.
+func (p RelAckPayload) WireSize() int { return 8 }
+
+// RegisterReliablePayloads registers the envelope types for gob encoding;
+// TCP deployments using Reliable must call it once at startup.
+func RegisterReliablePayloads() {
+	gob.Register(RelDataPayload{})
+	gob.Register(RelAckPayload{})
+}
+
+// ReliableStats observes the sublayer's recovery work for the live
+// metrics registry. Implementations must be safe for concurrent use; nil
+// disables observation.
+type ReliableStats interface {
+	// RelRetransmit is called when n unacked messages are retransmitted on
+	// the from→to edge.
+	RelRetransmit(from, to model.SiteID, n int)
+	// RelDupDropped is called when the receiver discards a duplicate.
+	RelDupDropped(from, to model.SiteID)
+	// RelBuffered is called when the receiver buffers an out-of-order
+	// arrival until the gap before it fills.
+	RelBuffered(from, to model.SiteID)
+}
+
+// ReliableConfig tunes the retransmission machinery; zero values select
+// the defaults.
+type ReliableConfig struct {
+	// RTO is the initial retransmit timeout (default 20ms). It should
+	// comfortably exceed one round trip on the underlying transport.
+	RTO time.Duration
+	// MaxRTO caps the exponential backoff (default 16×RTO).
+	MaxRTO time.Duration
+	// Jitter is the fraction of the current timeout added uniformly at
+	// random to each retransmission deadline, decorrelating edges that
+	// started retransmitting together (default 0.2).
+	Jitter float64
+	// Seed roots the jitter RNG, keeping runs reproducible (default 1).
+	Seed int64
+	// Tick is the outbox scan period (default RTO/4).
+	Tick time.Duration
+}
+
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	if c.RTO <= 0 {
+		c.RTO = 20 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 16 * c.RTO
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tick <= 0 {
+		c.Tick = c.RTO / 4
+	}
+	return c
+}
+
+// relSender is one edge's outbox.
+type relSender struct {
+	mu      sync.Mutex
+	next    uint64 // last assigned sequence number
+	unacked []relPending
+	rto     time.Duration
+	due     time.Time
+}
+
+type relPending struct {
+	seq uint64
+	msg Message
+}
+
+// relReceiver is one edge's dedup/reorder state.
+type relReceiver struct {
+	mu       sync.Mutex
+	expected uint64 // next sequence number to deliver (first is 1)
+	buf      map[uint64]Message
+}
+
+// Reliable restores the exactly-once FIFO Transport contract over an
+// unreliable inner transport. Close closes the inner transport too.
+type Reliable struct {
+	inner Transport
+	cfg   ReliableConfig
+
+	mu       sync.Mutex
+	handlers map[model.SiteID]Handler
+	senders  map[pair]*relSender
+	recvs    map[pair]*relReceiver
+	rng      *rand.Rand
+	stats    ReliableStats
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewReliable wraps inner in the reliable-delivery sublayer and starts its
+// retransmission scanner.
+func NewReliable(inner Transport, cfg ReliableConfig) *Reliable {
+	cfg = cfg.withDefaults()
+	r := &Reliable{
+		inner:    inner,
+		cfg:      cfg,
+		handlers: make(map[model.SiteID]Handler),
+		senders:  make(map[pair]*relSender),
+		recvs:    make(map[pair]*relReceiver),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		done:     make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.retransmitter()
+	return r
+}
+
+// SetStats installs the recovery-work observer (nil disables). Call before
+// traffic starts.
+func (r *Reliable) SetStats(s ReliableStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats = s
+}
+
+func (r *Reliable) sender(p pair) *relSender {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.senders[p]
+	if !ok {
+		s = &relSender{rto: r.cfg.RTO}
+		r.senders[p] = s
+	}
+	return s
+}
+
+func (r *Reliable) receiver(p pair) *relReceiver {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rc, ok := r.recvs[p]
+	if !ok {
+		rc = &relReceiver{expected: 1, buf: make(map[uint64]Message)}
+		r.recvs[p] = rc
+	}
+	return rc
+}
+
+// jittered returns d plus the configured random fraction.
+func (r *Reliable) jittered(d time.Duration) time.Duration {
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return d + time.Duration(f*r.cfg.Jitter*float64(d))
+}
+
+// Send implements Transport: the message enters the edge's outbox and
+// stays there until cumulatively acknowledged; inner-transport failures
+// are absorbed by retransmission.
+func (r *Reliable) Send(msg Message) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.mu.Unlock()
+	s := r.sender(pair{msg.From, msg.To})
+	s.mu.Lock()
+	s.next++
+	env := Message{
+		From: msg.From, To: msg.To, Kind: kindRelData,
+		Payload: RelDataPayload{Seq: s.next, Msg: msg},
+	}
+	s.unacked = append(s.unacked, relPending{seq: s.next, msg: env})
+	if len(s.unacked) == 1 {
+		s.rto = r.cfg.RTO
+		s.due = time.Now().Add(r.jittered(s.rto))
+	}
+	s.mu.Unlock()
+	// A lost first transmission is indistinguishable from a dropped
+	// message; the outbox covers both.
+	_ = r.inner.Send(env)
+	return nil
+}
+
+// Register implements Transport, installing the sublayer's dispatcher for
+// the site. Messages that do not carry the reliability envelope (mixed
+// deployments) pass straight through.
+func (r *Reliable) Register(site model.SiteID, h Handler) {
+	r.mu.Lock()
+	r.handlers[site] = h
+	r.mu.Unlock()
+	r.inner.Register(site, func(m Message) { r.dispatch(site, h, m) })
+}
+
+func (r *Reliable) dispatch(site model.SiteID, h Handler, m Message) {
+	switch m.Kind {
+	case kindRelAck:
+		r.handleAck(m)
+	case kindRelData:
+		r.handleData(site, h, m)
+	default:
+		h(m)
+	}
+}
+
+// handleAck drops every outbox entry the cumulative ack covers and, on
+// progress, resets the edge's backoff.
+func (r *Reliable) handleAck(m Message) {
+	cum := m.Payload.(RelAckPayload).Cum
+	// The ack travels on the reverse edge: it acknowledges data m.To sent
+	// to m.From.
+	s := r.sender(pair{m.To, m.From})
+	s.mu.Lock()
+	i := 0
+	for i < len(s.unacked) && s.unacked[i].seq <= cum {
+		i++
+	}
+	if i > 0 {
+		s.unacked = append(s.unacked[:0], s.unacked[i:]...)
+		s.rto = r.cfg.RTO
+		if len(s.unacked) > 0 {
+			s.due = time.Now().Add(r.jittered(s.rto))
+		}
+	}
+	s.mu.Unlock()
+}
+
+// handleData delivers in-sequence messages (and any buffered successors),
+// buffers out-of-order arrivals, discards duplicates, and acknowledges
+// cumulatively.
+func (r *Reliable) handleData(site model.SiteID, h Handler, m Message) {
+	p := m.Payload.(RelDataPayload)
+	edge := pair{m.From, site}
+	r.mu.Lock()
+	stats := r.stats
+	r.mu.Unlock()
+	rc := r.receiver(edge)
+	rc.mu.Lock()
+	switch {
+	case p.Seq == rc.expected:
+		rc.expected++
+		// Deliver, then drain the run the arrival unblocked. The handler
+		// runs under the receiver lock, serializing this edge's delivery
+		// exactly like a dedicated transport goroutine would.
+		h(p.Msg)
+		for {
+			next, ok := rc.buf[rc.expected]
+			if !ok {
+				break
+			}
+			delete(rc.buf, rc.expected)
+			rc.expected++
+			h(next)
+		}
+	case p.Seq < rc.expected:
+		if stats != nil {
+			stats.RelDupDropped(edge.from, edge.to)
+		}
+	default: // a gap: hold until it fills
+		if _, dup := rc.buf[p.Seq]; dup {
+			if stats != nil {
+				stats.RelDupDropped(edge.from, edge.to)
+			}
+		} else {
+			rc.buf[p.Seq] = p.Msg
+			if stats != nil {
+				stats.RelBuffered(edge.from, edge.to)
+			}
+		}
+	}
+	cum := rc.expected - 1
+	rc.mu.Unlock()
+	_ = r.inner.Send(Message{
+		From: site, To: m.From, Kind: kindRelAck,
+		Payload: RelAckPayload{Cum: cum},
+	})
+}
+
+// retransmitter periodically rescans every outbox and resends overdue
+// unacked messages, doubling that edge's timeout up to the cap.
+func (r *Reliable) retransmitter() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+		case <-r.done:
+			return
+		}
+		r.mu.Lock()
+		senders := make([]*relSender, 0, len(r.senders))
+		for _, s := range r.senders {
+			senders = append(senders, s)
+		}
+		stats := r.stats
+		r.mu.Unlock()
+		now := time.Now()
+		for _, s := range senders {
+			s.mu.Lock()
+			var resend []Message
+			if len(s.unacked) > 0 && now.After(s.due) {
+				resend = make([]Message, len(s.unacked))
+				for i, u := range s.unacked {
+					resend[i] = u.msg
+				}
+				s.rto *= 2
+				if s.rto > r.cfg.MaxRTO {
+					s.rto = r.cfg.MaxRTO
+				}
+				s.due = now.Add(r.jittered(s.rto))
+			}
+			s.mu.Unlock()
+			if len(resend) > 0 {
+				if stats != nil {
+					stats.RelRetransmit(resend[0].From, resend[0].To, len(resend))
+				}
+				for _, env := range resend {
+					_ = r.inner.Send(env)
+				}
+			}
+		}
+	}
+}
+
+// Close implements Transport: it stops retransmission and closes the
+// inner transport. Unacked outbox contents are dropped, like any
+// transport's in-flight messages.
+func (r *Reliable) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait()
+	return r.inner.Close()
+}

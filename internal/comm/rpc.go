@@ -29,11 +29,29 @@ type RPC struct {
 	next    atomic.Uint64
 	mu      sync.Mutex
 	pending map[uint64]chan Message
+	late    func(from model.SiteID, kind int)
 }
 
 // NewRPC returns an RPC endpoint for site over tr.
 func NewRPC(site model.SiteID, tr Transport) *RPC {
 	return &RPC{site: site, tr: tr, pending: make(map[uint64]chan Message)}
+}
+
+// SetLateHook installs an observer called once per response that arrives
+// after its caller gave up (nil disables). Call before traffic starts.
+func (r *RPC) SetLateHook(fn func(from model.SiteID, kind int)) {
+	r.mu.Lock()
+	r.late = fn
+	r.mu.Unlock()
+}
+
+func (r *RPC) noteLate(from model.SiteID, kind int) {
+	r.mu.Lock()
+	fn := r.late
+	r.mu.Unlock()
+	if fn != nil {
+		fn(from, kind)
+	}
 }
 
 // Call sends a request and waits for the matching response or the
@@ -49,6 +67,14 @@ func (r *RPC) Call(to model.SiteID, kind int, payload any, timeout time.Duration
 		r.mu.Lock()
 		delete(r.pending, id)
 		r.mu.Unlock()
+		// Race window: HandleResponse may have fetched ch before the delete
+		// and buffered the response after the timer fired. Drain so the
+		// response is accounted for rather than silently vanishing.
+		select {
+		case resp := <-ch:
+			r.noteLate(resp.From, resp.Kind)
+		default:
+		}
 	}()
 
 	err := r.tr.Send(Message{From: r.site, To: to, Kind: kind, ReqID: id, Payload: payload})
@@ -66,6 +92,26 @@ func (r *RPC) Call(to model.SiteID, kind int, payload any, timeout time.Duration
 	case <-timer.C:
 		return nil, fmt.Errorf("%w: kind %d to s%d", ErrRPCTimeout, kind, to)
 	}
+}
+
+// CallRetry is Call with up to attempts tries, re-sending on timeout with
+// the same per-attempt timeout. Only use it for idempotent requests: a
+// timed-out attempt may still have been executed by the callee, so a
+// retry can execute it again. Non-timeout failures (transport error,
+// RemoteError) are returned immediately — retrying cannot fix those.
+func (r *RPC) CallRetry(to model.SiteID, kind int, payload any, timeout time.Duration, attempts int) (any, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		var resp any
+		resp, err = r.Call(to, kind, payload, timeout)
+		if err == nil || !errors.Is(err, ErrRPCTimeout) {
+			return resp, err
+		}
+	}
+	return nil, fmt.Errorf("comm: %d attempts: %w", attempts, err)
 }
 
 // Reply answers a request message. The response reuses the request's kind
@@ -86,15 +132,21 @@ func (r *RPC) ReplyError(req Message, err error) {
 }
 
 // HandleResponse routes a response message to its waiting caller. Late
-// responses (caller already timed out) are dropped.
+// responses (caller already timed out and removed its pending entry) are
+// dropped and reported through the late hook; so are extra responses to a
+// request that was already answered (possible when a retried idempotent
+// call draws two replies).
 func (r *RPC) HandleResponse(msg Message) {
 	r.mu.Lock()
 	ch := r.pending[msg.ReqID]
 	r.mu.Unlock()
-	if ch != nil {
-		select {
-		case ch <- msg:
-		default:
-		}
+	if ch == nil {
+		r.noteLate(msg.From, msg.Kind)
+		return
+	}
+	select {
+	case ch <- msg:
+	default:
+		r.noteLate(msg.From, msg.Kind)
 	}
 }

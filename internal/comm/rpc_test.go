@@ -1,0 +1,167 @@
+package comm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// rpcPair wires a client and server RPC over one in-memory transport:
+// site 1 doubles the int payload of every request, after an optional
+// per-request delay.
+func rpcPair(t *testing.T, serveDelay func(reqID uint64) time.Duration) (*RPC, *MemTransport) {
+	t.Helper()
+	tr := NewMemTransport(0)
+	t.Cleanup(func() { tr.Close() })
+	client := NewRPC(0, tr)
+	server := NewRPC(1, tr)
+	tr.Register(1, func(m Message) {
+		if m.IsResp {
+			return
+		}
+		var d time.Duration
+		if serveDelay != nil {
+			d = serveDelay(m.ReqID)
+		}
+		// Reply off the delivery goroutine so a slow request does not
+		// head-of-line block later requests on the same edge.
+		go func() {
+			if d > 0 {
+				time.Sleep(d)
+			}
+			server.Reply(m, m.Payload.(int)*2)
+		}()
+	})
+	tr.Register(0, func(m Message) {
+		if m.IsResp {
+			client.HandleResponse(m)
+		}
+	})
+	return client, tr
+}
+
+func TestRPCRoundTripAndRemoteError(t *testing.T) {
+	client, _ := rpcPair(t, nil)
+	resp, err := client.Call(1, 1, 21, time.Second)
+	if err != nil || resp.(int) != 42 {
+		t.Fatalf("got %v, %v", resp, err)
+	}
+}
+
+// TestRPCLateResponseCounted is the regression test for the
+// response-channel race: a response that arrives after the caller timed
+// out must be observed through the late hook, never silently lost — on
+// both paths: HandleResponse finding no pending entry, and the buffered
+// race-window response drained by Call's deferred cleanup.
+func TestRPCLateResponseCounted(t *testing.T) {
+	var late atomic.Int64
+	client, _ := rpcPair(t, func(uint64) time.Duration { return 60 * time.Millisecond })
+	client.SetLateHook(func(from model.SiteID, kind int) {
+		if from != 1 {
+			t.Errorf("late response from s%d, want s1", from)
+		}
+		late.Add(1)
+	})
+	_, err := client.Call(1, 1, 7, 5*time.Millisecond)
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for late.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := late.Load(); got != 1 {
+		t.Fatalf("late responses counted: %d, want 1", got)
+	}
+}
+
+// TestRPCLateResponseRaceWindow hammers the exact race: responses landing
+// concurrently with the caller's timeout-path cleanup. Every response must
+// be accounted for — delivered to a caller or counted late — under -race.
+func TestRPCLateResponseRaceWindow(t *testing.T) {
+	var late atomic.Int64
+	var ok atomic.Int64
+	client, _ := rpcPair(t, func(uint64) time.Duration { return time.Millisecond })
+	client.SetLateHook(func(model.SiteID, int) { late.Add(1) })
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Timeout straddles the server delay so both outcomes occur.
+			if _, err := client.Call(1, 1, 1, time.Millisecond); err == nil {
+				ok.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for ok.Load()+late.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := ok.Load() + late.Load(); got != n {
+		t.Fatalf("accounted for %d/%d responses (ok=%d late=%d)", got, n, ok.Load(), late.Load())
+	}
+}
+
+func TestRPCCallRetrySucceedsAfterTimeouts(t *testing.T) {
+	var calls atomic.Int64
+	client, _ := rpcPair(t, func(uint64) time.Duration {
+		// The first two attempts dawdle past the per-attempt timeout; the
+		// third answers promptly.
+		if calls.Add(1) <= 2 {
+			return 80 * time.Millisecond
+		}
+		return 0
+	})
+	resp, err := client.CallRetry(1, 1, 5, 20*time.Millisecond, 3)
+	if err != nil {
+		t.Fatalf("CallRetry: %v", err)
+	}
+	if resp.(int) != 10 {
+		t.Fatalf("got %v", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestRPCCallRetryExhaustsAttempts(t *testing.T) {
+	client, _ := rpcPair(t, func(uint64) time.Duration { return 50 * time.Millisecond })
+	_, err := client.CallRetry(1, 1, 5, 5*time.Millisecond, 2)
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Fatalf("want wrapped timeout, got %v", err)
+	}
+}
+
+func TestRPCCallRetryStopsOnRemoteError(t *testing.T) {
+	tr := NewMemTransport(0)
+	defer tr.Close()
+	client := NewRPC(0, tr)
+	server := NewRPC(1, tr)
+	var calls atomic.Int64
+	tr.Register(1, func(m Message) {
+		if !m.IsResp {
+			calls.Add(1)
+			server.ReplyError(m, errors.New("no"))
+		}
+	})
+	tr.Register(0, func(m Message) {
+		if m.IsResp {
+			client.HandleResponse(m)
+		}
+	})
+	_, err := client.CallRetry(1, 1, 5, time.Second, 3)
+	var re RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("remote error retried: %d calls, want 1", got)
+	}
+}

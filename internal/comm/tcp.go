@@ -2,6 +2,7 @@ package comm
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -13,12 +14,23 @@ import (
 
 // TCPTransport carries messages over real sockets, one outbound TCP
 // connection per destination site, gob-encoded. TCP's in-order delivery
-// gives the per-pair FIFO guarantee the protocols require; connections are
-// established lazily and persist, matching the prototype's socket usage
-// (§5). Register payload types with RegisterPayload before use.
+// gives the per-pair FIFO guarantee the protocols require while a
+// connection lives; connections are established lazily, persist, and are
+// re-dialed with backoff when they break (§5's socket usage, hardened for
+// networks that actually fail). Note the limits of that hardening: bytes
+// in flight when a connection dies are gone, and a message split across
+// the break is lost — reconnection restores connectivity, not the
+// exactly-once FIFO contract. Deployments that must not lose messages
+// run Reliable on top (see reliable.go), which retransmits across the
+// reconnect. Register payload types with RegisterPayload before use.
 type TCPTransport struct {
 	site  model.SiteID
 	addrs map[model.SiteID]string // site -> host:port
+
+	// Timeouts, settable before traffic starts via SetTimeouts.
+	dialTimeout   time.Duration // one connect attempt
+	writeTimeout  time.Duration // one message write
+	reconnectWait time.Duration // total redial budget per Send
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -27,14 +39,21 @@ type TCPTransport struct {
 	handler Handler
 	stats   Stats
 	closed  bool
+	done    chan struct{}
 	wg      sync.WaitGroup
 }
 
-// tcpConn pairs an outbound encoder with the counting writer underneath
-// it, so Send can report the exact bytes each message put on the wire.
+// tcpConn is the outbound state for one destination: the socket, the gob
+// encoder bound to it, and the counting writer underneath, so Send can
+// report the exact bytes each message put on the wire. Its mutex
+// serializes writes and reconnects per destination, so a stalled or
+// re-dialing peer never blocks sends to the others.
 type tcpConn struct {
-	enc *gob.Encoder
-	cw  *countWriter
+	mu   sync.Mutex
+	c    net.Conn
+	enc  *gob.Encoder
+	cw   *countWriter
+	ever bool // a connection has existed before (re-dials count as reconnects)
 }
 
 type countWriter struct {
@@ -46,6 +65,14 @@ func (c *countWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
 	return n, err
+}
+
+// ReconnectStats is the optional Stats extension transports call when
+// they re-establish a broken connection.
+type ReconnectStats interface {
+	// CommReconnect is called once per successful re-dial of the from→to
+	// edge.
+	CommReconnect(from, to model.SiteID)
 }
 
 // RegisterPayload registers a payload type for gob encoding. Call once per
@@ -62,14 +89,36 @@ func NewTCPTransport(site model.SiteID, addrs map[model.SiteID]string) (*TCPTran
 		return nil, fmt.Errorf("comm: listen %s: %w", addrs[site], err)
 	}
 	t := &TCPTransport{
-		site:  site,
-		addrs: addrs,
-		ln:    ln,
-		conns: make(map[model.SiteID]*tcpConn),
+		site:          site,
+		addrs:         addrs,
+		dialTimeout:   5 * time.Second,
+		writeTimeout:  10 * time.Second,
+		reconnectWait: 3 * time.Second,
+		ln:            ln,
+		conns:         make(map[model.SiteID]*tcpConn),
+		done:          make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.accept()
 	return t, nil
+}
+
+// SetTimeouts overrides the connection-management timeouts: dial bounds
+// one connect attempt, write bounds one message write, reconnect is the
+// total redial budget a single Send will spend on a down peer before
+// giving up (zero keeps the current value). Call before traffic starts.
+func (t *TCPTransport) SetTimeouts(dial, write, reconnect time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if dial > 0 {
+		t.dialTimeout = dial
+	}
+	if write > 0 {
+		t.writeTimeout = write
+	}
+	if reconnect > 0 {
+		t.reconnectWait = reconnect
+	}
 }
 
 // Addr returns the transport's bound listen address (useful when the
@@ -102,15 +151,15 @@ func (t *TCPTransport) serve(c net.Conn) {
 	for {
 		var msg Message
 		if err := dec.Decode(&msg); err != nil {
-			if err != io.EOF {
-				t.mu.Lock()
-				closed := t.closed
-				t.mu.Unlock()
-				if !closed {
-					// Peer failure: the model assumes reliable delivery, so
-					// surface loudly rather than silently dropping.
-					fmt.Printf("comm: tcp decode from peer: %v\n", err)
-				}
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if !closed && err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				// A mid-stream break (peer crash, killed connection) ends
+				// this inbound stream; the peer re-dials and a fresh serve
+				// goroutine takes over. Only truly unexpected errors are
+				// worth surfacing.
+				fmt.Printf("comm: tcp decode from peer: %v\n", err)
 			}
 			return
 		}
@@ -137,49 +186,127 @@ func (t *TCPTransport) Register(site model.SiteID, h Handler) {
 // SetStats installs the transport activity observer (nil disables). Call
 // before traffic starts. Sent messages report exact wire bytes; the
 // latency samples are local send latency (encode + write), since one-way
-// transit cannot be measured without synchronized clocks.
+// transit cannot be measured without synchronized clocks. A Stats that
+// also implements ReconnectStats receives re-dial events.
 func (t *TCPTransport) SetStats(s Stats) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats = s
 }
 
-// Send implements Transport.
-func (t *TCPTransport) Send(msg Message) error {
+func (t *TCPTransport) isClosed() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.closed
+}
+
+// Send implements Transport. A broken connection is re-dialed with
+// backoff (bounded by the reconnect budget) and the message re-encoded on
+// the fresh connection, so a killed socket costs at most the messages
+// already in flight, never the edge.
+func (t *TCPTransport) Send(msg Message) error {
+	t.mu.Lock()
 	if t.closed {
+		t.mu.Unlock()
 		return ErrClosed
+	}
+	if _, ok := t.addrs[msg.To]; !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("comm: unknown site s%d", msg.To)
 	}
 	tc, ok := t.conns[msg.To]
 	if !ok {
-		addr, ok := t.addrs[msg.To]
-		if !ok {
-			return fmt.Errorf("comm: unknown site s%d", msg.To)
-		}
-		c, err := net.Dial("tcp", addr)
-		if err != nil {
-			return fmt.Errorf("comm: dial s%d at %s: %w", msg.To, addr, err)
-		}
-		t.raws = append(t.raws, c)
-		cw := &countWriter{w: c}
-		tc = &tcpConn{enc: gob.NewEncoder(cw), cw: cw}
+		tc = &tcpConn{}
 		t.conns[msg.To] = tc
 	}
-	before := tc.cw.n
-	start := time.Now()
-	if err := tc.enc.Encode(msg); err != nil {
-		delete(t.conns, msg.To)
-		return fmt.Errorf("comm: send to s%d: %w", msg.To, err)
+	stats := t.stats
+	t.mu.Unlock()
+
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if t.isClosed() {
+			return ErrClosed
+		}
+		if tc.c == nil {
+			if err := t.redial(tc, msg.To, stats); err != nil {
+				return err
+			}
+		}
+		before := tc.cw.n
+		start := time.Now()
+		if t.writeTimeout > 0 {
+			_ = tc.c.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+		}
+		err := tc.enc.Encode(msg)
+		if err == nil {
+			if stats != nil {
+				stats.CommSent(msg.From, msg.To, int(tc.cw.n-before))
+				stats.CommLatency(msg.From, msg.To, time.Since(start))
+			}
+			return nil
+		}
+		// The connection is broken (peer died, deadline hit): discard it.
+		// One fresh dial-and-retry per Send; beyond that the caller (or
+		// the Reliable sublayer) owns recovery.
+		tc.c.Close()
+		tc.c = nil
+		if t.isClosed() {
+			return ErrClosed
+		}
+		if attempt >= 1 {
+			return fmt.Errorf("comm: send to s%d: %w", msg.To, err)
+		}
 	}
-	if t.stats != nil {
-		t.stats.CommSent(msg.From, msg.To, int(tc.cw.n-before))
-		t.stats.CommLatency(msg.From, msg.To, time.Since(start))
-	}
-	return nil
 }
 
-// Close implements Transport.
+// redial (re-)establishes tc's connection with exponential backoff inside
+// the reconnect budget. The caller holds tc.mu.
+func (t *TCPTransport) redial(tc *tcpConn, to model.SiteID, stats Stats) error {
+	addr := t.addrs[to]
+	backoff := 10 * time.Millisecond
+	deadline := time.Now().Add(t.reconnectWait)
+	for {
+		c, err := net.DialTimeout("tcp", addr, t.dialTimeout)
+		if err == nil {
+			t.mu.Lock()
+			if t.closed {
+				t.mu.Unlock()
+				c.Close()
+				return ErrClosed
+			}
+			t.raws = append(t.raws, c)
+			t.mu.Unlock()
+			cw := &countWriter{w: c}
+			tc.c, tc.cw, tc.enc = c, cw, gob.NewEncoder(cw)
+			if tc.ever {
+				if rs, ok := stats.(ReconnectStats); ok {
+					rs.CommReconnect(t.site, to)
+				}
+			}
+			tc.ever = true
+			return nil
+		}
+		if t.isClosed() {
+			return ErrClosed
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("comm: dial s%d at %s: %w", to, addr, err)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-t.done:
+			return ErrClosed
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// Close implements Transport. Every open connection is closed, which also
+// unblocks any Send stuck in a write or a redial wait; those Sends return
+// ErrClosed.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -187,6 +314,7 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	close(t.done)
 	t.ln.Close()
 	for _, c := range t.raws {
 		c.Close()

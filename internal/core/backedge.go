@@ -39,10 +39,28 @@ type backedgeEngine struct {
 	queue chan comm.Message
 
 	table *twopc.Table
+	// decisions is this site's coordinator-side stable decision record:
+	// every 2PC outcome (and every unilateral pre-2PC abort) for
+	// transactions originating here, written before participants learn it.
+	// Participants stuck in prepared after a lost decision message or a
+	// coordinator crash recover by inquiring against it (§4.1 step 3's
+	// atomic commitment, completed with the recovery path classic 2PC
+	// requires once sites can actually crash).
+	decisions *twopc.DecisionLog
 
 	mu       sync.Mutex
-	prepared map[model.TxnID]*txn.Txn     // executed backedge subtxns awaiting the decision
+	prepared map[model.TxnID]*pendingBE   // executed backedge subtxns awaiting the decision
 	waiters  map[model.TxnID]*originState // origin-side transactions awaiting their special
+}
+
+// pendingBE is a participant-side executed backedge subtransaction
+// holding its locks until the 2PC decision: the live transaction, the
+// coordinator to ask if the decision goes missing, and when it was
+// registered (to know when waiting has gone on suspiciously long).
+type pendingBE struct {
+	t      *txn.Txn
+	origin model.SiteID
+	since  time.Time
 }
 
 // originState synchronizes the origin's Execute goroutine with the FIFO
@@ -56,15 +74,19 @@ type originState struct {
 
 func newBackEdge(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *backedgeEngine {
 	return &backedgeEngine{
-		base:     newBase(cfg, BackEdge, id, tr),
-		queue:    make(chan comm.Message, 1<<16),
-		table:    twopc.NewTable(),
-		prepared: make(map[model.TxnID]*txn.Txn),
-		waiters:  make(map[model.TxnID]*originState),
+		base:      newBase(cfg, BackEdge, id, tr),
+		queue:     make(chan comm.Message, 1<<16),
+		table:     twopc.NewTable(),
+		decisions: twopc.NewDecisionLog(),
+		prepared:  make(map[model.TxnID]*pendingBE),
+		waiters:   make(map[model.TxnID]*originState),
 	}
 }
 
-func (e *backedgeEngine) Start() { go e.applier() }
+func (e *backedgeEngine) Start() {
+	go e.applier()
+	go e.inquirer()
+}
 
 func (e *backedgeEngine) Stop() { close(e.stop) }
 
@@ -151,6 +173,9 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		delete(e.waiters, tid)
 		e.mu.Unlock()
 		e.obs.eagerDepth.Dec()
+		// Log the unilateral abort first: a backedge site whose abort
+		// notification goes missing will inquire, and must find it.
+		e.decisions.Record(tid, false)
 		t.Abort()
 		e.abortBackedges(tid, targets)
 		e.recAbort(tid)
@@ -189,6 +214,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 			_, err := e.rpc.Call(p, kindDecision, decisionPayload{TID: id, Commit: commit}, e.cfg.Params.RPCTimeout)
 			return err
 		},
+		Log: e.decisions,
 	})
 	e.mu.Lock()
 	delete(e.waiters, tid)
@@ -266,6 +292,13 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 		// Decisions may take a lock-release step; keep the transport pair
 		// goroutine free.
 		go e.handleDecision(msg)
+	case kindInquiry:
+		// Coordinator side of decision recovery: answer from the stable
+		// decision log. Unknown means "not decided yet" — the participant
+		// keeps waiting.
+		q := msg.Payload.(inquiryPayload)
+		commit, known := e.decisions.Lookup(q.TID)
+		e.rpc.Reply(msg, inquiryResp{Known: known, Commit: commit})
 	default:
 		panic("core: BackEdge received unexpected message kind")
 	}
@@ -323,7 +356,12 @@ func (e *backedgeEngine) executeHolding(p specialPayload) bool {
 		e.mu.Lock()
 		err := e.table.Begin(p.TID)
 		if err == nil {
-			e.prepared[p.TID] = t
+			e.prepared[p.TID] = &pendingBE{t: t, origin: p.Origin, since: time.Now()}
+			// The subtransaction is in-flight propagation until its 2PC
+			// decision resolves it (possibly by inquiry recovery): holding
+			// a pending count here makes Quiesce wait out decision
+			// delivery instead of sampling replicas mid-recovery.
+			e.pendAdd(1)
 		}
 		e.mu.Unlock()
 		if err != nil {
@@ -352,36 +390,108 @@ func (e *backedgeEngine) relaySpecial(p specialPayload) {
 func (e *backedgeEngine) handleAbort(tid model.TxnID) {
 	e.mu.Lock()
 	e.table.Finish(tid, false)
-	t := e.prepared[tid]
+	p := e.prepared[tid]
 	delete(e.prepared, tid)
 	e.mu.Unlock()
-	if t != nil {
-		t.Abort()
+	if p != nil {
+		p.t.Abort()
+		e.pendDone()
 	}
 }
 
 // handleDecision applies the 2PC outcome to the prepared subtransaction.
 func (e *backedgeEngine) handleDecision(msg comm.Message) {
 	d := msg.Payload.(decisionPayload)
+	e.finishDecision(d.TID, d.Commit, msg.From)
+	e.rpc.Reply(msg, decisionResp{})
+}
+
+// finishDecision resolves a prepared backedge subtransaction with the 2PC
+// outcome, whether the decision arrived from the coordinator's phase 2 or
+// from a recovery inquiry; the two paths can race and the second is a
+// no-op (the state table is the arbiter).
+func (e *backedgeEngine) finishDecision(tid model.TxnID, commit bool, from model.SiteID) {
 	e.mu.Lock()
-	act := e.table.Finish(d.TID, d.Commit)
-	t := e.prepared[d.TID]
-	delete(e.prepared, d.TID)
+	act := e.table.Finish(tid, commit)
+	p := e.prepared[tid]
+	delete(e.prepared, tid)
 	e.mu.Unlock()
-	if act && t != nil {
-		if d.Commit {
-			if err := t.Commit(); err != nil {
+	if p != nil {
+		if act && commit {
+			if err := p.t.Commit(); err != nil {
 				panic(fmt.Sprintf("core: backedge subtxn commit failed: %v", err))
 			}
 			e.obs.beCommits.Inc()
-			e.traceEvent(trace.BackedgeCommit, msg.From, d.TID)
-			e.recApplied(d.TID)
+			e.traceEvent(trace.BackedgeCommit, from, tid)
+			e.recApplied(tid)
 		} else {
-			t.Abort()
+			p.t.Abort()
+		}
+		e.pendDone()
+	}
+	_ = e.table.Forget(tid)
+}
+
+// inquirer is the participant side of decision recovery: it periodically
+// looks for subtransactions that have sat prepared past PrepareTimeout —
+// meaning the phase-2 message was lost or the coordinator crashed after
+// deciding — and asks each one's coordinator for the logged decision.
+// Prepared means locks held, so a stuck participant blocks every
+// conflicting transaction at this site until this loop resolves it.
+func (e *backedgeEngine) inquirer() {
+	interval := e.cfg.Params.PrepareTimeout / 2
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-tick.C:
+		}
+		e.inquireStuck()
+	}
+}
+
+// inquireStuck sends one decision inquiry per overdue registered
+// subtransaction (every prepared-map entry holds locks: working ones
+// whose prepare or abort notification was lost, prepared ones whose
+// decision was lost). Inquiring about a working subtransaction is safe:
+// its vote is still outstanding, so the only decision the coordinator can
+// have logged is an abort. The inquiry is idempotent (the coordinator
+// only reads its log), so it retries through the RPC layer and tolerates
+// asking again on the next sweep — including the whole time the
+// coordinator is crashed, until a restart brings its log back online.
+func (e *backedgeEngine) inquireStuck() {
+	cutoff := time.Now().Add(-e.cfg.Params.PrepareTimeout)
+	type stuck struct {
+		tid    model.TxnID
+		origin model.SiteID
+	}
+	var overdue []stuck
+	e.mu.Lock()
+	for tid, p := range e.prepared {
+		if p.since.Before(cutoff) {
+			overdue = append(overdue, stuck{tid, p.origin})
 		}
 	}
-	_ = e.table.Forget(d.TID)
-	e.rpc.Reply(msg, decisionResp{})
+	e.mu.Unlock()
+	for _, s := range overdue {
+		if e.stopping() {
+			return
+		}
+		e.obs.beInquiries.Inc()
+		e.traceEvent(trace.DecisionInquiry, s.origin, s.tid)
+		resp, err := e.rpc.CallRetry(s.origin, kindInquiry, inquiryPayload{TID: s.tid}, e.cfg.Params.RPCTimeout, 2)
+		if err != nil {
+			continue // coordinator unreachable; the next sweep retries
+		}
+		if r := resp.(inquiryResp); r.Known {
+			e.finishDecision(s.tid, r.Commit, s.origin)
+		}
+	}
 }
 
 // applier drains the FIFO queue of normal and special secondaries.

@@ -51,6 +51,9 @@ func newBase(cfg *SharedConfig, proto Protocol, id model.SiteID, tr comm.Transpo
 	}
 	lm := lock.NewManager(cfg.Params.DetectDeadlocks)
 	lm.SetWoundGrace(cfg.Params.WoundGrace)
+	so := newSiteObs(cfg.Obs, id)
+	rpc := comm.NewRPC(id, tr)
+	rpc.SetLateHook(func(model.SiteID, int) { so.rpcLate.Inc() })
 	return base{
 		cfg:   cfg,
 		id:    id,
@@ -59,8 +62,8 @@ func newBase(cfg *SharedConfig, proto Protocol, id model.SiteID, tr comm.Transpo
 		locks: lm,
 		tm:    txn.NewManager(id, st, lm, cfg.Params.LockTimeout, cfg.Recorder),
 		tr:    tr,
-		rpc:   comm.NewRPC(id, tr),
-		obs:   newSiteObs(cfg.Obs, id),
+		rpc:   rpc,
+		obs:   so,
 		stop:  make(chan struct{}),
 	}
 }

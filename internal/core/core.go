@@ -243,6 +243,7 @@ const (
 	kindDecision                 // 2PC phase 2 (RPC)
 	kindPSLRead                  // PSL remote read: lock at primary + ship value (RPC)
 	kindPSLRelease               // PSL commit/abort-time remote lock release
+	kindInquiry                  // 2PC decision inquiry: stuck participant -> coordinator (RPC)
 )
 
 // secondaryPayload carries a committed transaction's writes to a replica
@@ -298,6 +299,20 @@ type pslReadResp struct {
 
 type pslReleasePayload struct{ TID model.TxnID }
 
+// inquiryPayload asks a transaction's coordinator for its 2PC decision; a
+// participant sends it when it has been prepared for suspiciously long
+// (the phase-2 message was lost, or the coordinator crashed after
+// deciding).
+type inquiryPayload struct{ TID model.TxnID }
+
+// inquiryResp answers a decision inquiry from the coordinator's decision
+// log. Known is false while the coordinator has not decided yet — the
+// participant keeps waiting (and keeps its locks, as prepared demands).
+type inquiryResp struct {
+	Known  bool
+	Commit bool
+}
+
 // RegisterPayloads registers every protocol payload for gob encoding; TCP
 // deployments must call it once at startup.
 func RegisterPayloads() {
@@ -311,5 +326,7 @@ func RegisterPayloads() {
 	comm.RegisterPayload(pslReadReq{})
 	comm.RegisterPayload(pslReadResp{})
 	comm.RegisterPayload(pslReleasePayload{})
+	comm.RegisterPayload(inquiryPayload{})
+	comm.RegisterPayload(inquiryResp{})
 	comm.RegisterPayload(comm.RemoteError{})
 }

@@ -59,6 +59,13 @@ func buildSystem(t *testing.T, proto Protocol, p *model.Placement, params Params
 // (nil selects the ID-order chain).
 func buildSystemWithTree(t *testing.T, proto Protocol, p *model.Placement, params Params, latency time.Duration, tree *graph.Tree) *system {
 	t.Helper()
+	return buildSystemFull(t, proto, p, params, latency, tree, nil)
+}
+
+// buildSystemFull additionally lets a test interpose on the transport the
+// engines see (wrap non-nil), e.g. to drop selected messages.
+func buildSystemFull(t *testing.T, proto Protocol, p *model.Placement, params Params, latency time.Duration, tree *graph.Tree, wrap func(comm.Transport) comm.Transport) *system {
+	t.Helper()
 	g := graph.FromPlacement(p)
 	order := make([]model.SiteID, p.NumSites)
 	for i := range order {
@@ -92,8 +99,12 @@ func buildSystemWithTree(t *testing.T, proto Protocol, p *model.Placement, param
 		Pending:      &s.pending,
 	}
 	s.collector.Begin()
+	var tr comm.Transport = s.transport
+	if wrap != nil {
+		tr = wrap(s.transport)
+	}
 	for i := 0; i < p.NumSites; i++ {
-		e, err := New(proto, shared, model.SiteID(i), s.transport)
+		e, err := New(proto, shared, model.SiteID(i), tr)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -24,6 +24,8 @@ type siteObs struct {
 	retries     *obs.Counter
 	bePrepares  *obs.Counter
 	beCommits   *obs.Counter
+	beInquiries *obs.Counter
+	rpcLate     *obs.Counter
 
 	// Queue-depth gauges: the DAG(WT)/BackEdge FIFO applier queue, the
 	// DAG(T) timestamp-hold queues, the BackEdge origins parked on their
@@ -53,6 +55,8 @@ func newSiteObs(r *obs.Registry, id model.SiteID) siteObs {
 		retries:     r.Counter("repl_secondary_retries_total", site),
 		bePrepares:  r.Counter("repl_backedge_prepares_total", site),
 		beCommits:   r.Counter("repl_backedge_commits_total", site),
+		beInquiries: r.Counter("repl_backedge_inquiries_total", site),
+		rpcLate:     r.Counter("repl_rpc_late_responses_total", site),
 		fifoDepth:   queue("fifo"),
 		tsDepth:     queue("ts"),
 		eagerDepth:  queue("eager"),

@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Op is one schedule action.
+type Op uint8
+
+const (
+	// OpCut partitions the directed A→B edge.
+	OpCut Op = iota + 1
+	// OpHeal restores the directed A→B edge.
+	OpHeal
+	// OpCrash takes site A down.
+	OpCrash
+	// OpRestart brings site A back.
+	OpRestart
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCut:
+		return "cut"
+	case OpHeal:
+		return "heal"
+	case OpCrash:
+		return "crash"
+	case OpRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Event is one timed schedule action; At is relative to Play's start. B is
+// meaningful for OpCut/OpHeal only.
+type Event struct {
+	At   time.Duration
+	Op   Op
+	A, B model.SiteID
+}
+
+func (e Event) String() string {
+	switch e.Op {
+	case OpCut, OpHeal:
+		return fmt.Sprintf("t=%v %v s%d->s%d", e.At, e.Op, e.A, e.B)
+	default:
+		return fmt.Sprintf("t=%v %v s%d", e.At, e.Op, e.A)
+	}
+}
+
+// Schedule is a replayable, timed fault plan.
+type Schedule []Event
+
+// String renders the schedule one event per line — the byte-for-byte
+// fingerprint reproducibility tests compare.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for _, e := range s {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Generate derives a deterministic chaos schedule from the seed: one
+// bidirectional partition-and-heal between two random sites and one
+// crash-and-restart of a third, all inside span. The same (seed, sites,
+// span) always yields the byte-for-byte identical schedule.
+func Generate(seed int64, sites int, span time.Duration) Schedule {
+	if sites < 2 || span <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	frac := func(lo, hi float64) time.Duration {
+		return time.Duration((lo + rng.Float64()*(hi-lo)) * float64(span))
+	}
+	a := model.SiteID(rng.Intn(sites))
+	b := model.SiteID(rng.Intn(sites - 1))
+	if b >= a {
+		b++
+	}
+	cut, healAt := frac(0.10, 0.35), frac(0.45, 0.80)
+	victim := model.SiteID(rng.Intn(sites))
+	crash, restart := frac(0.10, 0.35), frac(0.45, 0.80)
+	s := Schedule{
+		{At: cut, Op: OpCut, A: a, B: b},
+		{At: cut, Op: OpCut, A: b, B: a},
+		{At: healAt, Op: OpHeal, A: a, B: b},
+		{At: healAt, Op: OpHeal, A: b, B: a},
+		{At: crash, Op: OpCrash, A: victim},
+		{At: restart, Op: OpRestart, A: victim},
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return s
+}
+
+// Play applies the schedule against the injector in real time, blocking
+// until the last event fired or the injector closed. Run it in its own
+// goroutine alongside the workload.
+func (t *Transport) Play(s Schedule) {
+	start := time.Now()
+	for _, ev := range s {
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			time.Sleep(d)
+		}
+		if t.Closed() {
+			return
+		}
+		switch ev.Op {
+		case OpCut:
+			t.Partition(ev.A, ev.B)
+		case OpHeal:
+			t.Heal(ev.A, ev.B)
+		case OpCrash:
+			t.Crash(ev.A)
+		case OpRestart:
+			t.Restart(ev.A)
+		}
+	}
+}

@@ -211,3 +211,14 @@ func (r *Recorder) CheckSerializable() error {
 	}
 	return nil
 }
+
+// WriteHistory returns the writer of each installed version (index =
+// version-1) of item's copy at site. Debug helper.
+func (r *Recorder) WriteHistory(site model.SiteID, item model.ItemID) []model.TxnID {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]model.TxnID(nil), r.writes[copyKey{site, item}]...)
+}

@@ -18,6 +18,8 @@ import (
 //	                                         transit latency on the
 //	                                         in-process transport, local
 //	                                         send latency on TCP
+//	repl_comm_reconnects_total{from,to}      broken connections re-dialed
+//	                                         (TCP only)
 type CommStats struct {
 	r     *Registry
 	mu    sync.RWMutex
@@ -27,9 +29,10 @@ type CommStats struct {
 type edgeKey struct{ from, to model.SiteID }
 
 type edgeMetrics struct {
-	msgs  *Counter
-	bytes *Counter
-	lat   *Histogram
+	msgs    *Counter
+	bytes   *Counter
+	lat     *Histogram
+	reconns *Counter
 }
 
 // NewCommStats returns an adapter writing into r; a nil r yields an
@@ -54,9 +57,10 @@ func (s *CommStats) edge(from, to model.SiteID) *edgeMetrics {
 	lf := Label{Key: "from", Value: strconv.Itoa(int(from))}
 	lt := Label{Key: "to", Value: strconv.Itoa(int(to))}
 	e = &edgeMetrics{
-		msgs:  s.r.Counter("repl_comm_messages_total", lf, lt),
-		bytes: s.r.Counter("repl_comm_bytes_total", lf, lt),
-		lat:   s.r.Histogram("repl_comm_send_latency_seconds", lf, lt),
+		msgs:    s.r.Counter("repl_comm_messages_total", lf, lt),
+		bytes:   s.r.Counter("repl_comm_bytes_total", lf, lt),
+		lat:     s.r.Histogram("repl_comm_send_latency_seconds", lf, lt),
+		reconns: s.r.Counter("repl_comm_reconnects_total", lf, lt),
 	}
 	s.edges[k] = e
 	return e
@@ -73,4 +77,9 @@ func (s *CommStats) CommSent(from, to model.SiteID, bytes int) {
 // dropped by the histogram.
 func (s *CommStats) CommLatency(from, to model.SiteID, d time.Duration) {
 	s.edge(from, to).lat.Observe(d)
+}
+
+// CommReconnect implements comm.ReconnectStats.
+func (s *CommStats) CommReconnect(from, to model.SiteID) {
+	s.edge(from, to).reconns.Inc()
 }

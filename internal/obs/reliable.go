@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// ReliableStats adapts a Registry to the comm.ReliableStats observer,
+// caching per-edge handles like CommStats does. Exported series:
+//
+//	repl_reliable_retransmits_total{from,to}  messages retransmitted
+//	repl_reliable_dup_dropped_total{from,to}  duplicates discarded on receive
+//	repl_reliable_buffered_total{from,to}     out-of-order arrivals buffered
+type ReliableStats struct {
+	r     *Registry
+	mu    sync.RWMutex
+	edges map[edgeKey]*relEdgeMetrics
+}
+
+type relEdgeMetrics struct {
+	retransmits *Counter
+	dups        *Counter
+	buffered    *Counter
+}
+
+// NewReliableStats returns an adapter writing into r; a nil r yields an
+// adapter whose updates are no-ops.
+func NewReliableStats(r *Registry) *ReliableStats {
+	return &ReliableStats{r: r, edges: make(map[edgeKey]*relEdgeMetrics)}
+}
+
+func (s *ReliableStats) edge(from, to model.SiteID) *relEdgeMetrics {
+	k := edgeKey{from, to}
+	s.mu.RLock()
+	e, ok := s.edges[k]
+	s.mu.RUnlock()
+	if ok {
+		return e
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok = s.edges[k]; ok {
+		return e
+	}
+	lf := Label{Key: "from", Value: strconv.Itoa(int(from))}
+	lt := Label{Key: "to", Value: strconv.Itoa(int(to))}
+	e = &relEdgeMetrics{
+		retransmits: s.r.Counter("repl_reliable_retransmits_total", lf, lt),
+		dups:        s.r.Counter("repl_reliable_dup_dropped_total", lf, lt),
+		buffered:    s.r.Counter("repl_reliable_buffered_total", lf, lt),
+	}
+	s.edges[k] = e
+	return e
+}
+
+// RelRetransmit implements comm.ReliableStats.
+func (s *ReliableStats) RelRetransmit(from, to model.SiteID, n int) {
+	s.edge(from, to).retransmits.Add(uint64(n))
+}
+
+// RelDupDropped implements comm.ReliableStats.
+func (s *ReliableStats) RelDupDropped(from, to model.SiteID) {
+	s.edge(from, to).dups.Inc()
+}
+
+// RelBuffered implements comm.ReliableStats.
+func (s *ReliableStats) RelBuffered(from, to model.SiteID) {
+	s.edge(from, to).buffered.Inc()
+}

@@ -57,6 +57,28 @@ const (
 	BackedgeCommit
 	// RemoteRead marks a PSL remote read issued to the primary site Peer.
 	RemoteRead
+	// FaultDrop marks the fault injector discarding a message on the
+	// Site→Peer edge (seeded loss, a partition, or a crashed endpoint).
+	FaultDrop
+	// FaultDuplicate marks the fault injector delivering an extra copy of a
+	// message on the Site→Peer edge.
+	FaultDuplicate
+	// FaultDelay marks the fault injector holding a message on the
+	// Site→Peer edge beyond the transport's own latency.
+	FaultDelay
+	// SiteCrash marks a whole-site crash injected at Site: the site stops
+	// sending and receiving until SiteRestart.
+	SiteCrash
+	// SiteRestart marks a crashed Site coming back.
+	SiteRestart
+	// PartitionCut marks the directed Site→Peer edge being partitioned.
+	PartitionCut
+	// PartitionHeal marks the directed Site→Peer edge healing.
+	PartitionHeal
+	// DecisionInquiry marks 2PC decision recovery: at a participant when it
+	// asks the coordinator Peer for a missed decision, at the coordinator
+	// when it answers one.
+	DecisionInquiry
 
 	kindEnd
 )
@@ -73,6 +95,14 @@ var kindNames = [kindEnd]string{
 	BackedgePrepare:    "BackedgePrepare",
 	BackedgeCommit:     "BackedgeCommit",
 	RemoteRead:         "RemoteRead",
+	FaultDrop:          "FaultDrop",
+	FaultDuplicate:     "FaultDuplicate",
+	FaultDelay:         "FaultDelay",
+	SiteCrash:          "SiteCrash",
+	SiteRestart:        "SiteRestart",
+	PartitionCut:       "PartitionCut",
+	PartitionHeal:      "PartitionHeal",
+	DecisionInquiry:    "DecisionInquiry",
 }
 
 func (k Kind) String() string {

@@ -25,13 +25,63 @@ type Coordinator struct {
 	Prepare func(p model.SiteID, tid model.TxnID) (bool, error)
 	// Decide delivers the decision to a participant and waits for its ack.
 	Decide func(p model.SiteID, tid model.TxnID, commit bool) error
+	// Log, if non-nil, durably records the decision before phase 2 begins,
+	// so participants that miss the decision can recover by inquiry.
+	Log *DecisionLog
+}
+
+// DecisionLog is the coordinator's stable decision record: the commit or
+// abort outcome of every transaction it has decided, written before any
+// participant learns it. A participant stuck in the prepared state after
+// losing the phase-2 message (network fault, coordinator crash between
+// the decision and its delivery) resolves by asking the coordinator,
+// which answers from this log. The in-process heap stands in for the
+// coordinator's disk: a crashed site keeps its log across restart, which
+// is exactly the durability classic 2PC requires of the decision record.
+//
+// Entries are retained for the life of the log: the coordinator can never
+// know that no participant will inquire again, and a missing entry must
+// keep meaning "not decided yet", never "decided and forgotten".
+type DecisionLog struct {
+	mu sync.Mutex
+	m  map[model.TxnID]bool
+}
+
+// NewDecisionLog returns an empty decision log.
+func NewDecisionLog() *DecisionLog {
+	return &DecisionLog{m: make(map[model.TxnID]bool)}
+}
+
+// Record writes tid's decision. The first record wins; a decision, once
+// logged, never changes.
+func (l *DecisionLog) Record(tid model.TxnID, commit bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if _, ok := l.m[tid]; !ok {
+		l.m[tid] = commit
+	}
+	l.mu.Unlock()
+}
+
+// Lookup returns tid's decision and whether one has been recorded.
+func (l *DecisionLog) Lookup(tid model.TxnID) (commit, known bool) {
+	if l == nil {
+		return false, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	commit, known = l.m[tid]
+	return commit, known
 }
 
 // Run executes two-phase commit for tid over the participants. It returns
 // whether the transaction committed, plus the first decision-delivery
-// error (the decision itself stands regardless: participants that missed
-// it must recover by asking the coordinator, which this in-memory system
-// does not need since sites do not crash).
+// error. The decision itself stands regardless of delivery errors: it is
+// recorded in c.Log before phase 2 starts, and a participant that missed
+// it recovers by asking the coordinator, which answers from that log (see
+// DecisionLog).
 func Run(tid model.TxnID, participants []model.SiteID, c Coordinator) (bool, error) {
 	if len(participants) == 0 {
 		return true, nil
@@ -55,6 +105,10 @@ func Run(tid model.TxnID, participants []model.SiteID, c Coordinator) (bool, err
 			break
 		}
 	}
+	// The decision point: log it before any participant can learn it, so
+	// an inquiry after a lost phase-2 message (or a coordinator crash and
+	// restart) always finds the recorded outcome.
+	c.Log.Record(tid, commit)
 	// Phase 2: deliver the decision in parallel.
 	errs := make([]error, len(participants))
 	for i, p := range participants {

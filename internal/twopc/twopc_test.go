@@ -3,6 +3,7 @@ package twopc
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/model"
@@ -187,5 +188,71 @@ func TestStateString(t *testing.T) {
 		if s.String() != want {
 			t.Errorf("%d.String() = %q", s, s.String())
 		}
+	}
+}
+
+func TestDecisionLogFirstRecordWins(t *testing.T) {
+	l := NewDecisionLog()
+	if _, known := l.Lookup(txid(1)); known {
+		t.Fatal("empty log knows a decision")
+	}
+	l.Record(txid(1), true)
+	l.Record(txid(1), false) // must not overwrite
+	commit, known := l.Lookup(txid(1))
+	if !known || !commit {
+		t.Fatalf("got commit=%v known=%v, want commit recorded once", commit, known)
+	}
+}
+
+func TestDecisionLogNilSafe(t *testing.T) {
+	var l *DecisionLog
+	l.Record(txid(1), true)
+	if _, known := l.Lookup(txid(1)); known {
+		t.Fatal("nil log knows a decision")
+	}
+}
+
+// TestRunLogsDecisionBeforeDelivery pins the recovery invariant: by the
+// time any participant receives the phase-2 message, the decision is
+// already in the coordinator's log — so a participant that misses the
+// message can always find it by inquiry.
+func TestRunLogsDecisionBeforeDelivery(t *testing.T) {
+	log := NewDecisionLog()
+	var missed atomic.Bool
+	c := Coordinator{
+		Prepare: func(model.SiteID, model.TxnID) (bool, error) { return true, nil },
+		Decide: func(_ model.SiteID, tid model.TxnID, commit bool) error {
+			got, known := log.Lookup(tid)
+			if !known || got != commit {
+				missed.Store(true)
+			}
+			return nil
+		},
+		Log: log,
+	}
+	commit, err := Run(txid(9), []model.SiteID{1, 2}, c)
+	if err != nil || !commit {
+		t.Fatalf("commit=%v err=%v", commit, err)
+	}
+	if missed.Load() {
+		t.Fatal("a participant saw the decision before it was logged")
+	}
+	if got, known := log.Lookup(txid(9)); !known || !got {
+		t.Fatal("decision missing from the log after Run")
+	}
+}
+
+// TestRunLogsAbortDecision covers the no-vote path.
+func TestRunLogsAbortDecision(t *testing.T) {
+	log := NewDecisionLog()
+	f := newFake(map[model.SiteID]bool{1: true, 2: false})
+	c := f.coordinator()
+	c.Log = log
+	commit, err := Run(txid(3), []model.SiteID{1, 2}, c)
+	if err != nil || commit {
+		t.Fatalf("commit=%v err=%v, want abort", commit, err)
+	}
+	if got, known := log.Lookup(txid(3)); !known || got {
+		t.Fatalf("abort not logged (known=%v commit=%v)", known, got)
 	}
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos cover bench fuzz experiments shapes examples clean
+.PHONY: all build vet test race check chaos lint cover bench fuzz experiments shapes examples clean
 
 all: check
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # Seeded chaos suite (docs/FAULTS.md): every engine over the
 # reliable-delivery sublayer and the fault injector, under the race
@@ -24,9 +24,14 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestReliable|TestBackEdgeRecovers' -count 1 ./internal/cluster ./internal/comm ./internal/core ./internal/fault
 
+# The repository's own analyzer suite (docs/STATIC_ANALYSIS.md): five
+# protocol-invariant checks that go vet cannot express.
+lint:
+	$(GO) run ./cmd/repllint ./...
+
 # The pre-merge gate: compile, static checks, full test suite, the race
-# detector over the concurrent internals, and the chaos suite.
-check: build vet test race chaos
+# detector, the chaos suite, and the protocol-invariant lint.
+check: build vet test race chaos lint
 
 cover:
 	$(GO) test -cover ./...
@@ -35,9 +40,13 @@ cover:
 bench:
 	$(GO) test -run NONE -bench . -benchmem -benchtime 1x ./...
 
+FUZZTIME ?= 30s
+
 fuzz:
-	$(GO) test -fuzz FuzzCompareTotalOrder -fuzztime 30s ./internal/ts
-	$(GO) test -fuzz FuzzBackedgeComputation -fuzztime 30s ./internal/graph
+	$(GO) test -fuzz FuzzCompareTotalOrder -fuzztime $(FUZZTIME) ./internal/ts
+	$(GO) test -fuzz FuzzTimestampCompare -fuzztime $(FUZZTIME) ./internal/ts
+	$(GO) test -fuzz FuzzBackedgeComputation -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -fuzz FuzzReliableReorder -fuzztime $(FUZZTIME) ./internal/comm
 
 # Regenerate every figure/table of the paper's evaluation (§5).
 experiments:

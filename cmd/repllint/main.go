@@ -1,0 +1,75 @@
+// Command repllint runs the repository's protocol-invariant analyzer
+// suite (internal/lint) over a set of packages and prints findings in the
+// familiar path:line:col format. It exits 1 if any diagnostic survives
+// suppression, 2 on operational errors.
+//
+// Usage:
+//
+//	repllint [-only name[,name]] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. -only
+// restricts the run to a comma-separated subset of analyzers; -list
+// prints the suite and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				kept = append(kept, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "repllint: unknown analyzer %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repllint:", err)
+		os.Exit(2)
+	}
+	diags, err := prog.Run(analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repllint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

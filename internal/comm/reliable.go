@@ -224,6 +224,7 @@ func (r *Reliable) Send(msg Message) error {
 	s.mu.Unlock()
 	// A lost first transmission is indistinguishable from a dropped
 	// message; the outbox covers both.
+	//lint:allow senderr retransmission from the outbox covers a failed first send
 	_ = r.inner.Send(env)
 	return nil
 }
@@ -316,6 +317,7 @@ func (r *Reliable) handleData(site model.SiteID, h Handler, m Message) {
 	}
 	cum := rc.expected - 1
 	rc.mu.Unlock()
+	//lint:allow senderr a lost ack only delays the sender; the next delivery or retransmit re-acks
 	_ = r.inner.Send(Message{
 		From: site, To: m.From, Kind: kindRelAck,
 		Payload: RelAckPayload{Cum: cum},
@@ -362,6 +364,7 @@ func (r *Reliable) retransmitter() {
 					stats.RelRetransmit(resend[0].From, resend[0].To, len(resend))
 				}
 				for _, env := range resend {
+					//lint:allow senderr a failed retransmission is retried on the next tick
 					_ = r.inner.Send(env)
 				}
 			}

@@ -120,6 +120,7 @@ func (r *RPC) Reply(req Message, payload any) {
 	if req.ReqID == 0 {
 		panic("comm: Reply to a non-request message")
 	}
+	//lint:allow senderr a lost reply is indistinguishable from a dropped response; the caller times out and retries
 	_ = r.tr.Send(Message{
 		From: r.site, To: req.From, Kind: req.Kind,
 		ReqID: req.ReqID, IsResp: true, Payload: payload,

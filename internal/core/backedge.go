@@ -109,6 +109,7 @@ func (e *backedgeEngine) backedgeTargets(writes []model.WriteOp) []model.SiteID 
 }
 
 func (e *backedgeEngine) Execute(ops []model.Op) error {
+	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
 	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
@@ -202,7 +203,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	// Commit the primary and all backedge subtransactions atomically.
 	e.obs.bePrepares.Inc()
 	e.traceEvent(trace.BackedgePrepare, targets[0], tid)
-	committed, _ := twopc.Run(tid, targets, twopc.Coordinator{
+	committed, runErr := twopc.Run(tid, targets, twopc.Coordinator{
 		Prepare: func(p model.SiteID, id model.TxnID) (bool, error) {
 			resp, err := e.rpc.Call(p, kindPrepare, preparePayload{TID: id}, e.cfg.Params.RPCTimeout)
 			if err != nil {
@@ -220,6 +221,13 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	delete(e.waiters, tid)
 	e.mu.Unlock()
 	e.obs.eagerDepth.Dec()
+	if runErr != nil {
+		// The decision is logged and durable; only its delivery failed.
+		// The participant's inquiry sweep will recover it, but the miss
+		// must be visible: a climbing counter here means decision
+		// deliveries are being lost, not merely delayed.
+		e.obs.beDecisionErrs.Inc()
+	}
 	if !committed {
 		t.Abort()
 		e.recAbort(tid)
@@ -356,6 +364,7 @@ func (e *backedgeEngine) executeHolding(p specialPayload) bool {
 		e.mu.Lock()
 		err := e.table.Begin(p.TID)
 		if err == nil {
+			//lint:allow nodeterminism since drives the wall-clock inquiry sweep, not protocol ordering
 			e.prepared[p.TID] = &pendingBE{t: t, origin: p.Origin, since: time.Now()}
 			// The subtransaction is in-flight propagation until its 2PC
 			// decision resolves it (possibly by inquiry recovery): holding
@@ -465,6 +474,7 @@ func (e *backedgeEngine) inquirer() {
 // asking again on the next sweep — including the whole time the
 // coordinator is crashed, until a restart brings its log back online.
 func (e *backedgeEngine) inquireStuck() {
+	//lint:allow nodeterminism the inquiry sweep is wall-clock-driven recovery by design
 	cutoff := time.Now().Add(-e.cfg.Params.PrepareTimeout)
 	type stuck struct {
 		tid    model.TxnID
@@ -478,6 +488,14 @@ func (e *backedgeEngine) inquireStuck() {
 		}
 	}
 	e.mu.Unlock()
+	// Inquire in TxnID order so retransmission traffic is replayable.
+	sort.Slice(overdue, func(i, j int) bool {
+		a, b := overdue[i].tid, overdue[j].tid
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Seq < b.Seq
+	})
 	for _, s := range overdue {
 		if e.stopping() {
 			return

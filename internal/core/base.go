@@ -90,7 +90,9 @@ func (b *base) simulateOp() {
 	if c <= 0 {
 		return
 	}
+	//lint:allow nodeterminism busy-wait simulates CPU cost; only the elapsed duration matters
 	end := time.Now().Add(c)
+	//lint:allow nodeterminism busy-wait simulates CPU cost; only the elapsed duration matters
 	for time.Now().Before(end) {
 		runtime.Gosched()
 	}

@@ -52,6 +52,7 @@ func newDAGT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagtEngine 
 	e.qCond = sync.NewCond(&e.qMu)
 	for _, c := range e.children {
 		e.childItems[c] = make(map[model.ItemID]bool)
+		//lint:allow nodeterminism lastSent feeds the wall-clock dummy ticker, not protocol ordering
 		e.lastSent[c] = time.Now()
 	}
 	p := cfg.Placement
@@ -90,6 +91,7 @@ func (e *dagtEngine) Stop() {
 // transaction takes the site timestamp, and secondary subtransactions are
 // scheduled at the relevant children (§3.2.2).
 func (e *dagtEngine) Execute(ops []model.Op) error {
+	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
 	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
@@ -133,6 +135,7 @@ func (e *dagtEngine) schedule(tid model.TxnID, tsT ts.Timestamp, writes []model.
 			continue
 		}
 		e.tsMu.Lock()
+		//lint:allow nodeterminism lastSent feeds the wall-clock dummy ticker, not protocol ordering
 		e.lastSent[c] = time.Now()
 		e.tsMu.Unlock()
 		e.pendAdd(1)
@@ -157,6 +160,7 @@ func (e *dagtEngine) dummyTicker() {
 		case <-e.stop:
 			return
 		}
+		//lint:allow nodeterminism dummy generation is wall-clock-driven by design (timeout t_w, SS3.2.2)
 		now := time.Now()
 		var idle []model.SiteID
 		e.tsMu.Lock()
@@ -255,6 +259,7 @@ func (e *dagtEngine) nextSecondary() (secondaryPayload, bool) {
 		if ready {
 			p := e.queues[minP][0]
 			e.queues[minP] = e.queues[minP][1:]
+			e.obs.tsDepth.Dec()
 			return p, true
 		}
 		e.qCond.Wait()

@@ -33,6 +33,7 @@ func (e *dagwtEngine) Stop() { close(e.stop) }
 // Execute runs a primary subtransaction: purely local execution under
 // strict 2PL, then an atomic commit-and-forward.
 func (e *dagwtEngine) Execute(ops []model.Op) error {
+	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
 	e.traceEvent(trace.TxnBegin, model.NoSite, tid)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // testParams are Table 1 parameters scaled for test speed.
@@ -31,6 +32,7 @@ type system struct {
 	transport *comm.MemTransport
 	recorder  *history.Recorder
 	collector *metrics.Collector
+	registry  *obs.Registry
 	pending   sync.WaitGroup
 }
 
@@ -85,6 +87,7 @@ func buildSystemFull(t *testing.T, proto Protocol, p *model.Placement, params Pa
 		transport: comm.NewMemTransport(latency),
 		recorder:  history.NewRecorder(),
 		collector: metrics.NewCollector(true),
+		registry:  obs.NewRegistry(),
 	}
 	shared := &SharedConfig{
 		Placement:    p,
@@ -96,6 +99,7 @@ func buildSystemFull(t *testing.T, proto Protocol, p *model.Placement, params Pa
 		Params:       params,
 		Recorder:     s.recorder,
 		Metrics:      s.collector,
+		Obs:          s.registry,
 		Pending:      &s.pending,
 	}
 	s.collector.Begin()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/comm"
@@ -28,6 +29,7 @@ func (e *naiveEngine) Start() {}
 func (e *naiveEngine) Stop() { close(e.stop) }
 
 func (e *naiveEngine) Execute(ops []model.Op) error {
+	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
 	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
@@ -49,13 +51,21 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 				perSite[r] = append(perSite[r], w)
 			}
 		}
-		for r, ws := range perSite {
+		// Ship in site order, not map order: the transport draws its
+		// seeded jitter in Send order, so map-ordered sends would perturb
+		// schedule replay.
+		sites := make([]model.SiteID, 0, len(perSite))
+		for r := range perSite {
+			sites = append(sites, r)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, r := range sites {
 			e.pendAdd(1)
 			e.obs.forwarded.Inc()
 			e.traceEvent(trace.SecondaryForwarded, r, tid)
 			e.send(comm.Message{
 				From: e.id, To: r, Kind: kindSecondary,
-				Payload: secondaryPayload{TID: tid, Writes: ws},
+				Payload: secondaryPayload{TID: tid, Writes: perSite[r]},
 			})
 		}
 	}

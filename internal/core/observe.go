@@ -25,7 +25,12 @@ type siteObs struct {
 	bePrepares  *obs.Counter
 	beCommits   *obs.Counter
 	beInquiries *obs.Counter
-	rpcLate     *obs.Counter
+	// beDecisionErrs counts 2PC rounds whose decision was logged but whose
+	// delivery to some participant failed; the participant's inquiry sweep
+	// recovers it, and a climbing series here says deliveries are being
+	// lost rather than merely delayed.
+	beDecisionErrs *obs.Counter
+	rpcLate        *obs.Counter
 
 	// Queue-depth gauges: the DAG(WT)/BackEdge FIFO applier queue, the
 	// DAG(T) timestamp-hold queues, the BackEdge origins parked on their
@@ -56,7 +61,8 @@ func newSiteObs(r *obs.Registry, id model.SiteID) siteObs {
 		bePrepares:  r.Counter("repl_backedge_prepares_total", site),
 		beCommits:   r.Counter("repl_backedge_commits_total", site),
 		beInquiries: r.Counter("repl_backedge_inquiries_total", site),
-		rpcLate:     r.Counter("repl_rpc_late_responses_total", site),
+		beDecisionErrs: r.Counter("repl_backedge_decision_errors_total", site),
+		rpcLate:        r.Counter("repl_rpc_late_responses_total", site),
 		fifoDepth:   queue("fifo"),
 		tsDepth:     queue("ts"),
 		eagerDepth:  queue("eager"),
@@ -80,6 +86,7 @@ func (b *base) tracing() bool { return b.cfg.Trace != nil }
 // event is recorded separately, inside the commit critical section, so
 // it is ordered before the transaction's forward events.)
 func (b *base) recCommit(tid model.TxnID, start time.Time) {
+	//lint:allow nodeterminism latency observation only; the measured duration never branches protocol logic
 	b.cfg.Metrics.TxnCommitted(tid, time.Since(start))
 	b.obs.committed.Inc()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -64,6 +65,7 @@ func (e *pslEngine) readServer() {
 }
 
 func (e *pslEngine) Execute(ops []model.Op) error {
+	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
 	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
@@ -127,7 +129,14 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 }
 
 func (e *pslEngine) releaseRemotes(tid model.TxnID, remotes map[model.SiteID]bool) {
+	// Release in site order: the transport draws its seeded jitter in Send
+	// order, so map-ordered sends would perturb schedule replay.
+	sites := make([]model.SiteID, 0, len(remotes))
 	for s := range remotes {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, s := range sites {
 		e.send(comm.Message{
 			From: e.id, To: s, Kind: kindPSLRelease,
 			Payload: pslReleasePayload{TID: tid},

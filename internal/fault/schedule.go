@@ -106,8 +106,10 @@ func Generate(seed int64, sites int, span time.Duration) Schedule {
 // until the last event fired or the injector closed. Run it in its own
 // goroutine alongside the workload.
 func (t *Transport) Play(s Schedule) {
+	//lint:allow nodeterminism Play replays a schedule against real time by definition
 	start := time.Now()
 	for _, ev := range s {
+		//lint:allow nodeterminism Play replays a schedule against real time by definition
 		if d := time.Until(start.Add(ev.At)); d > 0 {
 			time.Sleep(d)
 		}

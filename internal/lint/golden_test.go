@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the analysistest equivalent: golden tests load a testdata
+// tree with LoadDirs and check the analyzer's diagnostics against
+// `// want "regex"` comments placed on the offending lines. Every
+// diagnostic must satisfy a want on its exact file:line, and every want
+// must be hit — so the testdata encodes positives and negatives in one
+// place, and a silently dead check fails its own test.
+
+// wantRe extracts the quoted patterns of a want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRe matches one Go-quoted string.
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants scans every comment of every package in prog.
+func collectWants(t *testing.T, prog *Program) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, q := range quotedRe.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads the named packages from internal/lint/testdata/src and
+// checks one analyzer's diagnostics against their want comments.
+func runGolden(t *testing.T, a *Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := LoadDirs("testdata/src", pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Run([]*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, prog)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	var missed []string
+	for _, w := range wants {
+		if !w.hit {
+			missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re))
+		}
+	}
+	if len(missed) > 0 {
+		t.Errorf("unmatched want comments:\n%s", strings.Join(missed, "\n"))
+	}
+}

@@ -1,0 +1,247 @@
+// Package lint is a go/analysis-style static-analysis framework plus the
+// repllint analyzer suite enforcing this repository's protocol invariants
+// at vet-time (docs/STATIC_ANALYSIS.md). The paper's correctness argument
+// (Theorems 1-3) rests on code-level disciplines the compiler cannot
+// check — FIFO forwarding in commit order, reverse-site-order timestamp
+// comparison, locks released only after secondaries are enqueued, and
+// (since the chaos harness) byte-for-byte replayable schedules that
+// forbid unseeded randomness and wall-clock reads in deterministic
+// paths. Each analyzer turns one such discipline into a diagnostic.
+//
+// The framework deliberately mirrors the golang.org/x/tools go/analysis
+// API shape (Analyzer, Pass, Reportf, analysistest-style golden files)
+// so the suite can migrate onto the real multichecker wholesale if the
+// dependency ever becomes available; it is built on the standard library
+// alone: packages are loaded with `go list -export` and type-checked
+// against compiler export data (see load.go).
+//
+// Diagnostics are suppressed with an explicit escape hatch:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line immediately above it. The reason is
+// mandatory by convention (the analyzers cannot check prose, but review
+// can) and documents why the invariant does not apply at that site.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package; Finish, if
+// non-nil, runs once after every package's Run and draws whole-program
+// conclusions (cross-package lock graphs, unused event kinds). Analyzer
+// values carry per-run state in their closures, so obtain fresh ones from
+// Analyzers (or the New* constructors) for every run.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+	// Finish reports program-wide diagnostics; report may be called with
+	// any position from the program's FileSet.
+	Finish func(prog *Program, report func(token.Pos, string)) error
+}
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the full set of packages one lint run covers.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Pass carries one analyzer's view of one package, mirroring
+// x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// allowRe matches the suppression directive. The reason tail is not
+// interpreted, only encouraged.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_,]+)`)
+
+// allowKey identifies one suppressed (file, line, analyzer) site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans every comment in the program for //lint:allow
+// directives.
+func collectAllows(prog *Program) map[allowKey]bool {
+	allows := make(map[allowKey]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, name := range strings.Split(m[1], ",") {
+						allows[allowKey{pos.Filename, pos.Line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// allowed reports whether a directive at d's line or the line above
+// suppresses it.
+func allowed(allows map[allowKey]bool, d Diagnostic) bool {
+	return allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+}
+
+// Run executes the analyzers over the program and returns the surviving
+// diagnostics sorted by position. Analyzer errors (not findings) are
+// returned as an error.
+func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		report := func(pos token.Pos, msg string) {
+			diags = append(diags, Diagnostic{
+				Pos:      prog.Fset.Position(pos),
+				Analyzer: a.Name,
+				Message:  msg,
+			})
+		}
+		for _, pkg := range prog.Pkgs {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		if a.Finish != nil {
+			if err := a.Finish(prog, report); err != nil {
+				return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+			}
+		}
+	}
+	allows := collectAllows(prog)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed(allows, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// Analyzers returns a fresh instance of the full repllint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewNodeterminism(),
+		NewLockOrder(),
+		NewSendErr(),
+		NewObsComplete(),
+		NewTSCompare(),
+	}
+}
+
+// ---- shared type helpers used by several analyzers ----
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// typeFrom reports whether t (possibly behind pointers) is the named type
+// typeName declared in a package whose name is pkgName.
+func typeFrom(t types.Type, pkgName, typeName string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == pkgName && n.Obj().Name() == typeName
+}
+
+// pathMatches reports whether the import path equals one of the suffixes
+// or ends in "/"+suffix — so "internal/core" matches both the module's
+// "repro/internal/core" and a testdata package named "internal/core".
+func pathMatches(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (method or package-level function), or nil for indirect calls, builtins
+// and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}

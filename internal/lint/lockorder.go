@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// defaultLockOrderPkgs are the packages whose mutexes guard protocol
+// state: the lock manager itself, the engines, and the 2PC layer. A lock
+// cycle here is a latent site-wide hang under exactly the load the paper
+// measures.
+var defaultLockOrderPkgs = []string{
+	"internal/lock",
+	"internal/core",
+	"internal/twopc",
+	"internal/comm",
+}
+
+// lockAcq is one Lock/RLock call inside a function.
+type lockAcq struct {
+	key      string // canonical mutex identity
+	pos      token.Pos
+	released bool // a matching Unlock/RUnlock or defer exists in the function
+}
+
+// lockCall is one function call made while mutexes are held.
+type lockCall struct {
+	callee string // full name of the callee
+	held   []string
+	pos    token.Pos
+}
+
+// lockFunc is the per-function summary the whole-program pass combines.
+type lockFunc struct {
+	name     string
+	acquires []lockAcq
+	calls    []lockCall
+	edges    []lockEdge
+}
+
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// NewLockOrder returns the lockorder analyzer. It builds the
+// mutex-acquisition graph of the configured packages (default:
+// internal/lock, internal/core, internal/twopc, internal/comm) and
+// reports
+//
+//   - cycles in the acquired-while-holding relation — two goroutines
+//     taking the same mutexes in opposite orders deadlock under
+//     contention — including edges through one level of calls (calling
+//     a function that acquires B while holding A is an A→B edge);
+//   - Lock/RLock calls with no matching Unlock/RUnlock or defer anywhere
+//     in the same function, the classic leaked critical section.
+//
+// Mutexes are identified by their field path on a named type
+// (pkg.Type.field), so the same field locked from different methods is
+// one graph node. Functions that intentionally return holding a lock
+// carry `//lint:allow lockorder <reason>`.
+func NewLockOrder(pkgs ...string) *Analyzer {
+	if len(pkgs) == 0 {
+		pkgs = defaultLockOrderPkgs
+	}
+	funcs := make(map[string]*lockFunc)
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "builds the mutex-acquisition graph and reports lock-order cycles and unreleased Lock calls",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pathMatches(pass.Pkg.Path, pkgs) {
+			return nil
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				lf := analyzeLockFunc(pass, fd, obj)
+				funcs[lf.name] = lf
+				for _, acq := range lf.acquires {
+					if !acq.released {
+						pass.Reportf(acq.pos, "%s is locked but never unlocked in this function (add a defer or an explicit Unlock on every path)", acq.key)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	a.Finish = func(prog *Program, report func(token.Pos, string)) error {
+		reportLockCycles(funcs, report)
+		return nil
+	}
+	return a
+}
+
+// mutexMethods classifies sync.Mutex/RWMutex method names.
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// mutexKey returns the canonical identity of the mutex a Lock/Unlock
+// call targets, or "" if the receiver is not a sync mutex. For field
+// selectors on named types the key is pkg.Type.field — stable across
+// functions; for anything else it is scoped to the enclosing function.
+func mutexKey(info *types.Info, fnName string, sel *ast.SelectorExpr) string {
+	recv := ast.Unparen(sel.X)
+	tv, ok := info.Types[recv]
+	if !ok {
+		return ""
+	}
+	if !isSyncMutex(tv.Type) {
+		return ""
+	}
+	if fs, ok := recv.(*ast.SelectorExpr); ok {
+		if base := namedType(typeOf(info, fs.X)); base != nil && base.Obj().Pkg() != nil {
+			return base.Obj().Pkg().Name() + "." + base.Obj().Name() + "." + fs.Sel.Name
+		}
+	}
+	var b strings.Builder
+	_ = printer.Fprint(&b, token.NewFileSet(), recv)
+	return fnName + "/" + b.String()
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isSyncMutex(t types.Type) bool {
+	return typeFrom(t, "sync", "Mutex") || typeFrom(t, "sync", "RWMutex")
+}
+
+// analyzeLockFunc walks one function body in source order, tracking the
+// flow-insensitive held set.
+func analyzeLockFunc(pass *Pass, fd *ast.FuncDecl, obj *types.Func) *lockFunc {
+	info := pass.Pkg.Info
+	lf := &lockFunc{name: obj.FullName()}
+	released := make(map[string]bool)
+	var held []string
+
+	heldCopy := func() []string { return append([]string(nil), held...) }
+	drop := func(key string) {
+		for i, h := range held {
+			if h == key {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// A deferred Unlock releases at return: record the release
+				// but keep the mutex in the held set for edge purposes.
+				if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok && unlockMethods[sel.Sel.Name] {
+					if key := mutexKey(info, lf.name, sel); key != "" {
+						released[key] = true
+						return false
+					}
+				}
+				return true
+			case *ast.FuncLit:
+				// Closures run at an unknown time; analyze their bodies as
+				// independent sequences with an empty held set — except
+				// that a closure deferring an Unlock still counts as the
+				// enclosing function's release (the `defer func() { ...
+				// mu.Unlock() ... }()` idiom).
+				save := heldCopy()
+				held = nil
+				walk(n.Body)
+				held = save
+				return false
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if ok {
+					if lockMethods[sel.Sel.Name] {
+						if key := mutexKey(info, lf.name, sel); key != "" {
+							for _, h := range held {
+								if h != key {
+									lf.edges = append(lf.edges, lockEdge{from: h, to: key, pos: n.Pos()})
+								}
+							}
+							lf.acquires = append(lf.acquires, lockAcq{key: key, pos: n.Pos()})
+							held = append(held, key)
+							return false
+						}
+					}
+					if unlockMethods[sel.Sel.Name] {
+						if key := mutexKey(info, lf.name, sel); key != "" {
+							released[key] = true
+							drop(key)
+							return false
+						}
+					}
+				}
+				if fn := calleeFunc(info, n); fn != nil && len(held) > 0 {
+					lf.calls = append(lf.calls, lockCall{callee: fn.FullName(), held: heldCopy(), pos: n.Pos()})
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+
+	for i := range lf.acquires {
+		if released[lf.acquires[i].key] {
+			lf.acquires[i].released = true
+		}
+	}
+	return lf
+}
+
+// reportLockCycles closes the per-function summaries over the call graph
+// and reports every elementary cycle once.
+func reportLockCycles(funcs map[string]*lockFunc, report func(token.Pos, string)) {
+	// Fixed point: the set of mutexes each function may acquire,
+	// transitively through calls into analyzed code.
+	acquired := make(map[string]map[string]bool, len(funcs))
+	for name := range funcs {
+		acquired[name] = make(map[string]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, lf := range funcs {
+			set := acquired[name]
+			add := func(k string) {
+				if !set[k] {
+					set[k] = true
+					changed = true
+				}
+			}
+			for _, acq := range lf.acquires {
+				add(acq.key)
+			}
+			for _, c := range lf.calls {
+				for k := range acquired[c.callee] {
+					add(k)
+				}
+			}
+		}
+	}
+
+	type edge struct {
+		to  string
+		pos token.Pos
+	}
+	graph := make(map[string][]edge)
+	addEdge := func(from, to string, pos token.Pos) {
+		for _, e := range graph[from] {
+			if e.to == to {
+				return
+			}
+		}
+		graph[from] = append(graph[from], edge{to, pos})
+	}
+	for _, lf := range funcs {
+		for _, e := range lf.edges {
+			addEdge(e.from, e.to, e.pos)
+		}
+		for _, c := range lf.calls {
+			for to := range acquired[c.callee] {
+				for _, from := range c.held {
+					if from != to {
+						addEdge(from, to, c.pos)
+					}
+				}
+			}
+		}
+	}
+
+	nodes := make([]string, 0, len(graph))
+	for n := range graph {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, g := range graph {
+		sort.Slice(g, func(i, j int) bool { return g[i].to < g[j].to })
+	}
+
+	reported := make(map[string]bool)
+	// DFS from each node; a back edge to the DFS root is an elementary
+	// cycle. Canonicalize by the sorted node set so each cycle reports
+	// once.
+	for _, root := range nodes {
+		var stack []string
+		onStack := map[string]bool{}
+		var dfs func(n string) bool
+		dfs = func(n string) bool {
+			stack = append(stack, n)
+			onStack[n] = true
+			defer func() { stack = stack[:len(stack)-1]; onStack[n] = false }()
+			for _, e := range graph[n] {
+				if e.to == root {
+					cyc := append(append([]string(nil), stack...), root)
+					key := canonicalCycle(cyc)
+					if !reported[key] {
+						reported[key] = true
+						report(e.pos, fmt.Sprintf("lock-order cycle: %s (two goroutines taking these in opposite orders deadlock)", strings.Join(cyc, " -> ")))
+					}
+					continue
+				}
+				if !onStack[e.to] {
+					if dfs(e.to) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		dfs(root)
+	}
+}
+
+// canonicalCycle keys a cycle by its sorted distinct nodes.
+func canonicalCycle(cyc []string) string {
+	set := make(map[string]bool)
+	for _, n := range cyc {
+		set[n] = true
+	}
+	nodes := make([]string, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return strings.Join(nodes, "|")
+}

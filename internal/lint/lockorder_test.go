@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockOrderGolden(t *testing.T) {
+	runGolden(t, NewLockOrder("lockorder_a"), "lockorder_a")
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// defaultDeterministicPkgs are the packages whose behaviour must be a
+// pure function of seeds and message arrivals: the protocol engines, the
+// fault injector (its schedules replay byte-for-byte), and the timestamp
+// algebra. docs/FAULTS.md states the contract; this analyzer enforces it.
+var defaultDeterministicPkgs = []string{
+	"internal/core",
+	"internal/fault",
+	"internal/ts",
+}
+
+// wall-clock reads that make a run irreproducible.
+var wallClockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+// math/rand package-level functions draw from the shared, unseedable (in
+// tests) global stream; constructors building explicitly-seeded private
+// streams are the sanctioned alternative.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// NewNodeterminism returns the nodeterminism analyzer, which flags
+// nondeterminism sources inside the deterministic packages (pkgs,
+// defaulting to internal/core, internal/fault and internal/ts):
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until;
+//   - draws from the global math/rand stream (rand.Intn, rand.Float64,
+//     ...) — seeded private *rand.Rand streams are fine;
+//   - map iteration feeding an ordered sink: inside `for range m` over a
+//     map, appending to a slice declared outside the loop, sending on a
+//     channel, or calling a function named Send/send. Map order is
+//     random per run, so whatever consumes the sink sees a different
+//     order every time — in particular, transport sends draw from the
+//     seeded jitter RNG in send order, so map-ordered sends break
+//     byte-for-byte schedule replay.
+//
+// Documented wall-clock sites (timeout machinery, metrics timing) carry
+// `//lint:allow nodeterminism <reason>`.
+func NewNodeterminism(pkgs ...string) *Analyzer {
+	if len(pkgs) == 0 {
+		pkgs = defaultDeterministicPkgs
+	}
+	a := &Analyzer{
+		Name: "nodeterminism",
+		Doc:  "flags wall-clock reads, global math/rand draws, and map-iteration-order dependence in deterministic packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pathMatches(pass.Pkg.Path, pkgs) {
+			return nil
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			sorted := collectSortedObjs(info, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkNondetCall(pass, info, n)
+				case *ast.RangeStmt:
+					checkMapRange(pass, info, n, sorted)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// collectSortedObjs finds every variable the file passes to a sort or
+// slices ordering function: accumulating map keys into a slice and
+// sorting it is the canonical deterministic iteration pattern, so such
+// slices are exempt from the map-range append check.
+func collectSortedObjs(info *types.Info, f *ast.File) map[types.Object]bool {
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					sorted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func checkNondetCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	full := fn.Pkg().Path() + "." + fn.Name()
+	if wallClockFuncs[full] {
+		pass.Reportf(call.Pos(), "wall-clock read %s in deterministic package %s (use logical time or annotate why real time is required)", full, pass.Pkg.Types.Name())
+		return
+	}
+	if fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2" {
+		// Package-level functions only: methods on *rand.Rand have a
+		// receiver and are the seeded, reproducible alternative.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "draw from the global math/rand stream (%s); use a seeded *rand.Rand so runs replay", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags ordered sinks fed from a map-iteration body.
+func checkMapRange(pass *Pass, info *types.Info, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: receiver observes random map order (iterate a sorted copy)")
+		case *ast.AssignStmt:
+			checkMapRangeAppend(pass, info, rng, n, sorted)
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && (fn.Name() == "Send" || fn.Name() == "send") {
+				pass.Reportf(n.Pos(), "%s call inside map iteration: messages leave in random map order, which perturbs seeded transport schedules (iterate a sorted copy)", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAppend flags `x = append(x, ...)` where x outlives the
+// range statement: the slice accumulates elements in random map order.
+func checkMapRangeAppend(pass *Pass, info *types.Info, rng *ast.RangeStmt, as *ast.AssignStmt, sorted map[types.Object]bool) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			obj = info.Defs[lhs]
+		}
+		if obj == nil || obj.Pos() == 0 {
+			continue
+		}
+		// Declared inside the range statement → the order never escapes.
+		if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			continue
+		}
+		// Sorted afterwards → the map order is erased before use.
+		if sorted[obj] {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %s inside map iteration accumulates random map order (sort the result or iterate a sorted copy)", lhs.Name)
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestNodeterminismGolden(t *testing.T) {
+	runGolden(t, NewNodeterminism("nodet"), "nodet")
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// obsField is one registered metric handle: a struct field of type
+// *obs.Counter, *obs.Gauge or *obs.Histogram.
+type obsField struct {
+	name string
+	kind string // Counter, Gauge, Histogram
+	pos  token.Pos
+}
+
+// obsUpdate summarizes how one handle field is mutated across the
+// program.
+type obsUpdate struct {
+	any      bool // some updating method is called
+	gaugeInc bool
+	gaugeDec bool // Dec, Set or Add
+}
+
+// NewObsComplete returns the obscomplete analyzer, which keeps the
+// observability layer (PR 1's guarantee) complete as the engines evolve:
+//
+//   - every exported trace event kind (constant of type Kind in a
+//     package named "trace") must be recorded by at least one package
+//     outside trace — an event that exists but is never emitted means a
+//     protocol lifecycle step silently lost its instrumentation;
+//   - every obs handle field (struct field of type *obs.Counter,
+//     *obs.Gauge or *obs.Histogram) must be updated somewhere — a handle
+//     that is registered but never Inc/Add/Observe'd exports a
+//     permanently-zero series that masquerades as "nothing happened";
+//   - every *obs.Gauge field that is ever Inc'd must also be Dec'd (or
+//     Set/Add'd) somewhere — a level gauge that only rises, like a queue
+//     depth counting arrivals but not departures, reads as an
+//     ever-growing backlog.
+//
+// Intentional exceptions carry `//lint:allow obscomplete <reason>` on
+// the constant or field declaration.
+func NewObsComplete() *Analyzer {
+	type kindConst struct {
+		name string
+		pos  token.Pos
+	}
+	var kinds []kindConst
+	usedOutside := make(map[string]bool) // kind const name -> used outside trace
+	fields := make(map[string]*obsField)
+	updates := make(map[string]*obsUpdate)
+	var fieldOrder []string
+
+	update := func(key string) *obsUpdate {
+		u, ok := updates[key]
+		if !ok {
+			u = &obsUpdate{}
+			updates[key] = u
+		}
+		return u
+	}
+
+	a := &Analyzer{
+		Name: "obscomplete",
+		Doc:  "cross-references trace event kinds and obs metric handles against their call sites",
+	}
+	a.Run = func(pass *Pass) error {
+		info := pass.Pkg.Info
+		inTrace := pass.Pkg.Types.Name() == "trace"
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					if c, ok := info.Uses[n].(*types.Const); ok && isTraceKindConst(c) && !inTrace {
+						usedOutside[c.Name()] = true
+					}
+					if inTrace {
+						if c, ok := info.Defs[n].(*types.Const); ok && isTraceKindConst(c) && c.Exported() {
+							kinds = append(kinds, kindConst{name: c.Name(), pos: n.Pos()})
+						}
+					}
+					if v, ok := info.Defs[n].(*types.Var); ok && v.IsField() {
+						if kind := obsHandleKind(v.Type()); kind != "" {
+							key := obsFieldKey(pass.Pkg.Path, v)
+							if _, seen := fields[key]; !seen {
+								fields[key] = &obsField{name: pass.Pkg.Types.Name() + "." + fieldOwner(info, n) + v.Name(), kind: kind, pos: n.Pos()}
+								fieldOrder = append(fieldOrder, key)
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					recordObsUpdate(pass.Pkg.Path, info, n, update)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	a.Finish = func(prog *Program, report func(token.Pos, string)) error {
+		for _, k := range kinds {
+			if !usedOutside[k.name] {
+				report(k.pos, fmt.Sprintf("trace event %s is declared but never recorded outside package trace: a protocol lifecycle step lost its instrumentation", k.name))
+			}
+		}
+		sort.Strings(fieldOrder)
+		for _, key := range fieldOrder {
+			f := fields[key]
+			u := updates[key]
+			switch {
+			case u == nil || !u.any:
+				report(f.pos, fmt.Sprintf("obs handle %s is registered but never updated: it exports a permanently-zero series", f.name))
+			case f.kind == "Gauge" && u.gaugeInc && !u.gaugeDec:
+				report(f.pos, fmt.Sprintf("gauge %s only ever increments: a level series needs a matching Dec/Set or it reads as an ever-growing backlog", f.name))
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func isTraceKindConst(c *types.Const) bool {
+	return c.Pkg() != nil && c.Pkg().Name() == "trace" && typeFrom(c.Type(), "trace", "Kind")
+}
+
+// obsHandleKind classifies a field type as a pointer to an obs handle.
+func obsHandleKind(t types.Type) string {
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return ""
+	}
+	for _, k := range []string{"Counter", "Gauge", "Histogram"} {
+		if typeFrom(t, "obs", k) {
+			return k
+		}
+	}
+	return ""
+}
+
+// fieldOwner names the struct type a field identifier belongs to, for
+// readable diagnostics ("siteObs."); best-effort.
+func fieldOwner(info *types.Info, name *ast.Ident) string {
+	// The defining ident's object has no back-pointer to the struct; the
+	// diagnostic position already disambiguates, so an empty owner is
+	// acceptable.
+	return ""
+}
+
+// recordObsUpdate marks handle mutations of the form x.field.Method().
+func recordObsUpdate(pkgPath string, info *types.Info, sel *ast.SelectorExpr, update func(string) *obsUpdate) {
+	switch sel.Sel.Name {
+	case "Inc", "Add", "Dec", "Set", "Observe":
+	default:
+		return
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := info.Uses[inner.Sel].(*types.Var)
+	if !ok || !obj.IsField() || obj.Pkg() == nil || obsHandleKind(obj.Type()) == "" {
+		return
+	}
+	u := update(obsFieldKey(obj.Pkg().Path(), obj))
+	u.any = true
+	switch sel.Sel.Name {
+	case "Inc":
+		u.gaugeInc = true
+	case "Dec", "Set", "Add":
+		u.gaugeDec = true
+	}
+}
+
+// obsFieldKey identifies a field across Defs and Uses by its declaration
+// position, which is stable within one load.
+func obsFieldKey(pkgPath string, obj *types.Var) string {
+	return pkgPath + "." + obj.Name() + "@" + fmt.Sprint(int(obj.Pos()))
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestObsCompleteGolden(t *testing.T) {
+	runGolden(t, NewObsComplete(), "trace", "obs", "engine")
+}

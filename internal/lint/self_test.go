@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestRepoIsClean runs the full analyzer suite over the repository's own
+// packages, so a freshly introduced violation fails `go test` even before
+// `make lint` runs. Legitimate exceptions belong at the offending line as
+// `//lint:allow <analyzer> <reason>`, not here.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide load and type-check is not short")
+	}
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Run(Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSendErrGolden(t *testing.T) {
+	runGolden(t, NewSendErr(), "comm", "twopc", "senderr")
+}

@@ -1,0 +1,17 @@
+// Package comm is a miniature of the repository's transport layer, just
+// enough surface for the senderr analyzer's type matching.
+package comm
+
+type Message struct {
+	From, To int
+	Payload  any
+}
+
+type Transport struct{}
+
+func (t *Transport) Send(m Message) error { return nil }
+
+type RPC struct{}
+
+func (r *RPC) Call(to int, m Message) (any, error)      { return nil, nil }
+func (r *RPC) CallRetry(to int, m Message) (any, error) { return nil, nil }

@@ -1,0 +1,33 @@
+// Package engine exercises the obscomplete analyzer from the consumer
+// side: handles that are updated, one that never is, a gauge that only
+// rises, and the trace kinds it records.
+package engine
+
+import (
+	"obs"
+	"trace"
+)
+
+type siteObs struct {
+	committed *obs.Counter
+	orphans   *obs.Counter // want "obs handle .*orphans is registered but never updated"
+	depth     *obs.Gauge   // want "gauge .*depth only ever increments"
+	inflight  *obs.Gauge
+	latency   *obs.Histogram
+	//lint:allow obscomplete wired up by the next engine
+	reserved *obs.Counter
+}
+
+type engine struct {
+	o   siteObs
+	out []trace.Kind
+}
+
+func (e *engine) run() {
+	e.out = append(e.out, trace.TxnBegin, trace.TxnCommit)
+	e.o.committed.Inc()
+	e.o.depth.Inc()
+	e.o.inflight.Inc()
+	e.o.inflight.Dec()
+	e.o.latency.Observe(1)
+}

@@ -1,0 +1,84 @@
+// Package lockorder_a exercises the lockorder analyzer: a direct
+// two-mutex ordering cycle, an interprocedural cycle through a callee,
+// a leaked critical section, and the clean patterns that must stay quiet.
+package lockorder_a
+
+import "sync"
+
+func work() {}
+
+type store struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.RWMutex
+}
+
+func (s *store) abOrder() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	defer s.b.Unlock()
+	work()
+}
+
+func (s *store) baOrder() {
+	s.b.Lock()
+	s.a.Lock() // want "lock-order cycle"
+	work()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+func (s *store) leak() {
+	s.a.Lock() // want "locked but never unlocked"
+	work()
+}
+
+func (s *store) handoff() {
+	//lint:allow lockorder returns holding the lock; the caller releases it
+	s.c.Lock()
+	work()
+}
+
+func (s *store) reader() {
+	s.c.RLock()
+	defer s.c.RUnlock()
+	work()
+}
+
+type pair struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (p *pair) lockY() {
+	p.y.Lock()
+	defer p.y.Unlock()
+	work()
+}
+
+func (p *pair) xThenCallY() {
+	p.x.Lock()
+	defer p.x.Unlock()
+	p.lockY() // acquires y while holding x
+}
+
+func (p *pair) yThenX() {
+	p.y.Lock()
+	defer p.y.Unlock()
+	p.x.Lock() // want "lock-order cycle"
+	work()
+	p.x.Unlock()
+}
+
+type clean struct {
+	mu sync.Mutex
+}
+
+func (c *clean) closureUnlock() {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	work()
+}

@@ -1,0 +1,83 @@
+// Package nodet exercises the nodeterminism analyzer: wall-clock reads,
+// global math/rand draws, and map-iteration order escaping into ordered
+// sinks, plus the sanctioned alternatives for each.
+package nodet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func work() {}
+
+func wallClock() time.Duration {
+	start := time.Now() // want "wall-clock read time.Now"
+	work()
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func allowedClock() time.Time {
+	//lint:allow nodeterminism timeout machinery needs real time
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand stream"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "global math/rand stream"
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(42)) // constructors are the sanctioned path
+	return r.Intn(10)
+}
+
+func mapOrderEscapes(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+func mapOrderSorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // erased by the sort below
+	}
+	sort.Ints(out)
+	return out
+}
+
+func mapOrderLocal(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...) // tmp dies with the iteration
+		n += len(tmp)
+	}
+	return n
+}
+
+func chanSend(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+func send(int) {}
+
+func sendCalls(m map[int]int) {
+	for k := range m {
+		send(k) // want "send call inside map iteration"
+	}
+}
+
+func sliceRangeIsFine(s []int, ch chan int) {
+	for _, v := range s {
+		ch <- v // slices iterate deterministically
+	}
+}

@@ -1,0 +1,15 @@
+// Package trace is a miniature of the repository's event taxonomy for
+// the obscomplete analyzer's cross-referencing.
+package trace
+
+// Kind identifies one lifecycle event.
+type Kind uint8
+
+const (
+	TxnBegin  Kind = iota // recorded by engine
+	TxnCommit             // recorded by engine
+	Orphaned              // want "trace event Orphaned is declared but never recorded"
+)
+
+//lint:allow obscomplete reserved for the next protocol revision
+const Reserved Kind = 99

@@ -1,0 +1,32 @@
+// Package ts is a miniature of the repository's timestamp algebra. The
+// tscompare analyzer exempts the algebra itself: these comparisons are
+// the definition of the order, not a bypass of it.
+package ts
+
+// Tuple is one (site, LTS) component.
+type Tuple struct {
+	Site int
+	LTS  uint64
+}
+
+// Timestamp is a tuple vector plus epoch, ordered by reverse site order.
+type Timestamp struct {
+	Tuples []Tuple
+	Epoch  uint64
+}
+
+// Compare orders timestamps by reverse site order.
+func Compare(a, b Timestamp) int {
+	for i := len(a.Tuples) - 1; i >= 0; i-- {
+		if a.Tuples[i].LTS != b.Tuples[i].LTS {
+			if a.Tuples[i].LTS < b.Tuples[i].LTS {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func Less(a, b Timestamp) bool  { return Compare(a, b) < 0 }
+func Equal(a, b Timestamp) bool { return Compare(a, b) == 0 }

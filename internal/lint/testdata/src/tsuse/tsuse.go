@@ -1,0 +1,31 @@
+// Package tsuse exercises the tscompare analyzer from outside the
+// algebra: ad-hoc orderings that must be flagged and the scalar or
+// Compare-based forms that must stay quiet.
+package tsuse
+
+import "ts"
+
+func badTupleOrder(a, b ts.Tuple) bool {
+	return a.LTS < b.LTS // want "ordering a timestamp tuple field"
+}
+
+func badTupleEq(a, b ts.Tuple) bool {
+	return a == b // want "direct == on timestamp tuples"
+}
+
+func badLastOrder(t, u ts.Timestamp) bool {
+	return t.Tuples[len(t.Tuples)-1].LTS > u.Tuples[len(u.Tuples)-1].LTS // want "ordering a timestamp tuple field"
+}
+
+func goodCompare(t, u ts.Timestamp) bool {
+	return ts.Less(t, u)
+}
+
+func goodSiteEquality(a ts.Tuple, site int) bool {
+	return a.Site == site // equality against a scalar is not an ordering
+}
+
+func allowedScalar(a, b ts.Tuple) bool {
+	//lint:allow tscompare same-site LTS comparison is scalar by construction
+	return a.LTS < b.LTS
+}

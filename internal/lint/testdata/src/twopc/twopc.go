@@ -1,0 +1,5 @@
+// Package twopc is a miniature of the repository's 2PC layer for the
+// senderr analyzer's type matching.
+package twopc
+
+func Run(n int) (bool, error) { return true, nil }

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// tsFieldNames are the tuple components of a ts.Timestamp entry. Ordering
+// any of them directly is only meaningful inside the algebra.
+var tsFieldNames = map[string]bool{"Site": true, "LTS": true, "Epoch": true}
+
+// NewTSCompare returns the tscompare analyzer. Timestamps in this
+// protocol family are *tuples* ordered by reverse site order (paper §3.2,
+// docs/DESIGN.md): Compare walks sites from highest to lowest and the
+// first differing LTS decides. Any direct relational operator on
+// timestamp values or their tuple fields outside internal/ts reimplements
+// that rule ad hoc — and the natural-looking versions (compare LTS of the
+// local site, compare tuples in ascending site order) are exactly the
+// bugs the paper's Section 3 counterexamples exhibit. The analyzer flags
+//
+//   - ==, !=, <, <=, >, >= where either operand is a ts.Timestamp or
+//     ts.Tuple value, and
+//   - <, <=, >, >= where either operand selects a Site/LTS/Epoch field
+//     from such a value,
+//
+// in every package except those named "ts" (the algebra itself defines
+// Compare/Less/Equal and may touch its own representation). Use
+// ts.Compare, ts.Less or ts.Equal instead; a genuinely scalar use — e.g.
+// comparing one site's LTS against a remembered LTS from the same site —
+// carries `//lint:allow tscompare <reason>`.
+func NewTSCompare() *Analyzer {
+	a := &Analyzer{
+		Name: "tscompare",
+		Doc:  "forbids direct relational operators on timestamp tuples outside internal/ts",
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.Types.Name() == "ts" {
+			return nil
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || !relationalOp(be.Op) {
+					return true
+				}
+				for _, operand := range []ast.Expr{be.X, be.Y} {
+					if isTSValue(info, operand) {
+						pass.Reportf(be.Pos(), "direct %s on timestamp tuples: ordering is reverse-site-order, use ts.Compare/ts.Less/ts.Equal", be.Op)
+						return true
+					}
+					if be.Op != token.EQL && be.Op != token.NEQ && isTSFieldSelector(info, operand) {
+						pass.Reportf(be.Pos(), "ordering a timestamp tuple field with %s bypasses reverse-site-order comparison (use ts.Compare, or annotate a genuinely scalar use)", be.Op)
+						return true
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func relationalOp(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// isTSValue reports whether e's type is ts.Timestamp or ts.Tuple
+// (possibly behind pointers).
+func isTSValue(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok {
+		return false
+	}
+	return typeFrom(tv.Type, "ts", "Timestamp") || typeFrom(tv.Type, "ts", "Tuple")
+}
+
+// isTSFieldSelector reports whether e selects a Site/LTS/Epoch field from
+// a timestamp tuple (x.LTS, t.Tuples[i].Site, ...).
+func isTSFieldSelector(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || !tsFieldNames[sel.Sel.Name] {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() == nil || v.Pkg().Name() != "ts" {
+		return false
+	}
+	return isTSValue(info, sel.X)
+}

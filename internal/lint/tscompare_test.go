@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestTSCompareGolden(t *testing.T) {
+	runGolden(t, NewTSCompare(), "ts", "tsuse")
+}

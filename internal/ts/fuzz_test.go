@@ -28,6 +28,49 @@ func decodeTS(data []byte) Timestamp {
 	return t
 }
 
+// FuzzTimestampCompare pins the comparator's defining laws on fuzz-built
+// timestamps: antisymmetry, transitivity, and — the part ad-hoc
+// reimplementations get wrong — *reverse* site order at the first
+// differing tuple, same-site LTS order, and epoch dominance over the
+// whole tuple vector.
+func FuzzTimestampCompare(f *testing.F) {
+	f.Add([]byte{0, 1, 1}, []byte{0, 2, 3, 1, 4}, []byte{1, 0, 0}, byte(1), byte(2))
+	f.Add([]byte{1, 0, 0, 2, 2}, []byte{1}, []byte{2, 1, 1}, byte(3), byte(1))
+	f.Fuzz(func(t *testing.T, ab, bb, cb []byte, siteDelta, ltsDelta byte) {
+		a, b, c := decodeTS(ab), decodeTS(bb), decodeTS(cb)
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+		}
+		if !a.Equal(a.Clone()) {
+			t.Fatalf("reflexivity violated: %v is not equal to its clone", a)
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			t.Fatalf("transitivity violated: %v < %v < %v", a, b, c)
+		}
+
+		last := len(a.Tuples) - 1
+		// Reverse site order: raising the site of the last tuple makes the
+		// timestamp EARLIER — the natural ascending comparison gets exactly
+		// this backwards.
+		higherSite := a.Clone()
+		higherSite.Tuples[last].Site += model.SiteID(siteDelta%5) + 1
+		if !higherSite.Less(a) {
+			t.Fatalf("reverse site order violated: %v (higher last site) must order before %v", higherSite, a)
+		}
+		// Same site, larger LTS: strictly later.
+		higherLTS := a.Clone()
+		higherLTS.Tuples[last].LTS += uint64(ltsDelta%5) + 1
+		if !a.Less(higherLTS) {
+			t.Fatalf("same-site LTS order violated: %v must order before %v", a, higherLTS)
+		}
+		// Epoch dominates the tuple vector entirely.
+		newer := b.WithEpoch(a.Epoch + 1 + uint64(ltsDelta%3))
+		if !a.Less(newer) {
+			t.Fatalf("epoch dominance violated: %v must order before %v", a, newer)
+		}
+	})
+}
+
 // FuzzCompareTotalOrder checks the Definition 3.3 comparator's algebraic
 // laws on fuzz-generated timestamp triples: antisymmetry, equality
 // consistency, transitivity, and agreement with the prefix rule.

@@ -8,6 +8,7 @@
 //	replbench -exp fig2a -scale medium
 //	replbench -exp fig3a -scale full -csv > fig3a.csv
 //	replbench -exp all -scale quick
+//	replbench -trace run.jsonl -traceproto dagt -watch -spans run.perfetto.json
 //
 // Scales: quick (seconds per point), medium (default), full (the paper's
 // 1000 transactions per thread — expect a long run).
@@ -30,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/watch"
 	"repro/internal/workload"
 )
 
@@ -58,6 +60,10 @@ func main() {
 		faultSeed  = flag.Int64("faultseed", 1, "seed rooting the fault injector's per-edge decision streams and the -chaossched schedule")
 		reliable   = flag.Bool("reliable", false, "with -trace: wrap the network in the reliable-delivery sublayer (required when faults drop messages)")
 		chaosSched = flag.Bool("chaossched", false, "with -trace: play a seeded partition-and-heal plus crash-and-restart schedule during the run (implies -reliable semantics; see docs/FAULTS.md)")
+
+		spansOut  = flag.String("spans", "", "with -trace: also write the run as Chrome/Perfetto trace-event JSON to this file (open at ui.perfetto.dev; see docs/OBSERVABILITY.md)")
+		watchOn   = flag.Bool("watch", false, "with -trace: run the staleness/liveness watchdog during the run and report its summary (a 'watch' block under -json)")
+		flightDir = flag.String("flightdump", "", "with -trace: directory for the watchdog's flight-recorder JSONL dumps on alert (implies -watch)")
 	)
 	flag.Parse()
 
@@ -77,10 +83,16 @@ func main() {
 			Drop: *faultDrop, Dup: *faultDup, Delay: *faultDelay,
 			Seed: *faultSeed, Reliable: *reliable, Schedule: *chaosSched,
 		}
-		if err := runTraced(*traceOut, *traceProto, *seed, *jsonOut, fo); err != nil {
+		wo := watchOptions{
+			Enable: *watchOn || *flightDir != "", FlightDir: *flightDir, Spans: *spansOut,
+		}
+		if err := runTraced(*traceOut, *traceProto, *seed, *jsonOut, fo, wo); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *spansOut != "" || *watchOn || *flightDir != "" {
+		fatal(fmt.Errorf("-spans/-watch/-flightdump only apply to a -trace run"))
 	}
 
 	if *list || *exp == "" {
@@ -161,13 +173,23 @@ func (f faultOptions) active() bool {
 	return f.Drop > 0 || f.Dup > 0 || f.Delay > 0 || f.Schedule
 }
 
+// watchOptions carries the -watch/-flightdump/-spans flags: the
+// staleness/liveness watchdog riding on the traced run, and the Perfetto
+// export of the recorded span stream.
+type watchOptions struct {
+	Enable    bool
+	FlightDir string
+	Spans     string
+}
+
 // runTraced runs one short Table 1 cluster with the propagation trace
 // recorder attached and writes every lifecycle event to out as JSONL.
 // With jsonReport, the run's metrics report is printed as JSON instead of
 // the human-readable line, so scripts can consume both artifacts; when
 // fault injection is on, the JSON also carries the repl_fault_* and
-// repl_reliable_* counters.
-func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptions) error {
+// repl_reliable_* counters; with the watchdog on, a watch summary block
+// (alert counts, max staleness, flight dumps).
+func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptions, wo watchOptions) error {
 	protocol, err := core.ParseProtocol(protoName)
 	if err != nil {
 		return err
@@ -195,21 +217,28 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 		Trace:            rec,
 	}
 	var registry *obs.Registry
-	if fo.active() || fo.Reliable {
+	if fo.active() || fo.Reliable || wo.Enable {
 		registry = obs.NewRegistry()
 		cfg.Obs = registry
+	}
+	if fo.active() || fo.Reliable {
 		cfg.Fault = &fault.Config{Seed: fo.Seed, Faults: fault.Faults{
 			Drop: fo.Drop, Duplicate: fo.Dup, Delay: fo.Delay,
 			DelayMin: 500 * time.Microsecond, DelayMax: 3 * time.Millisecond,
 		}}
 		cfg.Reliable = fo.Reliable
 	}
+	if wo.Enable {
+		cfg.Watch = &watch.Options{FlightDir: wo.FlightDir}
+	}
 	c, err := cluster.New(cfg)
 	if err != nil {
 		return err
 	}
 	c.Start()
-	defer c.Stop()
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(c.Stop) }
+	defer stop()
 	var player sync.WaitGroup
 	if fo.Schedule {
 		sched := fault.Generate(fo.Seed, wl.Sites, 2*time.Second)
@@ -240,21 +269,45 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "replbench: wrote %d events to %s\n", rec.Len(), out)
+	if wo.Spans != "" {
+		sf, err := os.Create(wo.Spans)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(sf, rec.Snapshot()); err != nil {
+			sf.Close()
+			return err
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "replbench: wrote Perfetto trace to %s (open at ui.perfetto.dev)\n", wo.Spans)
+	}
+	// Stop before summarizing: Stop runs the watchdog's final tick, so the
+	// summary reflects the whole run.
+	stop()
 	if jsonReport {
 		var b []byte
 		if registry != nil {
 			// Fault runs also publish what the injector did and what the
-			// reliable sublayer absorbed, next to the usual report.
+			// reliable sublayer absorbed, next to the usual report; watchdog
+			// runs add the liveness summary.
 			counters := make(map[string]int64)
 			for k, v := range registry.Snapshot() {
 				if strings.HasPrefix(k, "repl_fault_") || strings.HasPrefix(k, "repl_reliable_") {
 					counters[k] = v
 				}
 			}
+			var ws *watch.Summary
+			if w := c.Watch(); w != nil {
+				s := w.Summarize()
+				ws = &s
+			}
 			b, err = json.MarshalIndent(struct {
 				Report   metrics.Report   `json:"report"`
 				Counters map[string]int64 `json:"counters"`
-			}{report, counters}, "", "  ")
+				Watch    *watch.Summary   `json:"watch,omitempty"`
+			}{report, counters, ws}, "", "  ")
 		} else {
 			b, err = report.JSON()
 		}
@@ -275,6 +328,11 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 				}
 			}
 			fmt.Printf("faults: dropped=%d retransmits=%d\n", dropped, retrans)
+		}
+		if w := c.Watch(); w != nil {
+			s := w.Summarize()
+			fmt.Printf("watch: raised=%v active=%d max_staleness=%dms flight_dumps=%d\n",
+				s.AlertsRaised, s.ActiveAlerts, s.MaxStalenessMs, len(s.FlightDumps))
 		}
 	}
 	return nil

@@ -28,6 +28,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/watch"
 	"repro/internal/workload"
 )
 
@@ -49,6 +51,8 @@ func main() {
 		drain    = flag.Duration("drain", 3*time.Second, "time to keep serving after local threads finish")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 		reliable = flag.Bool("reliable", false, "run the reliable-delivery sublayer over TCP (must match on every node); survives killed connections without message loss or reorder")
+		watchOn  = flag.Bool("watch", false, "run the liveness watchdog on this node: queue/epoch/pending-2PC stall alerts on /metrics (with -obs) and in the exit summary")
+		flight   = flag.String("flightdump", "", "with -watch: directory for flight-recorder JSONL dumps written when an alert fires")
 	)
 	flag.Parse()
 
@@ -147,6 +151,27 @@ func main() {
 		fmt.Printf("replnode: site %d observability on http://%s/metrics\n", *site, ln.Addr())
 	}
 
+	// The watchdog on a node watches what the node can see: its own
+	// queues, epoch progress, and prepared-but-undecided 2PC entries.
+	// Cross-site staleness needs both ends of an edge in one event stream,
+	// so its deadline is pushed out of reach — a forward to a peer is
+	// applied in the peer's process, invisible here.
+	var watchdog *watch.Watchdog
+	var rec *trace.Recorder
+	if *watchOn || *flight != "" {
+		rec = trace.NewRecorder()
+		watchdog = watch.New(watch.Options{
+			StalenessDeadline: 24 * time.Hour,
+			FlightDir:         *flight,
+		})
+		watchdog.SetObs(registry)
+		watchdog.SetTrace(rec)
+		rec.SetSink(watchdog.Ingest)
+		if rel != nil {
+			rel.SetTrace(rec)
+		}
+	}
+
 	shared := &core.SharedConfig{
 		Placement:    placement,
 		Graph:        gdag,
@@ -157,6 +182,8 @@ func main() {
 		Params:       params,
 		Metrics:      collector,
 		Obs:          registry,
+		Trace:        rec,
+		Watch:        watchdog,
 	}
 	engine, err := core.New(protocol, shared, model.SiteID(*site), tr)
 	if err != nil {
@@ -164,6 +191,8 @@ func main() {
 	}
 	engine.Start()
 	defer engine.Stop()
+	watchdog.Start()
+	defer watchdog.Stop()
 
 	fmt.Printf("replnode: site %d of %d listening on %s (%v, %d backedges in graph)\n",
 		*site, wl.Sites, tcp.Addr(), protocol, len(backs))
@@ -186,6 +215,11 @@ func main() {
 	fmt.Printf("replnode: site %d local threads done; draining %v\n", *site, *drain)
 	time.Sleep(*drain)
 	fmt.Printf("replnode: site %d report: %v\n", *site, collector.Snapshot(1))
+	if watchdog != nil {
+		s := watchdog.Summarize()
+		fmt.Printf("replnode: site %d watch: raised=%v active=%d flight_dumps=%d\n",
+			*site, s.AlertsRaised, s.ActiveAlerts, len(s.FlightDumps))
+	}
 }
 
 func parsePeers(spec string) (map[model.SiteID]string, error) {

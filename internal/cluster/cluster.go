@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/watch"
 	"repro/internal/workload"
 )
 
@@ -74,6 +75,12 @@ type Config struct {
 	// ReliableCfg tunes the sublayer when Reliable is set; the zero value
 	// uses the defaults (20 ms initial RTO).
 	ReliableCfg comm.ReliableConfig
+	// Watch, when non-nil, runs the staleness/liveness watchdog
+	// (internal/watch): engines register epoch/pending probes and queue
+	// handles, the trace recorder's live sink feeds it, and alerts land
+	// in Obs plus optional flight-recorder dumps. Requires Trace (the
+	// watchdog observes the event stream); New rejects Watch without it.
+	Watch *watch.Options
 }
 
 // Cluster is a running replicated database over m in-process sites.
@@ -89,6 +96,7 @@ type Cluster struct {
 	transport *comm.MemTransport
 	faultTr   *fault.Transport // non-nil iff Cfg.Fault was set
 	top       comm.Transport   // the layer engines actually send through
+	watchdog  *watch.Watchdog  // non-nil iff Cfg.Watch was set
 	engines   []core.Engine
 	pending   sync.WaitGroup
 
@@ -220,7 +228,20 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.Obs != nil {
 			rel.SetStats(obs.NewReliableStats(cfg.Obs))
 		}
+		if cfg.Trace != nil {
+			rel.SetTrace(cfg.Trace)
+		}
 		c.top = rel
+	}
+
+	if cfg.Watch != nil {
+		if cfg.Trace == nil {
+			return nil, fmt.Errorf("cluster: Watch requires Trace (the watchdog feeds on the live event stream)")
+		}
+		c.watchdog = watch.New(*cfg.Watch)
+		c.watchdog.SetObs(cfg.Obs)
+		c.watchdog.SetTrace(cfg.Trace)
+		cfg.Trace.SetSink(c.watchdog.Ingest)
 	}
 
 	shared := &core.SharedConfig{
@@ -235,6 +256,7 @@ func New(cfg Config) (*Cluster, error) {
 		Metrics:      c.Metrics,
 		Trace:        cfg.Trace,
 		Obs:          cfg.Obs,
+		Watch:        c.watchdog,
 		Pending:      &c.pending,
 	}
 	c.engines = make([]core.Engine, m)
@@ -260,19 +282,25 @@ func (c *Cluster) Transport() *comm.MemTransport { return c.transport }
 // sites, and play schedules mid-run.
 func (c *Cluster) Fault() *fault.Transport { return c.faultTr }
 
-// Start launches every engine's background workers.
+// Watch returns the staleness/liveness watchdog, or nil when
+// Config.Watch was not set.
+func (c *Cluster) Watch() *watch.Watchdog { return c.watchdog }
+
+// Start launches every engine's background workers and the watchdog.
 func (c *Cluster) Start() {
 	for _, e := range c.engines {
 		e.Start()
 	}
+	c.watchdog.Start()
 }
 
-// Stop shuts engines and transport down (closing the top of the
-// transport stack closes every layer beneath it).
+// Stop shuts engines, watchdog and transport down (closing the top of
+// the transport stack closes every layer beneath it).
 func (c *Cluster) Stop() {
 	for _, e := range c.engines {
 		e.Stop()
 	}
+	c.watchdog.Stop()
 	_ = c.top.Close()
 }
 

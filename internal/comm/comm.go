@@ -31,7 +31,10 @@ type Message struct {
 	Kind     int    // protocol-defined discriminator
 	ReqID    uint64 // nonzero for RPC requests/responses
 	IsResp   bool
-	Payload  any
+	// Span is the causal span context of the sending work; the zero
+	// value means unattributed (docs/OBSERVABILITY.md).
+	Span    model.SpanContext
+	Payload any
 }
 
 // Handler consumes delivered messages. Handlers must not block for long:
@@ -80,13 +83,20 @@ type PayloadSizer interface{ WireSize() int }
 const (
 	msgHeaderSize      = 32
 	defaultPayloadSize = 48
+	// spanWireSize is the extra envelope cost of a non-zero span context
+	// (txn id + parent span + hop count, gob-framed).
+	spanWireSize = 24
 )
 
 func msgWireSize(m Message) int {
-	if s, ok := m.Payload.(PayloadSizer); ok {
-		return msgHeaderSize + s.WireSize()
+	n := msgHeaderSize
+	if !m.Span.Zero() {
+		n += spanWireSize
 	}
-	return msgHeaderSize + defaultPayloadSize
+	if s, ok := m.Payload.(PayloadSizer); ok {
+		return n + s.WireSize()
+	}
+	return n + defaultPayloadSize
 }
 
 // sleepFloor is the shortest delay worth sleeping for; see deliver.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // The protocols require exactly-once FIFO delivery between each ordered
@@ -137,6 +138,7 @@ type Reliable struct {
 	recvs    map[pair]*relReceiver
 	rng      *rand.Rand
 	stats    ReliableStats
+	tr       *trace.Recorder
 	closed   bool
 
 	done chan struct{}
@@ -167,6 +169,31 @@ func (r *Reliable) SetStats(s ReliableStats) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats = s
+}
+
+// SetTrace installs a recorder for per-message recovery events
+// (RelRetransmit, RelAck), attributed to the causal span of the
+// enveloped application message. Call before traffic starts.
+func (r *Reliable) SetTrace(tr *trace.Recorder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tr = tr
+}
+
+// Salts distinguishing the sublayer's auxiliary spans under one parent.
+const (
+	relAckSalt = 0xac1 << 32
+	relRtxSalt = 0x572 << 32
+)
+
+// traceAux records one sublayer event as an auxiliary span of the
+// enveloped message's causal parent. Unattributed traffic is skipped:
+// with no parent span the event could not be placed in any tree.
+func traceAux(tr *trace.Recorder, k trace.Kind, site, peer model.SiteID, sc model.SpanContext, salt uint64) {
+	if tr == nil || sc.Parent == 0 {
+		return
+	}
+	tr.RecordSpan(k, site, peer, sc.TID, 0, model.AuxSpan(sc.Parent, salt), sc.Parent)
 }
 
 func (r *Reliable) sender(p pair) *relSender {
@@ -280,6 +307,7 @@ func (r *Reliable) handleData(site model.SiteID, h Handler, m Message) {
 	edge := pair{m.From, site}
 	r.mu.Lock()
 	stats := r.stats
+	tr := r.tr
 	r.mu.Unlock()
 	rc := r.receiver(edge)
 	rc.mu.Lock()
@@ -317,6 +345,7 @@ func (r *Reliable) handleData(site model.SiteID, h Handler, m Message) {
 	}
 	cum := rc.expected - 1
 	rc.mu.Unlock()
+	traceAux(tr, trace.RelAck, site, m.From, p.Msg.Span, relAckSalt+p.Seq)
 	//lint:allow senderr a lost ack only delays the sender; the next delivery or retransmit re-acks
 	_ = r.inner.Send(Message{
 		From: site, To: m.From, Kind: kindRelAck,
@@ -342,6 +371,7 @@ func (r *Reliable) retransmitter() {
 			senders = append(senders, s)
 		}
 		stats := r.stats
+		tr := r.tr
 		r.mu.Unlock()
 		now := time.Now()
 		for _, s := range senders {
@@ -364,6 +394,9 @@ func (r *Reliable) retransmitter() {
 					stats.RelRetransmit(resend[0].From, resend[0].To, len(resend))
 				}
 				for _, env := range resend {
+					if p, ok := env.Payload.(RelDataPayload); ok {
+						traceAux(tr, trace.RelRetransmit, env.From, env.To, p.Msg.Span, relRtxSalt+p.Seq)
+					}
 					//lint:allow senderr a failed retransmission is retried on the next tick
 					_ = r.inner.Send(env)
 				}

@@ -58,6 +58,12 @@ func (r *RPC) noteLate(from model.SiteID, kind int) {
 // timeout. A response whose payload is a RemoteError is unwrapped into an
 // error return.
 func (r *RPC) Call(to model.SiteID, kind int, payload any, timeout time.Duration) (any, error) {
+	return r.CallSpan(to, kind, payload, timeout, model.SpanContext{})
+}
+
+// CallSpan is Call with a causal span context stamped on the request
+// (and, via Reply, echoed on the response).
+func (r *RPC) CallSpan(to model.SiteID, kind int, payload any, timeout time.Duration, sc model.SpanContext) (any, error) {
 	id := r.next.Add(1)
 	ch := make(chan Message, 1)
 	r.mu.Lock()
@@ -77,7 +83,7 @@ func (r *RPC) Call(to model.SiteID, kind int, payload any, timeout time.Duration
 		}
 	}()
 
-	err := r.tr.Send(Message{From: r.site, To: to, Kind: kind, ReqID: id, Payload: payload})
+	err := r.tr.Send(Message{From: r.site, To: to, Kind: kind, ReqID: id, Span: sc, Payload: payload})
 	if err != nil {
 		return nil, err
 	}
@@ -100,13 +106,18 @@ func (r *RPC) Call(to model.SiteID, kind int, payload any, timeout time.Duration
 // retry can execute it again. Non-timeout failures (transport error,
 // RemoteError) are returned immediately — retrying cannot fix those.
 func (r *RPC) CallRetry(to model.SiteID, kind int, payload any, timeout time.Duration, attempts int) (any, error) {
+	return r.CallRetrySpan(to, kind, payload, timeout, attempts, model.SpanContext{})
+}
+
+// CallRetrySpan is CallRetry with a causal span context on each attempt.
+func (r *RPC) CallRetrySpan(to model.SiteID, kind int, payload any, timeout time.Duration, attempts int, sc model.SpanContext) (any, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
 	var err error
 	for i := 0; i < attempts; i++ {
 		var resp any
-		resp, err = r.Call(to, kind, payload, timeout)
+		resp, err = r.CallSpan(to, kind, payload, timeout, sc)
 		if err == nil || !errors.Is(err, ErrRPCTimeout) {
 			return resp, err
 		}
@@ -120,10 +131,12 @@ func (r *RPC) Reply(req Message, payload any) {
 	if req.ReqID == 0 {
 		panic("comm: Reply to a non-request message")
 	}
+	// The response inherits the request's span context, so the reply leg
+	// is attributed to the same causal parent as the request.
 	//lint:allow senderr a lost reply is indistinguishable from a dropped response; the caller times out and retries
 	_ = r.tr.Send(Message{
 		From: r.site, To: req.From, Kind: req.Kind,
-		ReqID: req.ReqID, IsResp: true, Payload: payload,
+		ReqID: req.ReqID, IsResp: true, Span: req.Span, Payload: payload,
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/twopc"
 	"repro/internal/txn"
+	"repro/internal/watch"
 )
 
 // backedgeEngine implements the BackEdge protocol (§4.1), the hybrid that
@@ -37,6 +38,7 @@ import (
 type backedgeEngine struct {
 	base
 	queue chan comm.Message
+	prog  *watch.Progress
 
 	table *twopc.Table
 	// decisions is this site's coordinator-side stable decision record:
@@ -61,6 +63,10 @@ type pendingBE struct {
 	t      *txn.Txn
 	origin model.SiteID
 	since  time.Time
+	// sc is the causal context the subtransaction executed under; the
+	// decision events are attributed to it no matter which path (phase 2
+	// or inquiry recovery) delivers the outcome.
+	sc model.SpanContext
 }
 
 // originState synchronizes the origin's Execute goroutine with the FIFO
@@ -73,14 +79,31 @@ type originState struct {
 }
 
 func newBackEdge(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *backedgeEngine {
-	return &backedgeEngine{
+	e := &backedgeEngine{
 		base:      newBase(cfg, BackEdge, id, tr),
 		queue:     make(chan comm.Message, 1<<16),
+		prog:      cfg.Watch.Queue(id, "fifo"),
 		table:     twopc.NewTable(),
 		decisions: twopc.NewDecisionLog(),
 		prepared:  make(map[model.TxnID]*pendingBE),
 		waiters:   make(map[model.TxnID]*originState),
 	}
+	// The watchdog's pending-2PC probe: how many executed backedge
+	// subtransactions sit holding locks awaiting a decision, and the
+	// oldest one (a hung decision shows up as its age climbing).
+	cfg.Watch.RegisterPending(id, func() watch.PendingStatus {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		st := watch.PendingStatus{Count: len(e.prepared)}
+		first := true
+		for tid, p := range e.prepared {
+			if first || p.since.Before(st.OldestSince) {
+				st.Oldest, st.OldestSince, first = tid, p.since, false
+			}
+		}
+		return st
+	})
+	return e
 }
 
 func (e *backedgeEngine) Start() {
@@ -112,7 +135,8 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
-	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
+	octx := model.SpanContext{TID: tid}
+	e.traceCtx(trace.TxnBegin, model.NoSite, octx)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
 		e.recAbort(tid)
@@ -126,8 +150,8 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		e.commitMu.Lock()
 		err := t.Commit()
 		if err == nil {
-			e.traceEvent(trace.TxnCommit, model.NoSite, tid)
-			e.forward(tid, writes)
+			e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+			e.forward(octx, writes)
 		}
 		e.commitMu.Unlock()
 		if err != nil {
@@ -162,9 +186,9 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 
 	e.pendAdd(1)
 	e.obs.forwarded.Inc()
-	e.traceEvent(trace.SecondaryForwarded, targets[0], tid)
+	e.traceCtx(trace.SecondaryForwarded, targets[0], octx)
 	e.send(comm.Message{
-		From: e.id, To: targets[0], Kind: kindBackedgeExec,
+		From: e.id, To: targets[0], Kind: kindBackedgeExec, Span: octx.Fork(e.id),
 		Payload: specialPayload{TID: tid, Origin: e.id, Writes: writes},
 	})
 
@@ -178,7 +202,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		// notification goes missing will inquire, and must find it.
 		e.decisions.Record(tid, false)
 		t.Abort()
-		e.abortBackedges(tid, targets)
+		e.abortBackedges(octx, targets)
 		e.recAbort(tid)
 		return fmt.Errorf("core: %v aborted %s: %w", tid, why, txn.ErrAborted)
 	}
@@ -202,21 +226,21 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	// The special is home and every earlier secondary has committed.
 	// Commit the primary and all backedge subtransactions atomically.
 	e.obs.bePrepares.Inc()
-	e.traceEvent(trace.BackedgePrepare, targets[0], tid)
+	e.traceCtx(trace.BackedgePrepare, targets[0], octx)
 	committed, runErr := twopc.Run(tid, targets, twopc.Coordinator{
-		Prepare: func(p model.SiteID, id model.TxnID) (bool, error) {
-			resp, err := e.rpc.Call(p, kindPrepare, preparePayload{TID: id}, e.cfg.Params.RPCTimeout)
+		Prepare: func(p model.SiteID, id model.TxnID, sc model.SpanContext) (bool, error) {
+			resp, err := e.rpc.CallSpan(p, kindPrepare, preparePayload{TID: id}, e.cfg.Params.RPCTimeout, sc)
 			if err != nil {
 				return false, err
 			}
 			return resp.(prepareResp).Vote, nil
 		},
-		Decide: func(p model.SiteID, id model.TxnID, commit bool) error {
-			_, err := e.rpc.Call(p, kindDecision, decisionPayload{TID: id, Commit: commit}, e.cfg.Params.RPCTimeout)
+		Decide: func(p model.SiteID, id model.TxnID, commit bool, sc model.SpanContext) error {
+			_, err := e.rpc.CallSpan(p, kindDecision, decisionPayload{TID: id, Commit: commit}, e.cfg.Params.RPCTimeout, sc)
 			return err
 		},
 		Log: e.decisions,
-	})
+	}, octx.Fork(e.id))
 	e.mu.Lock()
 	delete(e.waiters, tid)
 	e.mu.Unlock()
@@ -234,12 +258,12 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		return fmt.Errorf("core: %v aborted by 2PC: %w", tid, txn.ErrAborted)
 	}
 	e.obs.beCommits.Inc()
-	e.traceEvent(trace.BackedgeCommit, targets[0], tid)
+	e.traceCtx(trace.BackedgeCommit, targets[0], octx)
 	e.commitMu.Lock()
 	err := t.Commit()
 	if err == nil {
-		e.traceEvent(trace.TxnCommit, model.NoSite, tid)
-		e.forward(tid, writes)
+		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+		e.forward(octx, writes)
 	}
 	e.commitMu.Unlock()
 	if err != nil {
@@ -253,19 +277,20 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 // abortBackedges tombstones the transaction at every backedge site so
 // executed subtransactions roll back and late-arriving specials are
 // skipped.
-func (e *backedgeEngine) abortBackedges(tid model.TxnID, targets []model.SiteID) {
+func (e *backedgeEngine) abortBackedges(sc model.SpanContext, targets []model.SiteID) {
+	out := sc.Fork(e.id)
 	for _, p := range targets {
 		e.send(comm.Message{
-			From: e.id, To: p, Kind: kindBackedgeAbort,
-			Payload: abortPayload{TID: tid},
+			From: e.id, To: p, Kind: kindBackedgeAbort, Span: out,
+			Payload: abortPayload{TID: sc.TID},
 		})
 	}
 }
 
 // forward is the DAG(WT) lazy fan-out to relevant tree children; the
 // caller holds commitMu.
-func (e *backedgeEngine) forward(tid model.TxnID, writes []model.WriteOp) {
-	forwardTree(&e.base, tid, writes)
+func (e *backedgeEngine) forward(sc model.SpanContext, writes []model.WriteOp) {
+	forwardTree(&e.base, sc, writes)
 }
 
 func (e *backedgeEngine) Handle(msg comm.Message) {
@@ -275,26 +300,20 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 	}
 	switch msg.Kind {
 	case kindSecondary, kindSpecial:
-		if e.tracing() {
-			switch p := msg.Payload.(type) {
-			case secondaryPayload:
-				e.traceEvent(trace.SecondaryEnqueued, msg.From, p.TID)
-			case specialPayload:
-				e.traceEvent(trace.SecondaryEnqueued, msg.From, p.TID)
-			}
-		}
+		e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
 		e.obs.fifoDepth.Inc()
+		e.prog.Push()
 		e.queue <- msg
 	case kindBackedgeExec:
 		// Executed immediately and concurrently (§4.1 step 1: sent
 		// "directly ... to be executed"), not through the FIFO queue.
-		go e.execBackedge(msg.Payload.(specialPayload))
+		go e.execBackedge(msg.Payload.(specialPayload), msg.Span)
 	case kindBackedgeAbort:
 		go e.handleAbort(msg.Payload.(abortPayload).TID)
 	case kindPrepare:
 		p := msg.Payload.(preparePayload)
 		e.obs.bePrepares.Inc()
-		e.traceEvent(trace.BackedgePrepare, msg.From, p.TID)
+		e.traceCtx(trace.BackedgePrepare, msg.From, msg.Span)
 		e.rpc.Reply(msg, prepareResp{Vote: e.table.Prepare(p.TID)})
 	case kindDecision:
 		// Decisions may take a lock-release step; keep the transport pair
@@ -314,9 +333,9 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 
 // execBackedge runs a backedge subtransaction at the farthest ancestor
 // site: execute holding locks, then relay the special down the tree.
-func (e *backedgeEngine) execBackedge(p specialPayload) {
-	if e.executeHolding(p) {
-		e.relaySpecial(p)
+func (e *backedgeEngine) execBackedge(p specialPayload, sc model.SpanContext) {
+	if e.executeHolding(p, sc) {
+		e.relaySpecial(p, sc)
 	}
 	e.pendDone()
 }
@@ -325,7 +344,7 @@ func (e *backedgeEngine) execBackedge(p specialPayload) {
 // local writes, buffering them until the 2PC decision. It returns false
 // if the transaction was aborted (tombstoned) or the engine stopped; on
 // false the subtransaction holds nothing.
-func (e *backedgeEngine) executeHolding(p specialPayload) bool {
+func (e *backedgeEngine) executeHolding(p specialPayload, sc model.SpanContext) bool {
 	var local []model.WriteOp
 	for _, w := range p.Writes {
 		if e.store.Has(w.Item) {
@@ -365,7 +384,7 @@ func (e *backedgeEngine) executeHolding(p specialPayload) bool {
 		err := e.table.Begin(p.TID)
 		if err == nil {
 			//lint:allow nodeterminism since drives the wall-clock inquiry sweep, not protocol ordering
-			e.prepared[p.TID] = &pendingBE{t: t, origin: p.Origin, since: time.Now()}
+			e.prepared[p.TID] = &pendingBE{t: t, origin: p.Origin, since: time.Now(), sc: sc}
 			// The subtransaction is in-flight propagation until its 2PC
 			// decision resolves it (possibly by inquiry recovery): holding
 			// a pending count here makes Quiesce wait out decision
@@ -384,13 +403,13 @@ func (e *backedgeEngine) executeHolding(p specialPayload) bool {
 // relaySpecial forwards the special secondary subtransaction one hop down
 // the tree toward the origin, atomically with respect to local commits so
 // downstream sites see a consistent order.
-func (e *backedgeEngine) relaySpecial(p specialPayload) {
+func (e *backedgeEngine) relaySpecial(p specialPayload, sc model.SpanContext) {
 	next := e.cfg.Tree.NextHopDown(e.id, p.Origin)
 	e.commitMu.Lock()
 	e.pendAdd(1)
 	e.obs.forwarded.Inc()
-	e.traceEvent(trace.SecondaryForwarded, next, p.TID)
-	e.send(comm.Message{From: e.id, To: next, Kind: kindSpecial, Payload: p})
+	e.traceCtx(trace.SecondaryForwarded, next, sc)
+	e.send(comm.Message{From: e.id, To: next, Kind: kindSpecial, Span: sc.Fork(e.id), Payload: p})
 	e.commitMu.Unlock()
 }
 
@@ -431,8 +450,8 @@ func (e *backedgeEngine) finishDecision(tid model.TxnID, commit bool, from model
 				panic(fmt.Sprintf("core: backedge subtxn commit failed: %v", err))
 			}
 			e.obs.beCommits.Inc()
-			e.traceEvent(trace.BackedgeCommit, from, tid)
-			e.recApplied(tid)
+			e.traceCtx(trace.BackedgeCommit, from, p.sc)
+			e.recApplied(p.sc)
 		} else {
 			p.t.Abort()
 		}
@@ -479,12 +498,13 @@ func (e *backedgeEngine) inquireStuck() {
 	type stuck struct {
 		tid    model.TxnID
 		origin model.SiteID
+		sc     model.SpanContext
 	}
 	var overdue []stuck
 	e.mu.Lock()
 	for tid, p := range e.prepared {
 		if p.since.Before(cutoff) {
-			overdue = append(overdue, stuck{tid, p.origin})
+			overdue = append(overdue, stuck{tid, p.origin, p.sc})
 		}
 	}
 	e.mu.Unlock()
@@ -501,8 +521,8 @@ func (e *backedgeEngine) inquireStuck() {
 			return
 		}
 		e.obs.beInquiries.Inc()
-		e.traceEvent(trace.DecisionInquiry, s.origin, s.tid)
-		resp, err := e.rpc.CallRetry(s.origin, kindInquiry, inquiryPayload{TID: s.tid}, e.cfg.Params.RPCTimeout, 2)
+		e.traceCtx(trace.DecisionInquiry, s.origin, s.sc)
+		resp, err := e.rpc.CallRetrySpan(s.origin, kindInquiry, inquiryPayload{TID: s.tid}, e.cfg.Params.RPCTimeout, 2, s.sc.Fork(e.id))
 		if err != nil {
 			continue // coordinator unreachable; the next sweep retries
 		}
@@ -519,13 +539,14 @@ func (e *backedgeEngine) applier() {
 		select {
 		case msg = <-e.queue:
 			e.obs.fifoDepth.Dec()
+			e.prog.Pop()
 		case <-e.stop:
 			return
 		}
 		switch msg.Kind {
 		case kindSecondary:
 			p := msg.Payload.(secondaryPayload)
-			if !e.applySecondary(p) {
+			if !e.applySecondary(p, msg.Span) {
 				return
 			}
 			e.pendDone()
@@ -536,8 +557,8 @@ func (e *backedgeEngine) applier() {
 			} else {
 				// Intermediate (possibly backedge) site: execute holding
 				// locks if we replicate any written item, then relay.
-				if e.executeHolding(p) {
-					e.relaySpecial(p)
+				if e.executeHolding(p, msg.Span) {
+					e.relaySpecial(p, msg.Span)
 				}
 				e.pendDone()
 			}
@@ -564,7 +585,7 @@ func (e *backedgeEngine) specialHome(p specialPayload) {
 }
 
 // applySecondary is the DAG(WT) lazy application with resubmission.
-func (e *backedgeEngine) applySecondary(p secondaryPayload) bool {
+func (e *backedgeEngine) applySecondary(p secondaryPayload, sc model.SpanContext) bool {
 	for {
 		if e.stopping() {
 			return false
@@ -589,7 +610,7 @@ func (e *backedgeEngine) applySecondary(p secondaryPayload) bool {
 		e.commitMu.Lock()
 		err := t.Commit()
 		if err == nil {
-			e.forward(p.TID, p.Writes)
+			e.forward(sc, p.Writes)
 		}
 		e.commitMu.Unlock()
 		if err != nil {
@@ -597,7 +618,7 @@ func (e *backedgeEngine) applySecondary(p secondaryPayload) bool {
 			e.retryBackoff()
 			continue
 		}
-		e.recApplied(p.TID)
+		e.recApplied(sc)
 		return true
 	}
 }

@@ -132,11 +132,15 @@ func (b *base) runLocalOps(t *txn.Txn, ops []model.Op) error {
 // children (§2): a child is relevant iff it or one of its tree
 // descendants holds a copy of an updated item, and it receives exactly
 // the writes its subtree can use. The caller holds commitMu so the
-// forwarding order matches the site's commit order.
-func forwardTree(b *base, tid model.TxnID, writes []model.WriteOp) {
+// forwarding order matches the site's commit order. in is the causal
+// context the forwarding work runs under (the zero-parent origin
+// context at the primary, the received message's context at a relay);
+// outgoing messages carry its fork, making each hop a child span.
+func forwardTree(b *base, in model.SpanContext, writes []model.WriteOp) {
 	if len(writes) == 0 {
 		return
 	}
+	out := in.Fork(b.id)
 	for _, c := range b.cfg.Tree.Children(b.id) {
 		sub := b.cfg.SubtreeItems[c]
 		var local []model.WriteOp
@@ -150,10 +154,10 @@ func forwardTree(b *base, tid model.TxnID, writes []model.WriteOp) {
 		}
 		b.pendAdd(1)
 		b.obs.forwarded.Inc()
-		b.traceEvent(trace.SecondaryForwarded, c, tid)
+		b.traceCtx(trace.SecondaryForwarded, c, in)
 		b.send(comm.Message{
-			From: b.id, To: c, Kind: kindSecondary,
-			Payload: secondaryPayload{TID: tid, Writes: local},
+			From: b.id, To: c, Kind: kindSecondary, Span: out,
+			Payload: secondaryPayload{TID: in.TID, Writes: local},
 		})
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/ts"
+	"repro/internal/watch"
 )
 
 // Protocol selects an update-propagation protocol.
@@ -185,6 +186,9 @@ type SharedConfig struct {
 	// Obs is the live metrics registry (counters, queue-depth gauges);
 	// nil disables it — engines keep nil handles, which are no-ops.
 	Obs *obs.Registry
+	// Watch is the staleness/liveness watchdog; nil disables it — engines
+	// then hold nil progress handles and register no probes, all no-ops.
+	Watch *watch.Watchdog
 	// Pending tracks in-flight real (non-dummy) propagation messages so
 	// the cluster can quiesce; nil disables tracking.
 	Pending *sync.WaitGroup

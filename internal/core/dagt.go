@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/ts"
+	"repro/internal/watch"
 )
 
 // dagtEngine implements the DAG(T) protocol (§3). Updates travel directly
@@ -36,7 +37,16 @@ type dagtEngine struct {
 	// qMu/qCond guard the per-parent queues.
 	qMu    sync.Mutex
 	qCond  *sync.Cond
-	queues map[model.SiteID][]secondaryPayload
+	queues map[model.SiteID][]tsItem
+
+	prog *watch.Progress
+}
+
+// tsItem is one queued secondary subtransaction with the causal context
+// it arrived under.
+type tsItem struct {
+	p  secondaryPayload
+	sc model.SpanContext
 }
 
 func newDAGT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagtEngine {
@@ -47,8 +57,9 @@ func newDAGT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagtEngine 
 		childItems: make(map[model.SiteID]map[model.ItemID]bool),
 		siteTS:     ts.New(id),
 		lastSent:   make(map[model.SiteID]time.Time),
-		queues:     make(map[model.SiteID][]secondaryPayload),
+		queues:     make(map[model.SiteID][]tsItem),
 	}
+	e.prog = cfg.Watch.Queue(id, "ts")
 	e.qCond = sync.NewCond(&e.qMu)
 	for _, c := range e.children {
 		e.childItems[c] = make(map[model.ItemID]bool)
@@ -66,6 +77,32 @@ func newDAGT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagtEngine 
 	for _, par := range e.parents {
 		e.queues[par] = nil
 	}
+	// The watchdog's DAG(T) liveness probe: the site's current epoch plus
+	// any parent whose empty queue is blocking the timestamp scheduler
+	// while a sibling queue has work (the §3.3 stall the dummy mechanism
+	// exists to prevent).
+	cfg.Watch.RegisterEpoch(id, func() watch.EpochStatus {
+		e.tsMu.Lock()
+		st := watch.EpochStatus{Epoch: e.siteTS.Epoch}
+		e.tsMu.Unlock()
+		e.qMu.Lock()
+		nonEmpty := false
+		for _, par := range e.parents {
+			if len(e.queues[par]) > 0 {
+				nonEmpty = true
+				break
+			}
+		}
+		if nonEmpty {
+			for _, par := range e.parents {
+				if len(e.queues[par]) == 0 {
+					st.Blocked = append(st.Blocked, par)
+				}
+			}
+		}
+		e.qMu.Unlock()
+		return st
+	})
 	return e
 }
 
@@ -94,7 +131,8 @@ func (e *dagtEngine) Execute(ops []model.Op) error {
 	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
-	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
+	octx := model.SpanContext{TID: tid}
+	e.traceCtx(trace.TxnBegin, model.NoSite, octx)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
 		e.recAbort(tid)
@@ -108,8 +146,8 @@ func (e *dagtEngine) Execute(ops []model.Op) error {
 	e.tsMu.Unlock()
 	err := t.Commit()
 	if err == nil {
-		e.traceEvent(trace.TxnCommit, model.NoSite, tid)
-		e.schedule(tid, tsT, t.Writes())
+		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+		e.schedule(octx, tsT, t.Writes())
 	}
 	e.commitMu.Unlock()
 	if err != nil {
@@ -122,7 +160,8 @@ func (e *dagtEngine) Execute(ops []model.Op) error {
 
 // schedule appends the transaction's writes to the incoming queues of the
 // relevant children. The caller holds commitMu.
-func (e *dagtEngine) schedule(tid model.TxnID, tsT ts.Timestamp, writes []model.WriteOp) {
+func (e *dagtEngine) schedule(sc model.SpanContext, tsT ts.Timestamp, writes []model.WriteOp) {
+	out := sc.Fork(e.id)
 	for _, c := range e.children {
 		var local []model.WriteOp
 		items := e.childItems[c]
@@ -140,10 +179,10 @@ func (e *dagtEngine) schedule(tid model.TxnID, tsT ts.Timestamp, writes []model.
 		e.tsMu.Unlock()
 		e.pendAdd(1)
 		e.obs.forwarded.Inc()
-		e.traceEvent(trace.SecondaryForwarded, c, tid)
+		e.traceCtx(trace.SecondaryForwarded, c, sc)
 		e.send(comm.Message{
-			From: e.id, To: c, Kind: kindSecondary,
-			Payload: secondaryPayload{TID: tid, TS: tsT, Writes: local},
+			From: e.id, To: c, Kind: kindSecondary, Span: out,
+			Payload: secondaryPayload{TID: sc.TID, TS: tsT, Writes: local},
 		})
 	}
 }
@@ -221,11 +260,12 @@ func (e *dagtEngine) Handle(msg comm.Message) {
 	case kindSecondary:
 		p := msg.Payload.(secondaryPayload)
 		if !p.Dummy {
-			e.traceEvent(trace.SecondaryEnqueued, msg.From, p.TID)
+			e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
 		}
 		e.obs.tsDepth.Inc()
+		e.prog.Push()
 		e.qMu.Lock()
-		e.queues[msg.From] = append(e.queues[msg.From], p)
+		e.queues[msg.From] = append(e.queues[msg.From], tsItem{p: p, sc: msg.Span})
 		e.qCond.Broadcast()
 		e.qMu.Unlock()
 	default:
@@ -235,12 +275,12 @@ func (e *dagtEngine) Handle(msg comm.Message) {
 
 // nextSecondary blocks until every parent queue is non-empty (or the
 // engine stops) and pops the head with the minimum timestamp (§3.2.3).
-func (e *dagtEngine) nextSecondary() (secondaryPayload, bool) {
+func (e *dagtEngine) nextSecondary() (tsItem, bool) {
 	e.qMu.Lock()
 	defer e.qMu.Unlock()
 	for {
 		if e.stopping() {
-			return secondaryPayload{}, false
+			return tsItem{}, false
 		}
 		ready := true
 		var minP model.SiteID
@@ -252,15 +292,16 @@ func (e *dagtEngine) nextSecondary() (secondaryPayload, bool) {
 				ready = false
 				break
 			}
-			if first || q[0].TS.Less(minTS) {
-				minP, minTS, first = par, q[0].TS, false
+			if first || q[0].p.TS.Less(minTS) {
+				minP, minTS, first = par, q[0].p.TS, false
 			}
 		}
 		if ready {
-			p := e.queues[minP][0]
+			it := e.queues[minP][0]
 			e.queues[minP] = e.queues[minP][1:]
 			e.obs.tsDepth.Dec()
-			return p, true
+			e.prog.Pop()
+			return it, true
 		}
 		e.qCond.Wait()
 	}
@@ -271,15 +312,15 @@ func (e *dagtEngine) nextSecondary() (secondaryPayload, bool) {
 // site epoch follows the subtransaction's epoch (§3.2.3, §3.3).
 func (e *dagtEngine) scheduler() {
 	for {
-		p, ok := e.nextSecondary()
+		it, ok := e.nextSecondary()
 		if !ok {
 			return
 		}
-		if p.Dummy {
-			e.advanceTS(p.TS)
+		if it.p.Dummy {
+			e.advanceTS(it.p.TS)
 			continue
 		}
-		if !e.applySecondary(p) {
+		if !e.applySecondary(it.p, it.sc) {
 			return
 		}
 		e.pendDone()
@@ -293,7 +334,7 @@ func (e *dagtEngine) advanceTS(tsT ts.Timestamp) {
 	e.tsMu.Unlock()
 }
 
-func (e *dagtEngine) applySecondary(p secondaryPayload) bool {
+func (e *dagtEngine) applySecondary(p secondaryPayload, sc model.SpanContext) bool {
 	for {
 		if e.stopping() {
 			return false
@@ -326,7 +367,7 @@ func (e *dagtEngine) applySecondary(p secondaryPayload) bool {
 			e.retryBackoff()
 			continue
 		}
-		e.recApplied(p.TID)
+		e.recApplied(sc)
 		return true
 	}
 }

@@ -179,8 +179,8 @@ func TestDAGTSchedulerPicksGlobalMinimumExhaustive(t *testing.T) {
 			if !ok {
 				t.Fatal("scheduler stopped unexpectedly")
 			}
-			if !got.TS.Equal(sorted[pops]) {
-				t.Fatalf("mask %06b pop %d: got %v, want %v", mask, pops, got.TS, sorted[pops])
+			if !got.p.TS.Equal(sorted[pops]) {
+				t.Fatalf("mask %06b pop %d: got %v, want %v", mask, pops, got.p.TS, sorted[pops])
 			}
 			pops++
 		}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/model"
 	"repro/internal/trace"
+	"repro/internal/watch"
 )
 
 // dagwtEngine implements the DAG(WT) protocol (§2). Updates travel only
@@ -17,12 +18,14 @@ import (
 type dagwtEngine struct {
 	base
 	queue chan comm.Message
+	prog  *watch.Progress
 }
 
 func newDAGWT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagwtEngine {
 	return &dagwtEngine{
 		base:  newBase(cfg, DAGWT, id, tr),
 		queue: make(chan comm.Message, 1<<16),
+		prog:  cfg.Watch.Queue(id, "fifo"),
 	}
 }
 
@@ -36,7 +39,8 @@ func (e *dagwtEngine) Execute(ops []model.Op) error {
 	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
-	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
+	octx := model.SpanContext{TID: tid}
+	e.traceCtx(trace.TxnBegin, model.NoSite, octx)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
 		e.recAbort(tid)
@@ -45,8 +49,8 @@ func (e *dagwtEngine) Execute(ops []model.Op) error {
 	e.commitMu.Lock()
 	err := t.Commit()
 	if err == nil {
-		e.traceEvent(trace.TxnCommit, model.NoSite, tid)
-		e.forward(tid, t.Writes())
+		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+		e.forward(octx, t.Writes())
 	}
 	e.commitMu.Unlock()
 	if err != nil {
@@ -60,8 +64,8 @@ func (e *dagwtEngine) Execute(ops []model.Op) error {
 // forward schedules secondary subtransactions at the relevant tree
 // children: those whose subtree holds a replica of an updated item. The
 // caller holds commitMu.
-func (e *dagwtEngine) forward(tid model.TxnID, writes []model.WriteOp) {
-	forwardTree(&e.base, tid, writes)
+func (e *dagwtEngine) forward(sc model.SpanContext, writes []model.WriteOp) {
+	forwardTree(&e.base, sc, writes)
 }
 
 func (e *dagwtEngine) Handle(msg comm.Message) {
@@ -71,10 +75,9 @@ func (e *dagwtEngine) Handle(msg comm.Message) {
 	}
 	switch msg.Kind {
 	case kindSecondary:
-		if e.tracing() {
-			e.traceEvent(trace.SecondaryEnqueued, msg.From, msg.Payload.(secondaryPayload).TID)
-		}
+		e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
 		e.obs.fifoDepth.Inc()
+		e.prog.Push()
 		e.queue <- msg
 	default:
 		panic("core: DAG(WT) received unexpected message kind")
@@ -89,8 +92,9 @@ func (e *dagwtEngine) applier() {
 		select {
 		case msg := <-e.queue:
 			e.obs.fifoDepth.Dec()
+			e.prog.Pop()
 			p := msg.Payload.(secondaryPayload)
-			if e.applySecondary(p) {
+			if e.applySecondary(p, msg.Span) {
 				e.pendDone()
 			} else {
 				return // stopped mid-retry
@@ -104,7 +108,7 @@ func (e *dagwtEngine) applier() {
 // applySecondary retries the subtransaction until it commits; it reports
 // false only if the engine stopped first. On commit the subtransaction is
 // forwarded to the relevant children atomically.
-func (e *dagwtEngine) applySecondary(p secondaryPayload) bool {
+func (e *dagwtEngine) applySecondary(p secondaryPayload, sc model.SpanContext) bool {
 	for {
 		if e.stopping() {
 			return false
@@ -129,7 +133,7 @@ func (e *dagwtEngine) applySecondary(p secondaryPayload) bool {
 		e.commitMu.Lock()
 		err := t.Commit()
 		if err == nil {
-			e.forward(p.TID, p.Writes)
+			e.forward(sc, p.Writes)
 		}
 		e.commitMu.Unlock()
 		if err != nil {
@@ -138,7 +142,7 @@ func (e *dagwtEngine) applySecondary(p secondaryPayload) bool {
 			e.retryBackoff()
 			continue
 		}
-		e.recApplied(p.TID)
+		e.recApplied(sc)
 		return true
 	}
 }

@@ -98,11 +98,11 @@ func (w *world) applyCaptured(msg comm.Message) {
 	p := msg.Payload.(secondaryPayload)
 	switch e := w.engines[msg.To].(type) {
 	case *dagwtEngine:
-		if !e.applySecondary(p) {
+		if !e.applySecondary(p, msg.Span) {
 			panic("explorer: apply refused")
 		}
 	case *naiveEngine:
-		e.applySecondary(p)
+		e.applySecondary(p, msg.Span)
 	default:
 		panic("explorer: unsupported engine type")
 	}

@@ -32,7 +32,8 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
-	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
+	octx := model.SpanContext{TID: tid}
+	e.traceCtx(trace.TxnBegin, model.NoSite, octx)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
 		e.recAbort(tid)
@@ -42,7 +43,7 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 	err := t.Commit()
 	var writes []model.WriteOp
 	if err == nil {
-		e.traceEvent(trace.TxnCommit, model.NoSite, tid)
+		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
 		writes = t.Writes()
 		// Ship each replica site exactly the writes it stores.
 		perSite := make(map[model.SiteID][]model.WriteOp)
@@ -59,12 +60,13 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 			sites = append(sites, r)
 		}
 		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		out := octx.Fork(e.id)
 		for _, r := range sites {
 			e.pendAdd(1)
 			e.obs.forwarded.Inc()
-			e.traceEvent(trace.SecondaryForwarded, r, tid)
+			e.traceCtx(trace.SecondaryForwarded, r, octx)
 			e.send(comm.Message{
-				From: e.id, To: r, Kind: kindSecondary,
+				From: e.id, To: r, Kind: kindSecondary, Span: out,
 				Payload: secondaryPayload{TID: tid, Writes: perSite[r]},
 			})
 		}
@@ -87,16 +89,14 @@ func (e *naiveEngine) Handle(msg comm.Message) {
 	case kindSecondary:
 		// Applied on arrival, concurrently — this is precisely the
 		// indiscriminate behaviour that loses serializability.
-		if e.tracing() {
-			e.traceEvent(trace.SecondaryEnqueued, msg.From, msg.Payload.(secondaryPayload).TID)
-		}
-		go e.applySecondary(msg.Payload.(secondaryPayload))
+		e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
+		go e.applySecondary(msg.Payload.(secondaryPayload), msg.Span)
 	default:
 		panic("core: NaiveLazy received unexpected message kind")
 	}
 }
 
-func (e *naiveEngine) applySecondary(p secondaryPayload) {
+func (e *naiveEngine) applySecondary(p secondaryPayload, sc model.SpanContext) {
 	defer e.pendDone()
 	for {
 		if e.stopping() {
@@ -124,7 +124,7 @@ func (e *naiveEngine) applySecondary(p secondaryPayload) {
 			e.retryBackoff()
 			continue
 		}
-		e.recApplied(p.TID)
+		e.recApplied(sc)
 		return
 	}
 }

@@ -50,23 +50,23 @@ func newSiteObs(r *obs.Registry, id model.SiteID) siteObs {
 		return r.Gauge("repl_queue_depth", site, obs.Label{Key: "queue", Value: q})
 	}
 	return siteObs{
-		committed:   r.Counter("repl_txn_committed_total", site),
-		aborted:     r.Counter("repl_txn_aborted_total", site),
-		applied:     r.Counter("repl_secondary_applied_total", site),
-		forwarded:   r.Counter("repl_secondary_forwarded_total", site),
-		dummies:     r.Counter("repl_dummy_sent_total", site),
-		epochs:      r.Counter("repl_epoch_advances_total", site),
-		remoteReads: r.Counter("repl_remote_reads_total", site),
-		retries:     r.Counter("repl_secondary_retries_total", site),
-		bePrepares:  r.Counter("repl_backedge_prepares_total", site),
-		beCommits:   r.Counter("repl_backedge_commits_total", site),
-		beInquiries: r.Counter("repl_backedge_inquiries_total", site),
+		committed:      r.Counter("repl_txn_committed_total", site),
+		aborted:        r.Counter("repl_txn_aborted_total", site),
+		applied:        r.Counter("repl_secondary_applied_total", site),
+		forwarded:      r.Counter("repl_secondary_forwarded_total", site),
+		dummies:        r.Counter("repl_dummy_sent_total", site),
+		epochs:         r.Counter("repl_epoch_advances_total", site),
+		remoteReads:    r.Counter("repl_remote_reads_total", site),
+		retries:        r.Counter("repl_secondary_retries_total", site),
+		bePrepares:     r.Counter("repl_backedge_prepares_total", site),
+		beCommits:      r.Counter("repl_backedge_commits_total", site),
+		beInquiries:    r.Counter("repl_backedge_inquiries_total", site),
 		beDecisionErrs: r.Counter("repl_backedge_decision_errors_total", site),
 		rpcLate:        r.Counter("repl_rpc_late_responses_total", site),
-		fifoDepth:   queue("fifo"),
-		tsDepth:     queue("ts"),
-		eagerDepth:  queue("eager"),
-		readsDepth:  queue("reads"),
+		fifoDepth:      queue("fifo"),
+		tsDepth:        queue("ts"),
+		eagerDepth:     queue("eager"),
+		readsDepth:     queue("reads"),
 	}
 }
 
@@ -74,6 +74,16 @@ func newSiteObs(r *obs.Registry, id model.SiteID) siteObs {
 // protocol; with tracing disabled the call is one branch, no allocation.
 func (b *base) traceEvent(k trace.Kind, peer model.SiteID, tid model.TxnID) {
 	b.cfg.Trace.Record(k, b.id, peer, tid, uint8(b.proto))
+}
+
+// traceCtx records one lifecycle event under this site's span within the
+// causal context sc: the event's span is the local work, its parent the
+// sending site's span (zero at the origin, rooting the tree).
+func (b *base) traceCtx(k trace.Kind, peer model.SiteID, sc model.SpanContext) {
+	if b.cfg.Trace == nil {
+		return
+	}
+	b.cfg.Trace.RecordSpan(k, b.id, peer, sc.TID, uint8(b.proto), sc.SpanAt(b.id), sc.Parent)
 }
 
 // tracing reports whether events are being recorded; call sites that
@@ -92,18 +102,19 @@ func (b *base) recCommit(tid model.TxnID, start time.Time) {
 }
 
 // recAbort folds the bookkeeping for an aborted primary subtransaction.
+// Aborts happen at the origin, so the event sits on the root span.
 func (b *base) recAbort(tid model.TxnID) {
 	b.cfg.Metrics.TxnAborted()
 	b.obs.aborted.Inc()
-	b.traceEvent(trace.TxnAbort, model.NoSite, tid)
+	b.traceCtx(trace.TxnAbort, model.NoSite, model.SpanContext{TID: tid})
 }
 
 // recApplied folds the bookkeeping for a committed secondary
-// subtransaction.
-func (b *base) recApplied(tid model.TxnID) {
-	b.cfg.Metrics.SecondaryApplied(tid)
+// subtransaction, attributed to this site's span within sc.
+func (b *base) recApplied(sc model.SpanContext) {
+	b.cfg.Metrics.SecondaryApplied(sc.TID)
 	b.obs.applied.Inc()
-	b.traceEvent(trace.SecondaryApplied, model.NoSite, tid)
+	b.traceCtx(trace.SecondaryApplied, model.NoSite, sc)
 }
 
 // recRetry folds the bookkeeping for a secondary resubmission.

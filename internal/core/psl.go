@@ -11,6 +11,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/watch"
 )
 
 // pslEngine implements the lazy primary-site-locking baseline of §5.1 (a
@@ -38,6 +39,8 @@ type pslEngine struct {
 	// production system would age entries out.
 	relMu    sync.Mutex
 	released map[model.TxnID]bool
+
+	prog *watch.Progress
 }
 
 func newPSL(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *pslEngine {
@@ -45,6 +48,7 @@ func newPSL(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *pslEngine {
 		base:     newBase(cfg, PSL, id, tr),
 		reads:    make(chan comm.Message, 1<<16),
 		released: make(map[model.TxnID]bool),
+		prog:     cfg.Watch.Queue(id, "reads"),
 	}
 }
 
@@ -57,6 +61,7 @@ func (e *pslEngine) readServer() {
 		select {
 		case msg := <-e.reads:
 			e.obs.readsDepth.Dec()
+			e.prog.Pop()
 			e.serveRead(msg)
 		case <-e.stop:
 			return
@@ -68,13 +73,14 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
 	start := time.Now()
 	tid := e.newTxnID()
-	e.traceEvent(trace.TxnBegin, model.NoSite, tid)
+	octx := model.SpanContext{TID: tid}
+	e.traceCtx(trace.TxnBegin, model.NoSite, octx)
 	t := e.tm.Begin(tid)
 	remotes := make(map[model.SiteID]bool)
 
 	fail := func(err error) error {
 		t.Abort()
-		e.releaseRemotes(tid, remotes)
+		e.releaseRemotes(octx, remotes)
 		e.recAbort(tid)
 		return err
 	}
@@ -86,7 +92,7 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 			primary := e.cfg.Placement.Primary[op.Item]
 			if primary == e.id {
 				if _, err := t.Read(op.Item); err != nil {
-					e.releaseRemotes(tid, remotes)
+					e.releaseRemotes(octx, remotes)
 					e.recAbort(tid)
 					return err
 				}
@@ -95,8 +101,8 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 			// Replica read: shared lock + value ship from the primary.
 			e.cfg.Metrics.RemoteRead()
 			e.obs.remoteReads.Inc()
-			e.traceEvent(trace.RemoteRead, primary, tid)
-			resp, err := e.rpc.Call(primary, kindPSLRead, pslReadReq{TID: tid, Item: op.Item}, e.cfg.Params.RPCTimeout)
+			e.traceCtx(trace.RemoteRead, primary, octx)
+			resp, err := e.rpc.CallSpan(primary, kindPSLRead, pslReadReq{TID: tid, Item: op.Item}, e.cfg.Params.RPCTimeout, octx.Fork(e.id))
 			if err != nil {
 				// The lock may still be granted remotely after our timeout;
 				// the release below cancels or undoes it.
@@ -111,24 +117,24 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 				return fail(fmt.Errorf("core: s%d is not the primary of item %d", e.id, op.Item))
 			}
 			if err := t.Write(op.Item, op.Value); err != nil {
-				e.releaseRemotes(tid, remotes)
+				e.releaseRemotes(octx, remotes)
 				e.recAbort(tid)
 				return err
 			}
 		}
 	}
 	if err := t.Commit(); err != nil {
-		e.releaseRemotes(tid, remotes)
+		e.releaseRemotes(octx, remotes)
 		e.recAbort(tid)
 		return err
 	}
-	e.traceEvent(trace.TxnCommit, model.NoSite, tid)
-	e.releaseRemotes(tid, remotes)
+	e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+	e.releaseRemotes(octx, remotes)
 	e.recCommit(tid, start)
 	return nil
 }
 
-func (e *pslEngine) releaseRemotes(tid model.TxnID, remotes map[model.SiteID]bool) {
+func (e *pslEngine) releaseRemotes(sc model.SpanContext, remotes map[model.SiteID]bool) {
 	// Release in site order: the transport draws its seeded jitter in Send
 	// order, so map-ordered sends would perturb schedule replay.
 	sites := make([]model.SiteID, 0, len(remotes))
@@ -136,10 +142,11 @@ func (e *pslEngine) releaseRemotes(tid model.TxnID, remotes map[model.SiteID]boo
 		sites = append(sites, s)
 	}
 	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	out := sc.Fork(e.id)
 	for _, s := range sites {
 		e.send(comm.Message{
-			From: e.id, To: s, Kind: kindPSLRelease,
-			Payload: pslReleasePayload{TID: tid},
+			From: e.id, To: s, Kind: kindPSLRelease, Span: out,
+			Payload: pslReleasePayload{TID: sc.TID},
 		})
 	}
 }
@@ -154,6 +161,7 @@ func (e *pslEngine) Handle(msg comm.Message) {
 		// Lock waits block; serve through the site's read server, off the
 		// transport goroutine.
 		e.obs.readsDepth.Inc()
+		e.prog.Push()
 		e.reads <- msg
 	case kindPSLRelease:
 		go e.serveRelease(msg.Payload.(pslReleasePayload).TID)

@@ -151,6 +151,31 @@ func (t *Transport) SetTrace(rec *trace.Recorder) {
 	t.trace = rec
 }
 
+// faultSalt distinguishes injected-fault auxiliary spans from the
+// reliable sublayer's retransmit/ack spans under the same parent.
+const faultSalt = 0xfa1 << 32
+
+// spanOf extracts the causal span context of a message, looking through
+// the reliable-delivery envelope when the sublayer runs above the
+// injector (the usual chaos stack: engine → Reliable → fault → mem).
+func spanOf(m comm.Message) model.SpanContext {
+	if p, ok := m.Payload.(comm.RelDataPayload); ok {
+		return p.Msg.Span
+	}
+	return m.Span
+}
+
+// traceFault records one per-message injected fault, attributed to the
+// causal span of the affected message when it carries one.
+func traceFault(rec *trace.Recorder, k trace.Kind, m comm.Message) {
+	sc := spanOf(m)
+	if sc.Parent == 0 {
+		rec.Record(k, m.From, m.To, sc.TID, 0)
+		return
+	}
+	rec.RecordSpan(k, m.From, m.To, sc.TID, 0, model.AuxSpan(sc.Parent, faultSalt), sc.Parent)
+}
+
 // SetEdgeFaults overrides the fault mix of one directed edge; other edges
 // keep the Config default. Must be called before the edge carries traffic
 // (later calls do not affect an already-started decision stream).
@@ -254,7 +279,7 @@ func (t *Transport) Register(site model.SiteID, h comm.Handler) {
 		t.mu.Unlock()
 		if down {
 			t.ctr.dropCrash.Inc()
-			rec.Record(trace.FaultDrop, m.From, m.To, model.TxnID{}, 0)
+			traceFault(rec, trace.FaultDrop, m)
 			return
 		}
 		h(m)
@@ -275,14 +300,14 @@ func (t *Transport) Send(msg comm.Message) error {
 		rec := t.trace
 		t.mu.Unlock()
 		t.ctr.dropCrash.Inc()
-		rec.Record(trace.FaultDrop, msg.From, msg.To, model.TxnID{}, 0)
+		traceFault(rec, trace.FaultDrop, msg)
 		return nil
 	}
 	if t.partitioned[e] {
 		rec := t.trace
 		t.mu.Unlock()
 		t.ctr.dropPartition.Inc()
-		rec.Record(trace.FaultDrop, msg.From, msg.To, model.TxnID{}, 0)
+		traceFault(rec, trace.FaultDrop, msg)
 		return nil
 	}
 	st := t.state(e)
@@ -295,12 +320,12 @@ func (t *Transport) Send(msg comm.Message) error {
 
 	if uDrop < f.Drop {
 		t.ctr.dropRandom.Inc()
-		rec.Record(trace.FaultDrop, msg.From, msg.To, model.TxnID{}, 0)
+		traceFault(rec, trace.FaultDrop, msg)
 		return nil
 	}
 	if uDup < f.Duplicate {
 		t.ctr.duplicated.Inc()
-		rec.Record(trace.FaultDuplicate, msg.From, msg.To, model.TxnID{}, 0)
+		traceFault(rec, trace.FaultDuplicate, msg)
 		if err := t.inner.Send(msg); err != nil {
 			return err
 		}
@@ -308,8 +333,19 @@ func (t *Transport) Send(msg comm.Message) error {
 	if uDelay < f.Delay && f.DelayMax > 0 {
 		d := f.DelayMin + time.Duration(uFrac*float64(f.DelayMax-f.DelayMin))
 		t.ctr.delayed.Inc()
-		rec.Record(trace.FaultDelay, msg.From, msg.To, model.TxnID{}, 0)
+		traceFault(rec, trace.FaultDelay, msg)
+		// The Add must be ordered against Close's closed=true under t.mu:
+		// a late sender (e.g. the reliable sublayer acking a delivery that
+		// raced shutdown) calling Add while Close is in Wait with the
+		// counter at zero is the sync.WaitGroup misuse the race detector
+		// flags. Once closed, skip the hold and deliver inline.
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return t.inner.Send(msg)
+		}
 		t.wg.Add(1)
+		t.mu.Unlock()
 		time.AfterFunc(d, func() {
 			defer t.wg.Done()
 			t.mu.Lock()

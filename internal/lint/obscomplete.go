@@ -9,10 +9,10 @@ import (
 )
 
 // obsField is one registered metric handle: a struct field of type
-// *obs.Counter, *obs.Gauge or *obs.Histogram.
+// *obs.Counter, *obs.Gauge, *obs.Histogram or *watch.Progress.
 type obsField struct {
 	name string
-	kind string // Counter, Gauge, Histogram
+	kind string // Counter, Gauge, Histogram, Progress
 	pos  token.Pos
 }
 
@@ -22,6 +22,8 @@ type obsUpdate struct {
 	any      bool // some updating method is called
 	gaugeInc bool
 	gaugeDec bool // Dec, Set or Add
+	push     bool // Progress.Push
+	pop      bool // Progress.Pop
 }
 
 // NewObsComplete returns the obscomplete analyzer, which keeps the
@@ -38,7 +40,11 @@ type obsUpdate struct {
 //   - every *obs.Gauge field that is ever Inc'd must also be Dec'd (or
 //     Set/Add'd) somewhere — a level gauge that only rises, like a queue
 //     depth counting arrivals but not departures, reads as an
-//     ever-growing backlog.
+//     ever-growing backlog;
+//   - every *watch.Progress field (a queue-liveness handle from the
+//     watchdog) must have both Push and Pop call sites — a half-wired
+//     handle either trips the queue-stall detector permanently (Push
+//     without Pop) or drives the depth negative (Pop without Push).
 //
 // Intentional exceptions carry `//lint:allow obscomplete <reason>` on
 // the constant or field declaration.
@@ -109,10 +115,16 @@ func NewObsComplete() *Analyzer {
 			f := fields[key]
 			u := updates[key]
 			switch {
+			case (u == nil || !u.any) && f.kind == "Progress":
+				report(f.pos, fmt.Sprintf("queue handle %s is registered but never pushed or popped: the watchdog monitors a queue that does not exist", f.name))
 			case u == nil || !u.any:
 				report(f.pos, fmt.Sprintf("obs handle %s is registered but never updated: it exports a permanently-zero series", f.name))
 			case f.kind == "Gauge" && u.gaugeInc && !u.gaugeDec:
 				report(f.pos, fmt.Sprintf("gauge %s only ever increments: a level series needs a matching Dec/Set or it reads as an ever-growing backlog", f.name))
+			case f.kind == "Progress" && u.push && !u.pop:
+				report(f.pos, fmt.Sprintf("queue handle %s is pushed but never popped: its depth only rises and the watchdog will report a permanent stall", f.name))
+			case f.kind == "Progress" && u.pop && !u.push:
+				report(f.pos, fmt.Sprintf("queue handle %s is popped but never pushed: its depth goes negative and stall detection is meaningless", f.name))
 			}
 		}
 		return nil
@@ -124,7 +136,8 @@ func isTraceKindConst(c *types.Const) bool {
 	return c.Pkg() != nil && c.Pkg().Name() == "trace" && typeFrom(c.Type(), "trace", "Kind")
 }
 
-// obsHandleKind classifies a field type as a pointer to an obs handle.
+// obsHandleKind classifies a field type as a pointer to an obs handle or
+// a watchdog queue-liveness handle.
 func obsHandleKind(t types.Type) string {
 	if _, isPtr := t.(*types.Pointer); !isPtr {
 		return ""
@@ -133,6 +146,9 @@ func obsHandleKind(t types.Type) string {
 		if typeFrom(t, "obs", k) {
 			return k
 		}
+	}
+	if typeFrom(t, "watch", "Progress") {
+		return "Progress"
 	}
 	return ""
 }
@@ -149,7 +165,7 @@ func fieldOwner(info *types.Info, name *ast.Ident) string {
 // recordObsUpdate marks handle mutations of the form x.field.Method().
 func recordObsUpdate(pkgPath string, info *types.Info, sel *ast.SelectorExpr, update func(string) *obsUpdate) {
 	switch sel.Sel.Name {
-	case "Inc", "Add", "Dec", "Set", "Observe":
+	case "Inc", "Add", "Dec", "Set", "Observe", "Push", "Pop":
 	default:
 		return
 	}
@@ -168,6 +184,10 @@ func recordObsUpdate(pkgPath string, info *types.Info, sel *ast.SelectorExpr, up
 		u.gaugeInc = true
 	case "Dec", "Set", "Add":
 		u.gaugeDec = true
+	case "Push":
+		u.push = true
+	case "Pop":
+		u.pop = true
 	}
 }
 

@@ -6,6 +6,7 @@ package engine
 import (
 	"obs"
 	"trace"
+	"watch"
 )
 
 type siteObs struct {
@@ -16,6 +17,12 @@ type siteObs struct {
 	latency   *obs.Histogram
 	//lint:allow obscomplete wired up by the next engine
 	reserved *obs.Counter
+	fifo     *watch.Progress
+	leaky    *watch.Progress // want "queue handle .*leaky is pushed but never popped"
+	phantom  *watch.Progress // want "queue handle .*phantom is popped but never pushed"
+	ghost    *watch.Progress // want "queue handle .*ghost is registered but never pushed or popped"
+	//lint:allow obscomplete drained by a sibling engine in a later PR
+	parked *watch.Progress
 }
 
 type engine struct {
@@ -30,4 +37,9 @@ func (e *engine) run() {
 	e.o.inflight.Inc()
 	e.o.inflight.Dec()
 	e.o.latency.Observe(1)
+	e.o.fifo.Push()
+	e.o.fifo.Pop()
+	e.o.leaky.Push()
+	e.o.phantom.Pop()
+	_ = e.o.fifo.Depth()
 }

@@ -31,6 +31,10 @@ type PathNode struct {
 // stamped with its SecondaryApplied time. Events from multiple protocols
 // may share TIDs across runs; filter by Event.Proto first if the stream
 // mixes runs.
+//
+// Deprecated: PathOf infers edges heuristically from event timing and is
+// kept only for traces recorded without span context. New traces carry
+// exact causal attribution on every event; use BuildSpanTrees instead.
 func PathOf(events []Event, tid model.TxnID) (*PathNode, error) {
 	if tid.Zero() {
 		return nil, fmt.Errorf("trace: cannot reconstruct the path of the zero TxnID")

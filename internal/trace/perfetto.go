@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/model"
+)
+
+// Chrome/Perfetto trace-event JSON export (docs/OBSERVABILITY.md). Each
+// site becomes a process; each causal span at a site becomes a compact
+// thread-track within it, so a whole chaos run opens in ui.perfetto.dev
+// with one lane per in-flight transaction hop. Track ids are small
+// per-site ordinals rather than raw 64-bit span ids: trace-event JSON
+// readers parse tids as doubles, which cannot represent all uint64s.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace writes events in Chrome trace-event JSON format.
+// Output is sorted by timestamp, so per-track timestamps are monotone.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+
+	var out chromeTrace
+	sites := make(map[model.SiteID]bool)
+	// tracks maps (site, span) to a compact per-site ordinal; span 0
+	// (unattributed events) shares track 0 at each site.
+	type trackKey struct {
+		site model.SiteID
+		span model.SpanID
+	}
+	tracks := make(map[trackKey]int)
+	nextTrack := make(map[model.SiteID]int)
+	for _, ev := range sorted {
+		if !sites[ev.Site] {
+			sites[ev.Site] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: int(ev.Site),
+				Args: map[string]any{"name": siteName(ev.Site)},
+			})
+			tracks[trackKey{ev.Site, 0}] = 0
+			nextTrack[ev.Site] = 1
+		}
+		key := trackKey{ev.Site, ev.Span}
+		tid, ok := tracks[key]
+		if !ok {
+			tid = nextTrack[ev.Site]
+			nextTrack[ev.Site] = tid + 1
+			tracks[key] = tid
+		}
+		args := map[string]any{"proto": ev.Proto}
+		if !ev.TID.Zero() {
+			args["txn"] = ev.TID.String()
+		}
+		if ev.Span != 0 {
+			args["span"] = ev.Span.String()
+			args["parent"] = ev.Parent.String()
+		}
+		if ev.Peer != model.NoSite {
+			args["peer"] = int(ev.Peer)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Kind.String(), Ph: "i", Ts: ev.T / 1000,
+			Pid: int(ev.Site), Tid: tid, S: "t", Args: args,
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func siteName(s model.SiteID) string {
+	if s == model.NoSite {
+		return "cluster"
+	}
+	return "site " + strconv.Itoa(int(s))
+}

@@ -79,6 +79,18 @@ const (
 	// asks the coordinator Peer for a missed decision, at the coordinator
 	// when it answers one.
 	DecisionInquiry
+	// RelRetransmit marks the reliable-delivery sublayer resending an
+	// unacknowledged envelope to Peer (docs/FAULTS.md).
+	RelRetransmit
+	// RelAck marks the reliable-delivery sublayer acknowledging delivered
+	// data back to Peer.
+	RelAck
+	// WatchAlert marks the watchdog raising a liveness/staleness alert at
+	// Site (docs/OBSERVABILITY.md); Peer is the implicated edge endpoint
+	// or model.NoSite.
+	WatchAlert
+	// WatchClear marks a previously raised watchdog alert clearing.
+	WatchClear
 
 	kindEnd
 )
@@ -103,6 +115,10 @@ var kindNames = [kindEnd]string{
 	PartitionCut:       "PartitionCut",
 	PartitionHeal:      "PartitionHeal",
 	DecisionInquiry:    "DecisionInquiry",
+	RelRetransmit:      "RelRetransmit",
+	RelAck:             "RelAck",
+	WatchAlert:         "WatchAlert",
+	WatchClear:         "WatchClear",
 }
 
 func (k Kind) String() string {
@@ -131,30 +147,38 @@ func (k *Kind) UnmarshalText(b []byte) error {
 // recorder was created (monotonic); Peer is the counterpart site of the
 // event (sender, receiver, or remote-read primary) or model.NoSite.
 type Event struct {
-	T     int64        `json:"t"`
-	Kind  Kind         `json:"kind"`
-	Site  model.SiteID `json:"site"`
-	Peer  model.SiteID `json:"peer"`
-	TID   model.TxnID  `json:"-"`
-	Proto uint8        `json:"proto"`
+	T    int64        `json:"t"`
+	Kind Kind         `json:"kind"`
+	Site model.SiteID `json:"site"`
+	Peer model.SiteID `json:"peer"`
+	TID  model.TxnID  `json:"-"`
+	// Span is the causal span this event belongs to and Parent the span
+	// it descends from (model.RootSpan(TID) roots each transaction's
+	// tree); both are zero for events recorded without span context.
+	Span   model.SpanID `json:"span,omitempty"`
+	Parent model.SpanID `json:"parent,omitempty"`
+	Proto  uint8        `json:"proto"`
 }
 
 // jsonEvent flattens TID so each JSONL line is a single small object.
 type jsonEvent struct {
-	T     int64        `json:"t"`
-	Kind  Kind         `json:"kind"`
-	Site  model.SiteID `json:"site"`
-	Peer  model.SiteID `json:"peer"`
-	TSite model.SiteID `json:"tsite"`
-	TSeq  uint64       `json:"tseq"`
-	Proto uint8        `json:"proto"`
+	T      int64        `json:"t"`
+	Kind   Kind         `json:"kind"`
+	Site   model.SiteID `json:"site"`
+	Peer   model.SiteID `json:"peer"`
+	TSite  model.SiteID `json:"tsite"`
+	TSeq   uint64       `json:"tseq"`
+	Span   model.SpanID `json:"span,omitempty"`
+	Parent model.SpanID `json:"parent,omitempty"`
+	Proto  uint8        `json:"proto"`
 }
 
 // MarshalJSON implements json.Marshaler.
 func (e Event) MarshalJSON() ([]byte, error) {
 	return json.Marshal(jsonEvent{
 		T: e.T, Kind: e.Kind, Site: e.Site, Peer: e.Peer,
-		TSite: e.TID.Site, TSeq: e.TID.Seq, Proto: e.Proto,
+		TSite: e.TID.Site, TSeq: e.TID.Seq,
+		Span: e.Span, Parent: e.Parent, Proto: e.Proto,
 	})
 }
 
@@ -166,7 +190,8 @@ func (e *Event) UnmarshalJSON(b []byte) error {
 	}
 	*e = Event{
 		T: j.T, Kind: j.Kind, Site: j.Site, Peer: j.Peer,
-		TID: model.TxnID{Site: j.TSite, Seq: j.TSeq}, Proto: j.Proto,
+		TID:  model.TxnID{Site: j.TSite, Seq: j.TSeq},
+		Span: j.Span, Parent: j.Parent, Proto: j.Proto,
 	}
 	return nil
 }
@@ -187,6 +212,7 @@ type shard struct {
 // sink whose Record costs one branch and never allocates.
 type Recorder struct {
 	start  time.Time
+	sink   func(Event)
 	shards [shardCount]shard
 }
 
@@ -194,17 +220,39 @@ type Recorder struct {
 // point of every event timestamp.
 func NewRecorder() *Recorder { return &Recorder{start: time.Now()} }
 
-// Record appends one event. All arguments are scalars so the disabled
-// (nil-recorder) path performs no interface boxing and no allocation.
-func (r *Recorder) Record(k Kind, site, peer model.SiteID, tid model.TxnID, proto uint8) {
+// SetSink installs a live tap invoked synchronously (under the shard
+// lock's caller, not the lock itself) for every recorded event; the
+// watchdog uses it to observe traffic online. It must be called before
+// any traffic is recorded — the field is read without synchronization.
+func (r *Recorder) SetSink(fn func(Event)) {
 	if r == nil {
 		return
 	}
-	t := int64(time.Since(r.start))
+	r.sink = fn
+}
+
+// Record appends one event. All arguments are scalars so the disabled
+// (nil-recorder) path performs no interface boxing and no allocation.
+func (r *Recorder) Record(k Kind, site, peer model.SiteID, tid model.TxnID, proto uint8) {
+	r.RecordSpan(k, site, peer, tid, proto, 0, 0)
+}
+
+// RecordSpan appends one event carrying causal span attribution.
+func (r *Recorder) RecordSpan(k Kind, site, peer model.SiteID, tid model.TxnID, proto uint8, span, parent model.SpanID) {
+	if r == nil {
+		return
+	}
+	ev := Event{
+		T: int64(time.Since(r.start)), Kind: k, Site: site, Peer: peer,
+		TID: tid, Span: span, Parent: parent, Proto: proto,
+	}
 	s := &r.shards[uint(site)%shardCount]
 	s.mu.Lock()
-	s.events = append(s.events, Event{T: t, Kind: k, Site: site, Peer: peer, TID: tid, Proto: proto})
+	s.events = append(s.events, ev)
 	s.mu.Unlock()
+	if r.sink != nil {
+		r.sink(ev)
+	}
 }
 
 // Len returns the number of recorded events.

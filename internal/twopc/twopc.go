@@ -18,13 +18,16 @@ import (
 	"repro/internal/model"
 )
 
-// Coordinator supplies the per-participant communication callbacks.
+// Coordinator supplies the per-participant communication callbacks. The
+// span context of the coordinating work is passed through to each
+// callback so every vote and decision message joins the originating
+// transaction's causal tree.
 type Coordinator struct {
 	// Prepare asks a participant to prepare tid and returns its vote.
 	// An error (timeout, site unreachable) counts as a no vote.
-	Prepare func(p model.SiteID, tid model.TxnID) (bool, error)
+	Prepare func(p model.SiteID, tid model.TxnID, sc model.SpanContext) (bool, error)
 	// Decide delivers the decision to a participant and waits for its ack.
-	Decide func(p model.SiteID, tid model.TxnID, commit bool) error
+	Decide func(p model.SiteID, tid model.TxnID, commit bool, sc model.SpanContext) error
 	// Log, if non-nil, durably records the decision before phase 2 begins,
 	// so participants that miss the decision can recover by inquiry.
 	Log *DecisionLog
@@ -76,13 +79,13 @@ func (l *DecisionLog) Lookup(tid model.TxnID) (commit, known bool) {
 	return commit, known
 }
 
-// Run executes two-phase commit for tid over the participants. It returns
-// whether the transaction committed, plus the first decision-delivery
-// error. The decision itself stands regardless of delivery errors: it is
-// recorded in c.Log before phase 2 starts, and a participant that missed
-// it recovers by asking the coordinator, which answers from that log (see
-// DecisionLog).
-func Run(tid model.TxnID, participants []model.SiteID, c Coordinator) (bool, error) {
+// Run executes two-phase commit for tid over the participants, stamping
+// sc on every callback. It returns whether the transaction committed,
+// plus the first decision-delivery error. The decision itself stands
+// regardless of delivery errors: it is recorded in c.Log before phase 2
+// starts, and a participant that missed it recovers by asking the
+// coordinator, which answers from that log (see DecisionLog).
+func Run(tid model.TxnID, participants []model.SiteID, c Coordinator, sc model.SpanContext) (bool, error) {
 	if len(participants) == 0 {
 		return true, nil
 	}
@@ -93,7 +96,7 @@ func Run(tid model.TxnID, participants []model.SiteID, c Coordinator) (bool, err
 		wg.Add(1)
 		go func(i int, p model.SiteID) {
 			defer wg.Done()
-			ok, err := c.Prepare(p, tid)
+			ok, err := c.Prepare(p, tid, sc)
 			votes[i] = ok && err == nil
 		}(i, p)
 	}
@@ -115,7 +118,7 @@ func Run(tid model.TxnID, participants []model.SiteID, c Coordinator) (bool, err
 		wg.Add(1)
 		go func(i int, p model.SiteID) {
 			defer wg.Done()
-			errs[i] = c.Decide(p, tid, commit)
+			errs[i] = c.Decide(p, tid, commit, sc)
 		}(i, p)
 	}
 	wg.Wait()

@@ -32,13 +32,13 @@ func newFake(votes map[model.SiteID]bool) *fakeParticipants {
 
 func (f *fakeParticipants) coordinator() Coordinator {
 	return Coordinator{
-		Prepare: func(p model.SiteID, _ model.TxnID) (bool, error) {
+		Prepare: func(p model.SiteID, _ model.TxnID, _ model.SpanContext) (bool, error) {
 			f.mu.Lock()
 			defer f.mu.Unlock()
 			f.prepared[p] = true
 			return f.votes[p], nil
 		},
-		Decide: func(p model.SiteID, _ model.TxnID, commit bool) error {
+		Decide: func(p model.SiteID, _ model.TxnID, commit bool, _ model.SpanContext) error {
 			f.mu.Lock()
 			defer f.mu.Unlock()
 			f.decided[p] = true
@@ -51,7 +51,7 @@ func (f *fakeParticipants) coordinator() Coordinator {
 func TestRunCommitsOnUnanimousYes(t *testing.T) {
 	parts := []model.SiteID{1, 2, 3}
 	f := newFake(map[model.SiteID]bool{1: true, 2: true, 3: true})
-	committed, err := Run(txid(1), parts, f.coordinator())
+	committed, err := Run(txid(1), parts, f.coordinator(), model.SpanContext{})
 	if err != nil || !committed {
 		t.Fatalf("committed=%v err=%v", committed, err)
 	}
@@ -66,7 +66,7 @@ func TestRunCommitsOnUnanimousYes(t *testing.T) {
 func TestRunAbortsOnAnyNo(t *testing.T) {
 	parts := []model.SiteID{1, 2}
 	f := newFake(map[model.SiteID]bool{1: true, 2: false})
-	committed, err := Run(txid(1), parts, f.coordinator())
+	committed, err := Run(txid(1), parts, f.coordinator(), model.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,15 +83,15 @@ func TestRunAbortsOnAnyNo(t *testing.T) {
 
 func TestRunAbortsOnPrepareError(t *testing.T) {
 	c := Coordinator{
-		Prepare: func(p model.SiteID, _ model.TxnID) (bool, error) {
+		Prepare: func(p model.SiteID, _ model.TxnID, _ model.SpanContext) (bool, error) {
 			if p == 2 {
 				return true, errors.New("unreachable")
 			}
 			return true, nil
 		},
-		Decide: func(model.SiteID, model.TxnID, bool) error { return nil },
+		Decide: func(model.SiteID, model.TxnID, bool, model.SpanContext) error { return nil },
 	}
-	committed, err := Run(txid(1), []model.SiteID{1, 2}, c)
+	committed, err := Run(txid(1), []model.SiteID{1, 2}, c, model.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestRunAbortsOnPrepareError(t *testing.T) {
 }
 
 func TestRunNoParticipantsCommits(t *testing.T) {
-	committed, err := Run(txid(1), nil, Coordinator{})
+	committed, err := Run(txid(1), nil, Coordinator{}, model.SpanContext{})
 	if err != nil || !committed {
 		t.Fatalf("empty participant set: committed=%v err=%v", committed, err)
 	}
@@ -109,10 +109,10 @@ func TestRunNoParticipantsCommits(t *testing.T) {
 
 func TestRunReportsDecisionDeliveryError(t *testing.T) {
 	c := Coordinator{
-		Prepare: func(model.SiteID, model.TxnID) (bool, error) { return true, nil },
-		Decide:  func(model.SiteID, model.TxnID, bool) error { return errors.New("lost") },
+		Prepare: func(model.SiteID, model.TxnID, model.SpanContext) (bool, error) { return true, nil },
+		Decide:  func(model.SiteID, model.TxnID, bool, model.SpanContext) error { return errors.New("lost") },
 	}
-	committed, err := Run(txid(1), []model.SiteID{1}, c)
+	committed, err := Run(txid(1), []model.SiteID{1}, c, model.SpanContext{})
 	if !committed {
 		t.Fatal("the decision stands even if delivery fails")
 	}
@@ -220,8 +220,8 @@ func TestRunLogsDecisionBeforeDelivery(t *testing.T) {
 	log := NewDecisionLog()
 	var missed atomic.Bool
 	c := Coordinator{
-		Prepare: func(model.SiteID, model.TxnID) (bool, error) { return true, nil },
-		Decide: func(_ model.SiteID, tid model.TxnID, commit bool) error {
+		Prepare: func(model.SiteID, model.TxnID, model.SpanContext) (bool, error) { return true, nil },
+		Decide: func(_ model.SiteID, tid model.TxnID, commit bool, _ model.SpanContext) error {
 			got, known := log.Lookup(tid)
 			if !known || got != commit {
 				missed.Store(true)
@@ -230,7 +230,7 @@ func TestRunLogsDecisionBeforeDelivery(t *testing.T) {
 		},
 		Log: log,
 	}
-	commit, err := Run(txid(9), []model.SiteID{1, 2}, c)
+	commit, err := Run(txid(9), []model.SiteID{1, 2}, c, model.SpanContext{})
 	if err != nil || !commit {
 		t.Fatalf("commit=%v err=%v", commit, err)
 	}
@@ -248,7 +248,7 @@ func TestRunLogsAbortDecision(t *testing.T) {
 	f := newFake(map[model.SiteID]bool{1: true, 2: false})
 	c := f.coordinator()
 	c.Log = log
-	commit, err := Run(txid(3), []model.SiteID{1, 2}, c)
+	commit, err := Run(txid(3), []model.SiteID{1, 2}, c, model.SpanContext{})
 	if err != nil || commit {
 		t.Fatalf("commit=%v err=%v, want abort", commit, err)
 	}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos lint cover bench fuzz experiments shapes examples clean
+.PHONY: all build vet test race check chaos lint cover bench bench-smoke fuzz experiments shapes examples clean
 
 all: check
 
@@ -30,8 +30,9 @@ lint:
 	$(GO) run ./cmd/repllint ./...
 
 # The pre-merge gate: compile, static checks, full test suite, the race
-# detector, the chaos suite, and the protocol-invariant lint.
-check: build vet test race chaos lint
+# detector, the chaos suite, the protocol-invariant lint, and the
+# benchmark smoke gate.
+check: build vet test race chaos lint bench-smoke
 
 cover:
 	$(GO) test -cover ./...
@@ -39,6 +40,19 @@ cover:
 # One benchmark iteration per paper artifact plus the micro-benchmarks.
 bench:
 	$(GO) test -run NONE -bench . -benchmem -benchtime 1x ./...
+
+# Benchmark observatory (docs/BENCHMARKING.md): run the smoke suite with
+# pprof capture into $(BENCH_DIR), then gate the fresh snapshot against
+# the committed BENCH_smoke.json baseline. Thresholds here are wide —
+# CI runners and loaded laptops are noisy; the tool's defaults are for
+# deliberate same-machine before/after comparisons.
+BENCH_DIR ?= bench-artifacts
+bench-smoke:
+	mkdir -p $(BENCH_DIR)
+	$(GO) run ./cmd/replbench -suite smoke -benchjson $(BENCH_DIR)/BENCH_smoke.json -pprofdir $(BENCH_DIR)/pprof
+	$(GO) run ./cmd/replbench -compare BENCH_smoke.json \
+		-threshold 50 -latthreshold 400 -allocthreshold 100 -abortthreshold 25 \
+		$(BENCH_DIR)/BENCH_smoke.json
 
 FUZZTIME ?= 30s
 

@@ -9,9 +9,15 @@
 //	replbench -exp fig3a -scale full -csv > fig3a.csv
 //	replbench -exp all -scale quick
 //	replbench -trace run.jsonl -traceproto dagt -watch -spans run.perfetto.json
+//	replbench -suite smoke -benchjson BENCH_smoke.json -pprofdir bench-profiles
+//	replbench -compare BENCH_baseline.json BENCH_new.json
 //
 // Scales: quick (seconds per point), medium (default), full (the paper's
 // 1000 transactions per thread — expect a long run).
+//
+// The -suite runner emits a versioned BenchSnapshot (docs/BENCHMARKING.md)
+// and -compare is the regression gate: it exits nonzero when the new
+// snapshot regressed past the thresholds.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -52,7 +59,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "run one traced cluster and write its propagation events to this JSONL file")
 		traceProto = flag.String("traceproto", "backedge", "protocol for the -trace run: psl|dagwt|dagt|backedge")
 		traceSum   = flag.String("tracesummary", "", "summarize a JSONL trace file: per-protocol p50/p95/max propagation delay")
-		jsonOut    = flag.Bool("json", false, "with -trace: print the run's metrics report as JSON")
+		jsonOut    = flag.Bool("json", false, "with -trace: print the run's metrics report as JSON; with -exp: print every point as a JSON array instead of tables")
 
 		faultDrop  = flag.Float64("faultdrop", 0, "with -trace: per-message drop probability injected under the engines")
 		faultDup   = flag.Float64("faultdup", 0, "with -trace: per-message duplication probability")
@@ -64,8 +71,37 @@ func main() {
 		spansOut  = flag.String("spans", "", "with -trace: also write the run as Chrome/Perfetto trace-event JSON to this file (open at ui.perfetto.dev; see docs/OBSERVABILITY.md)")
 		watchOn   = flag.Bool("watch", false, "with -trace: run the staleness/liveness watchdog during the run and report its summary (a 'watch' block under -json)")
 		flightDir = flag.String("flightdump", "", "with -trace: directory for the watchdog's flight-recorder JSONL dumps on alert (implies -watch)")
+
+		suite     = flag.String("suite", "", "run a benchmark suite (smoke|medium|full) and print/emit a BenchSnapshot")
+		benchJSON = flag.String("benchjson", "", "with -suite: write the BenchSnapshot to this file (conventionally BENCH_<label>.json)")
+		label     = flag.String("label", "", "with -suite: snapshot label (default: the suite name)")
+		pprofDir  = flag.String("pprofdir", "", "with -suite: directory receiving cpu/heap/mutex/block pprof profiles of the run")
+		compare   = flag.String("compare", "", "regression gate: compare this baseline BenchSnapshot against the new one given as the positional argument; exits 1 on regression")
+		thrPct    = flag.Float64("threshold", 10, "with -compare: max tolerated throughput drop, percent")
+		latPct    = flag.Float64("latthreshold", 30, "with -compare: max tolerated latency growth (p50/p95/p99 response, p95 prop), percent")
+		allocPct  = flag.Float64("allocthreshold", 50, "with -compare: max tolerated allocs/bytes-per-txn growth, percent")
+		abortPts  = flag.Float64("abortthreshold", 5, "with -compare: max tolerated abort-rate growth, absolute percentage points")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-compare needs the new snapshot as the positional argument: replbench -compare old.json new.json"))
+		}
+		runCompare(*compare, flag.Arg(0), bench.Thresholds{
+			ThroughputPct: *thrPct, LatencyPct: *latPct, AllocPct: *allocPct, AbortPts: *abortPts,
+		})
+		return
+	}
+	if *suite != "" {
+		if err := runSuite(*suite, *label, *benchJSON, *pprofDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchJSON != "" || *pprofDir != "" || *label != "" {
+		fatal(fmt.Errorf("-benchjson/-pprofdir/-label only apply to a -suite run"))
+	}
 
 	if *stats {
 		printStats(*seed)
@@ -130,12 +166,25 @@ func main() {
 		exps = []repro.Experiment{e}
 	}
 
+	if *csv && *jsonOut {
+		fatal(fmt.Errorf("-csv and -json are mutually exclusive for -exp runs"))
+	}
 	if *csv {
 		fmt.Println(repro.ExperimentCSVHeader)
 	}
+	// expPoint is the scriptable shape of one measured sweep point: the
+	// full metrics report (phase breakdown included) tagged with its
+	// experiment, swept x, and protocol.
+	type expPoint struct {
+		Experiment string         `json:"experiment"`
+		X          float64        `json:"x"`
+		Protocol   string         `json:"protocol"`
+		Report     metrics.Report `json:"report"`
+	}
+	var jsonPoints []expPoint
 	for _, e := range exps {
 		if e.Name == "table1" {
-			if !*csv {
+			if !*csv && !*jsonOut {
 				fmt.Printf("== table1 — Parameter Settings (Table 1) ==\n")
 				repro.PrintTable1(os.Stdout, opts)
 				fmt.Println()
@@ -147,9 +196,18 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.Name, err))
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			for _, p := range res.Points {
+				jsonPoints = append(jsonPoints, expPoint{
+					Experiment: res.Name, X: p.X,
+					Protocol: p.Protocol.String(), Report: p.Report,
+				})
+			}
+			fmt.Fprintf(os.Stderr, "replbench: %s done in %s\n", e.Name, time.Since(start).Round(time.Second))
+		case *csv:
 			res.WriteCSVRows(os.Stdout)
-		} else {
+		default:
 			res.Print(os.Stdout)
 			if *plot {
 				res.PlotASCII(os.Stdout, 64, 16)
@@ -157,6 +215,67 @@ func main() {
 			fmt.Printf("(%s in %s)\n\n", e.Name, time.Since(start).Round(time.Second))
 		}
 	}
+	if *jsonOut {
+		b, err := json.MarshalIndent(jsonPoints, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+	}
+}
+
+// runSuite executes a benchmark suite and emits its BenchSnapshot: to
+// stdout, and to -benchjson when given; -pprofdir adds profile capture.
+func runSuite(name, label, outPath, profileDir string) error {
+	cfg, err := bench.Suite(name)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	snap, err := bench.RunSuite(cfg, bench.RunOptions{
+		Label:      label,
+		ProfileDir: profileDir,
+		Progress: func(line string) {
+			fmt.Fprintf(os.Stderr, "replbench: %s\n", line)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "replbench: suite %s done in %s\n", name, time.Since(start).Round(time.Second))
+	if outPath != "" {
+		if err := snap.WriteFile(outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "replbench: wrote %s\n", outPath)
+		if profileDir != "" {
+			fmt.Fprintf(os.Stderr, "replbench: wrote pprof profiles to %s\n", profileDir)
+		}
+		return nil
+	}
+	return snap.WriteJSON(os.Stdout)
+}
+
+// runCompare is the regression gate: diff new against the old baseline
+// and exit 1 when any metric regressed past its threshold.
+func runCompare(oldPath, newPath string, th bench.Thresholds) {
+	oldSnap, err := bench.ReadSnapshotFile(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newSnap, err := bench.ReadSnapshotFile(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	deltas, regressions := bench.Compare(oldSnap, newSnap, th)
+	fmt.Printf("comparing %s (%s) -> %s (%s)\n\n", oldPath, oldSnap.Label, newPath, newSnap.Label)
+	bench.WriteDiff(os.Stdout, deltas, false)
+	if regressions > 0 {
+		fmt.Printf("\n%d regression(s) past thresholds (throughput -%.0f%%, latency +%.0f%%, allocs +%.0f%%, aborts +%.1f pts)\n",
+			regressions, th.ThroughputPct, th.LatencyPct, th.AllocPct, th.AbortPts)
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions past thresholds")
 }
 
 // faultOptions carries the -fault*/-reliable/-chaossched flags into the
@@ -354,23 +473,55 @@ func summarizeTrace(path string) error {
 	delays := trace.PropDelays(events)
 	if len(delays) == 0 {
 		fmt.Println("no commit-to-apply spans in trace")
-		return nil
+	} else {
+		protos := make([]int, 0, len(delays))
+		for p := range delays {
+			protos = append(protos, int(p))
+		}
+		sort.Ints(protos)
+		fmt.Printf("%-10s %8s %12s %12s %12s\n", "protocol", "samples", "p50", "p95", "max")
+		for _, p := range protos {
+			ds := delays[uint8(p)]
+			fmt.Printf("%-10s %8d %12s %12s %12s\n",
+				core.Protocol(p), len(ds),
+				trace.Quantile(ds, 0.50).Round(time.Microsecond),
+				trace.Quantile(ds, 0.95).Round(time.Microsecond),
+				trace.Quantile(ds, 1).Round(time.Microsecond))
+		}
 	}
-	protos := make([]int, 0, len(delays))
-	for p := range delays {
-		protos = append(protos, int(p))
+	summarizePhases(events)
+	return nil
+}
+
+// summarizePhases aggregates the span-less PhaseLatency events that the
+// engines emit alongside their lifecycle spans and prints per-phase
+// latency quantiles, giving traces the same phase-attribution view the
+// in-process metrics Report carries.
+func summarizePhases(events []trace.Event) {
+	byPhase := make(map[string][]time.Duration)
+	for _, ev := range events {
+		if ev.Kind == trace.PhaseLatency && ev.Phase != "" {
+			byPhase[ev.Phase] = append(byPhase[ev.Phase], time.Duration(ev.Dur))
+		}
 	}
-	sort.Ints(protos)
-	fmt.Printf("%-10s %8s %12s %12s %12s\n", "protocol", "samples", "p50", "p95", "max")
-	for _, p := range protos {
-		ds := delays[uint8(p)]
-		fmt.Printf("%-10s %8d %12s %12s %12s\n",
-			core.Protocol(p), len(ds),
+	if len(byPhase) == 0 {
+		return
+	}
+	names := make([]string, 0, len(byPhase))
+	for n := range byPhase {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("\nphase latency attribution:\n")
+	fmt.Printf("%-14s %8s %12s %12s %12s\n", "phase", "samples", "p50", "p95", "max")
+	for _, n := range names {
+		ds := byPhase[n]
+		fmt.Printf("%-14s %8d %12s %12s %12s\n",
+			n, len(ds),
 			trace.Quantile(ds, 0.50).Round(time.Microsecond),
 			trace.Quantile(ds, 0.95).Round(time.Microsecond),
 			trace.Quantile(ds, 1).Round(time.Microsecond))
 	}
-	return nil
 }
 
 // printStats shows how the §5.2 data-distribution scheme behaves at the

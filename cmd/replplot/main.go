@@ -1,10 +1,13 @@
-// Command replplot renders replbench CSV output as ASCII charts, one per
-// experiment — a quick way to eyeball the paper's figure shapes from a
-// saved run without external tooling:
+// Command replplot renders replbench output as ASCII charts without
+// external tooling. It reads either a replbench CSV (one chart per
+// experiment, the paper's figure shapes) or one or more BENCH_*.json
+// snapshots (the repo's perf trajectory: throughput and p95 response per
+// protocol across snapshots, in argument order):
 //
 //	replbench -exp all -scale medium -csv > results.csv
 //	replplot results.csv
 //	replplot -exp fig2a -width 72 results.csv
+//	replplot BENCH_baseline.json BENCH_new.json
 package main
 
 import (
@@ -14,7 +17,10 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -27,8 +33,19 @@ func main() {
 		height = flag.Int("height", 16, "chart height in rows")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: replplot [-exp name] <results.csv>  (use '-' for stdin)")
+		fmt.Fprintln(os.Stderr, "       replplot <BENCH_a.json> [BENCH_b.json ...]")
+		os.Exit(2)
+	}
+	if isSnapshotArgs(flag.Args()) {
+		if err := plotTrajectory(flag.Args(), *width, *height); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "replplot: multiple inputs are only supported for BENCH_*.json snapshots")
 		os.Exit(2)
 	}
 	in := os.Stdin
@@ -96,6 +113,60 @@ func parse(in io.Reader) (map[string]*harness.Result, []string, error) {
 		return nil, nil, fmt.Errorf("replplot: no data rows found")
 	}
 	return results, order, nil
+}
+
+// isSnapshotArgs reports whether the arguments look like BenchSnapshot
+// files (any .json suffix selects trajectory mode; a stale CSV named
+// .json fails loudly in ReadSnapshotFile rather than silently mis-plotting).
+func isSnapshotArgs(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".json") {
+			return true
+		}
+	}
+	return false
+}
+
+// plotTrajectory charts throughput and p95 response per protocol across
+// the given snapshots, x = snapshot position in argument order.
+func plotTrajectory(paths []string, width, height int) error {
+	var snaps []*bench.Snapshot
+	for _, p := range paths {
+		s, err := bench.ReadSnapshotFile(p)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, s)
+	}
+	res := harness.Result{
+		Name:   "trajectory",
+		Title:  "perf trajectory",
+		XLabel: "snapshot",
+	}
+	fmt.Println("snapshots:")
+	for i, s := range snaps {
+		fmt.Printf("  %d: %s (suite=%s seed=%d %s)\n", i, s.Label, s.Suite, s.Seed, s.CreatedAt)
+		for _, pr := range s.Protocols {
+			proto, err := core.ParseProtocol(pr.Protocol)
+			if err != nil {
+				continue // unknown engine in a newer snapshot; skip its series
+			}
+			res.Points = append(res.Points, harness.Point{
+				X:        float64(i),
+				Protocol: proto,
+				Report: metrics.Report{
+					ThroughputPerSite: pr.ThroughputPerSite,
+					P95Response:       time.Duration(pr.P95ResponseUS * float64(time.Microsecond)),
+				},
+			})
+		}
+	}
+	fmt.Println()
+	res.PlotASCII(os.Stdout, width, height)
+	fmt.Println()
+	res.PlotSeriesASCII(os.Stdout, width, height, "p95 response (µs)",
+		func(p harness.Point) float64 { return float64(p.Report.P95Response) / float64(time.Microsecond) })
+	return nil
 }
 
 func fatal(err error) {

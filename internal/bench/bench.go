@@ -1,0 +1,235 @@
+// Package bench is the repo's benchmark observatory: it runs the five
+// protocol engines through fixed suites, condenses each run into a
+// versioned, machine-readable BenchSnapshot (throughput, response and
+// propagation percentiles, per-phase latency attribution, abort rate,
+// allocation accounting, environment), captures pprof profiles alongside,
+// and diffs two snapshots through a direction-aware regression gate.
+//
+// The JSON field names below are a compatibility contract: BENCH_*.json
+// files accumulate across PRs as the perf trajectory (docs/BENCHMARKING.md),
+// so fields may be added but never renamed or removed. SchemaVersion moves
+// only when that contract has to break.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SchemaVersion is the BenchSnapshot schema generation. Bump only on an
+// incompatible change (rename/removal/semantic change of a field).
+const SchemaVersion = 1
+
+// Environment pins the machine context a snapshot was measured in, so a
+// regression diff can tell a code change from a hardware change.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+// CaptureEnvironment fills an Environment from the running process.
+func CaptureEnvironment() Environment {
+	return Environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel best-effort reads the CPU model name; empty when unknown.
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// PhaseBreakdown is one phase's latency summary in microseconds (floats,
+// so sub-microsecond segments are not rounded away).
+type PhaseBreakdown struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// ProtocolResult is one protocol's measured point within a suite run.
+type ProtocolResult struct {
+	Protocol          string  `json:"protocol"`
+	ThroughputPerSite float64 `json:"throughput_per_site"`
+	AbortRatePct      float64 `json:"abort_rate_pct"`
+	Committed         uint64  `json:"committed"`
+	Aborted           uint64  `json:"aborted"`
+
+	MeanResponseUS float64 `json:"mean_response_us"`
+	P50ResponseUS  float64 `json:"p50_response_us"`
+	P95ResponseUS  float64 `json:"p95_response_us"`
+	P99ResponseUS  float64 `json:"p99_response_us"`
+	MaxResponseUS  float64 `json:"max_response_us"`
+
+	MeanPropUS float64 `json:"mean_prop_us"`
+	P95PropUS  float64 `json:"p95_prop_us"`
+	MaxPropUS  float64 `json:"max_prop_us"`
+
+	Messages    uint64 `json:"messages"`
+	RemoteReads uint64 `json:"remote_reads"`
+	Secondaries uint64 `json:"secondaries"`
+	Dummies     uint64 `json:"dummies"`
+	Retries     uint64 `json:"retries"`
+
+	// Phases is the per-phase latency attribution keyed by
+	// metrics.Phase.String names (lock_wait, apply, queue_wait,
+	// transport, 2pc_vote, 2pc_decision).
+	Phases map[string]PhaseBreakdown `json:"phases,omitempty"`
+
+	// AllocsPerTxn/BytesPerTxn are testing.B-style allocation accounting:
+	// heap allocations (count and bytes) during the run divided by
+	// committed primary subtransactions.
+	AllocsPerTxn float64 `json:"allocs_per_txn"`
+	BytesPerTxn  float64 `json:"bytes_per_txn"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Counters carries the run's repl_fault_* / repl_reliable_* live
+	// counters (empty on a fault-free suite run).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Snapshot is one suite run's complete record — the unit of the repo's
+// perf trajectory.
+type Snapshot struct {
+	SchemaVersion int              `json:"schema_version"`
+	Label         string           `json:"label"`
+	Suite         string           `json:"suite"`
+	Seed          int64            `json:"seed"`
+	CreatedAt     string           `json:"created_at,omitempty"` // RFC 3339
+	Environment   Environment      `json:"environment"`
+	Protocols     []ProtocolResult `json:"protocols"`
+}
+
+// Result returns the protocol's entry, if present.
+func (s *Snapshot) Result(protocol string) (ProtocolResult, bool) {
+	for _, p := range s.Protocols {
+		if p.Protocol == protocol {
+			return p, true
+		}
+	}
+	return ProtocolResult{}, false
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing newline.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// WriteFile writes the snapshot to path.
+func (s *Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSnapshot parses one snapshot.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	if s.SchemaVersion == 0 {
+		return nil, fmt.Errorf("bench: not a BenchSnapshot (schema_version missing)")
+	}
+	if s.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("bench: snapshot schema_version %d is newer than this binary's %d", s.SchemaVersion, SchemaVersion)
+	}
+	return &s, nil
+}
+
+// ReadSnapshotFile parses the snapshot at path.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// resultFromReport converts a run report into the snapshot's flat,
+// unit-suffixed form.
+func resultFromReport(protocol string, rep metrics.Report) ProtocolResult {
+	pr := ProtocolResult{
+		Protocol:          protocol,
+		ThroughputPerSite: rep.ThroughputPerSite,
+		AbortRatePct:      rep.AbortRate,
+		Committed:         rep.Committed,
+		Aborted:           rep.Aborted,
+		MeanResponseUS:    us(rep.MeanResponse),
+		P50ResponseUS:     us(rep.P50Response),
+		P95ResponseUS:     us(rep.P95Response),
+		P99ResponseUS:     us(rep.P99Response),
+		MaxResponseUS:     us(rep.MaxResponse),
+		MeanPropUS:        us(rep.MeanPropDelay),
+		P95PropUS:         us(rep.P95PropDelay),
+		MaxPropUS:         us(rep.MaxPropDelay),
+		Messages:          rep.Messages,
+		RemoteReads:       rep.RemoteReads,
+		Secondaries:       rep.Secondaries,
+		Dummies:           rep.Dummies,
+		Retries:           rep.Retries,
+		ElapsedMS:         float64(rep.Elapsed) / float64(time.Millisecond),
+	}
+	if len(rep.Phases) > 0 {
+		pr.Phases = make(map[string]PhaseBreakdown, len(rep.Phases))
+		for name, ps := range rep.Phases {
+			pr.Phases[name] = PhaseBreakdown{
+				Count:  ps.Count,
+				MeanUS: us(ps.Mean),
+				P50US:  us(ps.P50),
+				P95US:  us(ps.P95),
+				P99US:  us(ps.P99),
+				MaxUS:  us(ps.Max),
+			}
+		}
+	}
+	return pr
+}

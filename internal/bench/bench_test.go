@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// goldenSnapshot is a fully-populated snapshot with deterministic values;
+// its serialized form is pinned by testdata/golden_snapshot.json.
+func goldenSnapshot() *Snapshot {
+	return &Snapshot{
+		SchemaVersion: 1,
+		Label:         "golden",
+		Suite:         "smoke",
+		Seed:          1,
+		CreatedAt:     "2026-01-02T03:04:05Z",
+		Environment: Environment{
+			GoVersion:  "go1.23.0",
+			GOOS:       "linux",
+			GOARCH:     "amd64",
+			GOMAXPROCS: 4,
+			NumCPU:     4,
+			CPUModel:   "Golden CPU @ 1.00GHz",
+		},
+		Protocols: []ProtocolResult{
+			{
+				Protocol:          "BackEdge",
+				ThroughputPerSite: 123.45,
+				AbortRatePct:      1.5,
+				Committed:         810,
+				Aborted:           12,
+				MeanResponseUS:    420.5,
+				P50ResponseUS:     400,
+				P95ResponseUS:     900,
+				P99ResponseUS:     1200,
+				MaxResponseUS:     2500,
+				MeanPropUS:        300,
+				P95PropUS:         750,
+				MaxPropUS:         1800,
+				Messages:          4096,
+				RemoteReads:       64,
+				Secondaries:       1500,
+				Dummies:           20,
+				Retries:           3,
+				Phases: map[string]PhaseBreakdown{
+					"lock_wait":    {Count: 810, MeanUS: 10.5, P50US: 8, P95US: 40, P99US: 70, MaxUS: 150},
+					"apply":        {Count: 810, MeanUS: 5.25, P50US: 4, P95US: 12, P99US: 20, MaxUS: 33},
+					"queue_wait":   {Count: 1500, MeanUS: 55, P50US: 40, P95US: 160, P99US: 250, MaxUS: 600},
+					"transport":    {Count: 4000, MeanUS: 151, P50US: 150, P95US: 170, P99US: 190, MaxUS: 400},
+					"2pc_vote":     {Count: 120, MeanUS: 310, P50US: 300, P95US: 420, P99US: 500, MaxUS: 700},
+					"2pc_decision": {Count: 120, MeanUS: 290, P50US: 280, P95US: 390, P99US: 450, MaxUS: 650},
+				},
+				AllocsPerTxn: 512.5,
+				BytesPerTxn:  40960.25,
+				ElapsedMS:    1234.5,
+				Counters: map[string]int64{
+					"repl_fault_drops_total":        2,
+					"repl_reliable_retransmissions": 5,
+				},
+			},
+			{
+				Protocol:          "PSL",
+				ThroughputPerSite: 98.7,
+				Committed:         810,
+				MeanResponseUS:    500,
+				P50ResponseUS:     480,
+				P95ResponseUS:     1000,
+				P99ResponseUS:     1300,
+				MaxResponseUS:     2000,
+				Messages:          900,
+				RemoteReads:       900,
+				AllocsPerTxn:      300,
+				BytesPerTxn:       20000,
+				ElapsedMS:         1500,
+			},
+		},
+	}
+}
+
+// TestSnapshotGoldenRoundTrip pins the BenchSnapshot wire format: the
+// serialized golden snapshot must match testdata/golden_snapshot.json
+// byte for byte, and reading that file back must reproduce the value.
+// Renaming or removing a JSON field breaks every committed BENCH_*.json;
+// run with UPDATE_BENCH_GOLDEN=1 only for an intentional, additive change.
+func TestSnapshotGoldenRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_snapshot.json")
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if os.Getenv("UPDATE_BENCH_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_BENCH_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("serialized snapshot diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	back, err := ReadSnapshotFile(golden)
+	if err != nil {
+		t.Fatalf("ReadSnapshotFile: %v", err)
+	}
+	if !reflect.DeepEqual(back, goldenSnapshot()) {
+		t.Errorf("round trip lost data:\ngot  %+v\nwant %+v", back, goldenSnapshot())
+	}
+	if _, ok := back.Result("PSL"); !ok {
+		t.Error("Result(PSL) not found after round trip")
+	}
+	if _, ok := back.Result("DAG(T)"); ok {
+		t.Error("Result(DAG(T)) found but not in snapshot")
+	}
+}
+
+func TestReadSnapshotRejectsForeignJSON(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader(`{"label":"x"}`)); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Errorf("missing schema_version accepted: %v", err)
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"schema_version":99}`)); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Errorf("future schema_version accepted: %v", err)
+	}
+}
+
+func TestResultFromReport(t *testing.T) {
+	rep := metrics.Report{
+		Elapsed:           2 * time.Second,
+		Committed:         100,
+		Aborted:           5,
+		ThroughputPerSite: 50,
+		AbortRate:         4.76,
+		MeanResponse:      1500 * time.Microsecond,
+		P95Response:       3 * time.Millisecond,
+		Phases: map[string]metrics.PhaseStats{
+			"lock_wait": {Count: 100, Mean: 10 * time.Microsecond, P95: 25 * time.Microsecond, Max: 80 * time.Microsecond},
+		},
+	}
+	pr := resultFromReport("PSL", rep)
+	if pr.Protocol != "PSL" || pr.Committed != 100 || pr.AbortRatePct != 4.76 {
+		t.Errorf("scalar fields wrong: %+v", pr)
+	}
+	if pr.MeanResponseUS != 1500 || pr.P95ResponseUS != 3000 {
+		t.Errorf("µs conversion wrong: mean=%v p95=%v", pr.MeanResponseUS, pr.P95ResponseUS)
+	}
+	if pr.ElapsedMS != 2000 {
+		t.Errorf("ElapsedMS = %v, want 2000", pr.ElapsedMS)
+	}
+	ph, ok := pr.Phases["lock_wait"]
+	if !ok || ph.Count != 100 || ph.MeanUS != 10 || ph.P95US != 25 || ph.MaxUS != 80 {
+		t.Errorf("phase conversion wrong: %+v (ok=%v)", ph, ok)
+	}
+}
+
+func TestCaptureEnvironment(t *testing.T) {
+	env := CaptureEnvironment()
+	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" {
+		t.Errorf("environment missing toolchain identity: %+v", env)
+	}
+	if env.GOMAXPROCS < 1 || env.NumCPU < 1 {
+		t.Errorf("implausible CPU counts: %+v", env)
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Thresholds configures the regression gate. Percentages are relative
+// headroom per metric family; AbortPts is absolute percentage points
+// (abort rates near zero make relative comparison meaningless).
+type Thresholds struct {
+	// ThroughputPct fails a protocol whose throughput fell by more than
+	// this percentage.
+	ThroughputPct float64
+	// LatencyPct fails a latency metric (p50/p95/p99 response, p95
+	// propagation) that grew by more than this percentage.
+	LatencyPct float64
+	// AllocPct fails allocs-per-txn or bytes-per-txn growth beyond this
+	// percentage.
+	AllocPct float64
+	// AbortPts fails an abort rate that grew by more than this many
+	// absolute percentage points.
+	AbortPts float64
+}
+
+// DefaultThresholds is tuned for same-machine comparisons: latency and
+// allocation get more headroom than throughput because their tails are
+// noisier at smoke-suite sample counts.
+func DefaultThresholds() Thresholds {
+	return Thresholds{ThroughputPct: 10, LatencyPct: 30, AllocPct: 50, AbortPts: 5}
+}
+
+// Delta is one compared metric for one protocol. Pct is the relative
+// change in the metric's bad direction (positive = worse); for the abort
+// rate it holds the absolute point change instead.
+type Delta struct {
+	Protocol   string
+	Metric     string
+	Old, New   float64
+	Pct        float64
+	Regression bool
+}
+
+// direction says which way a metric gets worse.
+type direction int
+
+const (
+	higherIsBetter direction = iota // throughput
+	lowerIsBetter                   // latency, allocations
+)
+
+// Compare diffs new against old per protocol and metric, returning every
+// delta (regressions and not) and the regression count. Protocols present
+// in only one snapshot are skipped: the gate compares like with like, and
+// adding or retiring an engine is a schema-visible change reviewed on its
+// own. Metrics whose old value is zero are reported but never failed —
+// there is no baseline to regress from.
+func Compare(oldSnap, newSnap *Snapshot, th Thresholds) ([]Delta, int) {
+	var deltas []Delta
+	regressions := 0
+	for _, np := range newSnap.Protocols {
+		op, ok := oldSnap.Result(np.Protocol)
+		if !ok {
+			continue
+		}
+		add := func(metric string, o, n, pctLimit float64, dir direction) {
+			d := Delta{Protocol: np.Protocol, Metric: metric, Old: o, New: n}
+			if o > 0 {
+				if dir == higherIsBetter {
+					d.Pct = (o - n) / o * 100 // positive = slower
+				} else {
+					d.Pct = (n - o) / o * 100 // positive = worse
+				}
+				d.Regression = pctLimit > 0 && d.Pct > pctLimit
+			}
+			if d.Regression {
+				regressions++
+			}
+			deltas = append(deltas, d)
+		}
+		add("throughput_per_site", op.ThroughputPerSite, np.ThroughputPerSite, th.ThroughputPct, higherIsBetter)
+		add("p50_response_us", op.P50ResponseUS, np.P50ResponseUS, th.LatencyPct, lowerIsBetter)
+		add("p95_response_us", op.P95ResponseUS, np.P95ResponseUS, th.LatencyPct, lowerIsBetter)
+		add("p99_response_us", op.P99ResponseUS, np.P99ResponseUS, th.LatencyPct, lowerIsBetter)
+		add("p95_prop_us", op.P95PropUS, np.P95PropUS, th.LatencyPct, lowerIsBetter)
+		add("allocs_per_txn", op.AllocsPerTxn, np.AllocsPerTxn, th.AllocPct, lowerIsBetter)
+		add("bytes_per_txn", op.BytesPerTxn, np.BytesPerTxn, th.AllocPct, lowerIsBetter)
+
+		// Abort rate: absolute points, not relative (0.1% → 0.3% is a
+		// 200% relative jump but means nothing at smoke sample sizes).
+		ad := Delta{
+			Protocol: np.Protocol, Metric: "abort_rate_pct",
+			Old: op.AbortRatePct, New: np.AbortRatePct,
+			Pct: np.AbortRatePct - op.AbortRatePct,
+		}
+		ad.Regression = th.AbortPts > 0 && ad.Pct > th.AbortPts
+		if ad.Regression {
+			regressions++
+		}
+		deltas = append(deltas, ad)
+	}
+	return deltas, regressions
+}
+
+// WriteDiff renders the comparison as a human-readable table, regressions
+// marked. With onlyChanged, metrics that moved less than 1% (or 0.1 abort
+// points) are suppressed.
+func WriteDiff(w io.Writer, deltas []Delta, onlyChanged bool) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "protocol\tmetric\told\tnew\tchange\t")
+	for _, d := range deltas {
+		if onlyChanged && !d.Regression {
+			if d.Metric == "abort_rate_pct" {
+				if d.Pct > -0.1 && d.Pct < 0.1 {
+					continue
+				}
+			} else if d.Pct > -1 && d.Pct < 1 {
+				continue
+			}
+		}
+		mark := ""
+		if d.Regression {
+			mark = "REGRESSION"
+		}
+		// Pct is normalized to "positive = worse"; display the natural
+		// sign (a throughput drop reads as a minus).
+		natural := d.Pct
+		if d.Metric == "throughput_per_site" {
+			natural = -natural
+		}
+		change := fmt.Sprintf("%+.1f%%", natural)
+		if d.Metric == "abort_rate_pct" {
+			change = fmt.Sprintf("%+.2f pts", natural)
+		} else if d.Old == 0 {
+			change = "n/a (no baseline)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%s\t%s\n", d.Protocol, d.Metric, d.Old, d.New, change, mark)
+	}
+	tw.Flush()
+}

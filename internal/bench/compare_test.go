@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baselineSnap() *Snapshot {
+	return &Snapshot{
+		SchemaVersion: 1,
+		Label:         "base",
+		Suite:         "smoke",
+		Protocols: []ProtocolResult{
+			{
+				Protocol: "PSL", ThroughputPerSite: 100, AbortRatePct: 1,
+				P50ResponseUS: 400, P95ResponseUS: 900, P99ResponseUS: 1200,
+				P95PropUS: 0, AllocsPerTxn: 500, BytesPerTxn: 40000,
+			},
+			{
+				Protocol: "BackEdge", ThroughputPerSite: 80, AbortRatePct: 2,
+				P50ResponseUS: 500, P95ResponseUS: 1100, P99ResponseUS: 1500,
+				P95PropUS: 700, AllocsPerTxn: 600, BytesPerTxn: 50000,
+			},
+		},
+	}
+}
+
+// TestCompareSelfIsClean is the gate's identity property: a snapshot
+// compared against itself regresses nothing.
+func TestCompareSelfIsClean(t *testing.T) {
+	s := baselineSnap()
+	deltas, regressions := Compare(s, s, DefaultThresholds())
+	if regressions != 0 {
+		t.Fatalf("self-compare found %d regressions: %+v", regressions, deltas)
+	}
+	if len(deltas) == 0 {
+		t.Fatal("self-compare produced no deltas at all")
+	}
+	for _, d := range deltas {
+		if d.Pct != 0 || d.Regression {
+			t.Errorf("self-compare delta not zero: %+v", d)
+		}
+	}
+}
+
+// TestCompareCatchesThroughputDrop is the acceptance check: a doctored 20%
+// throughput drop must trip the default 10% gate.
+func TestCompareCatchesThroughputDrop(t *testing.T) {
+	oldSnap, newSnap := baselineSnap(), baselineSnap()
+	newSnap.Protocols[0].ThroughputPerSite = 80 // PSL: 100 → 80, -20%
+	deltas, regressions := Compare(oldSnap, newSnap, DefaultThresholds())
+	if regressions != 1 {
+		t.Fatalf("want exactly 1 regression, got %d: %+v", regressions, deltas)
+	}
+	for _, d := range deltas {
+		want := d.Protocol == "PSL" && d.Metric == "throughput_per_site"
+		if d.Regression != want {
+			t.Errorf("regression flag wrong on %+v", d)
+		}
+		if want && d.Pct != 20 {
+			t.Errorf("throughput drop Pct = %v, want 20 (positive = worse)", d.Pct)
+		}
+	}
+}
+
+// TestCompareDirectionAware checks that improvements never trip the gate
+// and each metric family regresses in its own bad direction.
+func TestCompareDirectionAware(t *testing.T) {
+	oldSnap, newSnap := baselineSnap(), baselineSnap()
+	newSnap.Protocols[0].ThroughputPerSite = 200 // 2× faster: fine
+	newSnap.Protocols[0].P95ResponseUS = 450     // halved latency: fine
+	newSnap.Protocols[0].AllocsPerTxn = 100      // fewer allocs: fine
+	if _, regressions := Compare(oldSnap, newSnap, DefaultThresholds()); regressions != 0 {
+		t.Errorf("improvements counted as regressions: %d", regressions)
+	}
+
+	newSnap = baselineSnap()
+	newSnap.Protocols[1].P95ResponseUS = 1100 * 1.5 // +50% latency > 30% gate
+	newSnap.Protocols[1].AllocsPerTxn = 600 * 1.6   // +60% allocs > 50% gate
+	newSnap.Protocols[1].AbortRatePct = 9           // +7 pts > 5 pt gate
+	_, regressions := Compare(oldSnap, newSnap, DefaultThresholds())
+	if regressions != 3 {
+		t.Errorf("want 3 regressions (latency, allocs, abort pts), got %d", regressions)
+	}
+}
+
+// TestCompareZeroBaselineNeverFails: a metric with no old value cannot
+// regress (PSL has P95PropUS == 0 in the baseline).
+func TestCompareZeroBaselineNeverFails(t *testing.T) {
+	oldSnap, newSnap := baselineSnap(), baselineSnap()
+	newSnap.Protocols[0].P95PropUS = 99999
+	deltas, regressions := Compare(oldSnap, newSnap, DefaultThresholds())
+	if regressions != 0 {
+		t.Errorf("zero-baseline metric regressed: %+v", deltas)
+	}
+}
+
+// TestCompareSkipsUnmatchedProtocols: engines present in only one
+// snapshot are not compared.
+func TestCompareSkipsUnmatchedProtocols(t *testing.T) {
+	oldSnap, newSnap := baselineSnap(), baselineSnap()
+	newSnap.Protocols = append(newSnap.Protocols, ProtocolResult{Protocol: "DAG(T)", ThroughputPerSite: 1})
+	deltas, _ := Compare(oldSnap, newSnap, DefaultThresholds())
+	for _, d := range deltas {
+		if d.Protocol == "DAG(T)" {
+			t.Errorf("unmatched protocol compared: %+v", d)
+		}
+	}
+}
+
+// TestCompareDisabledThreshold: a zero threshold disables that family's
+// gate rather than making it infinitely strict.
+func TestCompareDisabledThreshold(t *testing.T) {
+	oldSnap, newSnap := baselineSnap(), baselineSnap()
+	newSnap.Protocols[0].ThroughputPerSite = 1 // -99%
+	th := DefaultThresholds()
+	th.ThroughputPct = 0
+	if _, regressions := Compare(oldSnap, newSnap, th); regressions != 0 {
+		t.Errorf("disabled throughput gate still fired: %d", regressions)
+	}
+}
+
+func TestWriteDiff(t *testing.T) {
+	oldSnap, newSnap := baselineSnap(), baselineSnap()
+	newSnap.Protocols[0].ThroughputPerSite = 80
+	newSnap.Protocols[0].P95PropUS = 500 // old == 0
+	deltas, _ := Compare(oldSnap, newSnap, DefaultThresholds())
+
+	var buf bytes.Buffer
+	WriteDiff(&buf, deltas, false)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("diff table missing REGRESSION mark:\n%s", out)
+	}
+	if !strings.Contains(out, "-20.0%") {
+		t.Errorf("throughput drop should display with natural minus sign:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a (no baseline)") {
+		t.Errorf("zero-baseline metric should display as n/a:\n%s", out)
+	}
+
+	buf.Reset()
+	WriteDiff(&buf, deltas, true)
+	if out := buf.String(); strings.Contains(out, "BackEdge") {
+		t.Errorf("onlyChanged diff should suppress BackEdge's unchanged rows:\n%s", out)
+	}
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// SuiteConfig selects how much of the Table 1 workload a suite point
+// runs. Suite(name) returns the three standard sizes; tests shrink them
+// further.
+type SuiteConfig struct {
+	Name          string
+	TxnsPerThread int
+	OpCost        time.Duration
+	Seed          int64
+	Protocols     []core.Protocol
+}
+
+// AllProtocols is the default suite coverage: every engine, including the
+// non-serializable NaiveLazy control.
+func AllProtocols() []core.Protocol {
+	return []core.Protocol{core.PSL, core.DAGWT, core.DAGT, core.BackEdge, core.NaiveLazy}
+}
+
+// Suite returns the named standard suite: smoke (CI-sized, seconds),
+// medium (interactive), full (the paper's Table 1 run lengths).
+func Suite(name string) (SuiteConfig, error) {
+	cfg := SuiteConfig{Name: name, Seed: 1, Protocols: AllProtocols()}
+	switch name {
+	case "smoke":
+		cfg.TxnsPerThread = 30
+		cfg.OpCost = 50 * time.Microsecond
+	case "medium":
+		cfg.TxnsPerThread = 120
+		cfg.OpCost = 100 * time.Microsecond
+	case "full":
+		cfg.TxnsPerThread = 1000
+		cfg.OpCost = 200 * time.Microsecond
+	default:
+		return SuiteConfig{}, fmt.Errorf("bench: unknown suite %q (smoke|medium|full)", name)
+	}
+	return cfg, nil
+}
+
+// RunOptions adjusts a suite run.
+type RunOptions struct {
+	// Label names the snapshot (defaults to the suite name).
+	Label string
+	// ProfileDir, when set, receives cpu/heap/mutex/block pprof profiles
+	// covering the whole suite run.
+	ProfileDir string
+	// Progress, when non-nil, receives one line per completed protocol.
+	Progress func(string)
+}
+
+// RunSuite executes every protocol in the suite through the standard
+// cluster lifecycle (harness.RunPoint: start, run, quiesce) and returns
+// the snapshot. Workload and parameters are Table 1 at the suite's run
+// length, the same shape the experiment sweeps use.
+func RunSuite(cfg SuiteConfig, opts RunOptions) (*Snapshot, error) {
+	label := opts.Label
+	if label == "" {
+		label = cfg.Name
+	}
+	snap := &Snapshot{
+		SchemaVersion: SchemaVersion,
+		Label:         label,
+		Suite:         cfg.Name,
+		Seed:          cfg.Seed,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		Environment:   CaptureEnvironment(),
+	}
+	prof, err := startProfiles(opts.ProfileDir)
+	if err != nil {
+		return nil, err
+	}
+	defer prof.stop()
+	for _, proto := range cfg.Protocols {
+		pr, err := runProtocol(cfg, proto)
+		if err != nil {
+			return nil, fmt.Errorf("bench: suite %s, protocol %v: %w", cfg.Name, proto, err)
+		}
+		snap.Protocols = append(snap.Protocols, pr)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-9s thr/site=%.2f tps  p95=%.0fµs  aborts=%.1f%%",
+				proto, pr.ThroughputPerSite, pr.P95ResponseUS, pr.AbortRatePct))
+		}
+	}
+	if err := prof.stop(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// runProtocol measures one protocol point, bracketing the run with
+// allocation accounting.
+func runProtocol(cfg SuiteConfig, proto core.Protocol) (ProtocolResult, error) {
+	wl := workload.Default()
+	wl.TxnsPerThread = cfg.TxnsPerThread
+	if cfg.Seed != 0 {
+		wl.Seed = cfg.Seed
+	}
+	if !proto.Propagates() || proto == core.DAGWT || proto == core.DAGT {
+		// The Table 1 placement induces backedges; the DAG-only protocols
+		// need them gone (same adjustment the traced runs make).
+		wl.BackedgeProb = 0
+	}
+	params := core.DefaultParams()
+	params.OpCost = cfg.OpCost
+	registry := obs.NewRegistry()
+
+	// testing.B-style accounting: settle the heap, then attribute the
+	// run's allocation deltas to its committed transactions. The cluster
+	// is the only allocator between the two reads, so the deltas are the
+	// run's own (modulo background runtime noise, which GC settling keeps
+	// small relative to a whole suite point).
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	rep, err := harness.RunPoint(cluster.Config{
+		Workload:         wl,
+		Protocol:         proto,
+		Params:           params,
+		Latency:          150 * time.Microsecond,
+		TrackPropagation: true,
+		Obs:              registry,
+	})
+	if err != nil {
+		return ProtocolResult{}, err
+	}
+	runtime.ReadMemStats(&after)
+
+	pr := resultFromReport(proto.String(), rep)
+	if rep.Committed > 0 {
+		pr.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(rep.Committed)
+		pr.BytesPerTxn = float64(after.TotalAlloc-before.TotalAlloc) / float64(rep.Committed)
+	}
+	for k, v := range registry.Snapshot() {
+		if strings.HasPrefix(k, "repl_fault_") || strings.HasPrefix(k, "repl_reliable_") {
+			if pr.Counters == nil {
+				pr.Counters = make(map[string]int64)
+			}
+			pr.Counters[k] = v
+		}
+	}
+	return pr, nil
+}
+
+// profiles owns the pprof capture of one suite run: a CPU profile spanning
+// it, heap/mutex/block snapshots written when it finishes.
+type profiles struct {
+	dir     string
+	cpu     *os.File
+	stopped bool
+}
+
+func startProfiles(dir string) (*profiles, error) {
+	if dir == "" {
+		return &profiles{stopped: true}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Sampling rates: mutex events 1-in-5, every blocking event above
+	// 10µs. Cheap enough to leave on for a whole suite, fine-grained
+	// enough to attribute lock contention between the engines.
+	runtime.SetMutexProfileFraction(5)
+	runtime.SetBlockProfileRate(int(10 * time.Microsecond))
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &profiles{dir: dir, cpu: f}, nil
+}
+
+// stop finishes the capture; safe to call twice (the deferred call after
+// an explicit one is a no-op).
+func (p *profiles) stop() error {
+	if p.stopped {
+		return nil
+	}
+	p.stopped = true
+	pprof.StopCPUProfile()
+	runtime.SetMutexProfileFraction(0)
+	runtime.SetBlockProfileRate(0)
+	err := p.cpu.Close()
+	for _, name := range []string{"heap", "mutex", "block"} {
+		prof := pprof.Lookup(name)
+		if prof == nil {
+			continue
+		}
+		f, ferr := os.Create(filepath.Join(p.dir, name+".pprof"))
+		if ferr != nil {
+			if err == nil {
+				err = ferr
+			}
+			continue
+		}
+		if name == "heap" {
+			runtime.GC() // profile live objects, not garbage
+		}
+		if werr := prof.WriteTo(f, 0); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestSuiteNames(t *testing.T) {
+	for _, name := range []string{"smoke", "medium", "full"} {
+		cfg, err := Suite(name)
+		if err != nil {
+			t.Errorf("Suite(%q): %v", name, err)
+		}
+		if cfg.TxnsPerThread <= 0 || cfg.OpCost <= 0 || len(cfg.Protocols) != 5 {
+			t.Errorf("Suite(%q) underspecified: %+v", name, cfg)
+		}
+	}
+	if _, err := Suite("bogus"); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}
+
+// TestRunSuiteSmall runs a shrunken suite end to end across all five
+// engines and checks the acceptance properties of a snapshot: every
+// protocol commits work, carries a non-zero phase breakdown, allocation
+// accounting is populated, pprof profiles land in the artifact dir, and
+// the result self-compares clean.
+func TestRunSuiteSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five cluster lifecycles")
+	}
+	// Long enough that the seed-1 workload reliably routes some BackEdge
+	// transactions through backedges (and so through 2PC); a 6-txn run
+	// can finish without a single one.
+	cfg := SuiteConfig{
+		Name:          "test",
+		TxnsPerThread: 30,
+		OpCost:        20 * time.Microsecond,
+		Seed:          1,
+		Protocols:     AllProtocols(),
+	}
+	profDir := filepath.Join(t.TempDir(), "pprof")
+	var progress int
+	snap, err := RunSuite(cfg, RunOptions{Label: "small", ProfileDir: profDir, Progress: func(string) { progress++ }})
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	if snap.SchemaVersion != SchemaVersion || snap.Label != "small" || snap.Suite != "test" || snap.Seed != 1 {
+		t.Errorf("snapshot header wrong: %+v", snap)
+	}
+	if snap.CreatedAt == "" {
+		t.Error("CreatedAt not stamped")
+	} else if _, err := time.Parse(time.RFC3339, snap.CreatedAt); err != nil {
+		t.Errorf("CreatedAt not RFC 3339: %v", err)
+	}
+	if progress != len(cfg.Protocols) {
+		t.Errorf("progress callback fired %d times, want %d", progress, len(cfg.Protocols))
+	}
+	if len(snap.Protocols) != 5 {
+		t.Fatalf("snapshot has %d protocols, want 5", len(snap.Protocols))
+	}
+
+	for _, proto := range AllProtocols() {
+		pr, ok := snap.Result(proto.String())
+		if !ok {
+			t.Errorf("%v missing from snapshot", proto)
+			continue
+		}
+		if pr.Committed == 0 || pr.ThroughputPerSite <= 0 {
+			t.Errorf("%v: no committed work: %+v", proto, pr)
+		}
+		if pr.AllocsPerTxn <= 0 || pr.BytesPerTxn <= 0 {
+			t.Errorf("%v: allocation accounting empty: allocs=%v bytes=%v", proto, pr.AllocsPerTxn, pr.BytesPerTxn)
+		}
+		if len(pr.Phases) == 0 {
+			t.Errorf("%v: phase breakdown empty — the engine lost its attribution hooks", proto)
+			continue
+		}
+		// Every engine commits through the txn manager, so these two
+		// phases must always be present.
+		for _, phase := range []string{"lock_wait", "apply"} {
+			if ph := pr.Phases[phase]; ph.Count == 0 {
+				t.Errorf("%v: phase %s has no samples", proto, phase)
+			}
+		}
+		// Propagating engines must attribute transport time.
+		if proto.Propagates() {
+			if ph := pr.Phases["transport"]; ph.Count == 0 {
+				t.Errorf("%v: propagating protocol recorded no transport samples", proto)
+			}
+		}
+		// Only the 2PC protocol has vote/decision legs.
+		_, hasVote := pr.Phases["2pc_vote"]
+		if hasVote != (proto == core.BackEdge) {
+			t.Errorf("%v: 2pc_vote present=%v, want %v", proto, hasVote, proto == core.BackEdge)
+		}
+	}
+
+	for _, name := range []string{"cpu.pprof", "heap.pprof", "mutex.pprof", "block.pprof"} {
+		fi, err := os.Stat(filepath.Join(profDir, name))
+		if err != nil {
+			t.Errorf("profile %s not written: %v", name, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+
+	if _, regressions := Compare(snap, snap, DefaultThresholds()); regressions != 0 {
+		t.Errorf("fresh snapshot does not self-compare clean: %d regressions", regressions)
+	}
+}

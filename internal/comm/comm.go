@@ -33,7 +33,13 @@ type Message struct {
 	IsResp   bool
 	// Span is the causal span context of the sending work; the zero
 	// value means unattributed (docs/OBSERVABILITY.md).
-	Span    model.SpanContext
+	Span model.SpanContext
+	// SentAt, when non-zero, is the sender's wall-clock send stamp;
+	// receivers turn it into a transport-phase latency sample
+	// (metrics.PhaseTransport). Engines stamp it only on one-way
+	// propagation traffic — RPC round trips are attributed as whole
+	// phases (vote/decision/remote read) instead.
+	SentAt  time.Time
 	Payload any
 }
 

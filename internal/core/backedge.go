@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/twopc"
@@ -37,7 +38,7 @@ import (
 // notifying the backedge sites so they release their locks.
 type backedgeEngine struct {
 	base
-	queue chan comm.Message
+	queue chan queuedMsg
 	prog  *watch.Progress
 
 	table *twopc.Table
@@ -81,7 +82,7 @@ type originState struct {
 func newBackEdge(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *backedgeEngine {
 	e := &backedgeEngine{
 		base:      newBase(cfg, BackEdge, id, tr),
-		queue:     make(chan comm.Message, 1<<16),
+		queue:     make(chan queuedMsg, 1<<16),
 		prog:      cfg.Watch.Queue(id, "fifo"),
 		table:     twopc.NewTable(),
 		decisions: twopc.NewDecisionLog(),
@@ -229,14 +230,18 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	e.traceCtx(trace.BackedgePrepare, targets[0], octx)
 	committed, runErr := twopc.Run(tid, targets, twopc.Coordinator{
 		Prepare: func(p model.SiteID, id model.TxnID, sc model.SpanContext) (bool, error) {
+			voteStart := e.phaseClock()
 			resp, err := e.rpc.CallSpan(p, kindPrepare, preparePayload{TID: id}, e.cfg.Params.RPCTimeout, sc)
+			e.phaseSince(metrics.PhaseVote, p, id, voteStart)
 			if err != nil {
 				return false, err
 			}
 			return resp.(prepareResp).Vote, nil
 		},
 		Decide: func(p model.SiteID, id model.TxnID, commit bool, sc model.SpanContext) error {
+			decStart := e.phaseClock()
 			_, err := e.rpc.CallSpan(p, kindDecision, decisionPayload{TID: id, Commit: commit}, e.cfg.Params.RPCTimeout, sc)
+			e.phaseSince(metrics.PhaseDecision, p, id, decStart)
 			return err
 		},
 		Log: e.decisions,
@@ -301,12 +306,14 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 	switch msg.Kind {
 	case kindSecondary, kindSpecial:
 		e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
+		e.recTransport(msg, msg.Span.TID)
 		e.obs.fifoDepth.Inc()
 		e.prog.Push()
-		e.queue <- msg
+		e.queue <- queuedMsg{msg: msg, at: e.phaseClock()}
 	case kindBackedgeExec:
 		// Executed immediately and concurrently (§4.1 step 1: sent
 		// "directly ... to be executed"), not through the FIFO queue.
+		e.recTransport(msg, msg.Span.TID)
 		go e.execBackedge(msg.Payload.(specialPayload), msg.Span)
 	case kindBackedgeAbort:
 		go e.handleAbort(msg.Payload.(abortPayload).TID)
@@ -537,9 +544,11 @@ func (e *backedgeEngine) applier() {
 	for {
 		var msg comm.Message
 		select {
-		case msg = <-e.queue:
+		case q := <-e.queue:
 			e.obs.fifoDepth.Dec()
 			e.prog.Pop()
+			msg = q.msg
+			e.phaseSince(metrics.PhaseQueueWait, msg.From, msg.Span.TID, q.at)
 		case <-e.stop:
 			return
 		}

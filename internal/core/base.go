@@ -54,13 +54,15 @@ func newBase(cfg *SharedConfig, proto Protocol, id model.SiteID, tr comm.Transpo
 	so := newSiteObs(cfg.Obs, id)
 	rpc := comm.NewRPC(id, tr)
 	rpc.SetLateHook(func(model.SiteID, int) { so.rpcLate.Inc() })
+	tm := txn.NewManager(id, st, lm, cfg.Params.LockTimeout, cfg.Recorder)
+	tm.SetMetrics(cfg.Metrics)
 	return base{
 		cfg:   cfg,
 		id:    id,
 		proto: proto,
 		store: st,
 		locks: lm,
-		tm:    txn.NewManager(id, st, lm, cfg.Params.LockTimeout, cfg.Recorder),
+		tm:    tm,
 		tr:    tr,
 		rpc:   rpc,
 		obs:   so,
@@ -162,13 +164,23 @@ func forwardTree(b *base, in model.SpanContext, writes []model.WriteOp) {
 	}
 }
 
-// send transmits a message and counts it.
+// send transmits a message and counts it. One-way protocol traffic is
+// stamped so the receiver can attribute the transport phase; the stamp is
+// observation-only and never branches protocol logic.
 func (b *base) send(msg comm.Message) {
 	b.cfg.Metrics.MsgSent(1)
+	msg.SentAt = b.phaseClock()
 	if err := b.tr.Send(msg); err != nil {
 		// Shutdown race: the run is over and the transport is closed.
 		return
 	}
+}
+
+// queuedMsg pairs a queued message with its enqueue stamp so the applier
+// that pops it can attribute the queue-wait phase.
+type queuedMsg struct {
+	msg comm.Message
+	at  time.Time
 }
 
 // pendAdd/pendDone track in-flight propagation for cluster quiescing.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/ts"
@@ -43,10 +44,11 @@ type dagtEngine struct {
 }
 
 // tsItem is one queued secondary subtransaction with the causal context
-// it arrived under.
+// it arrived under and its enqueue stamp (queue-wait attribution).
 type tsItem struct {
 	p  secondaryPayload
 	sc model.SpanContext
+	at time.Time
 }
 
 func newDAGT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagtEngine {
@@ -261,11 +263,12 @@ func (e *dagtEngine) Handle(msg comm.Message) {
 		p := msg.Payload.(secondaryPayload)
 		if !p.Dummy {
 			e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
+			e.recTransport(msg, msg.Span.TID)
 		}
 		e.obs.tsDepth.Inc()
 		e.prog.Push()
 		e.qMu.Lock()
-		e.queues[msg.From] = append(e.queues[msg.From], tsItem{p: p, sc: msg.Span})
+		e.queues[msg.From] = append(e.queues[msg.From], tsItem{p: p, sc: msg.Span, at: e.phaseClock()})
 		e.qCond.Broadcast()
 		e.qMu.Unlock()
 	default:
@@ -301,6 +304,9 @@ func (e *dagtEngine) nextSecondary() (tsItem, bool) {
 			e.queues[minP] = e.queues[minP][1:]
 			e.obs.tsDepth.Dec()
 			e.prog.Pop()
+			if !it.p.Dummy {
+				e.phaseSince(metrics.PhaseQueueWait, minP, it.p.TID, it.at)
+			}
 			return it, true
 		}
 		e.qCond.Wait()

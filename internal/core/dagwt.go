@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/watch"
@@ -17,14 +18,14 @@ import (
 // so the forwarding order at a site always equals its commit order.
 type dagwtEngine struct {
 	base
-	queue chan comm.Message
+	queue chan queuedMsg
 	prog  *watch.Progress
 }
 
 func newDAGWT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagwtEngine {
 	return &dagwtEngine{
 		base:  newBase(cfg, DAGWT, id, tr),
-		queue: make(chan comm.Message, 1<<16),
+		queue: make(chan queuedMsg, 1<<16),
 		prog:  cfg.Watch.Queue(id, "fifo"),
 	}
 }
@@ -76,9 +77,10 @@ func (e *dagwtEngine) Handle(msg comm.Message) {
 	switch msg.Kind {
 	case kindSecondary:
 		e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
+		e.recTransport(msg, msg.Span.TID)
 		e.obs.fifoDepth.Inc()
 		e.prog.Push()
-		e.queue <- msg
+		e.queue <- queuedMsg{msg: msg, at: e.phaseClock()}
 	default:
 		panic("core: DAG(WT) received unexpected message kind")
 	}
@@ -90,11 +92,12 @@ func (e *dagwtEngine) Handle(msg comm.Message) {
 func (e *dagwtEngine) applier() {
 	for {
 		select {
-		case msg := <-e.queue:
+		case q := <-e.queue:
 			e.obs.fifoDepth.Dec()
 			e.prog.Pop()
-			p := msg.Payload.(secondaryPayload)
-			if e.applySecondary(p, msg.Span) {
+			p := q.msg.Payload.(secondaryPayload)
+			e.phaseSince(metrics.PhaseQueueWait, q.msg.From, p.TID, q.at)
+			if e.applySecondary(p, q.msg.Span) {
 				e.pendDone()
 			} else {
 				return // stopped mid-retry

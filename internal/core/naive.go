@@ -90,6 +90,7 @@ func (e *naiveEngine) Handle(msg comm.Message) {
 		// Applied on arrival, concurrently — this is precisely the
 		// indiscriminate behaviour that loses serializability.
 		e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
+		e.recTransport(msg, msg.Span.TID)
 		go e.applySecondary(msg.Payload.(secondaryPayload), msg.Span)
 	default:
 		panic("core: NaiveLazy received unexpected message kind")

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/comm"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -121,4 +123,44 @@ func (b *base) recApplied(sc model.SpanContext) {
 func (b *base) recRetry() {
 	b.cfg.Metrics.Retry()
 	b.obs.retries.Inc()
+}
+
+// Phase-level latency attribution (docs/BENCHMARKING.md). All clock reads
+// for it are confined to the three helpers below so the nodeterminism
+// allowances live in one place; engines deal only in opaque stamps.
+
+// phaseClock returns the current time when phase attribution has a sink
+// (a metrics collector or a trace recorder), and the zero time otherwise,
+// keeping disabled hot paths clock-free.
+func (b *base) phaseClock() time.Time {
+	if b.cfg.Metrics == nil && b.cfg.Trace == nil {
+		return time.Time{}
+	}
+	//lint:allow nodeterminism latency observation only; the measured duration never branches protocol logic
+	return time.Now()
+}
+
+// recPhase attributes a latency segment to phase p: one sample in the run
+// collector plus, when tracing, a PhaseLatency trace event.
+func (b *base) recPhase(p metrics.Phase, peer model.SiteID, tid model.TxnID, d time.Duration) {
+	b.cfg.Metrics.PhaseSample(p, d)
+	b.cfg.Trace.RecordPhase(b.id, peer, tid, uint8(b.proto), p.String(), d)
+}
+
+// phaseSince closes a phase segment opened at a phaseClock stamp; the
+// zero stamp means attribution is off and the call is one branch.
+func (b *base) phaseSince(p metrics.Phase, peer model.SiteID, tid model.TxnID, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	//lint:allow nodeterminism latency observation only; the measured duration never branches protocol logic
+	b.recPhase(p, peer, tid, time.Since(start))
+}
+
+// recTransport turns a stamped incoming message into a transport-phase
+// sample (one-way send-to-receipt time); unstamped messages — RPC round
+// trips, which are attributed as whole vote/decision/remote-read phases —
+// are ignored.
+func (b *base) recTransport(msg comm.Message, tid model.TxnID) {
+	b.phaseSince(metrics.PhaseTransport, msg.From, tid, msg.SentAt)
 }

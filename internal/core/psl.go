@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/txn"
@@ -28,7 +29,7 @@ type pslEngine struct {
 	// protocols' single secondary applier, one server goroutine works it:
 	// a site is one database instance, and remote requests contend for it
 	// the way they did for the prototype's DataBlitz server.
-	reads chan comm.Message
+	reads chan queuedMsg
 
 	// released tombstones transactions whose remote locks were already
 	// released, so a lock granted to a late-racing read request is not
@@ -46,7 +47,7 @@ type pslEngine struct {
 func newPSL(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *pslEngine {
 	return &pslEngine{
 		base:     newBase(cfg, PSL, id, tr),
-		reads:    make(chan comm.Message, 1<<16),
+		reads:    make(chan queuedMsg, 1<<16),
 		released: make(map[model.TxnID]bool),
 		prog:     cfg.Watch.Queue(id, "reads"),
 	}
@@ -59,10 +60,10 @@ func (e *pslEngine) Stop() { close(e.stop) }
 func (e *pslEngine) readServer() {
 	for {
 		select {
-		case msg := <-e.reads:
+		case q := <-e.reads:
 			e.obs.readsDepth.Dec()
 			e.prog.Pop()
-			e.serveRead(msg)
+			e.serveRead(q.msg, q.at)
 		case <-e.stop:
 			return
 		}
@@ -162,8 +163,9 @@ func (e *pslEngine) Handle(msg comm.Message) {
 		// transport goroutine.
 		e.obs.readsDepth.Inc()
 		e.prog.Push()
-		e.reads <- msg
+		e.reads <- queuedMsg{msg: msg, at: e.phaseClock()}
 	case kindPSLRelease:
+		e.recTransport(msg, msg.Payload.(pslReleasePayload).TID)
 		go e.serveRelease(msg.Payload.(pslReleasePayload).TID)
 	default:
 		panic("core: PSL received unexpected message kind")
@@ -171,9 +173,10 @@ func (e *pslEngine) Handle(msg comm.Message) {
 }
 
 // serveRead grants a shared lock on the primary copy and ships the
-// current value (§5.1).
-func (e *pslEngine) serveRead(msg comm.Message) {
+// current value (§5.1); enq is the request's service-queue entry stamp.
+func (e *pslEngine) serveRead(msg comm.Message, enq time.Time) {
 	req := msg.Payload.(pslReadReq)
+	e.phaseSince(metrics.PhaseQueueWait, msg.From, req.TID, enq)
 	if e.isReleased(req.TID) {
 		e.rpc.ReplyError(msg, fmt.Errorf("transaction already released"))
 		return
@@ -182,7 +185,10 @@ func (e *pslEngine) serveRead(msg comm.Message) {
 	// management, marshaling the value for shipment): it costs one
 	// operation, like the reader's own operations do.
 	e.simulateOp()
-	if err := e.locks.Acquire(req.TID, req.Item, lock.Shared, e.cfg.Params.LockTimeout); err != nil {
+	lockStart := e.phaseClock()
+	err := e.locks.Acquire(req.TID, req.Item, lock.Shared, e.cfg.Params.LockTimeout)
+	e.phaseSince(metrics.PhaseLockWait, msg.From, req.TID, lockStart)
+	if err != nil {
 		e.rpc.ReplyError(msg, err)
 		return
 	}

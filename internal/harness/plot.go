@@ -16,6 +16,15 @@ import (
 // coarse — the point is eyeballing the shapes (who wins, where curves
 // cross) straight from a terminal.
 func (r Result) PlotASCII(w io.Writer, width, height int) {
+	r.PlotSeriesASCII(w, width, height, "throughput/site",
+		func(p Point) float64 { return p.Report.ThroughputPerSite })
+}
+
+// PlotSeriesASCII is PlotASCII generalized over the y axis: yLabel names
+// the charted quantity and y extracts it from each point. The perf
+// trajectory charts (replplot over BENCH_*.json snapshots) use it to plot
+// p95 latency with the same renderer as throughput.
+func (r Result) PlotSeriesASCII(w io.Writer, width, height int, yLabel string, y func(Point) float64) {
 	if len(r.Points) == 0 {
 		fmt.Fprintln(w, "(no data)")
 		return
@@ -27,7 +36,11 @@ func (r Result) PlotASCII(w io.Writer, width, height int) {
 		height = 16
 	}
 
-	glyphs := []byte{'B', 'P', 'W', 'T', 'N', '#'}
+	// Glyphs key on protocol identity (PSL..NaiveLazy in declaration
+	// order), so 'B' is BackEdge in every chart regardless of which
+	// protocol a result happens to list first.
+	glyphs := []byte{'P', 'W', 'T', 'B', 'N', '#'}
+	glyph := func(p core.Protocol) byte { return glyphs[int(p)%len(glyphs)] }
 	var protos []core.Protocol
 	seen := map[core.Protocol]int{}
 	for _, p := range r.Points {
@@ -42,7 +55,7 @@ func (r Result) PlotASCII(w io.Writer, width, height int) {
 	for _, p := range r.Points {
 		minX = math.Min(minX, p.X)
 		maxX = math.Max(maxX, p.X)
-		maxY = math.Max(maxY, p.Report.ThroughputPerSite)
+		maxY = math.Max(maxY, y(p))
 	}
 	if maxY == 0 {
 		maxY = 1
@@ -77,13 +90,13 @@ func (r Result) PlotASCII(w io.Writer, width, height int) {
 	}
 	for proto, pts := range byProto {
 		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
-		g := glyphs[seen[proto]%len(glyphs)]
+		g := glyph(proto)
 		for _, p := range pts {
-			plot(p.X, p.Report.ThroughputPerSite, g)
+			plot(p.X, y(p), g)
 		}
 	}
 
-	fmt.Fprintf(w, "%s — throughput/site vs %s\n", r.Title, r.XLabel)
+	fmt.Fprintf(w, "%s — %s vs %s\n", r.Title, yLabel, r.XLabel)
 	for i, row := range grid {
 		label := "        "
 		switch i {
@@ -98,7 +111,7 @@ func (r Result) PlotASCII(w io.Writer, width, height int) {
 	fmt.Fprintf(w, "         %-8.2f%s%8.2f\n", minX, strings.Repeat(" ", width-16), maxX)
 	var legend []string
 	for _, proto := range protos {
-		legend = append(legend, fmt.Sprintf("%c=%v", glyphs[seen[proto]%len(glyphs)], proto))
+		legend = append(legend, fmt.Sprintf("%c=%v", glyph(proto), proto))
 	}
 	fmt.Fprintf(w, "         legend: %s (*=overlap)\n", strings.Join(legend, "  "))
 }

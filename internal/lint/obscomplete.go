@@ -44,7 +44,12 @@ type obsUpdate struct {
 //   - every *watch.Progress field (a queue-liveness handle from the
 //     watchdog) must have both Push and Pop call sites — a half-wired
 //     handle either trips the queue-stall detector permanently (Push
-//     without Pop) or drives the depth negative (Pop without Push).
+//     without Pop) or drives the depth negative (Pop without Push);
+//   - every exported latency-attribution phase (constant of type Phase in
+//     a package named "metrics") must be used by at least one package
+//     outside metrics — a phase registered in the breakdown schema that
+//     no engine ever records leaves a silent hole in every Report's
+//     phase attribution.
 //
 // Intentional exceptions carry `//lint:allow obscomplete <reason>` on
 // the constant or field declaration.
@@ -55,6 +60,8 @@ func NewObsComplete() *Analyzer {
 	}
 	var kinds []kindConst
 	usedOutside := make(map[string]bool) // kind const name -> used outside trace
+	var phases []kindConst
+	phaseUsed := make(map[string]bool) // phase const name -> used outside metrics
 	fields := make(map[string]*obsField)
 	updates := make(map[string]*obsUpdate)
 	var fieldOrder []string
@@ -75,6 +82,7 @@ func NewObsComplete() *Analyzer {
 	a.Run = func(pass *Pass) error {
 		info := pass.Pkg.Info
 		inTrace := pass.Pkg.Types.Name() == "trace"
+		inMetrics := pass.Pkg.Types.Name() == "metrics"
 		for _, f := range pass.Pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
@@ -85,6 +93,14 @@ func NewObsComplete() *Analyzer {
 					if inTrace {
 						if c, ok := info.Defs[n].(*types.Const); ok && isTraceKindConst(c) && c.Exported() {
 							kinds = append(kinds, kindConst{name: c.Name(), pos: n.Pos()})
+						}
+					}
+					if c, ok := info.Uses[n].(*types.Const); ok && isMetricsPhaseConst(c) && !inMetrics {
+						phaseUsed[c.Name()] = true
+					}
+					if inMetrics {
+						if c, ok := info.Defs[n].(*types.Const); ok && isMetricsPhaseConst(c) && c.Exported() {
+							phases = append(phases, kindConst{name: c.Name(), pos: n.Pos()})
 						}
 					}
 					if v, ok := info.Defs[n].(*types.Var); ok && v.IsField() {
@@ -108,6 +124,11 @@ func NewObsComplete() *Analyzer {
 		for _, k := range kinds {
 			if !usedOutside[k.name] {
 				report(k.pos, fmt.Sprintf("trace event %s is declared but never recorded outside package trace: a protocol lifecycle step lost its instrumentation", k.name))
+			}
+		}
+		for _, p := range phases {
+			if !phaseUsed[p.name] {
+				report(p.pos, fmt.Sprintf("latency phase %s is registered but never recorded by any engine: every Report's phase breakdown silently lacks that segment", p.name))
 			}
 		}
 		sort.Strings(fieldOrder)
@@ -134,6 +155,10 @@ func NewObsComplete() *Analyzer {
 
 func isTraceKindConst(c *types.Const) bool {
 	return c.Pkg() != nil && c.Pkg().Name() == "trace" && typeFrom(c.Type(), "trace", "Kind")
+}
+
+func isMetricsPhaseConst(c *types.Const) bool {
+	return c.Pkg() != nil && c.Pkg().Name() == "metrics" && typeFrom(c.Type(), "metrics", "Phase")
 }
 
 // obsHandleKind classifies a field type as a pointer to an obs handle or

@@ -4,6 +4,7 @@
 package engine
 
 import (
+	"metrics"
 	"obs"
 	"trace"
 	"watch"
@@ -26,12 +27,14 @@ type siteObs struct {
 }
 
 type engine struct {
-	o   siteObs
-	out []trace.Kind
+	o      siteObs
+	out    []trace.Kind
+	phases []metrics.Phase
 }
 
 func (e *engine) run() {
 	e.out = append(e.out, trace.TxnBegin, trace.TxnCommit)
+	e.phases = append(e.phases, metrics.PhaseLockWait, metrics.PhaseApply)
 	e.o.committed.Inc()
 	e.o.depth.Inc()
 	e.o.inflight.Inc()

@@ -1,0 +1,17 @@
+// Package metrics is a miniature of the repository's latency-phase
+// registry for the obscomplete analyzer's cross-referencing.
+package metrics
+
+// Phase identifies one latency-attribution segment.
+type Phase uint8
+
+const (
+	PhaseLockWait Phase = iota // recorded by engine
+	PhaseApply                 // recorded by engine
+	PhaseOrphan                // want "latency phase PhaseOrphan is registered but never recorded by any engine"
+
+	numPhases // unexported sentinel: exempt
+)
+
+//lint:allow obscomplete reserved for the next protocol revision
+const PhaseReserved Phase = 99

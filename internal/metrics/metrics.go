@@ -16,6 +16,62 @@ import (
 	"repro/internal/model"
 )
 
+// Phase identifies one segment of a transaction's lifetime for latency
+// attribution. A response time decomposes into where it was spent: waiting
+// for locks, applying writes to storage, sitting in a propagation queue,
+// crossing the transport, or blocked on a 2PC round trip.
+type Phase uint8
+
+const (
+	// PhaseLockWait is time blocked in the lock manager (Acquire/AcquireEx).
+	PhaseLockWait Phase = iota
+	// PhaseApply is time installing buffered writes into storage at commit.
+	PhaseApply
+	// PhaseQueueWait is time a propagated update sat in a secondary's
+	// service queue before an applier picked it up.
+	PhaseQueueWait
+	// PhaseTransport is one-way network time of a propagation message,
+	// measured from the sender's stamp to receipt.
+	PhaseTransport
+	// PhaseVote is the 2PC prepare round trip seen by a BackEdge
+	// coordinator per participant.
+	PhaseVote
+	// PhaseDecision is the 2PC decision delivery round trip per
+	// participant.
+	PhaseDecision
+
+	numPhases // sentinel; keep last
+)
+
+var phaseNames = [numPhases]string{
+	PhaseLockWait:  "lock_wait",
+	PhaseApply:     "apply",
+	PhaseQueueWait: "queue_wait",
+	PhaseTransport: "transport",
+	PhaseVote:      "2pc_vote",
+	PhaseDecision:  "2pc_decision",
+}
+
+// String returns the stable snake_case name used as the Report.Phases map
+// key and in trace events.
+func (p Phase) String() string {
+	if p < numPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Phases lists every registered phase in declaration order. The lint
+// analyzer obscomplete cross-references this registry against engine
+// recording sites.
+func Phases() []Phase {
+	out := make([]Phase, numPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
 // Collector accumulates one run's measurements. All methods are safe for
 // concurrent use; a nil *Collector is a valid no-op sink.
 type Collector struct {
@@ -34,6 +90,7 @@ type Collector struct {
 	mu        sync.Mutex
 	resp      durStats
 	prop      durStats
+	phases    [numPhases]durStats
 	commitAt  map[model.TxnID]time.Time
 	keepTimes bool
 }
@@ -157,6 +214,21 @@ func (c *Collector) SecondaryApplied(tid model.TxnID) {
 	c.mu.Unlock()
 }
 
+// PhaseSample records one latency-attribution sample for phase p.
+// Unknown phases are dropped rather than panicking so wire-derived values
+// stay safe.
+func (c *Collector) PhaseSample(p Phase, d time.Duration) {
+	if c == nil || p >= numPhases {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	c.phases[p].add(d)
+	c.mu.Unlock()
+}
+
 // MsgSent counts protocol messages.
 func (c *Collector) MsgSent(n int) {
 	if c == nil {
@@ -190,7 +262,23 @@ func (c *Collector) Retry() {
 	c.retries.Add(1)
 }
 
+// PhaseStats summarizes one phase's latency-attribution samples.
+type PhaseStats struct {
+	Count uint64
+	Total time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
 // Report is an immutable summary of a run.
+//
+// The exported field names are a compatibility contract: Report.JSON uses
+// the default encoder, so renaming a field breaks every consumer of
+// replbench output. Additions are fine; renames and removals are not
+// (pinned by TestReportJSONFieldNamesFrozen).
 type Report struct {
 	Elapsed time.Duration
 
@@ -207,11 +295,20 @@ type Report struct {
 	MeanResponse, P50Response, P95Response, MaxResponse time.Duration
 	MeanPropDelay, P95PropDelay, MaxPropDelay           time.Duration
 
+	// P99Response tails the response distribution; added alongside the
+	// phase breakdown (omitted from String to keep the one-liner short).
+	P99Response time.Duration
+
 	Messages    uint64
 	RemoteReads uint64
 	Secondaries uint64
 	Dummies     uint64
 	Retries     uint64
+
+	// Phases maps phase name (Phase.String) to its latency breakdown.
+	// Only phases that recorded at least one sample appear, so protocols
+	// without a 2PC leg simply lack those keys.
+	Phases map[string]PhaseStats `json:",omitempty"`
 }
 
 // Snapshot computes the report for a run over m sites. Call End first (or
@@ -239,6 +336,7 @@ func (c *Collector) Snapshot(m int) Report {
 		MeanResponse:  c.resp.mean(),
 		P50Response:   c.resp.percentile(0.50),
 		P95Response:   c.resp.percentile(0.95),
+		P99Response:   c.resp.percentile(0.99),
 		MaxResponse:   c.resp.max,
 		MeanPropDelay: c.prop.mean(),
 		P95PropDelay:  c.prop.percentile(0.95),
@@ -254,6 +352,24 @@ func (c *Collector) Snapshot(m int) Report {
 	}
 	if committed+aborted > 0 {
 		r.AbortRate = 100 * float64(aborted) / float64(committed+aborted)
+	}
+	for i := range c.phases {
+		d := &c.phases[i]
+		if d.count == 0 {
+			continue
+		}
+		if r.Phases == nil {
+			r.Phases = make(map[string]PhaseStats)
+		}
+		r.Phases[Phase(i).String()] = PhaseStats{
+			Count: d.count,
+			Total: d.sum,
+			Mean:  d.mean(),
+			P50:   d.percentile(0.50),
+			P95:   d.percentile(0.95),
+			P99:   d.percentile(0.99),
+			Max:   d.max,
+		}
 	}
 	return r
 }

@@ -213,3 +213,71 @@ func TestReportJSON(t *testing.T) {
 		t.Errorf("round trip lost fields: %+v", back)
 	}
 }
+
+// TestReportJSONFieldNamesFrozen pins the Report JSON schema: BENCH_*.json
+// snapshots, the replwatch HTTP export, and downstream tooling all parse
+// these keys, so removing or renaming one is a breaking change. New fields
+// may be appended; add them to the frozen list here when they land.
+func TestReportJSONFieldNamesFrozen(t *testing.T) {
+	frozen := []string{
+		"Elapsed", "Committed", "Aborted", "ThroughputPerSite", "AbortRate",
+		"MeanResponse", "P50Response", "P95Response", "MaxResponse",
+		"MeanPropDelay", "P95PropDelay", "MaxPropDelay", "P99Response",
+		"Messages", "RemoteReads", "Secondaries", "Dummies", "Retries",
+		"Phases",
+	}
+	r := Report{Phases: map[string]PhaseStats{PhaseLockWait.String(): {Count: 1}}}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(b, &keys); err != nil {
+		t.Fatalf("unmarshal keys: %v", err)
+	}
+	for _, name := range frozen {
+		if _, ok := keys[name]; !ok {
+			t.Errorf("Report JSON lost frozen field %q: renaming or removing it breaks consumers of the snapshot schema", name)
+		}
+		delete(keys, name)
+	}
+	for name := range keys {
+		t.Errorf("Report JSON gained field %q: append it to the frozen list to pin it", name)
+	}
+}
+
+// TestPhaseSample exercises the phase-attribution path: samples land in
+// the right bucket, negative durations are clamped, unknown phases and
+// nil collectors are dropped, and Snapshot exposes only non-empty phases.
+func TestPhaseSample(t *testing.T) {
+	var nilC *Collector
+	nilC.PhaseSample(PhaseLockWait, time.Millisecond) // must not panic
+
+	c := NewCollector(false)
+	c.Begin()
+	c.PhaseSample(PhaseLockWait, 2*time.Millisecond)
+	c.PhaseSample(PhaseLockWait, 4*time.Millisecond)
+	c.PhaseSample(PhaseApply, -time.Second) // clamps to 0
+	c.PhaseSample(Phase(250), time.Second)  // out of range: dropped
+	c.End()
+	r := c.Snapshot(1)
+
+	lw, ok := r.Phases[PhaseLockWait.String()]
+	if !ok || lw.Count != 2 {
+		t.Fatalf("lock_wait phase = %+v, ok=%v; want 2 samples", lw, ok)
+	}
+	if lw.Max != 4*time.Millisecond || lw.Total != 6*time.Millisecond {
+		t.Errorf("lock_wait max/total = %v/%v, want 4ms/6ms", lw.Max, lw.Total)
+	}
+	if ap := r.Phases[PhaseApply.String()]; ap.Count != 1 || ap.Max != 0 {
+		t.Errorf("apply phase = %+v, want one clamped-to-zero sample", ap)
+	}
+	if _, ok := r.Phases[PhaseQueueWait.String()]; ok {
+		t.Errorf("empty phase %s should be omitted from the report", PhaseQueueWait)
+	}
+	for _, p := range Phases() {
+		if p.String() == "" {
+			t.Errorf("phase %d has no name", p)
+		}
+	}
+}

@@ -91,6 +91,10 @@ const (
 	WatchAlert
 	// WatchClear marks a previously raised watchdog alert clearing.
 	WatchClear
+	// PhaseLatency attributes a latency segment (Event.Phase names it,
+	// Event.Dur holds nanoseconds) to the transaction at Site; recorded
+	// span-less so wall-clock durations never perturb span-tree structure.
+	PhaseLatency
 
 	kindEnd
 )
@@ -119,6 +123,7 @@ var kindNames = [kindEnd]string{
 	RelAck:             "RelAck",
 	WatchAlert:         "WatchAlert",
 	WatchClear:         "WatchClear",
+	PhaseLatency:       "PhaseLatency",
 }
 
 func (k Kind) String() string {
@@ -158,6 +163,10 @@ type Event struct {
 	Span   model.SpanID `json:"span,omitempty"`
 	Parent model.SpanID `json:"parent,omitempty"`
 	Proto  uint8        `json:"proto"`
+	// Phase and Dur carry latency attribution for PhaseLatency events:
+	// the metrics.Phase name and the segment's duration in nanoseconds.
+	Phase string `json:"phase,omitempty"`
+	Dur   int64  `json:"dur,omitempty"`
 }
 
 // jsonEvent flattens TID so each JSONL line is a single small object.
@@ -171,6 +180,8 @@ type jsonEvent struct {
 	Span   model.SpanID `json:"span,omitempty"`
 	Parent model.SpanID `json:"parent,omitempty"`
 	Proto  uint8        `json:"proto"`
+	Phase  string       `json:"phase,omitempty"`
+	Dur    int64        `json:"dur,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -179,6 +190,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		T: e.T, Kind: e.Kind, Site: e.Site, Peer: e.Peer,
 		TSite: e.TID.Site, TSeq: e.TID.Seq,
 		Span: e.Span, Parent: e.Parent, Proto: e.Proto,
+		Phase: e.Phase, Dur: e.Dur,
 	})
 }
 
@@ -192,6 +204,7 @@ func (e *Event) UnmarshalJSON(b []byte) error {
 		T: j.T, Kind: j.Kind, Site: j.Site, Peer: j.Peer,
 		TID:  model.TxnID{Site: j.TSite, Seq: j.TSeq},
 		Span: j.Span, Parent: j.Parent, Proto: j.Proto,
+		Phase: j.Phase, Dur: j.Dur,
 	}
 	return nil
 }
@@ -245,6 +258,27 @@ func (r *Recorder) RecordSpan(k Kind, site, peer model.SiteID, tid model.TxnID, 
 	ev := Event{
 		T: int64(time.Since(r.start)), Kind: k, Site: site, Peer: peer,
 		TID: tid, Span: span, Parent: parent, Proto: proto,
+	}
+	s := &r.shards[uint(site)%shardCount]
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+	if r.sink != nil {
+		r.sink(ev)
+	}
+}
+
+// RecordPhase appends a PhaseLatency event attributing d of the
+// transaction's latency to the named phase. Deliberately span-less
+// (Span==0): durations are wall-clock and vary between same-seed runs, so
+// keeping them out of the span trees preserves byte-stable Structure.
+func (r *Recorder) RecordPhase(site, peer model.SiteID, tid model.TxnID, proto uint8, phase string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	ev := Event{
+		T: int64(time.Since(r.start)), Kind: PhaseLatency, Site: site, Peer: peer,
+		TID: tid, Proto: proto, Phase: phase, Dur: int64(d),
 	}
 	s := &r.shards[uint(site)%shardCount]
 	s.mu.Lock()

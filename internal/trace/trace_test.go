@@ -219,3 +219,59 @@ func TestPropDelaysAndQuantile(t *testing.T) {
 		t.Fatalf("p100 = %v", q)
 	}
 }
+
+// TestRecordPhaseRoundtrip covers the latency-attribution events: the
+// phase name and duration survive the JSONL round trip, and — because
+// PhaseLatency events are span-less — they never show up in span trees,
+// so wall-clock durations cannot perturb the byte-stable span structure
+// the chaos tests pin.
+func TestRecordPhaseRoundtrip(t *testing.T) {
+	r := NewRecorder()
+	r.RecordSpan(TxnCommit, 2, model.NoSite, tid(2, 9), 3, 1, 0)
+	r.RecordPhase(2, 4, tid(2, 9), 3, "queue_wait", 1500*time.Microsecond)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"phase":"queue_wait"`) {
+		t.Fatalf("JSONL lacks the phase name:\n%s", buf.String())
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	found := false
+	for _, e := range got {
+		if e.Kind == PhaseLatency {
+			ev, found = e, true
+		}
+	}
+	if !found {
+		t.Fatal("PhaseLatency event lost in round trip")
+	}
+	if ev.Phase != "queue_wait" || ev.Dur != int64(1500*time.Microsecond) {
+		t.Errorf("phase fields lost: phase=%q dur=%d", ev.Phase, ev.Dur)
+	}
+	if ev.Span != 0 || ev.Parent != 0 {
+		t.Errorf("phase events must be span-less, got span=%d parent=%d", ev.Span, ev.Parent)
+	}
+	trees := BuildSpanTrees(got)
+	tree, ok := trees[tid(2, 9)]
+	if !ok {
+		t.Fatal("span tree for the commit missing")
+	}
+	for _, n := range tree.Nodes {
+		if n.Has(PhaseLatency) {
+			t.Error("PhaseLatency event leaked into a span tree")
+		}
+	}
+	for _, ev := range tree.Orphans {
+		if ev.Kind == PhaseLatency {
+			t.Error("PhaseLatency event counted as a span orphan")
+		}
+	}
+
+	var nilR *Recorder
+	nilR.RecordPhase(0, 0, tid(0, 0), 0, "apply", time.Millisecond) // must not panic
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/storage"
 )
@@ -28,12 +29,33 @@ type Manager struct {
 	Locks    *lock.Manager
 	Timeout  time.Duration     // lock-wait timeout (the paper's 50 ms)
 	Recorder *history.Recorder // nil disables observation recording
+
+	metrics *metrics.Collector // nil disables phase attribution
 }
 
 // NewManager returns a transaction manager over the given store and lock
 // manager.
 func NewManager(site model.SiteID, st *storage.Store, lm *lock.Manager, timeout time.Duration, rec *history.Recorder) *Manager {
 	return &Manager{Site: site, Store: st, Locks: lm, Timeout: timeout, Recorder: rec}
+}
+
+// SetMetrics installs the collector that receives lock-wait and storage-
+// apply phase samples. Call before transactions run; a nil collector (the
+// default) keeps both hot paths free of clock reads.
+func (m *Manager) SetMetrics(c *metrics.Collector) { m.metrics = c }
+
+// acquire wraps Locks.AcquireEx with lock-wait phase attribution. The
+// clock is read only when a collector is installed, so the default path
+// costs one nil check.
+func (t *Txn) acquire(item model.ItemID, mode lock.Mode) error {
+	m := t.m
+	if m.metrics == nil {
+		return m.Locks.AcquireEx(t.ID, item, mode, m.Timeout, t.prio)
+	}
+	start := time.Now()
+	err := m.Locks.AcquireEx(t.ID, item, mode, m.Timeout, t.prio)
+	m.metrics.PhaseSample(metrics.PhaseLockWait, time.Since(start))
+	return err
 }
 
 // Txn is one local (sub)transaction. It is not safe for concurrent use by
@@ -72,7 +94,7 @@ func (t *Txn) Read(item model.ItemID) (int64, error) {
 	if v, ok := t.writes[item]; ok {
 		return v, nil
 	}
-	if err := t.m.Locks.AcquireEx(t.ID, item, lock.Shared, t.m.Timeout, t.prio); err != nil {
+	if err := t.acquire(item, lock.Shared); err != nil {
 		t.Abort()
 		return 0, fmt.Errorf("%w: r[%d] at s%d: %v", ErrAborted, item, t.m.Site, err)
 	}
@@ -92,7 +114,7 @@ func (t *Txn) Write(item model.ItemID, value int64) error {
 	if t.finished {
 		return fmt.Errorf("txn %v: write after finish", t.ID)
 	}
-	if err := t.m.Locks.AcquireEx(t.ID, item, lock.Exclusive, t.m.Timeout, t.prio); err != nil {
+	if err := t.acquire(item, lock.Exclusive); err != nil {
 		t.Abort()
 		return fmt.Errorf("%w: w[%d] at s%d: %v", ErrAborted, item, t.m.Site, err)
 	}
@@ -113,6 +135,10 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("txn %v: double finish", t.ID)
 	}
 	t.finished = true
+	var applyStart time.Time
+	if t.m.metrics != nil && len(t.writeOrder) > 0 {
+		applyStart = time.Now()
+	}
 	for _, item := range t.writeOrder {
 		ver, err := t.m.Store.Apply(item, t.writes[item], t.ID)
 		if err != nil {
@@ -121,6 +147,9 @@ func (t *Txn) Commit() error {
 			return err
 		}
 		t.m.Recorder.Write(t.m.Site, item, ver.Num, t.ID)
+	}
+	if !applyStart.IsZero() {
+		t.m.metrics.PhaseSample(metrics.PhaseApply, time.Since(applyStart))
 	}
 	for _, ro := range t.readObs {
 		t.m.Recorder.Read(ro.Site, ro.Item, ro.Version, ro.Reader)

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos lint cover bench bench-smoke fuzz experiments shapes examples clean
+.PHONY: all build vet test race check chaos lint cover bench bench-smoke telemetry-smoke fuzz experiments shapes examples clean
 
 all: check
 
@@ -49,10 +49,16 @@ bench:
 BENCH_DIR ?= bench-artifacts
 bench-smoke:
 	mkdir -p $(BENCH_DIR)
-	$(GO) run ./cmd/replbench -suite smoke -benchjson $(BENCH_DIR)/BENCH_smoke.json -pprofdir $(BENCH_DIR)/pprof
+	$(GO) run ./cmd/replbench -suite smoke -telemetry -benchjson $(BENCH_DIR)/BENCH_smoke.json -pprofdir $(BENCH_DIR)/pprof
 	$(GO) run ./cmd/replbench -compare BENCH_smoke.json \
 		-threshold 50 -latthreshold 400 -allocthreshold 100 -abortthreshold 25 \
 		$(BENCH_DIR)/BENCH_smoke.json
+
+# Cluster telemetry plane smoke (docs/OBSERVABILITY.md): two replnode
+# processes stream telemetry over TCP to one repltop aggregator, whose
+# -once -json snapshot must name both processes and their sites.
+telemetry-smoke:
+	./scripts/telemetry_smoke.sh
 
 FUZZTIME ?= 30s
 

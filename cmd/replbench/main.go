@@ -76,6 +76,7 @@ func main() {
 		benchJSON = flag.String("benchjson", "", "with -suite: write the BenchSnapshot to this file (conventionally BENCH_<label>.json)")
 		label     = flag.String("label", "", "with -suite: snapshot label (default: the suite name)")
 		pprofDir  = flag.String("pprofdir", "", "with -suite: directory receiving cpu/heap/mutex/block pprof profiles of the run")
+		telemOn   = flag.Bool("telemetry", false, "with -suite: run every point with the telemetry plane attached (recorder, publisher, in-process aggregator), so the gate prices its overhead")
 		compare   = flag.String("compare", "", "regression gate: compare this baseline BenchSnapshot against the new one given as the positional argument; exits 1 on regression")
 		thrPct    = flag.Float64("threshold", 10, "with -compare: max tolerated throughput drop, percent")
 		latPct    = flag.Float64("latthreshold", 30, "with -compare: max tolerated latency growth (p50/p95/p99 response, p95 prop), percent")
@@ -94,7 +95,7 @@ func main() {
 		return
 	}
 	if *suite != "" {
-		if err := runSuite(*suite, *label, *benchJSON, *pprofDir); err != nil {
+		if err := runSuite(*suite, *label, *benchJSON, *pprofDir, *telemOn); err != nil {
 			fatal(err)
 		}
 		return
@@ -226,7 +227,7 @@ func main() {
 
 // runSuite executes a benchmark suite and emits its BenchSnapshot: to
 // stdout, and to -benchjson when given; -pprofdir adds profile capture.
-func runSuite(name, label, outPath, profileDir string) error {
+func runSuite(name, label, outPath, profileDir string, telemetry bool) error {
 	cfg, err := bench.Suite(name)
 	if err != nil {
 		return err
@@ -235,6 +236,7 @@ func runSuite(name, label, outPath, profileDir string) error {
 	snap, err := bench.RunSuite(cfg, bench.RunOptions{
 		Label:      label,
 		ProfileDir: profileDir,
+		Telemetry:  telemetry,
 		Progress: func(line string) {
 			fmt.Fprintf(os.Stderr, "replbench: %s\n", line)
 		},

@@ -28,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/watch"
 	"repro/internal/workload"
@@ -53,6 +54,8 @@ func main() {
 		reliable = flag.Bool("reliable", false, "run the reliable-delivery sublayer over TCP (must match on every node); survives killed connections without message loss or reorder")
 		watchOn  = flag.Bool("watch", false, "run the liveness watchdog on this node: queue/epoch/pending-2PC stall alerts on /metrics (with -obs) and in the exit summary")
 		flight   = flag.String("flightdump", "", "with -watch: directory for flight-recorder JSONL dumps written when an alert fires")
+		telAddr  = flag.String("telemetry", "", "stream telemetry (metrics deltas, span events, phase latencies, alerts) to an aggregator at this address (see cmd/repltop -listen)")
+		telProc  = flag.String("telemetry-proc", "", "process name announced to the aggregator (default site<N>)")
 	)
 	flag.Parse()
 
@@ -128,8 +131,10 @@ func main() {
 
 	// Live observability: a registry the engine and transport feed, served
 	// over HTTP for scraping and ad-hoc inspection while the node runs.
+	// The telemetry publisher streams the same registry, so -telemetry
+	// alone also brings it up (without the HTTP server).
 	var registry *obs.Registry
-	if *obsAddr != "" {
+	if *obsAddr != "" || *telAddr != "" {
 		registry = obs.NewRegistry()
 		registry.Gauge("repl_protocol_info",
 			obs.Label{Key: "protocol", Value: protocol.String()}).Set(1)
@@ -137,6 +142,8 @@ func main() {
 		if rel != nil {
 			rel.SetStats(obs.NewReliableStats(registry))
 		}
+	}
+	if *obsAddr != "" {
 		ln, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			fatal(fmt.Errorf("-obs listen: %w", err))
@@ -158,18 +165,41 @@ func main() {
 	// applied in the peer's process, invisible here.
 	var watchdog *watch.Watchdog
 	var rec *trace.Recorder
-	if *watchOn || *flight != "" {
+	if *watchOn || *flight != "" || *telAddr != "" {
 		rec = trace.NewRecorder()
+		if rel != nil {
+			rel.SetTrace(rec)
+		}
+	}
+	if *watchOn || *flight != "" {
 		watchdog = watch.New(watch.Options{
 			StalenessDeadline: 24 * time.Hour,
 			FlightDir:         *flight,
 		})
 		watchdog.SetObs(registry)
 		watchdog.SetTrace(rec)
-		rec.SetSink(watchdog.Ingest)
-		if rel != nil {
-			rel.SetTrace(rec)
+		rec.AddSink(watchdog.Ingest)
+	}
+
+	// The telemetry publisher ships this node's registry deltas, span
+	// events, phase latencies and watchdog alerts to a cluster
+	// aggregator (cmd/repltop), which re-federates what the per-node
+	// watchdog above cannot see: cross-process staleness and span trees.
+	var publisher *telemetry.Publisher
+	if *telAddr != "" {
+		proc := *telProc
+		if proc == "" {
+			proc = fmt.Sprintf("site%d", *site)
 		}
+		publisher, err = telemetry.NewPublisher(telemetry.Options{Proc: proc, Addr: *telAddr})
+		if err != nil {
+			fatal(err)
+		}
+		publisher.SetObs(registry)
+		publisher.SetWatch(watchdog)
+		publisher.SetReport(func() metrics.Report { return collector.Snapshot(1) })
+		publisher.Announce(protocol.String(), []model.SiteID{model.SiteID(*site)})
+		rec.AddSink(publisher.Ingest)
 	}
 
 	shared := &core.SharedConfig{
@@ -193,6 +223,8 @@ func main() {
 	defer engine.Stop()
 	watchdog.Start()
 	defer watchdog.Stop()
+	publisher.Start()
+	defer publisher.Stop()
 
 	fmt.Printf("replnode: site %d of %d listening on %s (%v, %d backedges in graph)\n",
 		*site, wl.Sites, tcp.Addr(), protocol, len(backs))

@@ -89,12 +89,20 @@ type ProtocolResult struct {
 	P99ResponseUS  float64 `json:"p99_response_us"`
 	MaxResponseUS  float64 `json:"max_response_us"`
 
+	// MeanPropUS/P95PropUS/MaxPropUS measure commit-to-replica-apply
+	// propagation delay. They are structurally zero for PSL — the one
+	// protocol with Propagates() == false: PSL reads non-local items at
+	// their primary site (remote_reads below) instead of propagating
+	// updates to replicas, so no secondary subtransaction ever exists to
+	// time. A zero here for any *other* protocol is a red flag.
 	MeanPropUS float64 `json:"mean_prop_us"`
 	P95PropUS  float64 `json:"p95_prop_us"`
 	MaxPropUS  float64 `json:"max_prop_us"`
 
 	Messages    uint64 `json:"messages"`
 	RemoteReads uint64 `json:"remote_reads"`
+	// Secondaries counts applied secondary subtransactions; structurally
+	// zero for PSL for the same reason as the prop latencies.
 	Secondaries uint64 `json:"secondaries"`
 	Dummies     uint64 `json:"dummies"`
 	Retries     uint64 `json:"retries"`
@@ -113,7 +121,10 @@ type ProtocolResult struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 
 	// Counters carries the run's repl_fault_* / repl_reliable_* live
-	// counters (empty on a fault-free suite run).
+	// counters (empty on a fault-free suite run), plus telemetry_frames
+	// and telemetry_events when the suite ran with the telemetry plane
+	// attached. Informational — the regression gate compares the
+	// latency/throughput metrics, not these.
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
 

@@ -13,6 +13,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -62,6 +64,11 @@ type RunOptions struct {
 	ProfileDir string
 	// Progress, when non-nil, receives one line per completed protocol.
 	Progress func(string)
+	// Telemetry runs each protocol point with the full telemetry plane
+	// attached — trace recorder, publisher, in-process aggregator — so
+	// the regression gate also prices the plane's overhead. The
+	// aggregator's received-frame count lands in the result counters.
+	Telemetry bool
 }
 
 // RunSuite executes every protocol in the suite through the standard
@@ -87,7 +94,7 @@ func RunSuite(cfg SuiteConfig, opts RunOptions) (*Snapshot, error) {
 	}
 	defer prof.stop()
 	for _, proto := range cfg.Protocols {
-		pr, err := runProtocol(cfg, proto)
+		pr, err := runProtocol(cfg, proto, opts.Telemetry)
 		if err != nil {
 			return nil, fmt.Errorf("bench: suite %s, protocol %v: %w", cfg.Name, proto, err)
 		}
@@ -105,7 +112,7 @@ func RunSuite(cfg SuiteConfig, opts RunOptions) (*Snapshot, error) {
 
 // runProtocol measures one protocol point, bracketing the run with
 // allocation accounting.
-func runProtocol(cfg SuiteConfig, proto core.Protocol) (ProtocolResult, error) {
+func runProtocol(cfg SuiteConfig, proto core.Protocol, withTelemetry bool) (ProtocolResult, error) {
 	wl := workload.Default()
 	wl.TxnsPerThread = cfg.TxnsPerThread
 	if cfg.Seed != 0 {
@@ -129,14 +136,29 @@ func runProtocol(cfg SuiteConfig, proto core.Protocol) (ProtocolResult, error) {
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 
-	rep, err := harness.RunPoint(cluster.Config{
+	clusterCfg := cluster.Config{
 		Workload:         wl,
 		Protocol:         proto,
 		Params:           params,
 		Latency:          150 * time.Microsecond,
 		TrackPropagation: true,
 		Obs:              registry,
-	})
+	}
+	var agg *telemetry.Aggregator
+	if withTelemetry {
+		// The full plane, in-process: recorder → publisher → aggregator,
+		// so the gate prices span recording, delta encoding, and frame
+		// delivery without sockets adding scheduler noise.
+		agg = telemetry.NewAggregator()
+		clusterCfg.Trace = trace.NewRecorder()
+		clusterCfg.Telemetry = &telemetry.Options{
+			Proc:       "bench-" + proto.String(),
+			Sink:       agg,
+			Interval:   100 * time.Millisecond,
+			SpanBuffer: 1 << 16,
+		}
+	}
+	rep, err := harness.RunPoint(clusterCfg)
 	if err != nil {
 		return ProtocolResult{}, err
 	}
@@ -154,6 +176,17 @@ func runProtocol(cfg SuiteConfig, proto core.Protocol) (ProtocolResult, error) {
 			}
 			pr.Counters[k] = v
 		}
+	}
+	if agg != nil {
+		var frames uint64
+		for _, pi := range agg.Snapshot().Procs {
+			frames += pi.Frames
+		}
+		if pr.Counters == nil {
+			pr.Counters = make(map[string]int64)
+		}
+		pr.Counters["telemetry_frames"] = int64(frames)
+		pr.Counters["telemetry_events"] = int64(len(agg.Events()))
 	}
 	return pr, nil
 }

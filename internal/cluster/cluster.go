@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/txn"
 	"repro/internal/watch"
@@ -81,6 +82,13 @@ type Config struct {
 	// in Obs plus optional flight-recorder dumps. Requires Trace (the
 	// watchdog observes the event stream); New rejects Watch without it.
 	Watch *watch.Options
+	// Telemetry, when non-nil, runs a telemetry publisher streaming this
+	// cluster's registry deltas, span events, phase quantiles, and
+	// watchdog alerts to an aggregator (internal/telemetry): the cluster
+	// fills in the Obs/Watch/report wiring and hosted-site announcement.
+	// Requires Trace (span events ride the live sink); New rejects
+	// Telemetry without it.
+	Telemetry *telemetry.Options
 }
 
 // Cluster is a running replicated database over m in-process sites.
@@ -94,9 +102,10 @@ type Cluster struct {
 	Metrics   *metrics.Collector
 
 	transport *comm.MemTransport
-	faultTr   *fault.Transport // non-nil iff Cfg.Fault was set
-	top       comm.Transport   // the layer engines actually send through
-	watchdog  *watch.Watchdog  // non-nil iff Cfg.Watch was set
+	faultTr   *fault.Transport     // non-nil iff Cfg.Fault was set
+	top       comm.Transport       // the layer engines actually send through
+	watchdog  *watch.Watchdog      // non-nil iff Cfg.Watch was set
+	publisher *telemetry.Publisher // non-nil iff Cfg.Telemetry was set
 	engines   []core.Engine
 	pending   sync.WaitGroup
 
@@ -241,7 +250,27 @@ func New(cfg Config) (*Cluster, error) {
 		c.watchdog = watch.New(*cfg.Watch)
 		c.watchdog.SetObs(cfg.Obs)
 		c.watchdog.SetTrace(cfg.Trace)
-		cfg.Trace.SetSink(c.watchdog.Ingest)
+		cfg.Trace.AddSink(c.watchdog.Ingest)
+	}
+
+	if cfg.Telemetry != nil {
+		if cfg.Trace == nil {
+			return nil, fmt.Errorf("cluster: Telemetry requires Trace (span events ride the live sink)")
+		}
+		pub, err := telemetry.NewPublisher(*cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+		pub.SetObs(cfg.Obs)
+		pub.SetWatch(c.watchdog)
+		pub.SetReport(func() metrics.Report { return c.Metrics.Snapshot(m) })
+		sites := make([]model.SiteID, m)
+		for s := range sites {
+			sites[s] = model.SiteID(s)
+		}
+		pub.Announce(cfg.Protocol.String(), sites)
+		cfg.Trace.AddSink(pub.Ingest)
+		c.publisher = pub
 	}
 
 	shared := &core.SharedConfig{
@@ -286,21 +315,28 @@ func (c *Cluster) Fault() *fault.Transport { return c.faultTr }
 // Config.Watch was not set.
 func (c *Cluster) Watch() *watch.Watchdog { return c.watchdog }
 
-// Start launches every engine's background workers and the watchdog.
+// Publisher returns the telemetry publisher, or nil when
+// Config.Telemetry was not set.
+func (c *Cluster) Publisher() *telemetry.Publisher { return c.publisher }
+
+// Start launches every engine's background workers, the watchdog, and
+// the telemetry publisher.
 func (c *Cluster) Start() {
 	for _, e := range c.engines {
 		e.Start()
 	}
 	c.watchdog.Start()
+	c.publisher.Start()
 }
 
-// Stop shuts engines, watchdog and transport down (closing the top of
-// the transport stack closes every layer beneath it).
+// Stop shuts engines, watchdog, telemetry and transport down (closing
+// the top of the transport stack closes every layer beneath it).
 func (c *Cluster) Stop() {
 	for _, e := range c.engines {
 		e.Stop()
 	}
 	c.watchdog.Stop()
+	c.publisher.Stop()
 	_ = c.top.Close()
 }
 

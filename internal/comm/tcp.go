@@ -43,16 +43,15 @@ type TCPTransport struct {
 	wg      sync.WaitGroup
 }
 
-// tcpConn is the outbound state for one destination: the socket, the gob
-// encoder bound to it, and the counting writer underneath, so Send can
-// report the exact bytes each message put on the wire. Its mutex
-// serializes writes and reconnects per destination, so a stalled or
-// re-dialing peer never blocks sends to the others.
+// tcpConn is the outbound state for one destination: the socket and the
+// message-stream writer bound to it (see stream.go), so Send can report
+// the exact bytes each message put on the wire. Its mutex serializes
+// writes and reconnects per destination, so a stalled or re-dialing peer
+// never blocks sends to the others.
 type tcpConn struct {
 	mu   sync.Mutex
 	c    net.Conn
-	enc  *gob.Encoder
-	cw   *countWriter
+	w    *MsgWriter
 	ever bool // a connection has existed before (re-dials count as reconnects)
 }
 
@@ -147,10 +146,10 @@ func (t *TCPTransport) accept() {
 
 func (t *TCPTransport) serve(c net.Conn) {
 	defer t.wg.Done()
-	dec := gob.NewDecoder(c)
+	mr := NewMsgReader(c)
 	for {
-		var msg Message
-		if err := dec.Decode(&msg); err != nil {
+		msg, err := mr.ReadMsg()
+		if err != nil {
 			t.mu.Lock()
 			closed := t.closed
 			t.mu.Unlock()
@@ -233,15 +232,14 @@ func (t *TCPTransport) Send(msg Message) error {
 				return err
 			}
 		}
-		before := tc.cw.n
 		start := time.Now()
 		if t.writeTimeout > 0 {
 			_ = tc.c.SetWriteDeadline(time.Now().Add(t.writeTimeout))
 		}
-		err := tc.enc.Encode(msg)
+		n, err := tc.w.WriteMsg(msg)
 		if err == nil {
 			if stats != nil {
-				stats.CommSent(msg.From, msg.To, int(tc.cw.n-before))
+				stats.CommSent(msg.From, msg.To, n)
 				stats.CommLatency(msg.From, msg.To, time.Since(start))
 			}
 			return nil
@@ -277,8 +275,7 @@ func (t *TCPTransport) redial(tc *tcpConn, to model.SiteID, stats Stats) error {
 			}
 			t.raws = append(t.raws, c)
 			t.mu.Unlock()
-			cw := &countWriter{w: c}
-			tc.c, tc.cw, tc.enc = c, cw, gob.NewEncoder(cw)
+			tc.c, tc.w = c, NewMsgWriter(c)
 			if tc.ever {
 				if rs, ok := stats.(ReconnectStats); ok {
 					rs.CommReconnect(t.site, to)

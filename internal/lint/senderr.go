@@ -19,7 +19,11 @@ import (
 //   - Send methods taking a comm.Message and returning error (every
 //     Transport implementation: Mem, TCP, fault.Transport, Reliable);
 //   - (*comm.RPC).Call and CallRetry;
-//   - twopc.Run, whose error is the 2PC decision-delivery failure.
+//   - twopc.Run, whose error is the 2PC decision-delivery failure;
+//   - SendFrame methods taking a telemetry.Frame and returning error
+//     (the telemetry plane's sinks): a silently dropped frame error
+//     makes the cluster console lie — the publisher must count the
+//     failure and schedule the resync.
 //
 // Sites where dropping is the contract (ARQ retransmission covers the
 // loss; a lost reply is indistinguishable from a lost response message)
@@ -77,6 +81,9 @@ func watchedSendCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return "RPC." + fn.Name(), true
 	case fn.Name() == "Run" && sig.Recv() == nil && fn.Pkg().Name() == "twopc":
 		return "twopc.Run", true
+	case fn.Name() == "SendFrame" && sig.Recv() != nil && sig.Params().Len() == 1 &&
+		typeFrom(sig.Params().At(0).Type(), "telemetry", "Frame"):
+		return recvTypeName(sig) + ".SendFrame", true
 	}
 	return "", false
 }

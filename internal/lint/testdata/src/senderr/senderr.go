@@ -5,6 +5,7 @@ package senderr
 
 import (
 	"comm"
+	"telemetry"
 	"twopc"
 )
 
@@ -44,4 +45,18 @@ func checkedRPC(r *comm.RPC, m comm.Message) (any, error) {
 func allowedDrop(t *comm.Transport, m comm.Message) {
 	//lint:allow senderr retransmission covers the loss
 	_ = t.Send(m)
+}
+
+func dropsFrame(s *telemetry.Sink, f telemetry.Frame) {
+	s.SendFrame(f)     // want "error from Sink.SendFrame discarded"
+	_ = s.SendFrame(f) // want "error from Sink.SendFrame assigned to _"
+}
+
+func checkedFrame(s *telemetry.Sink, f telemetry.Frame) error {
+	return s.SendFrame(f)
+}
+
+func allowedFrameDrop(s *telemetry.Sink, f telemetry.Frame) {
+	//lint:allow senderr best-effort final flush on shutdown
+	_ = s.SendFrame(f)
 }

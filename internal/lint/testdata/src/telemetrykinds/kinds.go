@@ -1,0 +1,30 @@
+// Package telemetry (imported as telemetrykinds) is a second miniature
+// of the telemetry plane, exercising the obscomplete analyzer's
+// frame-kind cross-referencing: kinds that are produced or handled
+// somewhere stay quiet, a declared-but-dead wire-format entry is
+// flagged, the unexported sentinel is exempt, and the allow directive
+// silences a deliberate reservation.
+package telemetry
+
+// FrameKind identifies one wire frame type.
+type FrameKind uint8
+
+const (
+	FrameHello  FrameKind = iota + 1 // sent by emit
+	FrameSpans                       // handled by handle
+	FrameOrphan                      // want "telemetry frame kind FrameOrphan is declared but never sent or handled"
+
+	frameKindEnd // unexported sentinel: exempt
+)
+
+//lint:allow obscomplete reserved for the next wire revision
+const FrameReserved FrameKind = 99
+
+// Frame is one telemetry wire frame.
+type Frame struct{ Kind FrameKind }
+
+func emit() Frame { return Frame{Kind: FrameHello} }
+
+func handle(f Frame) bool { return f.Kind == FrameSpans }
+
+func valid(k FrameKind) bool { return k > 0 && k < frameKindEnd }

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Golden coverage for the Prometheus text exposition's edge cases: the
+// quiet corners (empty registry), the quoting rules (label values with
+// quotes, backslashes, newlines), and histogram extremes (zero,
+// negative, and beyond-last-bucket observations landing in the +Inf
+// bucket). Regenerate with:
+//
+//	go test ./internal/obs -run TestWritePrometheusGolden -update
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestWritePrometheusGoldenEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "" {
+		t.Errorf("empty registry rendered %q, want empty output", sb.String())
+	}
+	// A nil registry must render identically (the disabled-observation
+	// contract).
+	var nilReg *Registry
+	sb.Reset()
+	if err := nilReg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "" {
+		t.Errorf("nil registry rendered %q, want empty output", sb.String())
+	}
+}
+
+func TestWritePrometheusGoldenEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("repl_esc_total", Label{Key: "q", Value: `say "hi"`}).Add(1)
+	r.Counter("repl_esc_total", Label{Key: "q", Value: `back\slash`}).Add(2)
+	r.Counter("repl_esc_total", Label{Key: "q", Value: "line\nbreak"}).Add(3)
+	r.Gauge("repl_esc_gauge", Label{Key: "a", Value: "x"}, Label{Key: "b", Value: ""}).Set(-7)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "prometheus_escaping.golden", sb.String())
+
+	// The escaped page must survive its own parser.
+	parsed, err := ParsePrometheus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus on escaped output: %v", err)
+	}
+	if got := parsed[`repl_esc_total{q="say \"hi\""}`]; got != 1 {
+		t.Errorf("quoted label parsed to %d, want 1 (have keys %v)", got, keys(parsed))
+	}
+}
+
+func TestWritePrometheusGoldenHistogramExtremes(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("repl_extreme_seconds", Label{Key: "site", Value: "0"})
+	h.Observe(0)                // below the first bucket bound
+	h.Observe(-time.Second)     // negative = "unknown": ignored by contract
+	h.Observe(time.Microsecond) // exactly the first bound
+	h.Observe(42 * time.Hour)   // far beyond the last bound: +Inf bucket
+	h.Observe(1<<62 - 1)        // near-overflow duration, still +Inf
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	goldenCompare(t, "prometheus_histogram_extremes.golden", out)
+
+	if !strings.Contains(out, `le="+Inf"} 4`) {
+		t.Errorf("+Inf bucket must be cumulative over the 4 counted observations (negatives are ignored):\n%s", out)
+	}
+}
+
+// TestParsePrometheusRoundTrip pins the contract ParsePrometheus
+// documents: parsing a registry's exposition reproduces its Snapshot.
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("repl_txn_committed_total", Label{Key: "site", Value: "0"}).Add(12)
+	r.Counter("repl_txn_committed_total", Label{Key: "site", Value: "1"}).Add(9)
+	r.Gauge("repl_queue_depth", Label{Key: "site", Value: "0"}, Label{Key: "queue", Value: "fifo"}).Set(4)
+	r.Gauge("repl_protocol_info", Label{Key: "protocol", Value: "dagwt"}).Set(1)
+	h := r.Histogram("repl_apply_seconds", Label{Key: "site", Value: "0"})
+	h.Observe(3 * time.Millisecond)
+	h.Observe(70 * time.Microsecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if len(parsed) != len(snap) {
+		t.Fatalf("parsed %d series, snapshot has %d\nparsed: %v\nsnapshot: %v",
+			len(parsed), len(snap), keys(parsed), keys(snap))
+	}
+	for k, want := range snap {
+		got, ok := parsed[k]
+		if !ok {
+			t.Errorf("snapshot key %q missing from parsed page", k)
+			continue
+		}
+		// formatSeconds keeps 9 decimal digits, so nanosecond sums
+		// round-trip exactly.
+		if got != want {
+			t.Errorf("series %q: parsed %d, snapshot %d", k, got, want)
+		}
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, page := range []string{
+		"repl_x_total 5\n", // sample without # TYPE
+		"# TYPE repl_x_total counter\nrepl_x_total five\n", // non-numeric value
+		"# TYPE repl_x_total counter\nrepl_x_total\n",      // no value at all
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(page)); err == nil {
+			t.Errorf("ParsePrometheus accepted %q", page)
+		}
+	}
+}
+
+func keys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

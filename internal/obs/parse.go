@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsePrometheus parses the text exposition WritePrometheus produces
+// back into the Snapshot key space: counters and gauges as values keyed
+// `family{labels}`, histograms as `family{labels}:count` and
+// `family{labels}:sum_ns` pairs (bucket lines are consumed and
+// discarded). It exists so remote consumers — repltop's -scrape mode —
+// can feed a scraped /metrics page into the same code paths an
+// in-process Registry.Snapshot feeds, and it round-trips: for any
+// registry r, ParsePrometheus(WritePrometheus output) == r.Snapshot().
+//
+// Only the subset WritePrometheus emits is supported; # TYPE comments
+// are required to recognize histogram families. Unparseable sample
+// lines are an error (a truncated scrape should fail loudly, not shave
+// series).
+func ParsePrometheus(r io.Reader) (map[string]int64, error) {
+	out := make(map[string]int64)
+	types := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		// `name{labels} value` or `name value`; the value is the final
+		// space-separated token (label values are quoted, so an embedded
+		// space never ends the line).
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: unparseable sample line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		name := key
+		if brace := strings.IndexByte(name, '{'); brace >= 0 {
+			name = name[:brace]
+		}
+		switch {
+		case types[name] == "counter" || types[name] == "gauge":
+			v, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: bad %s value %q in %q", types[name], valStr, line)
+			}
+			out[key] = v
+		case histogramPart(name, "_bucket", types):
+			// Cumulative bucket counts are not part of the Snapshot key
+			// space; _sum/_count carry everything downstream consumers use.
+		case histogramPart(name, "_count", types):
+			v, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: bad histogram count %q in %q", valStr, line)
+			}
+			out[rekeyHistogram(key, name, "_count", ":count")] = v
+		case histogramPart(name, "_sum", types):
+			secs, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: bad histogram sum %q in %q", valStr, line)
+			}
+			out[rekeyHistogram(key, name, "_sum", ":sum_ns")] = int64(math.Round(secs * 1e9))
+		default:
+			return nil, fmt.Errorf("obs: sample %q has no preceding # TYPE", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// histogramPart reports whether name is `<family><suffix>` for a family
+// declared as a histogram.
+func histogramPart(name, suffix string, types map[string]string) bool {
+	base, ok := strings.CutSuffix(name, suffix)
+	return ok && types[base] == "histogram"
+}
+
+// rekeyHistogram converts `family_sum{labels}` into the Snapshot form
+// `family{labels}:sum_ns` (and likewise _count → :count).
+func rekeyHistogram(key, name, suffix, tag string) string {
+	family := strings.TrimSuffix(name, suffix)
+	labels := key[len(name):] // "{...}" or ""
+	return family + labels + tag
+}

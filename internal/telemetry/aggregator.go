@@ -1,0 +1,351 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/watch"
+)
+
+const (
+	// maxEvents caps the merged span-event store; past it the oldest
+	// events are dropped (span trees of long-gone transactions decay
+	// first, since the store is arrival-ordered).
+	maxEvents = 1 << 18
+	// maxTombstones caps the out-of-order bookkeeping of the federated
+	// staleness view; overflow clears the sets (worst case: a transient
+	// phantom in-flight entry, never unbounded memory).
+	maxTombstones = 1 << 16
+	// maxRecentTIDs caps how many distinct transactions are remembered
+	// for span-trace display, newest last.
+	maxRecentTIDs = 64
+)
+
+// procState is everything the aggregator knows about one publishing
+// process.
+type procState struct {
+	hello    Hello
+	seq      uint64 // highest frame sequence seen
+	frames   uint64 // frames received
+	gaps     uint64 // sequence discontinuities (lost frames or restarts)
+	dropped  uint64 // publisher-reported buffer-overflow drops
+	metrics  map[string]int64
+	phases   map[string]PhaseQuantiles
+	alerts   []watch.Alert
+	summary  watch.Summary
+	lastSeen time.Time
+}
+
+// edgeKey identifies one copy-graph propagation edge.
+type edgeKey struct {
+	From, To model.SiteID
+}
+
+// siteTID identifies one secondary subtransaction's arrival at a site.
+type siteTID struct {
+	Site model.SiteID
+	TID  model.TxnID
+}
+
+// Aggregator merges telemetry streams from N processes into one cluster
+// view: per-proc metrics re-keyed by site, a single merged span-event
+// stream (deterministic span lineage makes cross-process trees stitch
+// themselves — see trace.BuildSpanTrees), and a federated staleness
+// view replaying each process's forwarded/applied events, which no
+// single in-process watchdog can compute once the copy graph spans
+// processes.
+//
+// It is also a Sink (SendFrame ingests locally), so a single-process
+// deployment can wire Publisher→Aggregator→repltop with no sockets.
+type Aggregator struct {
+	mu    sync.Mutex
+	procs map[string]*procState
+
+	events   []trace.Event
+	evDrop   uint64 // events dropped by the maxEvents cap
+	recent   []model.TxnID
+	recentIn map[model.TxnID]bool
+
+	// Federated staleness: outstanding forwarded-but-unapplied
+	// subtransactions per edge, stamped with aggregator receipt time.
+	// Frames from different connections interleave arbitrarily, so an
+	// apply may be ingested before its forward: tombstones remember
+	// applies (and aborts) that arrived early.
+	inflight    map[edgeKey]map[model.TxnID]time.Time
+	appliedTomb map[siteTID]struct{}
+	abortedTomb map[model.TxnID]struct{}
+
+	// Rate bookkeeping for Snapshot.
+	lastSnapAt    time.Time
+	lastCommitted map[string]int64 // per protocol
+
+	start time.Time
+
+	ln          net.Listener
+	wg          sync.WaitGroup
+	closed      bool
+	activeConns int
+	totalConns  int
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		procs:       make(map[string]*procState),
+		recentIn:    make(map[model.TxnID]bool),
+		inflight:    make(map[edgeKey]map[model.TxnID]time.Time),
+		appliedTomb: make(map[siteTID]struct{}),
+		abortedTomb: make(map[model.TxnID]struct{}),
+		start:       time.Now(),
+	}
+}
+
+// Listen starts accepting publisher connections on addr (":0" picks a
+// port) and returns the bound address.
+func (a *Aggregator) Listen(addr string) (string, error) {
+	RegisterPayloads()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("telemetry: aggregator closed")
+	}
+	a.ln = ln
+	a.mu.Unlock()
+	a.wg.Add(1)
+	go a.accept(ln)
+	return ln.Addr().String(), nil
+}
+
+func (a *Aggregator) accept(ln net.Listener) {
+	defer a.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			c.Close()
+			return
+		}
+		a.activeConns++
+		a.totalConns++
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go a.serve(c)
+	}
+}
+
+func (a *Aggregator) serve(c net.Conn) {
+	defer a.wg.Done()
+	defer func() {
+		c.Close()
+		a.mu.Lock()
+		a.activeConns--
+		a.mu.Unlock()
+	}()
+	mr := comm.NewMsgReader(c)
+	for {
+		msg, err := mr.ReadMsg()
+		if err != nil {
+			return // clean close, peer death, or our own Close
+		}
+		if msg.Kind != MessageKind {
+			continue // foreign traffic; telemetry ports only speak telemetry
+		}
+		f, ok := msg.Payload.(Frame)
+		if !ok {
+			continue
+		}
+		a.Ingest(f)
+	}
+}
+
+// ConnCounts reports (active, total-ever) publisher connections —
+// repltop's -once mode exits once every publisher has connected and
+// disconnected.
+func (a *Aggregator) ConnCounts() (active, total int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.activeConns, a.totalConns
+}
+
+// SendFrame implements Sink for in-process wiring: the frame is
+// ingested directly, no wire involved.
+func (a *Aggregator) SendFrame(f Frame) error {
+	a.Ingest(f)
+	return nil
+}
+
+// Close stops the listener and drops all connections. Ingested state
+// remains readable.
+func (a *Aggregator) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	ln := a.ln
+	a.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Connections unblock because serve's reads fail once peers close;
+	// closing the listener stops new ones. Force the stragglers by
+	// waiting with the listener gone — publisher Stop closes its end.
+	a.wg.Wait()
+	return nil
+}
+
+// Ingest merges one frame into the cluster view. Safe for concurrent
+// use (each wire connection calls it from its own goroutine).
+func (a *Aggregator) Ingest(f Frame) {
+	if f.Proc == "" {
+		return
+	}
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ps := a.procs[f.Proc]
+	if ps == nil {
+		ps = &procState{metrics: make(map[string]int64)}
+		a.procs[f.Proc] = ps
+	}
+	ps.frames++
+	if f.Seq != ps.seq+1 && ps.seq != 0 && f.Seq > ps.seq+1 {
+		ps.gaps++
+	}
+	if f.Seq > ps.seq {
+		ps.seq = f.Seq
+	}
+	ps.lastSeen = now
+
+	switch f.Kind {
+	case FrameHello:
+		if f.Hello != nil {
+			ps.hello = *f.Hello
+		}
+	case FrameMetrics:
+		for k, v := range f.Metrics {
+			ps.metrics[k] = v // absolute values: replay-safe
+		}
+	case FrameSpans:
+		if f.Dropped > ps.dropped {
+			ps.dropped = f.Dropped
+		}
+		a.ingestEvents(f.Events, now)
+	case FramePhases:
+		ps.phases = f.Phases
+	case FrameAlerts:
+		if f.Alerts != nil {
+			ps.alerts = f.Alerts.Active
+			ps.summary = f.Alerts.Summary
+		}
+	}
+}
+
+// ingestEvents appends span events to the merged stream and replays
+// them into the federated staleness view. Caller holds a.mu.
+func (a *Aggregator) ingestEvents(events []trace.Event, now time.Time) {
+	for _, ev := range events {
+		a.events = append(a.events, ev)
+		if !ev.TID.Zero() && !a.recentIn[ev.TID] {
+			a.recentIn[ev.TID] = true
+			a.recent = append(a.recent, ev.TID)
+			if len(a.recent) > maxRecentTIDs {
+				delete(a.recentIn, a.recent[0])
+				a.recent = a.recent[1:]
+			}
+		}
+		a.federate(ev, now)
+	}
+	if len(a.events) > maxEvents {
+		over := len(a.events) - maxEvents
+		a.evDrop += uint64(over)
+		a.events = append([]trace.Event(nil), a.events[over:]...)
+	}
+}
+
+// federate mirrors watch.Watchdog.Ingest's outstanding bookkeeping, but
+// per edge, across processes, and tolerant of cross-connection
+// reordering (an apply can be ingested before its forward). Caller
+// holds a.mu.
+func (a *Aggregator) federate(ev trace.Event, now time.Time) {
+	switch ev.Kind {
+	case trace.SecondaryForwarded:
+		if ev.TID.Zero() {
+			return
+		}
+		if _, aborted := a.abortedTomb[ev.TID]; aborted {
+			return
+		}
+		key := siteTID{Site: ev.Peer, TID: ev.TID}
+		if _, done := a.appliedTomb[key]; done {
+			delete(a.appliedTomb, key)
+			return
+		}
+		e := edgeKey{From: ev.Site, To: ev.Peer}
+		m := a.inflight[e]
+		if m == nil {
+			m = make(map[model.TxnID]time.Time)
+			a.inflight[e] = m
+		}
+		m[ev.TID] = now
+	case trace.SecondaryApplied, trace.BackedgeCommit:
+		if ev.TID.Zero() {
+			return
+		}
+		found := false
+		for e, m := range a.inflight {
+			if e.To == ev.Site {
+				if _, ok := m[ev.TID]; ok {
+					delete(m, ev.TID)
+					found = true
+				}
+			}
+		}
+		if !found {
+			a.appliedTomb[siteTID{Site: ev.Site, TID: ev.TID}] = struct{}{}
+			if len(a.appliedTomb) > maxTombstones {
+				a.appliedTomb = make(map[siteTID]struct{})
+			}
+		}
+	case trace.TxnAbort:
+		if ev.TID.Zero() {
+			return
+		}
+		for _, m := range a.inflight {
+			delete(m, ev.TID)
+		}
+		a.abortedTomb[ev.TID] = struct{}{}
+		if len(a.abortedTomb) > maxTombstones {
+			a.abortedTomb = make(map[model.TxnID]struct{})
+		}
+	}
+}
+
+// Events returns a copy of the merged span-event stream, in arrival
+// order.
+func (a *Aggregator) Events() []trace.Event {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]trace.Event(nil), a.events...)
+}
+
+// SpanTrees reconstructs the cross-process span trees from the merged
+// stream.
+func (a *Aggregator) SpanTrees() map[model.TxnID]*trace.SpanTree {
+	return trace.BuildSpanTrees(a.Events())
+}

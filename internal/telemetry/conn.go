@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Conn is the wire Sink: one TCP connection from a publisher to an
+// aggregator, carrying telemetry envelopes in the comm message framing.
+// It is deliberately dumb — no buffering, no retry. A failed send means
+// the connection is dead; the Publisher closes it and redials on its
+// next cycle, resending full (non-delta) state.
+type Conn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *comm.MsgWriter
+}
+
+// Dial connects to an aggregator. proc is the publishing process's name,
+// stamped (via ChannelSpan) on every envelope this connection sends.
+func Dial(addr, proc string) (*Conn, error) {
+	RegisterPayloads()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: dial %s: %w", addr, err)
+	}
+	_ = proc // the name rides in each Frame; kept in the signature for future handshakes
+	return &Conn{c: c, w: comm.NewMsgWriter(c)}, nil
+}
+
+// SendFrame implements Sink: it writes one envelope to the wire.
+func (c *Conn) SendFrame(f Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c == nil {
+		return fmt.Errorf("telemetry: connection closed")
+	}
+	_ = c.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if _, err := c.w.WriteMsg(envelope(f)); err != nil {
+		return fmt.Errorf("telemetry: send %s frame: %w", f.Kind, err)
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c == nil {
+		return nil
+	}
+	err := c.c.Close()
+	c.c = nil
+	return err
+}

@@ -1,0 +1,377 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/watch"
+)
+
+// Options configures a Publisher. Exactly one of Addr and Sink selects
+// the destination.
+type Options struct {
+	// Proc is this process's stable name; it keys every aggregator-side
+	// series, so each publisher in a cluster needs a distinct one.
+	Proc string
+	// Addr, when set, is the aggregator's TCP address. The publisher
+	// owns the connection: it dials lazily, and after a send failure it
+	// redials on the next cycle and resends a full (non-delta) state.
+	Addr string
+	// Sink, when Addr is empty, receives frames directly — the in-proc
+	// path (an *Aggregator is itself a Sink). The publisher does not
+	// close a provided sink.
+	Sink Sink
+	// Interval is the publish period (default 250ms).
+	Interval time.Duration
+	// SpanBuffer caps the span-event ring between cycles (default 8192,
+	// negative disables event shipping). Overflow drops the oldest
+	// events and counts them, so a stalled aggregator degrades span
+	// federation, never the publishing process.
+	SpanBuffer int
+}
+
+// Sink consumes frames. Implementations: *Conn (wire) and *Aggregator
+// (in-proc).
+type Sink interface {
+	// SendFrame delivers one frame; its error means the frame (and, on
+	// the wire, possibly the connection) was lost.
+	SendFrame(f Frame) error
+	Close() error
+}
+
+// pubObs holds the publisher's own health series, registered into the
+// same registry it snapshots — so telemetry overhead and loss are
+// visible through the plane itself.
+type pubObs struct {
+	frames *obs.Counter // repl_telemetry_frames_total
+	errs   *obs.Counter // repl_telemetry_send_errors_total
+	drops  *obs.Counter // repl_telemetry_events_dropped_total
+}
+
+// Publisher streams one process's observability state: delta-encoded
+// registry snapshots, span-carrying trace events (install Ingest with
+// trace.Recorder.AddSink), phase-latency quantiles, and watchdog alerts.
+// Wire it with the Set* methods before Start; all methods are safe for
+// concurrent use.
+type Publisher struct {
+	opts Options
+
+	// pubMu serializes publish cycles (ticker vs. explicit Flush); mu
+	// guards the event ring and delta state and is never held across a
+	// send or a snapshot of another subsystem.
+	pubMu sync.Mutex
+	mu    sync.Mutex
+
+	reg    *obs.Registry
+	po     pubObs
+	wd     *watch.Watchdog
+	report func() metrics.Report
+	hello  Hello
+
+	buf      []trace.Event
+	bufStart int
+	bufN     int
+	dropped  uint64
+	last     map[string]int64
+	seq      uint64
+
+	sink  Sink // active destination; owned (closable) iff dialed from Addr
+	owned bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewPublisher returns a stopped publisher.
+func NewPublisher(o Options) (*Publisher, error) {
+	if o.Proc == "" {
+		return nil, fmt.Errorf("telemetry: Options.Proc is required")
+	}
+	if o.Addr == "" && o.Sink == nil {
+		return nil, fmt.Errorf("telemetry: one of Options.Addr or Options.Sink is required")
+	}
+	if o.Interval <= 0 {
+		o.Interval = 250 * time.Millisecond
+	}
+	if o.SpanBuffer == 0 {
+		o.SpanBuffer = 8192
+	}
+	p := &Publisher{opts: o, hello: Hello{Proc: o.Proc}}
+	if o.SpanBuffer > 0 {
+		p.buf = make([]trace.Event, o.SpanBuffer)
+	}
+	if o.Addr == "" {
+		p.sink = o.Sink
+	}
+	return p, nil
+}
+
+// SetObs installs the registry whose snapshots are delta-shipped; the
+// publisher registers its own repl_telemetry_* series into it.
+func (p *Publisher) SetObs(r *obs.Registry) {
+	if p == nil || r == nil {
+		return
+	}
+	p.mu.Lock()
+	p.reg = r
+	p.po = pubObs{
+		frames: r.Counter("repl_telemetry_frames_total"),
+		errs:   r.Counter("repl_telemetry_send_errors_total"),
+		drops:  r.Counter("repl_telemetry_events_dropped_total"),
+	}
+	p.mu.Unlock()
+}
+
+// SetWatch installs the watchdog whose alerts are shipped.
+func (p *Publisher) SetWatch(w *watch.Watchdog) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.wd = w
+	p.mu.Unlock()
+}
+
+// SetReport installs the probe supplying the process's metrics.Report,
+// from which the phase-latency quantiles are taken.
+func (p *Publisher) SetReport(fn func() metrics.Report) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.report = fn
+	p.mu.Unlock()
+}
+
+// Announce sets the protocol and hosted sites carried in every hello
+// frame.
+func (p *Publisher) Announce(protocol string, sites []model.SiteID) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.hello.Protocol = protocol
+	p.hello.Sites = append([]model.SiteID(nil), sites...)
+	p.mu.Unlock()
+}
+
+// Ingest buffers one span-carrying trace event for the next cycle.
+// Install it with rec.AddSink(p.Ingest) — alongside, not instead of, the
+// watchdog's sink. Span-less events (phase latencies, watchdog alerts)
+// are skipped: phases ship as quantiles and alerts as alert frames.
+func (p *Publisher) Ingest(ev trace.Event) {
+	if p == nil || ev.Span == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.buf != nil {
+		if p.bufN == len(p.buf) {
+			p.bufStart = (p.bufStart + 1) % len(p.buf)
+			p.bufN--
+			p.dropped++
+			p.po.drops.Inc()
+		}
+		p.buf[(p.bufStart+p.bufN)%len(p.buf)] = ev
+		p.bufN++
+	}
+	p.mu.Unlock()
+}
+
+// Start launches the periodic publish loop.
+func (p *Publisher) Start() {
+	if p == nil || p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop()
+}
+
+// Stop ends the loop, publishes one final cycle (so the last deltas and
+// span events reach the aggregator), and closes an owned connection.
+func (p *Publisher) Stop() {
+	if p == nil {
+		return
+	}
+	if p.stop != nil {
+		close(p.stop)
+		<-p.done
+		p.stop = nil
+	}
+	//lint:allow senderr final flush on shutdown: the error is already counted in repl_telemetry_send_errors_total
+	_ = p.Flush()
+	p.pubMu.Lock()
+	if p.owned && p.sink != nil {
+		p.sink.Close()
+		p.sink = nil
+	}
+	p.pubMu.Unlock()
+}
+
+func (p *Publisher) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			//lint:allow senderr periodic publish: the error is counted and the next tick redials
+			_ = p.Flush()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Flush runs one publish cycle synchronously: hello, metrics delta, span
+// batch, phase quantiles, alerts. On a send failure the cycle stops, the
+// owned connection is discarded (the next cycle redials), undelivered
+// state is retained, and the error is returned after being counted.
+func (p *Publisher) Flush() error {
+	if p == nil {
+		return nil
+	}
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+
+	// Gather subsystem state outside p.mu (the registry and watchdog
+	// have their own locks).
+	p.mu.Lock()
+	reg, wd, report := p.reg, p.wd, p.report
+	hello := p.hello
+	hello.Sites = append([]model.SiteID(nil), p.hello.Sites...)
+	p.mu.Unlock()
+
+	var cur map[string]int64
+	if reg != nil {
+		cur = reg.Snapshot()
+	}
+	var rep *metrics.Report
+	if report != nil {
+		r := report()
+		rep = &r
+	}
+	var alerts *AlertFrame
+	if wd != nil {
+		alerts = &AlertFrame{Active: wd.Active(), Summary: wd.Summarize()}
+	}
+
+	// Assemble the cycle's frames under p.mu.
+	p.mu.Lock()
+	frames := []Frame{{Kind: FrameHello, Hello: &hello}}
+	var delta map[string]int64
+	if cur != nil {
+		delta = make(map[string]int64, 8)
+		for k, v := range cur {
+			if old, ok := p.last[k]; !ok || old != v {
+				delta[k] = v
+			}
+		}
+		if len(delta) > 0 {
+			frames = append(frames, Frame{Kind: FrameMetrics, Metrics: delta})
+		}
+	}
+	var events []trace.Event
+	if p.bufN > 0 {
+		events = make([]trace.Event, 0, p.bufN)
+		for i := 0; i < p.bufN; i++ {
+			events = append(events, p.buf[(p.bufStart+i)%len(p.buf)])
+		}
+		p.bufN = 0
+		p.bufStart = 0
+		frames = append(frames, Frame{Kind: FrameSpans, Events: events, Dropped: p.dropped})
+	}
+	if rep != nil && len(rep.Phases) > 0 {
+		q := make(map[string]PhaseQuantiles, len(rep.Phases))
+		for name, ps := range rep.Phases {
+			q[name] = PhaseQuantiles{
+				Count:  ps.Count,
+				MeanUS: us(ps.Mean), P50US: us(ps.P50), P95US: us(ps.P95),
+				P99US: us(ps.P99), MaxUS: us(ps.Max),
+			}
+		}
+		frames = append(frames, Frame{Kind: FramePhases, Phases: q})
+	}
+	if alerts != nil {
+		frames = append(frames, Frame{Kind: FrameAlerts, Alerts: alerts})
+	}
+	for i := range frames {
+		p.seq++
+		frames[i].Proc = p.opts.Proc
+		frames[i].Seq = p.seq
+	}
+	po := p.po
+	p.mu.Unlock()
+
+	// Deliver outside both subsystem state and the ring lock.
+	sink, err := p.ensureSink()
+	if err == nil {
+		for _, f := range frames {
+			if err = sink.SendFrame(f); err != nil {
+				break
+			}
+			po.frames.Inc()
+		}
+	}
+
+	p.mu.Lock()
+	if err == nil {
+		if cur != nil {
+			p.last = cur
+		}
+	} else {
+		po.errs.Inc()
+		// Re-buffer the undelivered span events (newest survive if the
+		// ring overflows) and force a full metrics resync: p.last stays
+		// as acknowledged, so every since-changed series ships again.
+		p.mu.Unlock()
+		for _, ev := range events {
+			p.Ingest(ev)
+		}
+		p.mu.Lock()
+		p.dropSink()
+	}
+	p.mu.Unlock()
+	return err
+}
+
+// ensureSink returns the active sink, dialing the aggregator in Addr
+// mode when no connection is up.
+func (p *Publisher) ensureSink() (Sink, error) {
+	p.mu.Lock()
+	s := p.sink
+	p.mu.Unlock()
+	if s != nil {
+		return s, nil
+	}
+	c, err := Dial(p.opts.Addr, p.opts.Proc)
+	if err != nil {
+		p.mu.Lock()
+		p.po.errs.Inc()
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.mu.Lock()
+	p.sink, p.owned = c, true
+	// A fresh connection means a possibly fresh aggregator: resend the
+	// whole registry, not a delta against state the old connection saw.
+	p.last = nil
+	p.mu.Unlock()
+	return c, nil
+}
+
+// dropSink discards a broken owned connection; caller holds p.mu.
+func (p *Publisher) dropSink() {
+	if p.owned && p.sink != nil {
+		p.sink.Close()
+		p.sink = nil
+		p.owned = false
+	}
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }

@@ -1,0 +1,416 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/watch"
+)
+
+// ProcInfo summarizes one publishing process in a ClusterSnapshot.
+type ProcInfo struct {
+	Proc     string         `json:"proc"`
+	Protocol string         `json:"protocol"`
+	Sites    []model.SiteID `json:"sites"`
+	Frames   uint64         `json:"frames"`
+	Gaps     uint64         `json:"gaps,omitempty"`
+	Dropped  uint64         `json:"dropped_events,omitempty"`
+	AgeMS    int64          `json:"age_ms"`
+}
+
+// ProtocolStat is per-protocol cluster throughput.
+type ProtocolStat struct {
+	Protocol  string `json:"protocol"`
+	Committed int64  `json:"committed"`
+	Aborted   int64  `json:"aborted"`
+	// CommitPerSec is the commit rate over the interval since the
+	// previous Snapshot call (since aggregator start on the first).
+	CommitPerSec float64 `json:"commit_per_sec"`
+}
+
+// SiteRow is one site's merged view, re-keyed from its hosting
+// process's metrics.
+type SiteRow struct {
+	Site              model.SiteID `json:"site"`
+	Proc              string       `json:"proc"`
+	Protocol          string       `json:"protocol"`
+	Committed         int64        `json:"committed"`
+	Aborted           int64        `json:"aborted"`
+	Applied           int64        `json:"applied"`
+	Forwarded         int64        `json:"forwarded"`
+	RemoteReads       int64        `json:"remote_reads,omitempty"`
+	QueueDepth        int64        `json:"queue_depth"`
+	VersionLag        int64        `json:"version_lag"`
+	OldestUnappliedMS int64        `json:"oldest_unapplied_ms"`
+}
+
+// EdgeRow is one copy-graph edge's federated in-flight state.
+type EdgeRow struct {
+	From     model.SiteID `json:"from"`
+	To       model.SiteID `json:"to"`
+	InFlight int          `json:"in_flight"`
+	OldestMS int64        `json:"oldest_ms"`
+}
+
+// ProcAlert attributes a watchdog alert to its reporting process.
+type ProcAlert struct {
+	Proc  string      `json:"proc"`
+	Alert watch.Alert `json:"alert"`
+}
+
+// SpanRender is one transaction's reconstructed cross-process span
+// tree, rendered byte-stably (trace.SpanTree.Structure).
+type SpanRender struct {
+	TID       string `json:"tid"`
+	Structure string `json:"structure"`
+}
+
+// ClusterSnapshot is the aggregator's point-in-time cluster view — the
+// document repltop renders (and emits verbatim with -json).
+type ClusterSnapshot struct {
+	Procs          []ProcInfo                `json:"procs"`
+	Protocols      []ProtocolStat            `json:"protocols"`
+	Sites          []SiteRow                 `json:"sites"`
+	Edges          []EdgeRow                 `json:"edges,omitempty"`
+	Phases         map[string]PhaseQuantiles `json:"phases,omitempty"`
+	Alerts         []ProcAlert               `json:"alerts,omitempty"`
+	MaxStalenessMS int64                     `json:"max_staleness_ms"`
+	SpanTrees      int                       `json:"span_trees"`
+	SpanProblems   int                       `json:"span_problems"`
+	RecentSpans    []SpanRender              `json:"recent_spans,omitempty"`
+}
+
+// Snapshot computes the current cluster view. Commit rates are measured
+// between consecutive Snapshot calls, so a renderer polling at a fixed
+// interval sees interval rates.
+func (a *Aggregator) Snapshot() ClusterSnapshot {
+	now := time.Now()
+	a.mu.Lock()
+
+	var snap ClusterSnapshot
+
+	// Per-proc rollup plus per-site re-keying of each proc's metrics.
+	// Hello announcements own site attribution: a watchdog observes its
+	// *peers* too (repl_watch_version_lag{site=peer}), so a site-labeled
+	// series alone does not prove the proc hosts the site. Procs are
+	// walked in name order so unannounced sites attribute
+	// deterministically.
+	procNames := make([]string, 0, len(a.procs))
+	for proc := range a.procs {
+		procNames = append(procNames, proc)
+	}
+	sort.Strings(procNames)
+	owner := make(map[model.SiteID]string)
+	for _, proc := range procNames {
+		for _, s := range a.procs[proc].hello.Sites {
+			if _, taken := owner[s]; !taken {
+				owner[s] = proc
+			}
+		}
+	}
+
+	sites := make(map[model.SiteID]*SiteRow)
+	committedByProto := make(map[string]int64)
+	abortedByProto := make(map[string]int64)
+	phases := make(map[string]PhaseQuantiles)
+	for _, proc := range procNames {
+		ps := a.procs[proc]
+		info := ProcInfo{
+			Proc:     proc,
+			Protocol: ps.hello.Protocol,
+			Sites:    append([]model.SiteID(nil), ps.hello.Sites...),
+			Frames:   ps.frames,
+			Gaps:     ps.gaps,
+			Dropped:  ps.dropped,
+			AgeMS:    now.Sub(ps.lastSeen).Milliseconds(),
+		}
+		sort.Slice(info.Sites, func(i, j int) bool { return info.Sites[i] < info.Sites[j] })
+		snap.Procs = append(snap.Procs, info)
+
+		row := func(site model.SiteID) *SiteRow {
+			r := sites[site]
+			if r == nil {
+				rowProc, rowProto := proc, ps.hello.Protocol
+				if own, ok := owner[site]; ok {
+					rowProc, rowProto = own, a.procs[own].hello.Protocol
+				}
+				r = &SiteRow{Site: site, Proc: rowProc, Protocol: rowProto}
+				sites[site] = r
+			}
+			return r
+		}
+		for _, s := range ps.hello.Sites {
+			row(s)
+		}
+		for key, v := range ps.metrics {
+			family, labels := parseSeries(key)
+			siteLabel, ok := labels["site"]
+			if !ok {
+				continue
+			}
+			n, err := strconv.Atoi(siteLabel)
+			if err != nil {
+				continue
+			}
+			r := row(model.SiteID(n))
+			// Only the hosting proc's engine counters fill a row's
+			// activity columns; the watch gauges merge as max across
+			// observers (a site is as stale as anyone can see it is).
+			hosts := r.Proc == proc
+			switch family {
+			case "repl_txn_committed_total":
+				if hosts {
+					r.Committed = v
+					committedByProto[r.Protocol] += v
+				}
+			case "repl_txn_aborted_total":
+				if hosts {
+					r.Aborted = v
+					abortedByProto[r.Protocol] += v
+				}
+			case "repl_secondary_applied_total":
+				if hosts {
+					r.Applied = v
+				}
+			case "repl_secondary_forwarded_total":
+				if hosts {
+					r.Forwarded = v
+				}
+			case "repl_remote_reads_total":
+				if hosts {
+					r.RemoteReads = v
+				}
+			case "repl_queue_depth":
+				if hosts {
+					r.QueueDepth += v
+				}
+			case "repl_watch_version_lag":
+				if v > r.VersionLag {
+					r.VersionLag = v
+				}
+			case "repl_watch_oldest_unapplied_ms":
+				if v > r.OldestUnappliedMS {
+					r.OldestUnappliedMS = v
+				}
+			}
+		}
+
+		// Phase heat merges pessimistically: counts sum, quantiles take
+		// the cluster max — a hot phase anywhere shows hot.
+		for name, q := range ps.phases {
+			m := phases[name]
+			m.Count += q.Count
+			m.MeanUS = maxf(m.MeanUS, q.MeanUS)
+			m.P50US = maxf(m.P50US, q.P50US)
+			m.P95US = maxf(m.P95US, q.P95US)
+			m.P99US = maxf(m.P99US, q.P99US)
+			m.MaxUS = maxf(m.MaxUS, q.MaxUS)
+			phases[name] = m
+		}
+		for _, al := range ps.alerts {
+			snap.Alerts = append(snap.Alerts, ProcAlert{Proc: proc, Alert: al})
+		}
+		if ps.summary.MaxStalenessMs > snap.MaxStalenessMS {
+			snap.MaxStalenessMS = ps.summary.MaxStalenessMs
+		}
+	}
+	if len(phases) > 0 {
+		snap.Phases = phases
+	}
+
+	// Protocol throughput: interval commit rate between snapshots.
+	elapsed := now.Sub(a.lastSnapAt)
+	if a.lastSnapAt.IsZero() {
+		elapsed = now.Sub(a.start)
+	}
+	if a.lastCommitted == nil {
+		a.lastCommitted = make(map[string]int64)
+	}
+	for proto, committed := range committedByProto {
+		rate := 0.0
+		if secs := elapsed.Seconds(); secs > 0 {
+			rate = float64(committed-a.lastCommitted[proto]) / secs
+		}
+		snap.Protocols = append(snap.Protocols, ProtocolStat{
+			Protocol:     proto,
+			Committed:    committed,
+			Aborted:      abortedByProto[proto],
+			CommitPerSec: rate,
+		})
+		a.lastCommitted[proto] = committed
+	}
+	a.lastSnapAt = now
+
+	// Federated edges and the staleness they imply.
+	for e, m := range a.inflight {
+		if len(m) == 0 {
+			continue
+		}
+		row := EdgeRow{From: e.From, To: e.To, InFlight: len(m)}
+		for _, since := range m {
+			if age := now.Sub(since).Milliseconds(); age > row.OldestMS {
+				row.OldestMS = age
+			}
+		}
+		if row.OldestMS > snap.MaxStalenessMS {
+			snap.MaxStalenessMS = row.OldestMS
+		}
+		snap.Edges = append(snap.Edges, row)
+	}
+
+	events := append([]trace.Event(nil), a.events...)
+	recent := append([]model.TxnID(nil), a.recent...)
+	a.mu.Unlock()
+
+	// Deterministic ordering everywhere a map fed the slice.
+	sort.Slice(snap.Procs, func(i, j int) bool { return snap.Procs[i].Proc < snap.Procs[j].Proc })
+	sort.Slice(snap.Protocols, func(i, j int) bool { return snap.Protocols[i].Protocol < snap.Protocols[j].Protocol })
+	for _, r := range sortedSiteIDs(sites) {
+		snap.Sites = append(snap.Sites, *sites[r])
+	}
+	sort.Slice(snap.Edges, func(i, j int) bool {
+		if snap.Edges[i].From != snap.Edges[j].From {
+			return snap.Edges[i].From < snap.Edges[j].From
+		}
+		return snap.Edges[i].To < snap.Edges[j].To
+	})
+	sort.Slice(snap.Alerts, func(i, j int) bool {
+		if snap.Alerts[i].Proc != snap.Alerts[j].Proc {
+			return snap.Alerts[i].Proc < snap.Alerts[j].Proc
+		}
+		return snap.Alerts[i].Alert.Raised.Before(snap.Alerts[j].Alert.Raised)
+	})
+
+	// Span federation: rebuild trees outside the lock (Build is O(events)).
+	trees := trace.BuildSpanTrees(events)
+	snap.SpanTrees = len(trees)
+	snap.SpanProblems = len(trace.VerifySpans(events))
+	const showSpans = 8
+	startIdx := len(recent) - showSpans
+	if startIdx < 0 {
+		startIdx = 0
+	}
+	for _, tid := range recent[startIdx:] {
+		t, ok := trees[tid]
+		if !ok {
+			continue
+		}
+		snap.RecentSpans = append(snap.RecentSpans, SpanRender{
+			TID:       fmt.Sprintf("s%d.%d", tid.Site, tid.Seq),
+			Structure: t.Structure(),
+		})
+	}
+	return snap
+}
+
+// Render writes the snapshot as the fixed-width text console repltop
+// displays.
+func (s *ClusterSnapshot) Render(w io.Writer) {
+	fmt.Fprintf(w, "cluster telemetry — %d proc(s), %d site(s), max staleness %dms\n",
+		len(s.Procs), len(s.Sites), s.MaxStalenessMS)
+
+	if len(s.Procs) > 0 {
+		fmt.Fprintf(w, "\n%-12s %-10s %-14s %8s %6s %8s %7s\n",
+			"PROC", "PROTOCOL", "SITES", "FRAMES", "GAPS", "DROPPED", "AGE")
+		for _, p := range s.Procs {
+			fmt.Fprintf(w, "%-12s %-10s %-14s %8d %6d %8d %6dms\n",
+				p.Proc, p.Protocol, siteList(p.Sites), p.Frames, p.Gaps, p.Dropped, p.AgeMS)
+		}
+	}
+
+	if len(s.Protocols) > 0 {
+		fmt.Fprintf(w, "\n%-10s %10s %8s %12s\n", "PROTOCOL", "COMMITTED", "ABORTED", "COMMIT/S")
+		for _, p := range s.Protocols {
+			fmt.Fprintf(w, "%-10s %10d %8d %12.1f\n", p.Protocol, p.Committed, p.Aborted, p.CommitPerSec)
+		}
+	}
+
+	if len(s.Sites) > 0 {
+		fmt.Fprintf(w, "\n%-5s %-12s %9s %7s %8s %9s %7s %6s %10s\n",
+			"SITE", "PROC", "COMMITTED", "ABORTED", "APPLIED", "FORWARDED", "QUEUED", "LAG", "OLDEST")
+		for _, r := range s.Sites {
+			fmt.Fprintf(w, "s%-4d %-12s %9d %7d %8d %9d %7d %6d %8dms\n",
+				r.Site, r.Proc, r.Committed, r.Aborted, r.Applied, r.Forwarded,
+				r.QueueDepth, r.VersionLag, r.OldestUnappliedMS)
+		}
+	}
+
+	if len(s.Edges) > 0 {
+		fmt.Fprintf(w, "\n%-10s %9s %10s\n", "EDGE", "IN-FLIGHT", "OLDEST")
+		for _, e := range s.Edges {
+			fmt.Fprintf(w, "s%d -> s%-3d %9d %8dms\n", e.From, e.To, e.InFlight, e.OldestMS)
+		}
+	}
+
+	if len(s.Phases) > 0 {
+		names := make([]string, 0, len(s.Phases))
+		for n := range s.Phases {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "\n%-14s %10s %10s %10s %10s %10s\n",
+			"PHASE", "COUNT", "MEAN", "P95", "P99", "MAX")
+		for _, n := range names {
+			q := s.Phases[n]
+			fmt.Fprintf(w, "%-14s %10d %9.0fµ %9.0fµ %9.0fµ %9.0fµ\n",
+				n, q.Count, q.MeanUS, q.P95US, q.P99US, q.MaxUS)
+		}
+	}
+
+	fmt.Fprintf(w, "\nspans: %d tree(s), %d problem(s)\n", s.SpanTrees, s.SpanProblems)
+	if len(s.Alerts) > 0 {
+		fmt.Fprintf(w, "\nALERTS\n")
+		for _, pa := range s.Alerts {
+			fmt.Fprintf(w, "  [%s] %s site=s%d peer=s%d age=%s %s\n",
+				pa.Proc, pa.Alert.Kind, pa.Alert.Site, pa.Alert.Peer,
+				pa.Alert.Age.Truncate(time.Millisecond), pa.Alert.Detail)
+		}
+	}
+	if len(s.RecentSpans) > 0 {
+		fmt.Fprintf(w, "\nRECENT SPANS\n")
+		for _, sp := range s.RecentSpans {
+			fmt.Fprintf(w, "  txn %s\n", sp.TID)
+			for _, line := range splitLines(sp.Structure) {
+				fmt.Fprintf(w, "    %s\n", line)
+			}
+		}
+	}
+}
+
+func siteList(sites []model.SiteID) string {
+	out := ""
+	for i, s := range sites {
+		if i > 0 {
+			out += ","
+		}
+		out += "s" + strconv.Itoa(int(s))
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

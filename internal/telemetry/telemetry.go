@@ -1,0 +1,213 @@
+// Package telemetry is the cluster telemetry plane (docs/OBSERVABILITY.md):
+// the instrument that makes a multi-process deployment observable as one
+// cluster. Every observability layer built so far — the trace recorder,
+// the live obs registry, the watchdog — sees a single address space, but
+// the paper's deployment model (§5: one DataBlitz process per site) and
+// the ROADMAP's sharded-copy-graph runs host sites across N processes,
+// where no process can answer "which replica is stale and why".
+//
+// The plane has two halves:
+//
+//   - a Publisher embedded in each process, streaming delta-encoded
+//     registry snapshots, span-carrying trace events, phase-latency
+//     quantiles, and watchdog alerts as Frames;
+//   - an Aggregator merging the streams: it re-keys per-site series,
+//     stitches cross-process span trees back together (deterministic
+//     SpanID lineage means merging the raw event streams suffices —
+//     trace.BuildSpanTrees needs no per-process namespace), and runs a
+//     federated staleness view no single watchdog can compute.
+//
+// Frames travel inside the same gob comm.Message framing the protocol
+// sockets use (comm.MsgWriter/MsgReader), on dedicated connections, with
+// MessageKind and a fixed auxiliary span context marking the traffic as
+// telemetry rather than protocol work.
+package telemetry
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/watch"
+)
+
+// MessageKind is the comm.Message.Kind of telemetry envelopes. Protocol
+// engines allocate small positive kinds; this sits far outside their
+// range so a telemetry frame that strays onto a protocol connection is
+// recognizably foreign.
+const MessageKind = 0x7e1e
+
+// channelSpanSalt roots the auxiliary span ids that mark telemetry
+// traffic (see ChannelSpan).
+const channelSpanSalt = 0x7e1e7e1e
+
+// ChannelSpan returns the span context stamped on every telemetry
+// envelope a process sends: a fixed auxiliary span derived from the
+// process name, with no transaction attached. It exists so telemetry
+// traffic is distinguishable from protocol traffic anywhere a
+// comm.Message is observed; the zero TID keeps these spans out of every
+// span tree (trace.BuildSpanTrees ignores zero-TID events).
+func ChannelSpan(proc string) model.SpanContext {
+	h := fnv.New64a()
+	h.Write([]byte(proc))
+	return model.SpanContext{Parent: model.AuxSpan(model.SpanID(channelSpanSalt), h.Sum64())}
+}
+
+// FrameKind discriminates the telemetry frame payloads.
+type FrameKind uint8
+
+const (
+	// FrameHello announces the publishing process: its name, protocol,
+	// and hosted sites. Sent first and then re-sent every cycle — it is
+	// idempotent, so an aggregator that joins (or a connection that
+	// re-establishes) mid-run self-heals without a handshake.
+	FrameHello FrameKind = iota + 1
+	// FrameMetrics carries a delta-encoded registry snapshot: only the
+	// series that changed since the last acknowledged-sent frame, each
+	// with its absolute value (not an increment), so a lost or replayed
+	// frame can never corrupt aggregator state.
+	FrameMetrics
+	// FrameSpans batches span-carrying trace events for cross-process
+	// span-tree federation and the aggregator's staleness bookkeeping.
+	FrameSpans
+	// FramePhases carries the per-phase latency quantiles of the
+	// process's metrics.Report.
+	FramePhases
+	// FrameAlerts carries the process watchdog's active alerts and its
+	// running summary.
+	FrameAlerts
+
+	frameKindEnd
+)
+
+var frameKindNames = [frameKindEnd]string{
+	FrameHello:   "hello",
+	FrameMetrics: "metrics",
+	FrameSpans:   "spans",
+	FramePhases:  "phases",
+	FrameAlerts:  "alerts",
+}
+
+func (k FrameKind) String() string {
+	if k > 0 && k < frameKindEnd {
+		return frameKindNames[k]
+	}
+	return fmt.Sprintf("FrameKind(%d)", uint8(k))
+}
+
+// Hello identifies a publishing process.
+type Hello struct {
+	// Proc is the process's stable display name (replnode uses
+	// "site<N>"); it keys all aggregator state, so two publishers must
+	// not share one.
+	Proc string
+	// Protocol is the engine protocol the process runs.
+	Protocol string
+	// Sites are the site ids hosted by the process.
+	Sites []model.SiteID
+}
+
+// PhaseQuantiles is one phase's latency summary in microseconds,
+// mirroring metrics.PhaseStats in a wire-friendly flat form.
+type PhaseQuantiles struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// AlertFrame is one process's watchdog state.
+type AlertFrame struct {
+	Active  []watch.Alert
+	Summary watch.Summary
+}
+
+// Frame is one telemetry message. Exactly the field selected by Kind is
+// populated; the rest stay zero (gob omits them cheaply).
+type Frame struct {
+	// Proc names the publishing process (matches Hello.Proc).
+	Proc string
+	// Seq increments per frame sent by the publisher, so gaps are
+	// observable downstream.
+	Seq  uint64
+	Kind FrameKind
+
+	Hello *Hello // FrameHello
+	// Metrics holds changed series with absolute values (FrameMetrics),
+	// keyed by the obs.Registry.Snapshot rendering.
+	Metrics map[string]int64
+	// Events are span-carrying trace events (FrameSpans); Dropped is the
+	// cumulative count of events lost to publisher buffer overflow.
+	Events  []trace.Event
+	Dropped uint64
+	// Phases maps metrics.Phase names to quantiles (FramePhases).
+	Phases map[string]PhaseQuantiles
+	Alerts *AlertFrame // FrameAlerts
+}
+
+var registerOnce sync.Once
+
+// RegisterPayloads registers the telemetry frame types for gob encoding.
+// Called by every wire endpoint (Dial, Listen); safe to call repeatedly.
+func RegisterPayloads() {
+	registerOnce.Do(func() {
+		comm.RegisterPayload(Frame{})
+	})
+}
+
+// envelope wraps a frame for the wire. Telemetry connections are not
+// site-to-site edges, so both endpoints are NoSite.
+func envelope(f Frame) comm.Message {
+	return comm.Message{
+		From:    model.NoSite,
+		To:      model.NoSite,
+		Kind:    MessageKind,
+		Span:    ChannelSpan(f.Proc),
+		Payload: f,
+	}
+}
+
+// parseSeries splits a rendered series key (`family{k="v",...}`, the
+// obs.Registry.Snapshot form) into its family and labels. Keys without
+// labels return an empty map; the `:count`/`:sum_ns` histogram suffixes
+// stay attached to the family.
+func parseSeries(key string) (family string, labels map[string]string) {
+	labels = map[string]string{}
+	open := strings.IndexByte(key, '{')
+	if open < 0 {
+		return key, labels
+	}
+	close := strings.LastIndexByte(key, '}')
+	if close < open {
+		return key, labels
+	}
+	family = key[:open] + key[close+1:]
+	for _, part := range strings.Split(key[open+1:close], ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		if u, err := strconv.Unquote(v); err == nil {
+			labels[k] = u
+		}
+	}
+	return family, labels
+}
+
+// sortedSiteIDs returns m's keys ascending.
+func sortedSiteIDs[V any](m map[model.SiteID]V) []model.SiteID {
+	out := make([]model.SiteID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

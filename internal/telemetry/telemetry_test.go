@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func TestChannelSpanStableAndDistinct(t *testing.T) {
+	a1 := ChannelSpan("proc-a")
+	a2 := ChannelSpan("proc-a")
+	b := ChannelSpan("proc-b")
+	if a1 != a2 {
+		t.Fatalf("ChannelSpan not deterministic: %+v vs %+v", a1, a2)
+	}
+	if a1 == b {
+		t.Fatalf("ChannelSpan collision between distinct procs")
+	}
+	if !a1.TID.Zero() {
+		t.Fatalf("ChannelSpan must carry no transaction, got TID %+v", a1.TID)
+	}
+	if a1.Parent == 0 {
+		t.Fatalf("ChannelSpan parent must be nonzero")
+	}
+}
+
+func TestFrameKindString(t *testing.T) {
+	for k, want := range map[FrameKind]string{
+		FrameHello: "hello", FrameMetrics: "metrics", FrameSpans: "spans",
+		FramePhases: "phases", FrameAlerts: "alerts",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("FrameKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := FrameKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind renders as %q", got)
+	}
+}
+
+func TestParseSeries(t *testing.T) {
+	cases := []struct {
+		key    string
+		family string
+		labels map[string]string
+	}{
+		{"repl_txn_committed_total", "repl_txn_committed_total", map[string]string{}},
+		{`repl_txn_committed_total{site="3"}`, "repl_txn_committed_total", map[string]string{"site": "3"}},
+		{`repl_comm_bytes_total{from="0",to="1"}`, "repl_comm_bytes_total", map[string]string{"from": "0", "to": "1"}},
+		{`repl_apply_seconds{site="2"}:count`, "repl_apply_seconds:count", map[string]string{"site": "2"}},
+	}
+	for _, c := range cases {
+		fam, labels := parseSeries(c.key)
+		if fam != c.family {
+			t.Errorf("parseSeries(%q) family = %q, want %q", c.key, fam, c.family)
+		}
+		if len(labels) != len(c.labels) {
+			t.Errorf("parseSeries(%q) labels = %v, want %v", c.key, labels, c.labels)
+			continue
+		}
+		for k, v := range c.labels {
+			if labels[k] != v {
+				t.Errorf("parseSeries(%q) label %s = %q, want %q", c.key, k, labels[k], v)
+			}
+		}
+	}
+}
+
+// TestPublisherDeltaEncoding drives a publisher into an in-proc
+// aggregator and checks the metrics frames are true deltas with
+// absolute values.
+func TestPublisherDeltaEncoding(t *testing.T) {
+	agg := NewAggregator()
+	p, err := NewPublisher(Options{Proc: "p1", Sink: agg, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	p.SetObs(reg)
+	p.Announce("dagwt", []model.SiteID{0, 1})
+
+	c := reg.Counter("repl_txn_committed_total", obs.Label{Key: "site", Value: "0"})
+	c.Inc()
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush 1: %v", err)
+	}
+	snap := agg.Snapshot()
+	if len(snap.Sites) != 2 {
+		t.Fatalf("sites = %+v, want 2 rows (announced 0,1)", snap.Sites)
+	}
+	if snap.Sites[0].Committed != 1 {
+		t.Fatalf("site 0 committed = %d, want 1", snap.Sites[0].Committed)
+	}
+
+	// A quiet cycle must not resend the unchanged series.
+	framesBefore := agg.procs["p1"].frames
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush 2: %v", err)
+	}
+	// hello always ships; metrics shipped only repl_telemetry_frames_total
+	// (the publisher's own counters moved). The committed series must not
+	// be among the delta.
+	agg.mu.Lock()
+	got := agg.procs["p1"].frames - framesBefore
+	agg.mu.Unlock()
+	if got > 2 {
+		t.Fatalf("quiet cycle sent %d frames, want <=2 (hello + own-counter delta)", got)
+	}
+
+	c.Add(4)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush 3: %v", err)
+	}
+	if s := agg.Snapshot(); s.Sites[0].Committed != 5 {
+		t.Fatalf("after delta, committed = %d, want 5 (absolute value)", s.Sites[0].Committed)
+	}
+}
+
+// TestPublisherSpanRing checks overflow drops oldest and counts drops.
+func TestPublisherSpanRing(t *testing.T) {
+	agg := NewAggregator()
+	p, err := NewPublisher(Options{Proc: "p1", Sink: agg, Interval: time.Hour, SpanBuffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		tid := model.TxnID{Site: 0, Seq: uint64(i + 1)}
+		p.Ingest(trace.Event{
+			Kind: trace.TxnCommit, Site: 0, Peer: model.NoSite, TID: tid,
+			Span: model.RootSpan(tid),
+		})
+	}
+	// Span-less events must be filtered out, not buffered.
+	p.Ingest(trace.Event{Kind: trace.PhaseLatency, Site: 0, Phase: "apply"})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs := agg.Events()
+	if len(evs) != 4 {
+		t.Fatalf("aggregator holds %d events, want 4 (ring size)", len(evs))
+	}
+	if evs[0].TID.Seq != 3 || evs[3].TID.Seq != 6 {
+		t.Fatalf("ring kept seqs %d..%d, want newest 3..6", evs[0].TID.Seq, evs[3].TID.Seq)
+	}
+	agg.mu.Lock()
+	dropped := agg.procs["p1"].dropped
+	agg.mu.Unlock()
+	if dropped != 2 {
+		t.Fatalf("reported drops = %d, want 2", dropped)
+	}
+}
+
+// TestFederationReordering checks the aggregator's staleness view
+// tolerates applies arriving before their forwards (cross-connection
+// interleaving) and aborts clearing in-flight state.
+func TestFederationReordering(t *testing.T) {
+	agg := NewAggregator()
+	tid := model.TxnID{Site: 0, Seq: 1}
+	fwd := trace.Event{Kind: trace.SecondaryForwarded, Site: 0, Peer: 1, TID: tid, Span: model.RootSpan(tid)}
+	app := trace.Event{Kind: trace.SecondaryApplied, Site: 1, Peer: 0, TID: tid, Span: model.RootSpan(tid)}
+
+	// In-order: forward then apply leaves nothing in flight.
+	agg.Ingest(Frame{Proc: "a", Seq: 1, Kind: FrameSpans, Events: []trace.Event{fwd}})
+	if s := agg.Snapshot(); len(s.Edges) != 1 || s.Edges[0].InFlight != 1 {
+		t.Fatalf("after forward: edges = %+v, want one edge with 1 in flight", s.Edges)
+	}
+	agg.Ingest(Frame{Proc: "b", Seq: 1, Kind: FrameSpans, Events: []trace.Event{app}})
+	if s := agg.Snapshot(); len(s.Edges) != 0 {
+		t.Fatalf("after apply: edges = %+v, want none", s.Edges)
+	}
+
+	// Reordered: apply (from proc b's stream) before forward.
+	tid2 := model.TxnID{Site: 0, Seq: 2}
+	fwd2, app2 := fwd, app
+	fwd2.TID, app2.TID = tid2, tid2
+	fwd2.Span, app2.Span = model.RootSpan(tid2), model.RootSpan(tid2)
+	agg.Ingest(Frame{Proc: "b", Seq: 2, Kind: FrameSpans, Events: []trace.Event{app2}})
+	agg.Ingest(Frame{Proc: "a", Seq: 2, Kind: FrameSpans, Events: []trace.Event{fwd2}})
+	if s := agg.Snapshot(); len(s.Edges) != 0 {
+		t.Fatalf("reordered apply+forward left edges %+v, want none", s.Edges)
+	}
+
+	// Abort clears everything for the transaction, in either order.
+	tid3 := model.TxnID{Site: 0, Seq: 3}
+	fwd3 := fwd
+	fwd3.TID, fwd3.Span = tid3, model.RootSpan(tid3)
+	abort := trace.Event{Kind: trace.TxnAbort, Site: 0, Peer: model.NoSite, TID: tid3, Span: model.RootSpan(tid3)}
+	agg.Ingest(Frame{Proc: "a", Seq: 3, Kind: FrameSpans, Events: []trace.Event{fwd3, abort}})
+	if s := agg.Snapshot(); len(s.Edges) != 0 {
+		t.Fatalf("abort left edges %+v, want none", s.Edges)
+	}
+}
+
+// TestWireRoundTrip runs a publisher over a real TCP connection into a
+// listening aggregator.
+func TestWireRoundTrip(t *testing.T) {
+	agg := NewAggregator()
+	addr, err := agg.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	p, err := NewPublisher(Options{Proc: "wire1", Addr: addr, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	p.SetObs(reg)
+	p.Announce("psl", []model.SiteID{2})
+	reg.Counter("repl_txn_committed_total", obs.Label{Key: "site", Value: "2"}).Add(7)
+
+	tid := model.TxnID{Site: 2, Seq: 1}
+	p.Ingest(trace.Event{Kind: trace.TxnCommit, Site: 2, Peer: model.NoSite, TID: tid, Span: model.RootSpan(tid)})
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush over wire: %v", err)
+	}
+	p.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := agg.Snapshot()
+		if len(s.Sites) == 1 && s.Sites[0].Committed == 7 && len(agg.Events()) == 1 {
+			if s.Sites[0].Proc != "wire1" || s.Sites[0].Protocol != "psl" {
+				t.Fatalf("site row %+v, want proc wire1 protocol psl", s.Sites[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("aggregator never converged: %+v events=%d", s, len(agg.Events()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSnapshotRender smoke-checks the text console rendering.
+func TestSnapshotRender(t *testing.T) {
+	agg := NewAggregator()
+	agg.Ingest(Frame{Proc: "a", Seq: 1, Kind: FrameHello, Hello: &Hello{Proc: "a", Protocol: "dagt", Sites: []model.SiteID{0}}})
+	agg.Ingest(Frame{Proc: "a", Seq: 2, Kind: FrameMetrics, Metrics: map[string]int64{
+		`repl_txn_committed_total{site="0"}`: 11,
+	}})
+	var sb strings.Builder
+	s := agg.Snapshot()
+	s.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"dagt", "s0", "11", "PROTOCOL", "SITE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
@@ -224,8 +225,12 @@ type shard struct {
 // methods are safe for concurrent use; a nil *Recorder is a valid no-op
 // sink whose Record costs one branch and never allocates.
 type Recorder struct {
-	start  time.Time
-	sink   func(Event)
+	start time.Time
+	// sinks is a copy-on-write slice behind an atomic pointer, so the
+	// record path reads it with one load and registration is safe even
+	// while traffic flows; sinkMu serializes registrations only.
+	sinks  atomic.Pointer[[]func(Event)]
+	sinkMu sync.Mutex
 	shards [shardCount]shard
 }
 
@@ -233,15 +238,50 @@ type Recorder struct {
 // point of every event timestamp.
 func NewRecorder() *Recorder { return &Recorder{start: time.Now()} }
 
-// SetSink installs a live tap invoked synchronously (under the shard
-// lock's caller, not the lock itself) for every recorded event; the
-// watchdog uses it to observe traffic online. It must be called before
-// any traffic is recorded — the field is read without synchronization.
+// SetSink installs fn as the only live tap, replacing any sinks added
+// before it (nil clears them all). Taps run synchronously on the
+// recording goroutine, outside the shard lock. Kept for single-consumer
+// callers; anything sharing a recorder (watchdog plus telemetry
+// publisher) registers with AddSink instead.
 func (r *Recorder) SetSink(fn func(Event)) {
 	if r == nil {
 		return
 	}
-	r.sink = fn
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
+	if fn == nil {
+		r.sinks.Store(nil)
+		return
+	}
+	s := []func(Event){fn}
+	r.sinks.Store(&s)
+}
+
+// AddSink registers an additional live tap invoked synchronously (in
+// registration order, after earlier sinks) for every recorded event.
+// Safe to call concurrently with recording: events recorded before the
+// registration completes may or may not reach fn, but none are torn.
+func (r *Recorder) AddSink(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
+	var next []func(Event)
+	if cur := r.sinks.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, fn)
+	r.sinks.Store(&next)
+}
+
+// emit fans one event out to every registered sink.
+func (r *Recorder) emit(ev Event) {
+	if sinks := r.sinks.Load(); sinks != nil {
+		for _, fn := range *sinks {
+			fn(ev)
+		}
+	}
 }
 
 // Record appends one event. All arguments are scalars so the disabled
@@ -263,9 +303,7 @@ func (r *Recorder) RecordSpan(k Kind, site, peer model.SiteID, tid model.TxnID, 
 	s.mu.Lock()
 	s.events = append(s.events, ev)
 	s.mu.Unlock()
-	if r.sink != nil {
-		r.sink(ev)
-	}
+	r.emit(ev)
 }
 
 // RecordPhase appends a PhaseLatency event attributing d of the
@@ -284,9 +322,7 @@ func (r *Recorder) RecordPhase(site, peer model.SiteID, tid model.TxnID, proto u
 	s.mu.Lock()
 	s.events = append(s.events, ev)
 	s.mu.Unlock()
-	if r.sink != nil {
-		r.sink(ev)
-	}
+	r.emit(ev)
 }
 
 // Len returns the number of recorded events.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos lint cover bench bench-smoke telemetry-smoke fuzz experiments shapes examples clean
+.PHONY: all build vet test race check chaos lint cover bench bench-smoke telemetry-smoke recovery-smoke fuzz experiments shapes examples clean
 
 all: check
 
@@ -30,9 +30,9 @@ lint:
 	$(GO) run ./cmd/repllint ./...
 
 # The pre-merge gate: compile, static checks, full test suite, the race
-# detector, the chaos suite, the protocol-invariant lint, and the
-# benchmark smoke gate.
-check: build vet test race chaos lint bench-smoke
+# detector, the chaos suite, the protocol-invariant lint, the
+# crash-recovery smoke, and the benchmark smoke gate.
+check: build vet test race chaos lint recovery-smoke bench-smoke
 
 cover:
 	$(GO) test -cover ./...
@@ -49,7 +49,7 @@ bench:
 BENCH_DIR ?= bench-artifacts
 bench-smoke:
 	mkdir -p $(BENCH_DIR)
-	$(GO) run ./cmd/replbench -suite smoke -telemetry -benchjson $(BENCH_DIR)/BENCH_smoke.json -pprofdir $(BENCH_DIR)/pprof
+	$(GO) run ./cmd/replbench -suite smoke -telemetry -wal -benchjson $(BENCH_DIR)/BENCH_smoke.json -pprofdir $(BENCH_DIR)/pprof
 	$(GO) run ./cmd/replbench -compare BENCH_smoke.json \
 		-threshold 50 -latthreshold 400 -allocthreshold 100 -abortthreshold 25 \
 		$(BENCH_DIR)/BENCH_smoke.json
@@ -60,6 +60,12 @@ bench-smoke:
 telemetry-smoke:
 	./scripts/telemetry_smoke.sh
 
+# Crash-recovery smoke (docs/DURABILITY.md): traced clusters run over
+# per-site redo logs while a seeded schedule crashes a site; the -json
+# counters must show the crash, the restart, and a nonzero redo replay.
+recovery-smoke:
+	./scripts/recovery_smoke.sh
+
 FUZZTIME ?= 30s
 
 fuzz:
@@ -67,6 +73,7 @@ fuzz:
 	$(GO) test -fuzz FuzzTimestampCompare -fuzztime $(FUZZTIME) ./internal/ts
 	$(GO) test -fuzz FuzzBackedgeComputation -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -fuzz FuzzReliableReorder -fuzztime $(FUZZTIME) ./internal/comm
+	$(GO) test -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) ./internal/wal
 
 # Regenerate every figure/table of the paper's evaluation (§5).
 experiments:

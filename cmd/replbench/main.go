@@ -68,6 +68,10 @@ func main() {
 		reliable   = flag.Bool("reliable", false, "with -trace: wrap the network in the reliable-delivery sublayer (required when faults drop messages)")
 		chaosSched = flag.Bool("chaossched", false, "with -trace: play a seeded partition-and-heal plus crash-and-restart schedule during the run (implies -reliable semantics; see docs/FAULTS.md)")
 
+		walOn    = flag.Bool("wal", false, "with -trace or -suite: run every site over a per-site write-ahead redo log (docs/DURABILITY.md); with -chaossched the scheduled crash is honest — the site loses its heap and restarts from its log")
+		walDir   = flag.String("waldir", "", "with -trace: like -wal, but keep the per-site redo logs under this directory (implies -wal)")
+		walFlush = flag.Duration("walflush", time.Millisecond, "with -wal: group-commit flush window (0 = fsync inline on every commit)")
+
 		spansOut  = flag.String("spans", "", "with -trace: also write the run as Chrome/Perfetto trace-event JSON to this file (open at ui.perfetto.dev; see docs/OBSERVABILITY.md)")
 		watchOn   = flag.Bool("watch", false, "with -trace: run the staleness/liveness watchdog during the run and report its summary (a 'watch' block under -json)")
 		flightDir = flag.String("flightdump", "", "with -trace: directory for the watchdog's flight-recorder JSONL dumps on alert (implies -watch)")
@@ -95,7 +99,7 @@ func main() {
 		return
 	}
 	if *suite != "" {
-		if err := runSuite(*suite, *label, *benchJSON, *pprofDir, *telemOn); err != nil {
+		if err := runSuite(*suite, *label, *benchJSON, *pprofDir, *telemOn, *walOn); err != nil {
 			fatal(err)
 		}
 		return
@@ -123,13 +127,17 @@ func main() {
 		wo := watchOptions{
 			Enable: *watchOn || *flightDir != "", FlightDir: *flightDir, Spans: *spansOut,
 		}
-		if err := runTraced(*traceOut, *traceProto, *seed, *jsonOut, fo, wo); err != nil {
+		wa := walOptions{Enable: *walOn || *walDir != "", Dir: *walDir, Flush: *walFlush}
+		if err := runTraced(*traceOut, *traceProto, *seed, *jsonOut, fo, wo, wa); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *spansOut != "" || *watchOn || *flightDir != "" {
 		fatal(fmt.Errorf("-spans/-watch/-flightdump only apply to a -trace run"))
+	}
+	if *walOn || *walDir != "" {
+		fatal(fmt.Errorf("-wal/-waldir only apply to a -trace run"))
 	}
 
 	if *list || *exp == "" {
@@ -227,7 +235,7 @@ func main() {
 
 // runSuite executes a benchmark suite and emits its BenchSnapshot: to
 // stdout, and to -benchjson when given; -pprofdir adds profile capture.
-func runSuite(name, label, outPath, profileDir string, telemetry bool) error {
+func runSuite(name, label, outPath, profileDir string, telemetry, withWAL bool) error {
 	cfg, err := bench.Suite(name)
 	if err != nil {
 		return err
@@ -237,6 +245,7 @@ func runSuite(name, label, outPath, profileDir string, telemetry bool) error {
 		Label:      label,
 		ProfileDir: profileDir,
 		Telemetry:  telemetry,
+		WAL:        withWAL,
 		Progress: func(line string) {
 			fmt.Fprintf(os.Stderr, "replbench: %s\n", line)
 		},
@@ -303,14 +312,23 @@ type watchOptions struct {
 	Spans     string
 }
 
+// walOptions carries the -wal/-waldir/-walflush flags: per-site redo
+// logs under the traced cluster, so a -chaossched crash is honest.
+type walOptions struct {
+	Enable bool
+	Dir    string
+	Flush  time.Duration
+}
+
 // runTraced runs one short Table 1 cluster with the propagation trace
 // recorder attached and writes every lifecycle event to out as JSONL.
 // With jsonReport, the run's metrics report is printed as JSON instead of
 // the human-readable line, so scripts can consume both artifacts; when
-// fault injection is on, the JSON also carries the repl_fault_* and
-// repl_reliable_* counters; with the watchdog on, a watch summary block
-// (alert counts, max staleness, flight dumps).
-func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptions, wo watchOptions) error {
+// fault injection or the WAL is on, the JSON also carries the
+// repl_fault_*, repl_reliable_*, and repl_wal_* counters; with the
+// watchdog on, a watch summary block (alert counts, max staleness,
+// flight dumps).
+func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptions, wo watchOptions, wa walOptions) error {
 	protocol, err := core.ParseProtocol(protoName)
 	if err != nil {
 		return err
@@ -338,9 +356,22 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 		Trace:            rec,
 	}
 	var registry *obs.Registry
-	if fo.active() || fo.Reliable || wo.Enable {
+	if fo.active() || fo.Reliable || wo.Enable || wa.Enable {
 		registry = obs.NewRegistry()
 		cfg.Obs = registry
+	}
+	if wa.Enable {
+		dir := wa.Dir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "replbench-wal-"); err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		cfg.WALDir = dir
+		cfg.WALFlushInterval = wa.Flush
+		fmt.Fprintf(os.Stderr, "replbench: per-site redo logs in %s\n", dir)
 	}
 	if fo.active() || fo.Reliable {
 		cfg.Fault = &fault.Config{Seed: fo.Seed, Faults: fault.Faults{
@@ -415,7 +446,8 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 			// runs add the liveness summary.
 			counters := make(map[string]int64)
 			for k, v := range registry.Snapshot() {
-				if strings.HasPrefix(k, "repl_fault_") || strings.HasPrefix(k, "repl_reliable_") {
+				if strings.HasPrefix(k, "repl_fault_") || strings.HasPrefix(k, "repl_reliable_") ||
+					strings.HasPrefix(k, "repl_wal_") {
 					counters[k] = v
 				}
 			}
@@ -439,7 +471,7 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 	} else {
 		fmt.Printf("%v: %v\n", protocol, report)
 		if registry != nil {
-			var dropped, retrans int64
+			var dropped, retrans, appends, replayed int64
 			for k, v := range registry.Snapshot() {
 				if strings.HasPrefix(k, "repl_fault_dropped_total") {
 					dropped += v
@@ -447,8 +479,17 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 				if strings.HasPrefix(k, "repl_reliable_retransmits_total") {
 					retrans += v
 				}
+				if strings.HasPrefix(k, "repl_wal_appends_total") {
+					appends += v
+				}
+				if strings.HasPrefix(k, "repl_wal_replayed_total") {
+					replayed += v
+				}
 			}
 			fmt.Printf("faults: dropped=%d retransmits=%d\n", dropped, retrans)
+			if wa.Enable {
+				fmt.Printf("wal: appends=%d replayed=%d\n", appends, replayed)
+			}
 		}
 		if w := c.Watch(); w != nil {
 			s := w.Summarize()

@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/wal"
 	"repro/internal/watch"
 	"repro/internal/workload"
 )
@@ -56,6 +57,8 @@ func main() {
 		flight   = flag.String("flightdump", "", "with -watch: directory for flight-recorder JSONL dumps written when an alert fires")
 		telAddr  = flag.String("telemetry", "", "stream telemetry (metrics deltas, span events, phase latencies, alerts) to an aggregator at this address (see cmd/repltop -listen)")
 		telProc  = flag.String("telemetry-proc", "", "process name announced to the aggregator (default site<N>)")
+		walDir   = flag.String("waldir", "", "write-ahead redo log directory for this site (docs/DURABILITY.md); restarting the process with the same directory recovers from snapshot + redo replay")
+		walFlush = flag.Duration("walflush", time.Millisecond, "with -waldir: group-commit flush window (0 = fsync inline on every commit)")
 	)
 	flag.Parse()
 
@@ -214,6 +217,28 @@ func main() {
 		Obs:          registry,
 		Trace:        rec,
 		Watch:        watchdog,
+	}
+
+	// With -waldir the node is durable: every commit is redo-logged with
+	// group commit before it is externalized, and a killed process
+	// restarted on the same directory rebuilds its store, in-doubt 2PC
+	// entries, and propagation obligations from snapshot + replay (peers
+	// retransmit whatever was never acknowledged when -reliable is on).
+	if *walDir != "" {
+		lg, err := wal.Open(*walDir, wal.Options{
+			Site:          model.SiteID(*site),
+			FlushInterval: *walFlush,
+			Items:         placement.CopiesAt(model.SiteID(*site)),
+			Obs:           registry,
+			Trace:         rec,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer lg.Close()
+		shared.WALs = map[model.SiteID]*wal.SiteLog{model.SiteID(*site): lg}
+		fmt.Printf("replnode: site %d redo log in %s (incarnation %d)\n",
+			*site, *walDir, lg.Incarnation())
 	}
 	engine, err := core.New(protocol, shared, model.SiteID(*site), tr)
 	if err != nil {

@@ -69,6 +69,12 @@ type RunOptions struct {
 	// the regression gate also prices the plane's overhead. The
 	// aggregator's received-frame count lands in the result counters.
 	Telemetry bool
+	// WAL runs every site over a per-site write-ahead redo log in a
+	// temporary directory (docs/DURABILITY.md), so the gate prices
+	// group-committed durability: every commit pays an append plus its
+	// share of a batched fsync. The repl_wal_* counters land in the
+	// result counters.
+	WAL bool
 }
 
 // RunSuite executes every protocol in the suite through the standard
@@ -94,7 +100,7 @@ func RunSuite(cfg SuiteConfig, opts RunOptions) (*Snapshot, error) {
 	}
 	defer prof.stop()
 	for _, proto := range cfg.Protocols {
-		pr, err := runProtocol(cfg, proto, opts.Telemetry)
+		pr, err := runProtocol(cfg, proto, opts.Telemetry, opts.WAL)
 		if err != nil {
 			return nil, fmt.Errorf("bench: suite %s, protocol %v: %w", cfg.Name, proto, err)
 		}
@@ -112,7 +118,7 @@ func RunSuite(cfg SuiteConfig, opts RunOptions) (*Snapshot, error) {
 
 // runProtocol measures one protocol point, bracketing the run with
 // allocation accounting.
-func runProtocol(cfg SuiteConfig, proto core.Protocol, withTelemetry bool) (ProtocolResult, error) {
+func runProtocol(cfg SuiteConfig, proto core.Protocol, withTelemetry, withWAL bool) (ProtocolResult, error) {
 	wl := workload.Default()
 	wl.TxnsPerThread = cfg.TxnsPerThread
 	if cfg.Seed != 0 {
@@ -144,6 +150,15 @@ func runProtocol(cfg SuiteConfig, proto core.Protocol, withTelemetry bool) (Prot
 		TrackPropagation: true,
 		Obs:              registry,
 	}
+	if withWAL {
+		dir, err := os.MkdirTemp("", "bench-wal-")
+		if err != nil {
+			return ProtocolResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		clusterCfg.WALDir = dir
+		clusterCfg.WALFlushInterval = 500 * time.Microsecond
+	}
 	var agg *telemetry.Aggregator
 	if withTelemetry {
 		// The full plane, in-process: recorder → publisher → aggregator,
@@ -170,7 +185,8 @@ func runProtocol(cfg SuiteConfig, proto core.Protocol, withTelemetry bool) (Prot
 		pr.BytesPerTxn = float64(after.TotalAlloc-before.TotalAlloc) / float64(rep.Committed)
 	}
 	for k, v := range registry.Snapshot() {
-		if strings.HasPrefix(k, "repl_fault_") || strings.HasPrefix(k, "repl_reliable_") {
+		if strings.HasPrefix(k, "repl_fault_") || strings.HasPrefix(k, "repl_reliable_") ||
+			strings.HasPrefix(k, "repl_wal_") {
 			if pr.Counters == nil {
 				pr.Counters = make(map[string]int64)
 			}

@@ -30,7 +30,10 @@ func chaosFaults() fault.Faults {
 // runChaos drives one protocol through a full workload on the
 // engine → Reliable → fault → MemTransport stack while a seeded schedule
 // cuts a partition (and heals it) and crashes a site (and restarts it).
-// The reliable sublayer must make the protocol oblivious: zero
+// Every site runs over a write-ahead redo log, so the crash is honest:
+// the site's heap dies with it and the restart rebuilds the engine from
+// its WAL directory (snapshot + redo replay + decision inquiry). The
+// reliable sublayer must make the protocol oblivious: zero
 // serializability violations and, for propagating protocols, full replica
 // convergence after quiescing.
 func runChaos(t *testing.T, proto core.Protocol, backedgeProb float64) {
@@ -39,14 +42,16 @@ func runChaos(t *testing.T, proto core.Protocol, backedgeProb float64) {
 	wl.BackedgeProb = backedgeProb
 	reg := obs.NewRegistry()
 	c, err := New(Config{
-		Workload: wl,
-		Protocol: proto,
-		Params:   fastParams(),
-		Latency:  100 * time.Microsecond,
-		Record:   true,
-		Obs:      reg,
-		Fault:    &fault.Config{Seed: chaosSeed, Faults: chaosFaults()},
-		Reliable: true,
+		Workload:         wl,
+		Protocol:         proto,
+		Params:           fastParams(),
+		Latency:          100 * time.Microsecond,
+		Record:           true,
+		Obs:              reg,
+		Fault:            &fault.Config{Seed: chaosSeed, Faults: chaosFaults()},
+		Reliable:         true,
+		WALDir:           t.TempDir(),
+		WALFlushInterval: 200 * time.Microsecond,
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -86,6 +91,12 @@ func runChaos(t *testing.T, proto core.Protocol, backedgeProb float64) {
 	if proto.Serializable() {
 		if err := c.CheckSerializable(); err != nil {
 			t.Errorf("serializability violated under chaos: %v", err)
+			// Explain the cycle: every observation touching its members.
+			if cyc := c.Recorder.BuildGraph().FindCycle(); cyc != nil {
+				for _, line := range c.Recorder.Involving(cyc...) {
+					t.Logf("  %s", line)
+				}
+			}
 		}
 	}
 	if proto.Propagates() && proto.Serializable() {
@@ -114,9 +125,21 @@ func runChaos(t *testing.T, proto core.Protocol, backedgeProb float64) {
 	if sum("repl_fault_crashes_total") == 0 || sum("repl_fault_partition_cuts_total") == 0 {
 		t.Error("schedule did not register its crash/partition")
 	}
-	t.Logf("%v under chaos: %v; dropped=%d retransmits=%d dup_dropped=%d",
+	// The crash was honest: the site logged its work, lost its heap, and
+	// was rebuilt by replaying the log.
+	if sum("repl_wal_appends_total") == 0 {
+		t.Error("no WAL appends — redo logging inert?")
+	}
+	if sum("repl_fault_restarts_total") == 0 {
+		t.Error("schedule did not restart the crashed site")
+	}
+	if sum("repl_wal_replayed_total") == 0 {
+		t.Error("restart replayed no redo records — recovery inert?")
+	}
+	t.Logf("%v under chaos: %v; dropped=%d retransmits=%d dup_dropped=%d wal_appends=%d wal_replayed=%d",
 		proto, rep, sum("repl_fault_dropped_total"),
-		sum("repl_reliable_retransmits_total"), sum("repl_reliable_dup_dropped_total"))
+		sum("repl_reliable_retransmits_total"), sum("repl_reliable_dup_dropped_total"),
+		sum("repl_wal_appends_total"), sum("repl_wal_replayed_total"))
 }
 
 // TestChaosAllProtocols is the acceptance gate: all five engines survive

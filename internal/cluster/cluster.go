@@ -9,6 +9,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/watch"
 	"repro/internal/workload"
 )
@@ -89,6 +91,18 @@ type Config struct {
 	// Requires Trace (span events ride the live sink); New rejects
 	// Telemetry without it.
 	Telemetry *telemetry.Options
+	// WALDir, when non-empty, gives every site a per-site write-ahead
+	// redo log under WALDir/site-NN (internal/wal): commits become
+	// log-then-mutate, and — when Fault is also set — site crashes tear
+	// the engine down for real (fence the log, wipe the heap) and
+	// restarts rebuild it from disk: snapshot load, redo replay, and
+	// decision inquiry for in-doubt 2PC participants. Empty keeps the
+	// legacy in-memory fail-recover mode, where a crashed site's state
+	// survives the outage untouched.
+	WALDir string
+	// WALFlushInterval is the group-commit window (see wal.Options);
+	// zero leaves single-fsync-per-Sync behaviour.
+	WALFlushInterval time.Duration
 }
 
 // Cluster is a running replicated database over m in-process sites.
@@ -106,11 +120,23 @@ type Cluster struct {
 	top       comm.Transport       // the layer engines actually send through
 	watchdog  *watch.Watchdog      // non-nil iff Cfg.Watch was set
 	publisher *telemetry.Publisher // non-nil iff Cfg.Telemetry was set
-	engines   []core.Engine
+	shared    *core.SharedConfig
 	pending   sync.WaitGroup
 
-	mu      sync.Mutex
-	failure error // first non-abort Execute error
+	// engMu guards engines: restartSite swaps in a rebuilt engine while
+	// client threads fetch theirs per transaction.
+	engMu   sync.RWMutex
+	engines []core.Engine
+
+	// lcMu serializes crash/restart lifecycle transitions and guards the
+	// wals map they rewrite (the fault layer already excludes deliveries
+	// per site; this excludes concurrent transitions of different sites).
+	lcMu sync.Mutex
+	wals map[model.SiteID]*wal.SiteLog // non-nil iff Cfg.WALDir was set
+
+	mu        sync.Mutex
+	failure   error                      // first non-abort Execute error
+	downSince map[model.SiteID]time.Time // sites torn down, awaiting restart
 }
 
 // New builds (but does not start) a cluster.
@@ -201,6 +227,7 @@ func New(cfg Config) (*Cluster, error) {
 		Tree:      tree,
 		Metrics:   metrics.NewCollector(cfg.TrackPropagation),
 		transport: comm.NewMemTransport(cfg.Latency),
+		downSince: make(map[model.SiteID]time.Time),
 	}
 	if cfg.Jitter > 0 {
 		c.transport.SetJitter(cfg.Jitter)
@@ -288,6 +315,37 @@ func New(cfg Config) (*Cluster, error) {
 		Watch:        c.watchdog,
 		Pending:      &c.pending,
 	}
+	c.shared = shared
+
+	if cfg.WALDir != "" {
+		c.wals = make(map[model.SiteID]*wal.SiteLog, m)
+		for s := 0; s < m; s++ {
+			lg, err := c.openWAL(model.SiteID(s))
+			if err != nil {
+				return nil, err
+			}
+			c.wals[model.SiteID(s)] = lg
+		}
+		shared.WALs = c.wals
+		if c.faultTr != nil {
+			// Honest crashes: tear the site down (fence + halt) and
+			// rebuild it from its log on restart. Both hooks run with the
+			// site's delivery gate write-held.
+			c.faultTr.SetLifecycle(fault.Lifecycle{
+				OnCrash:   c.crashSite,
+				OnRestart: c.restartSite,
+			})
+		}
+		if c.watchdog != nil {
+			for s := 0; s < m; s++ {
+				site := model.SiteID(s)
+				c.watchdog.RegisterRecovery(site, func() watch.RecoveryStatus {
+					return c.recoveryStatus(site)
+				})
+			}
+		}
+	}
+
 	c.engines = make([]core.Engine, m)
 	for s := 0; s < m; s++ {
 		e, err := core.New(cfg.Protocol, shared, model.SiteID(s), c.top)
@@ -299,8 +357,93 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Engine returns the protocol engine of site s.
-func (c *Cluster) Engine(s model.SiteID) core.Engine { return c.engines[s] }
+// openWAL opens (or re-opens, after a crash) site s's redo log.
+func (c *Cluster) openWAL(s model.SiteID) (*wal.SiteLog, error) {
+	return wal.Open(filepath.Join(c.Cfg.WALDir, fmt.Sprintf("site-%02d", s)), wal.Options{
+		Site:          s,
+		FlushInterval: c.Cfg.WALFlushInterval,
+		Items:         c.Placement.CopiesAt(s),
+		Obs:           c.Cfg.Obs,
+		Trace:         c.Cfg.Trace,
+	})
+}
+
+// crashSite is the fault layer's OnCrash hook: fence the redo log (un-
+// fsynced appends are honestly lost, every later append fails) and halt
+// the engine. Runs with the site's delivery gate write-held, so no
+// delivery is mid-handler — everything acknowledged is on disk.
+func (c *Cluster) crashSite(site model.SiteID) {
+	c.mu.Lock()
+	c.downSince[site] = time.Now()
+	c.mu.Unlock()
+	c.lcMu.Lock()
+	defer c.lcMu.Unlock()
+	c.wals[site].Fence()
+	c.engine(site).Stop()
+}
+
+// restartSite is the fault layer's OnRestart hook: re-open the site's
+// log (recovery replays snapshot + redo records into a fresh state), and
+// build a fresh engine over it — the constructor preloads the store,
+// restores in-doubt 2PC participants, re-forwards unmarked propagation
+// obligations, and re-enqueues unconsumed receipts. Registering the new
+// engine replaces the dead one's handler; the reliable sublayer's ARQ
+// state survives, so retransmissions of everything unacknowledged flow
+// into the rebuilt site.
+func (c *Cluster) restartSite(site model.SiteID) {
+	start := time.Now()
+	c.lcMu.Lock()
+	_ = c.wals[site].Close() // fenced: flushes nothing, releases the files
+	lg, err := c.openWAL(site)
+	if err != nil {
+		c.lcMu.Unlock()
+		c.fail(fmt.Errorf("cluster: reopening WAL of s%d: %w", site, err))
+		return
+	}
+	c.wals[site] = lg
+	eng, err := core.New(c.Cfg.Protocol, c.shared, site, c.top)
+	c.lcMu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("cluster: rebuilding s%d: %w", site, err))
+		return
+	}
+	c.engMu.Lock()
+	c.engines[site] = eng
+	c.engMu.Unlock()
+	eng.Start()
+	c.mu.Lock()
+	delete(c.downSince, site)
+	c.mu.Unlock()
+	c.Cfg.Trace.RecordDur(trace.WALRecover, site, model.NoSite, model.TxnID{},
+		uint8(c.Cfg.Protocol), time.Since(start))
+}
+
+func (c *Cluster) recoveryStatus(site model.SiteID) watch.RecoveryStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, down := c.downSince[site]
+	return watch.RecoveryStatus{Down: down, Since: t}
+}
+
+// engine returns site s's current engine — after a crash-restart cycle,
+// the rebuilt one.
+func (c *Cluster) engine(s model.SiteID) core.Engine {
+	c.engMu.RLock()
+	defer c.engMu.RUnlock()
+	return c.engines[s]
+}
+
+// Engine returns the protocol engine of site s (the current one — after
+// a crash-restart cycle, the engine rebuilt from the site's WAL).
+func (c *Cluster) Engine(s model.SiteID) core.Engine { return c.engine(s) }
+
+// WAL returns site s's redo log, or nil when Config.WALDir was not set.
+// After a crash-restart cycle this is the re-opened log.
+func (c *Cluster) WAL(s model.SiteID) *wal.SiteLog {
+	c.lcMu.Lock()
+	defer c.lcMu.Unlock()
+	return c.wals[s]
+}
 
 // Transport returns the in-process transport (tests use it to skew edge
 // latencies).
@@ -322,22 +465,32 @@ func (c *Cluster) Publisher() *telemetry.Publisher { return c.publisher }
 // Start launches every engine's background workers, the watchdog, and
 // the telemetry publisher.
 func (c *Cluster) Start() {
+	c.engMu.RLock()
 	for _, e := range c.engines {
 		e.Start()
 	}
+	c.engMu.RUnlock()
 	c.watchdog.Start()
 	c.publisher.Start()
 }
 
 // Stop shuts engines, watchdog, telemetry and transport down (closing
-// the top of the transport stack closes every layer beneath it).
+// the top of the transport stack closes every layer beneath it), then
+// closes the redo logs (a fenced log closes as a no-op).
 func (c *Cluster) Stop() {
+	c.engMu.RLock()
 	for _, e := range c.engines {
 		e.Stop()
 	}
+	c.engMu.RUnlock()
 	c.watchdog.Stop()
 	c.publisher.Stop()
 	_ = c.top.Close()
+	c.lcMu.Lock()
+	for _, lg := range c.wals {
+		_ = lg.Close()
+	}
+	c.lcMu.Unlock()
 }
 
 // Run drives the §5.2 client threads to completion and returns the
@@ -355,11 +508,26 @@ func (c *Cluster) Run() (metrics.Report, error) {
 			go func(site model.SiteID, seed int64) {
 				defer wg.Done()
 				gen := workload.NewTxnGen(wl, c.Placement, site, seed)
-				eng := c.engines[site]
 				for i := 0; i < wl.TxnsPerThread; i++ {
-					if err := eng.Execute(gen.Next()); err != nil && !errors.Is(err, txn.ErrAborted) {
-						c.fail(err)
-						return
+					ops := gen.Next()
+					// A transaction refused because its site is mid-crash
+					// (fenced redo log) is resubmitted — to the rebuilt
+					// engine once the restart lands — like a client
+					// reconnecting after a server bounce. Bounded so a
+					// schedule that never restarts the site cannot hang
+					// the run.
+					deadline := time.Now().Add(60 * time.Second)
+					for {
+						err := c.engine(site).Execute(ops)
+						if err != nil && errors.Is(err, wal.ErrFenced) && time.Now().Before(deadline) {
+							time.Sleep(5 * time.Millisecond)
+							continue
+						}
+						if err != nil && !errors.Is(err, txn.ErrAborted) {
+							c.fail(err)
+							return
+						}
+						break
 					}
 				}
 			}(model.SiteID(s), seed)
@@ -434,7 +602,7 @@ func (c *Cluster) storeSnapshot(s model.SiteID) map[model.ItemID]int64 {
 	type snapshotter interface {
 		Snapshot() map[model.ItemID]int64
 	}
-	if sn, ok := c.engines[s].(snapshotter); ok {
+	if sn, ok := c.engine(s).(snapshotter); ok {
 		return sn.Snapshot()
 	}
 	panic("cluster: engine does not expose Snapshot")

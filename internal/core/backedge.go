@@ -12,6 +12,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/twopc"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/watch"
 )
 
@@ -68,6 +69,9 @@ type pendingBE struct {
 	// decision events are attributed to it no matter which path (phase 2
 	// or inquiry recovery) delivers the outcome.
 	sc model.SpanContext
+	// writes is the full payload write set, kept so the commit-decision
+	// redo record carries what recovery needs to replay it.
+	writes []model.WriteOp
 }
 
 // originState synchronizes the origin's Execute goroutine with the FIFO
@@ -89,6 +93,7 @@ func newBackEdge(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *backedg
 		prepared:  make(map[model.TxnID]*pendingBE),
 		waiters:   make(map[model.TxnID]*originState),
 	}
+	e.recover()
 	// The watchdog's pending-2PC probe: how many executed backedge
 	// subtransactions sit holding locks awaiting a decision, and the
 	// oldest one (a hung decision shows up as its age climbing).
@@ -107,12 +112,115 @@ func newBackEdge(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *backedg
 	return e
 }
 
+// recover rebuilds the BackEdge protocol state the disk knows, in
+// dependency order: durable decisions first (inquiries answer from
+// them), then in-doubt prepared entries (re-executed holding locks,
+// inheriting their pending obligations), then eager dispatches (an
+// undecided one is presumed aborted — made durable so participant
+// inquiries find it; a decided-commit one whose local apply is missing
+// is redone), then unmarked forwards, then unconsumed receipts.
+func (e *backedgeEngine) recover() {
+	if e.wal == nil {
+		return
+	}
+	e.decisions.SetSink(func(tid model.TxnID, commit bool) error {
+		return e.walAppendSync(wal.Record{Kind: wal.KindDecision, TID: tid, Commit: commit})
+	})
+	rec := e.wal.Recovered()
+	for tid, commit := range rec.Decisions {
+		e.decisions.Seed(tid, commit)
+	}
+	for tid, pe := range rec.Prepared {
+		t := e.tm.BeginSecondary(tid)
+		held := true
+		for _, w := range pe.Writes {
+			if !e.store.Has(w.Item) {
+				continue
+			}
+			if err := t.Write(w.Item, w.Value); err != nil {
+				held = false // unreachable: the lock manager is fresh
+				break
+			}
+		}
+		if !held {
+			t.Abort()
+			continue
+		}
+		_ = e.table.Begin(tid)
+		//lint:allow nodeterminism since drives the wall-clock inquiry sweep, not protocol ordering
+		e.prepared[tid] = &pendingBE{t: t, origin: pe.Origin, since: time.Now(), sc: pe.Span, writes: pe.Writes}
+		// No pendAdd: the entry inherits the pending obligation its
+		// pre-crash registration took; the decision releases it.
+	}
+	for tid, ee := range rec.Eager {
+		commit, known := rec.Decisions[tid]
+		switch {
+		case !known:
+			// Presumed abort: the origin crashed before deciding. A sink
+			// failure here can only mean the fresh log is itself broken;
+			// inquiries then still see "undecided", which reads as abort.
+			_ = e.decisions.Record(tid, false)
+		case commit:
+			e.redoEager(tid, ee)
+		}
+	}
+	for _, f := range rec.Forwards {
+		forwardTree(&e.base, f.Span, f.Writes)
+	}
+	for _, r := range rec.Receipts {
+		switch r.MsgKind {
+		case kindSecondary:
+			e.obs.fifoDepth.Inc()
+			e.prog.Push()
+			e.queue <- queuedMsg{msg: comm.Message{
+				From: r.From, To: e.id, Kind: kindSecondary, Span: r.Span,
+				Payload: secondaryPayload{TID: r.TID, Writes: r.Writes},
+			}}
+		case kindSpecial:
+			e.obs.fifoDepth.Inc()
+			e.prog.Push()
+			e.queue <- queuedMsg{msg: comm.Message{
+				From: r.From, To: e.id, Kind: kindSpecial, Span: r.Span,
+				Payload: specialPayload{TID: r.TID, Origin: r.Origin, Writes: r.Writes},
+			}}
+		case kindBackedgeExec:
+			go e.execBackedge(specialPayload{TID: r.TID, Origin: r.Origin, Writes: r.Writes}, r.Span)
+		}
+	}
+}
+
+// redoEager re-runs a decided-commit eager origin commit whose local
+// apply was lost with the heap: log the apply first, then install the
+// writes and re-send the lazy fan-out. The participants commit their
+// halves on the durable decision; this is the origin's half of that
+// atomicity, finished by recovery instead of the crashed goroutine.
+func (e *backedgeEngine) redoEager(tid model.TxnID, ee wal.EagerEntry) {
+	rec := wal.Record{
+		Kind: wal.KindApply, TID: tid, Role: wal.RoleOrigin,
+		Writes: ee.Writes, Forwards: len(ee.Writes) > 0, Span: ee.Span,
+	}
+	if e.walAppendSync(rec) != nil {
+		return
+	}
+	for _, w := range ee.Writes {
+		if !e.store.Has(w.Item) {
+			continue
+		}
+		ver, err := e.store.Apply(w.Item, w.Value, tid)
+		if err != nil {
+			continue
+		}
+		e.cfg.Recorder.Write(e.id, w.Item, ver.Num, tid)
+	}
+	forwardTree(&e.base, ee.Span, ee.Writes)
+}
+
 func (e *backedgeEngine) Start() {
 	go e.applier()
 	go e.inquirer()
 }
 
-func (e *backedgeEngine) Stop() { close(e.stop) }
+func (e *backedgeEngine) Stop() { e.halt() }
 
 // backedgeTargets returns the replica sites of the written items that are
 // tree ancestors of this site — the sites si1..sij of §4.1 — ordered
@@ -149,6 +257,10 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		// Pure DAG(WT) path (§4.1: such transactions execute exactly as
 		// they would under DAG(WT)).
 		e.commitMu.Lock()
+		e.armDurable(t, wal.Record{
+			Kind: wal.KindApply, TID: tid, Role: wal.RoleOrigin,
+			Writes: writes, Forwards: len(writes) > 0, Span: octx,
+		})
 		err := t.Commit()
 		if err == nil {
 			e.traceCtx(trace.TxnCommit, model.NoSite, octx)
@@ -163,8 +275,20 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		return nil
 	}
 
-	// Eager arm. Register for the special's homecoming, then launch the
-	// backedge subtransaction at the farthest ancestor.
+	// Eager arm. The dispatch must be durable before the execute message
+	// can exist: at recovery an undecided eager start is presumed aborted
+	// (made durable for participant inquiries), and a decided-commit one
+	// whose local apply is missing is redone from this record.
+	if werr := e.walAppendSync(wal.Record{
+		Kind: wal.KindEagerStart, TID: tid, Writes: writes, Span: octx,
+	}); werr != nil {
+		t.Abort()
+		e.recAbort(tid)
+		return fmt.Errorf("core: %v aborted: %w: %v", tid, txn.ErrAborted, werr)
+	}
+
+	// Register for the special's homecoming, then launch the backedge
+	// subtransaction at the farthest ancestor.
 	st := &originState{arrived: make(chan struct{}), done: make(chan struct{})}
 	e.mu.Lock()
 	e.waiters[tid] = st
@@ -200,8 +324,10 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		e.mu.Unlock()
 		e.obs.eagerDepth.Dec()
 		// Log the unilateral abort first: a backedge site whose abort
-		// notification goes missing will inquire, and must find it.
-		e.decisions.Record(tid, false)
+		// notification goes missing will inquire, and must find it. A sink
+		// failure means the site is crashing — recovery then finds the
+		// undecided eager start and records the same presumed abort.
+		_ = e.decisions.Record(tid, false)
 		t.Abort()
 		e.abortBackedges(octx, targets)
 		e.recAbort(tid)
@@ -265,6 +391,10 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	e.obs.beCommits.Inc()
 	e.traceCtx(trace.BackedgeCommit, targets[0], octx)
 	e.commitMu.Lock()
+	e.armDurable(t, wal.Record{
+		Kind: wal.KindApply, TID: tid, Role: wal.RoleOrigin,
+		Writes: writes, Forwards: len(writes) > 0, Span: octx,
+	})
 	err := t.Commit()
 	if err == nil {
 		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
@@ -305,6 +435,9 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 	}
 	switch msg.Kind {
 	case kindSecondary, kindSpecial:
+		if !e.logReceipt(msg) {
+			return // fenced mid-crash: dropped unacknowledged, retransmitted
+		}
 		e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
 		e.recTransport(msg, msg.Span.TID)
 		e.obs.fifoDepth.Inc()
@@ -313,6 +446,9 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 	case kindBackedgeExec:
 		// Executed immediately and concurrently (§4.1 step 1: sent
 		// "directly ... to be executed"), not through the FIFO queue.
+		if !e.logReceipt(msg) {
+			return // fenced mid-crash: dropped unacknowledged, retransmitted
+		}
 		e.recTransport(msg, msg.Span.TID)
 		go e.execBackedge(msg.Payload.(specialPayload), msg.Span)
 	case kindBackedgeAbort:
@@ -338,20 +474,54 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 	}
 }
 
+// beExec classifies the outcome of executing a backedge/special
+// subtransaction: relay onward, consume without relaying, or leave the
+// receipt unconsumed for recovery (engine stopping or redo log fenced).
+type beExec int
+
+const (
+	beExecOK      beExec = iota // executed (or pure relay): relay + consume
+	beExecFailed                // aborted/duplicate: consume, no relay
+	beExecStopped               // stopping/fenced: recovery inherits the receipt
+)
+
 // execBackedge runs a backedge subtransaction at the farthest ancestor
-// site: execute holding locks, then relay the special down the tree.
+// site: execute holding locks, then relay the special down the tree. The
+// delivery's pending obligation is released only once its consumption is
+// durable; a stopped/fenced execution leaves it to recovery.
 func (e *backedgeEngine) execBackedge(p specialPayload, sc model.SpanContext) {
-	if e.executeHolding(p, sc) {
+	switch e.executeHolding(p, sc) {
+	case beExecOK:
 		e.relaySpecial(p, sc)
+		e.consumeAndDone(p.TID)
+	case beExecFailed:
+		e.consumeAndDone(p.TID)
+	case beExecStopped:
+		// Receipt stays unconsumed; recovery re-processes it.
 	}
-	e.pendDone()
 }
 
 // executeHolding acquires this site's locks for the subtransaction's
-// local writes, buffering them until the 2PC decision. It returns false
-// if the transaction was aborted (tombstoned) or the engine stopped; on
-// false the subtransaction holds nothing.
-func (e *backedgeEngine) executeHolding(p specialPayload, sc model.SpanContext) bool {
+// local writes, buffering them until the 2PC decision. On beExecOK the
+// caller relays onward; on beExecFailed the transaction was aborted
+// (tombstoned) or already resolved and the subtransaction holds nothing;
+// on beExecStopped nothing is held and nothing may be consumed.
+func (e *backedgeEngine) executeHolding(p specialPayload, sc model.SpanContext) beExec {
+	if e.wasApplied(p.TID) {
+		// A crash-recovery re-send duplicated this delivery and the
+		// subtransaction is already resolved here. The relay preceded the
+		// prepare, so it already went out too: consume without relaying.
+		return beExecFailed
+	}
+	e.mu.Lock()
+	_, restored := e.prepared[p.TID]
+	e.mu.Unlock()
+	if restored {
+		// Recovery restored the prepared entry from disk; relay again so
+		// the special still comes home (downstream sites and the origin
+		// deduplicate).
+		return beExecOK
+	}
 	var local []model.WriteOp
 	for _, w := range p.Writes {
 		if e.store.Has(w.Item) {
@@ -361,14 +531,17 @@ func (e *backedgeEngine) executeHolding(p specialPayload, sc model.SpanContext) 
 	if len(local) == 0 {
 		// Pure relay site (no replica of any written item): nothing to
 		// execute, not a 2PC participant.
-		return !e.stopping()
+		if e.stopping() {
+			return beExecStopped
+		}
+		return beExecOK
 	}
 	for {
 		if e.stopping() {
-			return false
+			return beExecStopped
 		}
 		if e.table.Aborted(p.TID) {
-			return false
+			return beExecFailed
 		}
 		t := e.tm.BeginSecondary(p.TID)
 		ok := true
@@ -391,7 +564,7 @@ func (e *backedgeEngine) executeHolding(p specialPayload, sc model.SpanContext) 
 		err := e.table.Begin(p.TID)
 		if err == nil {
 			//lint:allow nodeterminism since drives the wall-clock inquiry sweep, not protocol ordering
-			e.prepared[p.TID] = &pendingBE{t: t, origin: p.Origin, since: time.Now(), sc: sc}
+			e.prepared[p.TID] = &pendingBE{t: t, origin: p.Origin, since: time.Now(), sc: sc, writes: p.Writes}
 			// The subtransaction is in-flight propagation until its 2PC
 			// decision resolves it (possibly by inquiry recovery): holding
 			// a pending count here makes Quiesce wait out decision
@@ -401,9 +574,26 @@ func (e *backedgeEngine) executeHolding(p specialPayload, sc model.SpanContext) 
 		e.mu.Unlock()
 		if err != nil {
 			t.Abort()
-			return false
+			return beExecFailed
 		}
-		return true
+		// The prepared state must be durable before the relay (and later
+		// the YES vote) can externalize it: a recovered participant has to
+		// find the entry, re-execute it, and resolve it by inquiry. On a
+		// fence, undo the registration entirely — nothing reached disk, so
+		// recovery re-processes the still-unconsumed receipt from scratch.
+		if e.walAppendSync(wal.Record{
+			Kind: wal.KindPrepared, TID: p.TID, Origin: p.Origin,
+			Writes: p.Writes, Span: sc,
+		}) != nil {
+			e.mu.Lock()
+			delete(e.prepared, p.TID)
+			e.mu.Unlock()
+			e.table.Finish(p.TID, false)
+			t.Abort()
+			e.pendDone() // undo the registration's own pendAdd
+			return beExecStopped
+		}
+		return beExecOK
 	}
 }
 
@@ -430,7 +620,13 @@ func (e *backedgeEngine) handleAbort(tid model.TxnID) {
 	e.mu.Unlock()
 	if p != nil {
 		p.t.Abort()
-		e.pendDone()
+		// The resolution must be durable before the prepared entry's
+		// pending obligation is released; on a fence recovery restores the
+		// entry and resolves it again via inquiry (the origin logged the
+		// abort before sending this notification).
+		if e.walAppendSync(wal.Record{Kind: wal.KindResolved, TID: tid}) == nil {
+			e.pendDone()
+		}
 	}
 }
 
@@ -453,14 +649,28 @@ func (e *backedgeEngine) finishDecision(tid model.TxnID, commit bool, from model
 	e.mu.Unlock()
 	if p != nil {
 		if act && commit {
+			e.armDurable(p.t, wal.Record{
+				Kind: wal.KindApply, TID: tid, Role: wal.RoleResolve,
+				Writes: p.writes, Span: p.sc,
+			})
 			if err := p.t.Commit(); err != nil {
-				panic(fmt.Sprintf("core: backedge subtxn commit failed: %v", err))
+				// Only reachable on a fenced redo log (crash in progress):
+				// the prepared entry and the coordinator's decision are both
+				// durable, so recovery restores the subtransaction in doubt
+				// and resolves it again by inquiry. No pendDone — the
+				// obligation passes to the restored entry.
+				return
 			}
 			e.obs.beCommits.Inc()
 			e.traceCtx(trace.BackedgeCommit, from, p.sc)
 			e.recApplied(p.sc)
 		} else {
 			p.t.Abort()
+			// Same fence discipline as handleAbort: the resolution must hit
+			// disk before the obligation is released.
+			if e.walAppendSync(wal.Record{Kind: wal.KindResolved, TID: tid}) != nil {
+				return
+			}
 		}
 		e.pendDone()
 	}
@@ -566,10 +776,7 @@ func (e *backedgeEngine) applier() {
 			} else {
 				// Intermediate (possibly backedge) site: execute holding
 				// locks if we replicate any written item, then relay.
-				if e.executeHolding(p, msg.Span) {
-					e.relaySpecial(p, msg.Span)
-				}
-				e.pendDone()
+				e.execBackedge(p, msg.Span)
 			}
 		}
 	}
@@ -581,10 +788,16 @@ func (e *backedgeEngine) applier() {
 func (e *backedgeEngine) specialHome(p specialPayload) {
 	e.mu.Lock()
 	st := e.waiters[p.TID]
+	// Remove the waiter on first arrival: a crash-recovery duplicate of
+	// the special must not close(arrived) twice.
+	delete(e.waiters, p.TID)
 	e.mu.Unlock()
+	if !e.consumeOnly(p.TID) {
+		return // fenced: receipt unconsumed, recovery inherits the obligation
+	}
 	e.pendDone()
 	if st == nil {
-		return // origin already aborted (PrepareTimeout)
+		return // origin already aborted (PrepareTimeout), or duplicate
 	}
 	close(st.arrived)
 	select {
@@ -598,6 +811,11 @@ func (e *backedgeEngine) applySecondary(p secondaryPayload, sc model.SpanContext
 	for {
 		if e.stopping() {
 			return false
+		}
+		if e.wasApplied(p.TID) {
+			// A crash-recovery re-forward duplicated this delivery:
+			// consume its receipt without re-applying (exactly-once).
+			return e.consumeOnly(p.TID)
 		}
 		t := e.tm.BeginSecondary(p.TID)
 		ok := true
@@ -617,12 +835,20 @@ func (e *backedgeEngine) applySecondary(p secondaryPayload, sc model.SpanContext
 			continue
 		}
 		e.commitMu.Lock()
+		e.armDurable(t, wal.Record{
+			Kind: wal.KindApply, TID: p.TID, Role: wal.RoleSecondary,
+			Consumes: true, Forwards: len(p.Writes) > 0,
+			Writes: p.Writes, Span: sc,
+		})
 		err := t.Commit()
 		if err == nil {
 			e.forward(sc, p.Writes)
 		}
 		e.commitMu.Unlock()
 		if err != nil {
+			// A fenced redo log (crash in progress): loop back to the
+			// stopping() check. Otherwise unreachable — writes target local
+			// copies only.
 			e.recRetry()
 			e.retryBackoff()
 			continue

@@ -13,6 +13,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // base carries the per-site substrate every protocol engine shares: the
@@ -33,13 +34,20 @@ type base struct {
 	obs   siteObs
 
 	seq atomic.Uint64
+	// seqBase offsets newTxnID by the log incarnation (incarnation<<48) so
+	// transaction identifiers never repeat across crash restarts.
+	seqBase uint64
+
+	// wal is the site's write-ahead redo log; nil runs without durability.
+	wal *wal.SiteLog
 
 	// commitMu serializes transaction commits with the scheduling of their
 	// secondary subtransactions, so that if Ti commits before Tj at this
 	// site, Ti's updates are forwarded before Tj's.
 	commitMu sync.Mutex
 
-	stop chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 func newBase(cfg *SharedConfig, proto Protocol, id model.SiteID, tr comm.Transport) base {
@@ -49,6 +57,23 @@ func newBase(cfg *SharedConfig, proto Protocol, id model.SiteID, tr comm.Transpo
 			panic(fmt.Sprintf("core: duplicate copy at s%d: %v", id, err))
 		}
 	}
+	var lg *wal.SiteLog
+	var seqBase uint64
+	if cfg.WALs != nil {
+		lg = cfg.WALs[id]
+	}
+	if lg != nil {
+		// Rebuild the store image the disk knows — Load installs the
+		// replayed version verbatim — and carve out a fresh TxnID range for
+		// this incarnation.
+		for item, is := range lg.Recovered().Items {
+			ver := storage.Version{Value: is.Value, Num: is.Num, Writer: is.Writer}
+			if err := st.Load(item, ver); err != nil {
+				panic(fmt.Sprintf("core: recovered item not placed at s%d: %v", id, err))
+			}
+		}
+		seqBase = lg.Incarnation() << 48
+	}
 	lm := lock.NewManager(cfg.Params.DetectDeadlocks)
 	lm.SetWoundGrace(cfg.Params.WoundGrace)
 	so := newSiteObs(cfg.Obs, id)
@@ -57,16 +82,18 @@ func newBase(cfg *SharedConfig, proto Protocol, id model.SiteID, tr comm.Transpo
 	tm := txn.NewManager(id, st, lm, cfg.Params.LockTimeout, cfg.Recorder)
 	tm.SetMetrics(cfg.Metrics)
 	return base{
-		cfg:   cfg,
-		id:    id,
-		proto: proto,
-		store: st,
-		locks: lm,
-		tm:    tm,
-		tr:    tr,
-		rpc:   rpc,
-		obs:   so,
-		stop:  make(chan struct{}),
+		cfg:     cfg,
+		id:      id,
+		proto:   proto,
+		store:   st,
+		locks:   lm,
+		tm:      tm,
+		tr:      tr,
+		rpc:     rpc,
+		obs:     so,
+		seqBase: seqBase,
+		wal:     lg,
+		stop:    make(chan struct{}),
 	}
 }
 
@@ -76,9 +103,96 @@ func (b *base) Site() model.SiteID { return b.id }
 // quiesced cluster.
 func (b *base) Snapshot() map[model.ItemID]int64 { return b.store.Snapshot() }
 
-// newTxnID mints a system-wide unique transaction identifier.
+// newTxnID mints a system-wide unique transaction identifier. The
+// incarnation offset keeps identifiers unique across crash restarts.
 func (b *base) newTxnID() model.TxnID {
-	return model.TxnID{Site: b.id, Seq: b.seq.Add(1)}
+	return model.TxnID{Site: b.id, Seq: b.seqBase + b.seq.Add(1)}
+}
+
+// halt closes the stop channel exactly once, so a crash (the cluster's
+// OnCrash lifecycle hook) and the end-of-run Stop can both call it.
+func (b *base) halt() {
+	b.stopOnce.Do(func() { close(b.stop) })
+}
+
+// walAppendSync appends one record and waits for the group commit; nil
+// without a log. A non-nil error means the record is NOT durable — the
+// site is crashing — and the transition the record guards must not be
+// externalized.
+func (b *base) walAppendSync(rec wal.Record) error {
+	if b.wal == nil {
+		return nil
+	}
+	if err := b.wal.Append(rec); err != nil {
+		return err
+	}
+	return b.wal.Sync()
+}
+
+// armDurable installs rec as t's log-then-mutate redo record: Commit
+// appends and group-commits it before any store mutation.
+func (b *base) armDurable(t *txn.Txn, rec wal.Record) {
+	if b.wal == nil {
+		return
+	}
+	t.SetDurable(func() error { return b.walAppendSync(rec) })
+}
+
+// logReceipt makes an incoming propagation message durable before the
+// reliable sublayer acknowledges it (the handler returning is the ack),
+// so acknowledged means durable. It reports false when the log is
+// fenced: the caller must drop the message unprocessed — it was never
+// acknowledged, and the sender retransmits it to the recovered engine.
+func (b *base) logReceipt(msg comm.Message) bool {
+	if b.wal == nil {
+		return true
+	}
+	rec := wal.Record{Kind: wal.KindReceipt, From: msg.From, MsgKind: msg.Kind, Span: msg.Span}
+	switch p := msg.Payload.(type) {
+	case secondaryPayload:
+		rec.TID, rec.TS, rec.Writes = p.TID, p.TS, p.Writes
+	case specialPayload:
+		rec.TID, rec.Origin, rec.Writes = p.TID, p.Origin, p.Writes
+	}
+	return b.walAppendSync(rec) == nil
+}
+
+// wasApplied reports whether a subtransaction of tid already durably
+// committed here — the exactly-once dedup check for deliveries
+// duplicated by crash-recovery re-forwards.
+func (b *base) wasApplied(tid model.TxnID) bool {
+	return b.wal != nil && b.wal.WasApplied(tid)
+}
+
+// consumeOnly durably marks one receipt of tid consumed without an
+// apply (a deduplicated duplicate, a failed execution). It reports
+// whether the marker is durable; on false the receipt stays unconsumed
+// and recovery re-processes it, so the caller must NOT release the
+// pending obligation.
+func (b *base) consumeOnly(tid model.TxnID) bool {
+	return b.walAppendSync(wal.Record{Kind: wal.KindConsumed, TID: tid}) == nil
+}
+
+// consumeAndDone writes the durable consumption marker for one receipt
+// of tid and then releases its pending obligation. pendDone strictly
+// follows durability: if the marker is lost to a fence, the obligation
+// is deliberately left outstanding and inherited by recovery, which
+// re-processes the receipt and releases it then.
+func (b *base) consumeAndDone(tid model.TxnID) {
+	if b.consumeOnly(tid) {
+		b.pendDone()
+	}
+}
+
+// walForwarded marks an apply's propagation obligation discharged.
+// Append-only, no sync: losing the marker only causes a duplicate
+// re-forward at recovery, which receivers deduplicate.
+func (b *base) walForwarded(tid model.TxnID) {
+	if b.wal == nil {
+		return
+	}
+	//lint:allow senderr the forwarded marker is advisory; losing it only causes a deduplicated re-forward
+	_ = b.wal.Append(wal.Record{Kind: wal.KindForwarded, TID: tid})
 }
 
 // simulateOp burns the configured per-operation CPU cost. It spins
@@ -162,6 +276,7 @@ func forwardTree(b *base, in model.SpanContext, writes []model.WriteOp) {
 			Payload: secondaryPayload{TID: in.TID, Writes: local},
 		})
 	}
+	b.walForwarded(in.TID)
 }
 
 // send transmits a message and counts it. One-way protocol traffic is

@@ -29,6 +29,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/ts"
+	"repro/internal/wal"
 	"repro/internal/watch"
 )
 
@@ -192,6 +193,13 @@ type SharedConfig struct {
 	// Pending tracks in-flight real (non-dummy) propagation messages so
 	// the cluster can quiesce; nil disables tracking.
 	Pending *sync.WaitGroup
+	// WALs maps each site to its write-ahead redo log. Nil (or a missing
+	// entry) runs the site without durability: crashes are then purely
+	// in-memory. With a log present the engine recovers its store image,
+	// unconsumed receipts, pending forwards, and 2PC state from it at
+	// construction, and follows the log-then-externalize discipline at
+	// runtime (docs/DURABILITY.md).
+	WALs map[model.SiteID]*wal.SiteLog
 }
 
 // Engine is one site's protocol instance.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/ts"
+	"repro/internal/wal"
 	"repro/internal/watch"
 )
 
@@ -79,6 +80,7 @@ func newDAGT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagtEngine 
 	for _, par := range e.parents {
 		e.queues[par] = nil
 	}
+	e.recoverWAL()
 	// The watchdog's DAG(T) liveness probe: the site's current epoch plus
 	// any parent whose empty queue is blocking the timestamp scheduler
 	// while a sibling queue has work (the §3.3 stall the dummy mechanism
@@ -120,8 +122,57 @@ func (e *dagtEngine) Start() {
 	}
 }
 
+// recoverWAL rebuilds the timestamp state from the last durable apply,
+// re-sends unmarked forwards, and re-enqueues unconsumed receipts (in
+// log order, which is per-parent arrival order).
+func (e *dagtEngine) recoverWAL() {
+	if e.wal == nil {
+		return
+	}
+	rec := e.wal.Recovered()
+	if rec.HasApply {
+		// The last apply record fully determines the site timestamp: an
+		// origin commit stamped its own clone; a secondary commit appended
+		// the local tuple to the payload timestamp (advanceTS).
+		if rec.LastRole == wal.RoleOrigin {
+			e.siteTS = rec.LastTS.Clone()
+		} else {
+			e.siteTS = rec.LastTS.Append(ts.Tuple{Site: e.id, LTS: rec.LastLTSI})
+		}
+		e.ltsi = rec.LastLTSI
+	}
+	// Jump past every LTS advance the pre-crash incarnation could have
+	// shipped without logging it (dummy bumps are deliberately not
+	// durable): this site's own tuple must keep strictly increasing down
+	// every edge. LTS is only ever compared against this site's own
+	// earlier tuples, so an over-generous jump costs nothing.
+	e.ltsi += 1 << 20
+	e.siteTS.Tuples[len(e.siteTS.Tuples)-1].LTS = e.ltsi
+	// The epoch is different: ts.Compare orders by epoch first, across
+	// sites, so it must resume at *exactly* the largest epoch the disk
+	// knows. Regressing (below a pre-crash shipment) breaks per-edge
+	// timestamp monotonicity; overshooting (the tempting large jump)
+	// makes every post-recovery timestamp dominate the cluster and
+	// starves this site's entries in its children's min-timestamp head
+	// selection until the sources tick their way up to it. Every
+	// pre-crash shipment's epoch is durably backed — apply records carry
+	// their timestamp, and source epoch ticks append KindEpoch before
+	// publishing — so MaxEpoch is a tight, safe resume point.
+	e.siteTS.Epoch = rec.MaxEpoch
+	for _, f := range rec.Forwards {
+		e.schedule(f.Span, f.TS, f.Writes)
+	}
+	for _, r := range rec.Receipts {
+		e.obs.tsDepth.Inc()
+		e.prog.Push()
+		e.queues[r.From] = append(e.queues[r.From], tsItem{
+			p: secondaryPayload{TID: r.TID, TS: r.TS, Writes: r.Writes}, sc: r.Span,
+		})
+	}
+}
+
 func (e *dagtEngine) Stop() {
-	close(e.stop)
+	e.halt()
 	e.qCond.Broadcast()
 }
 
@@ -140,16 +191,23 @@ func (e *dagtEngine) Execute(ops []model.Op) error {
 		e.recAbort(tid)
 		return err
 	}
+	writes := t.Writes()
 	e.commitMu.Lock()
 	e.tsMu.Lock()
 	e.ltsi++
 	e.siteTS.Tuples[len(e.siteTS.Tuples)-1].LTS = e.ltsi
 	tsT := e.siteTS.Clone()
+	ltsi := e.ltsi
 	e.tsMu.Unlock()
+	e.armDurable(t, wal.Record{
+		Kind: wal.KindApply, TID: tid, Role: wal.RoleOrigin,
+		Writes: writes, Forwards: len(writes) > 0,
+		TS: tsT, LTSI: ltsi, Span: octx,
+	})
 	err := t.Commit()
 	if err == nil {
 		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
-		e.schedule(octx, tsT, t.Writes())
+		e.schedule(octx, tsT, writes)
 	}
 	e.commitMu.Unlock()
 	if err != nil {
@@ -187,6 +245,7 @@ func (e *dagtEngine) schedule(sc model.SpanContext, tsT ts.Timestamp, writes []m
 			Payload: secondaryPayload{TID: sc.TID, TS: tsT, Writes: local},
 		})
 	}
+	e.walForwarded(sc.TID)
 }
 
 // dummyTicker sends a dummy secondary subtransaction down any copy-graph
@@ -203,6 +262,13 @@ func (e *dagtEngine) dummyTicker() {
 		}
 		//lint:allow nodeterminism dummy generation is wall-clock-driven by design (timeout t_w, SS3.2.2)
 		now := time.Now()
+		// commitMu makes the stamp-and-send atomic against Execute's
+		// stamp → durable-commit → send sequence. Without it a dummy
+		// stamped after a primary subtransaction can reach the wire before
+		// it, inverting the edge's timestamp order — a race whose window
+		// was nanoseconds in-memory but stretches to the whole group-commit
+		// fsync once Commit holds commitMu across the log flush.
+		e.commitMu.Lock()
 		var idle []model.SiteID
 		e.tsMu.Lock()
 		for _, c := range e.children {
@@ -230,6 +296,7 @@ func (e *dagtEngine) dummyTicker() {
 				Payload: secondaryPayload{TS: tsD, Dummy: true},
 			})
 		}
+		e.commitMu.Unlock()
 	}
 }
 
@@ -246,7 +313,21 @@ func (e *dagtEngine) epochTicker() {
 			return
 		}
 		e.tsMu.Lock()
-		e.siteTS.Epoch++
+		next := e.siteTS.Epoch + 1
+		e.tsMu.Unlock()
+		// The advance must be durable before any timestamp bearing it can
+		// ship (a dummy may clone the site timestamp immediately after the
+		// publish): recovery resumes at the largest durable epoch, and an
+		// unlogged advance would let the restarted site send an edge a
+		// smaller epoch than it already shipped.
+		if e.walAppendSync(wal.Record{Kind: wal.KindEpoch, TS: ts.Timestamp{Epoch: next}}) != nil {
+			return // fenced mid-crash: the tick never happened
+		}
+		// Only this goroutine writes a source's epoch (sources have no
+		// parents, so advanceTS never runs here), making the blind store
+		// safe.
+		e.tsMu.Lock()
+		e.siteTS.Epoch = next
 		e.tsMu.Unlock()
 		e.obs.epochs.Inc()
 		e.traceEvent(trace.EpochAdvance, model.NoSite, model.TxnID{})
@@ -262,6 +343,11 @@ func (e *dagtEngine) Handle(msg comm.Message) {
 	case kindSecondary:
 		p := msg.Payload.(secondaryPayload)
 		if !p.Dummy {
+			// Dummies are heartbeats — losing one to a crash costs nothing,
+			// so only real secondaries are made durable before the ack.
+			if !e.logReceipt(msg) {
+				return // fenced mid-crash: dropped unacknowledged, retransmitted
+			}
 			e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
 			e.recTransport(msg, msg.Span.TID)
 		}
@@ -333,10 +419,20 @@ func (e *dagtEngine) scheduler() {
 	}
 }
 
-// advanceTS installs the timestamp rule for a committed secondary.
+// advanceTS installs the timestamp rule for a committed secondary. In
+// steady state the scheduler pops in non-decreasing timestamp order, so
+// following the subtransaction's epoch (§3.3) never regresses it; after
+// a recovery, though, re-enqueued pre-crash receipts carry epochs below
+// the restored MaxEpoch, and letting them roll the site epoch back would
+// regress timestamps already shipped down an edge.
 func (e *dagtEngine) advanceTS(tsT ts.Timestamp) {
 	e.tsMu.Lock()
-	e.siteTS = tsT.Append(ts.Tuple{Site: e.id, LTS: e.ltsi})
+	nt := tsT.Append(ts.Tuple{Site: e.id, LTS: e.ltsi})
+	//lint:allow tscompare scalar epoch max, not a tuple-order comparison
+	if nt.Epoch < e.siteTS.Epoch {
+		nt.Epoch = e.siteTS.Epoch
+	}
+	e.siteTS = nt
 	e.tsMu.Unlock()
 }
 
@@ -344,6 +440,11 @@ func (e *dagtEngine) applySecondary(p secondaryPayload, sc model.SpanContext) bo
 	for {
 		if e.stopping() {
 			return false
+		}
+		if e.wasApplied(p.TID) {
+			// A crash-recovery re-forward duplicated this delivery:
+			// consume its receipt without re-applying (exactly-once).
+			return e.consumeOnly(p.TID)
 		}
 		t := e.tm.BeginSecondary(p.TID)
 		ok := true
@@ -363,6 +464,16 @@ func (e *dagtEngine) applySecondary(p secondaryPayload, sc model.SpanContext) bo
 			continue
 		}
 		e.commitMu.Lock()
+		if e.base.wal != nil {
+			e.tsMu.Lock()
+			ltsi := e.ltsi
+			e.tsMu.Unlock()
+			e.armDurable(t, wal.Record{
+				Kind: wal.KindApply, TID: p.TID, Role: wal.RoleSecondary,
+				Consumes: true, Writes: p.Writes,
+				TS: p.TS, LTSI: ltsi, Span: sc,
+			})
+		}
 		err := t.Commit()
 		if err == nil {
 			e.advanceTS(p.TS)

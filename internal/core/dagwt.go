@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/trace"
+	"repro/internal/wal"
 	"repro/internal/watch"
 )
 
@@ -23,16 +24,42 @@ type dagwtEngine struct {
 }
 
 func newDAGWT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagwtEngine {
-	return &dagwtEngine{
+	e := &dagwtEngine{
 		base:  newBase(cfg, DAGWT, id, tr),
 		queue: make(chan queuedMsg, 1<<16),
 		prog:  cfg.Watch.Queue(id, "fifo"),
+	}
+	e.recover()
+	return e
+}
+
+// recover rebuilds the engine's in-flight work from the redo log: applies
+// whose forwarding was not marked done are re-sent (receivers
+// deduplicate), and unconsumed receipts are re-enqueued in arrival order.
+// Re-forwards take fresh pending obligations; re-enqueued receipts
+// inherit the ones their original deliveries left unreleased, so no
+// pendAdd here.
+func (e *dagwtEngine) recover() {
+	if e.wal == nil {
+		return
+	}
+	rec := e.wal.Recovered()
+	for _, f := range rec.Forwards {
+		forwardTree(&e.base, f.Span, f.Writes)
+	}
+	for _, r := range rec.Receipts {
+		e.obs.fifoDepth.Inc()
+		e.prog.Push()
+		e.queue <- queuedMsg{msg: comm.Message{
+			From: r.From, To: e.id, Kind: kindSecondary, Span: r.Span,
+			Payload: secondaryPayload{TID: r.TID, TS: r.TS, Writes: r.Writes},
+		}}
 	}
 }
 
 func (e *dagwtEngine) Start() { go e.applier() }
 
-func (e *dagwtEngine) Stop() { close(e.stop) }
+func (e *dagwtEngine) Stop() { e.halt() }
 
 // Execute runs a primary subtransaction: purely local execution under
 // strict 2PL, then an atomic commit-and-forward.
@@ -47,11 +74,16 @@ func (e *dagwtEngine) Execute(ops []model.Op) error {
 		e.recAbort(tid)
 		return err
 	}
+	writes := t.Writes()
 	e.commitMu.Lock()
+	e.armDurable(t, wal.Record{
+		Kind: wal.KindApply, TID: tid, Role: wal.RoleOrigin,
+		Writes: writes, Forwards: len(writes) > 0, Span: octx,
+	})
 	err := t.Commit()
 	if err == nil {
 		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
-		e.forward(octx, t.Writes())
+		e.forward(octx, writes)
 	}
 	e.commitMu.Unlock()
 	if err != nil {
@@ -76,6 +108,9 @@ func (e *dagwtEngine) Handle(msg comm.Message) {
 	}
 	switch msg.Kind {
 	case kindSecondary:
+		if !e.logReceipt(msg) {
+			return // fenced mid-crash: dropped unacknowledged, retransmitted
+		}
 		e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
 		e.recTransport(msg, msg.Span.TID)
 		e.obs.fifoDepth.Inc()
@@ -116,6 +151,11 @@ func (e *dagwtEngine) applySecondary(p secondaryPayload, sc model.SpanContext) b
 		if e.stopping() {
 			return false
 		}
+		if e.wasApplied(p.TID) {
+			// A crash-recovery re-forward duplicated this delivery:
+			// consume its receipt without re-applying (exactly-once).
+			return e.consumeOnly(p.TID)
+		}
 		t := e.tm.BeginSecondary(p.TID)
 		ok := true
 		for _, w := range p.Writes {
@@ -134,13 +174,20 @@ func (e *dagwtEngine) applySecondary(p secondaryPayload, sc model.SpanContext) b
 			continue
 		}
 		e.commitMu.Lock()
+		e.armDurable(t, wal.Record{
+			Kind: wal.KindApply, TID: p.TID, Role: wal.RoleSecondary,
+			Consumes: true, Forwards: len(p.Writes) > 0,
+			Writes: p.Writes, Span: sc,
+		})
 		err := t.Commit()
 		if err == nil {
 			e.forward(sc, p.Writes)
 		}
 		e.commitMu.Unlock()
 		if err != nil {
-			// Unreachable: writes target local copies only.
+			// A fenced redo log (crash in progress): loop back to the
+			// stopping() check. Otherwise unreachable — writes target local
+			// copies only.
 			e.recRetry()
 			e.retryBackoff()
 			continue

@@ -7,6 +7,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/model"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // naiveEngine is the indiscriminate lazy propagation most commercial
@@ -21,12 +22,60 @@ type naiveEngine struct {
 }
 
 func newNaive(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *naiveEngine {
-	return &naiveEngine{base: newBase(cfg, NaiveLazy, id, tr)}
+	e := &naiveEngine{base: newBase(cfg, NaiveLazy, id, tr)}
+	e.recover()
+	return e
+}
+
+// recover re-sends applies whose fan-out was not marked done (receivers
+// deduplicate; fresh pending obligations) and re-processes unconsumed
+// receipts (which inherit their original obligations — no pendAdd).
+func (e *naiveEngine) recover() {
+	if e.wal == nil {
+		return
+	}
+	rec := e.wal.Recovered()
+	for _, f := range rec.Forwards {
+		e.fanOut(f.Span, f.TID, f.Writes)
+	}
+	for _, r := range rec.Receipts {
+		go e.applySecondary(secondaryPayload{TID: r.TID, Writes: r.Writes}, r.Span)
+	}
 }
 
 func (e *naiveEngine) Start() {}
 
-func (e *naiveEngine) Stop() { close(e.stop) }
+func (e *naiveEngine) Stop() { e.halt() }
+
+// fanOut ships each replica site exactly the writes it stores, then
+// marks the propagation obligation discharged.
+func (e *naiveEngine) fanOut(octx model.SpanContext, tid model.TxnID, writes []model.WriteOp) {
+	perSite := make(map[model.SiteID][]model.WriteOp)
+	for _, w := range writes {
+		for _, r := range e.cfg.Placement.ReplicaSites(w.Item) {
+			perSite[r] = append(perSite[r], w)
+		}
+	}
+	// Ship in site order, not map order: the transport draws its
+	// seeded jitter in Send order, so map-ordered sends would perturb
+	// schedule replay.
+	sites := make([]model.SiteID, 0, len(perSite))
+	for r := range perSite {
+		sites = append(sites, r)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	out := octx.Fork(e.id)
+	for _, r := range sites {
+		e.pendAdd(1)
+		e.obs.forwarded.Inc()
+		e.traceCtx(trace.SecondaryForwarded, r, octx)
+		e.send(comm.Message{
+			From: e.id, To: r, Kind: kindSecondary, Span: out,
+			Payload: secondaryPayload{TID: tid, Writes: perSite[r]},
+		})
+	}
+	e.walForwarded(tid)
+}
 
 func (e *naiveEngine) Execute(ops []model.Op) error {
 	//lint:allow nodeterminism commit-latency stamp for metrics; never branches protocol logic
@@ -39,36 +88,17 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 		e.recAbort(tid)
 		return err
 	}
+	writes := t.Writes()
 	e.commitMu.Lock()
+	e.armDurable(t, wal.Record{
+		Kind: wal.KindApply, TID: tid, Role: wal.RoleOrigin,
+		Writes: writes, Forwards: len(writes) > 0, Span: octx,
+	})
 	err := t.Commit()
-	var writes []model.WriteOp
 	if err == nil {
 		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
-		writes = t.Writes()
-		// Ship each replica site exactly the writes it stores.
-		perSite := make(map[model.SiteID][]model.WriteOp)
-		for _, w := range writes {
-			for _, r := range e.cfg.Placement.ReplicaSites(w.Item) {
-				perSite[r] = append(perSite[r], w)
-			}
-		}
-		// Ship in site order, not map order: the transport draws its
-		// seeded jitter in Send order, so map-ordered sends would perturb
-		// schedule replay.
-		sites := make([]model.SiteID, 0, len(perSite))
-		for r := range perSite {
-			sites = append(sites, r)
-		}
-		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
-		out := octx.Fork(e.id)
-		for _, r := range sites {
-			e.pendAdd(1)
-			e.obs.forwarded.Inc()
-			e.traceCtx(trace.SecondaryForwarded, r, octx)
-			e.send(comm.Message{
-				From: e.id, To: r, Kind: kindSecondary, Span: out,
-				Payload: secondaryPayload{TID: tid, Writes: perSite[r]},
-			})
+		if len(writes) > 0 {
+			e.fanOut(octx, tid, writes)
 		}
 	}
 	e.commitMu.Unlock()
@@ -87,6 +117,9 @@ func (e *naiveEngine) Handle(msg comm.Message) {
 	}
 	switch msg.Kind {
 	case kindSecondary:
+		if !e.logReceipt(msg) {
+			return // fenced mid-crash: dropped unacknowledged, retransmitted
+		}
 		// Applied on arrival, concurrently — this is precisely the
 		// indiscriminate behaviour that loses serializability.
 		e.traceCtx(trace.SecondaryEnqueued, msg.From, msg.Span)
@@ -97,10 +130,18 @@ func (e *naiveEngine) Handle(msg comm.Message) {
 	}
 }
 
+// applySecondary retries the subtransaction to commit and releases its
+// pending obligation only once the consumption is durable; a stop (or a
+// fence) exits without pendDone, leaving the obligation to recovery.
 func (e *naiveEngine) applySecondary(p secondaryPayload, sc model.SpanContext) {
-	defer e.pendDone()
 	for {
 		if e.stopping() {
+			return
+		}
+		if e.wasApplied(p.TID) {
+			// A crash-recovery re-forward duplicated this delivery:
+			// consume its receipt without re-applying (exactly-once).
+			e.consumeAndDone(p.TID)
 			return
 		}
 		t := e.tm.BeginSecondary(p.TID)
@@ -120,12 +161,17 @@ func (e *naiveEngine) applySecondary(p secondaryPayload, sc model.SpanContext) {
 			e.retryBackoff()
 			continue
 		}
+		e.armDurable(t, wal.Record{
+			Kind: wal.KindApply, TID: p.TID, Role: wal.RoleSecondary,
+			Consumes: true, Writes: p.Writes, Span: sc,
+		})
 		if err := t.Commit(); err != nil {
 			e.recRetry()
 			e.retryBackoff()
 			continue
 		}
 		e.recApplied(sc)
+		e.pendDone()
 		return
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/watch"
 )
 
@@ -45,17 +46,39 @@ type pslEngine struct {
 }
 
 func newPSL(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *pslEngine {
-	return &pslEngine{
+	e := &pslEngine{
 		base:     newBase(cfg, PSL, id, tr),
 		reads:    make(chan queuedMsg, 1<<16),
 		released: make(map[model.TxnID]bool),
 		prog:     cfg.Watch.Queue(id, "reads"),
 	}
+	e.recover()
+	return e
+}
+
+// recover reinstates the remote-lock protocol state the disk knows:
+// release tombstones, and the shared locks granted to still-outstanding
+// remote readers — re-acquired on the fresh lock manager so a post-crash
+// writer cannot slip under a reader the pre-crash primary promised.
+func (e *pslEngine) recover() {
+	if e.wal == nil {
+		return
+	}
+	rec := e.wal.Recovered()
+	for tid := range rec.Released {
+		e.released[tid] = true
+	}
+	for tid, items := range rec.RLocks {
+		for _, it := range items {
+			// Cannot fail: the manager is fresh and these are shared locks.
+			_ = e.locks.Acquire(tid, it, lock.Shared, e.cfg.Params.LockTimeout)
+		}
+	}
 }
 
 func (e *pslEngine) Start() { go e.readServer() }
 
-func (e *pslEngine) Stop() { close(e.stop) }
+func (e *pslEngine) Stop() { e.halt() }
 
 func (e *pslEngine) readServer() {
 	for {
@@ -124,6 +147,10 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 			}
 		}
 	}
+	e.armDurable(t, wal.Record{
+		Kind: wal.KindApply, TID: tid, Role: wal.RoleOrigin,
+		Writes: t.Writes(), Span: octx,
+	})
 	if err := t.Commit(); err != nil {
 		e.releaseRemotes(octx, remotes)
 		e.recAbort(tid)
@@ -165,8 +192,16 @@ func (e *pslEngine) Handle(msg comm.Message) {
 		e.prog.Push()
 		e.reads <- queuedMsg{msg: msg, at: e.phaseClock()}
 	case kindPSLRelease:
-		e.recTransport(msg, msg.Payload.(pslReleasePayload).TID)
-		go e.serveRelease(msg.Payload.(pslReleasePayload).TID)
+		tid := msg.Payload.(pslReleasePayload).TID
+		e.recTransport(msg, tid)
+		// The tombstone must be durable before this delivery is
+		// acknowledged (the handler returning is the ack): a release, once
+		// acked, is never retransmitted, and losing it would leak the
+		// reader's shared lock at the recovered primary forever.
+		if e.walAppendSync(wal.Record{Kind: wal.KindRUnlock, TID: tid}) != nil {
+			return // fenced mid-crash: dropped unacknowledged, retransmitted
+		}
+		go e.serveRelease(tid)
 	default:
 		panic("core: PSL received unexpected message kind")
 	}
@@ -197,6 +232,12 @@ func (e *pslEngine) serveRead(msg comm.Message, enq time.Time) {
 		e.locks.ReleaseAll(req.TID)
 		e.rpc.ReplyError(msg, fmt.Errorf("transaction aborted during lock wait"))
 		return
+	}
+	// The grant must be durable before the reply externalizes it, so a
+	// crashed-and-recovered primary still honors the outstanding reader.
+	if e.walAppendSync(wal.Record{Kind: wal.KindRLock, TID: req.TID, Item: req.Item}) != nil {
+		e.locks.ReleaseAll(req.TID)
+		return // fenced mid-crash: no reply; the caller times out and aborts
 	}
 	ver, err := e.store.Read(req.Item)
 	if err != nil {

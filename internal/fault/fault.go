@@ -76,6 +76,24 @@ type edgeState struct {
 	faults Faults
 }
 
+// Lifecycle hooks a crash-recovery implementation into Crash and Restart.
+// Both hooks run with the site's delivery gate write-held: no delivery is
+// in flight at the site while they run, and none starts until they
+// return. With no Lifecycle installed the injector keeps its legacy
+// in-memory fail-recover mode — the site's heap state survives the
+// outage untouched — which fast tests opt into by simply not wiring a
+// WAL.
+type Lifecycle struct {
+	// OnCrash finalizes the dying site: fence its write-ahead log (un-
+	// fsynced appends are honestly lost) and halt its engine. Everything
+	// the site "knew" that never reached disk is gone when it returns.
+	OnCrash func(site model.SiteID)
+	// OnRestart rebuilds the site from its durable state: reopen the log,
+	// replay snapshot + records, construct a fresh engine, and re-register
+	// its handler. The site starts receiving again only after it returns.
+	OnRestart func(site model.SiteID)
+}
+
 // Transport is a fault-injecting comm.Transport wrapper. All methods are
 // safe for concurrent use. The zero faults mix makes it a transparent
 // pass-through that still supports partitions and crashes.
@@ -88,6 +106,8 @@ type Transport struct {
 	overrides   map[edge]Faults
 	partitioned map[edge]bool
 	crashed     map[model.SiteID]bool
+	gates       map[model.SiteID]*sync.RWMutex
+	lifecycle   Lifecycle
 	closed      bool
 
 	trace *trace.Recorder
@@ -121,7 +141,31 @@ func New(inner comm.Transport, cfg Config) (*Transport, error) {
 		overrides:   make(map[edge]Faults),
 		partitioned: make(map[edge]bool),
 		crashed:     make(map[model.SiteID]bool),
+		gates:       make(map[model.SiteID]*sync.RWMutex),
 	}, nil
+}
+
+// SetLifecycle installs the crash-recovery hooks (see Lifecycle). Call
+// before traffic starts.
+func (t *Transport) SetLifecycle(lc Lifecycle) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lifecycle = lc
+}
+
+// gate returns site's delivery gate, creating it on first use. Every
+// delivery to the site holds it shared; Crash and Restart hold it
+// exclusive, which is what makes "no delivery straddles a crash"
+// a guarantee rather than a race.
+func (t *Transport) gate(site model.SiteID) *sync.RWMutex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.gates[site]
+	if !ok {
+		g = new(sync.RWMutex)
+		t.gates[site] = g
+	}
+	return g
 }
 
 // SetObs installs the live-metrics registry the injector counts faults
@@ -217,27 +261,56 @@ func (t *Transport) state(e edge) *edgeState {
 }
 
 // Crash takes a site down: every message to or from it is dropped until
-// Restart. State the site accumulated before the crash is untouched — the
-// model is fail-recover with durable state, matching the 2PC recovery
-// story (a real deployment persists prepared state; in-process the heap
-// stands in for the disk).
+// Restart. Crash first drains the site's delivery gate — deliveries
+// already dispatched into the site's handler finish (including their
+// write-ahead fsync, so the reliable sublayer's "acknowledged" always
+// means "durable") — then marks the site down and runs the Lifecycle
+// OnCrash hook, which fences the site's log and halts its engine:
+// volatile state is wiped with the process. Without a Lifecycle the
+// legacy in-memory mode applies instead: the heap stands in for the
+// disk and the site's state survives the outage untouched. The SiteCrash
+// trace event marks the instant the site stops receiving, before any
+// recovery work.
 func (t *Transport) Crash(site model.SiteID) {
+	g := t.gate(site)
+	g.Lock()
 	t.mu.Lock()
 	t.crashed[site] = true
 	rec := t.trace
+	lc := t.lifecycle
 	t.mu.Unlock()
 	t.ctr.crashes.Inc()
 	rec.Record(trace.SiteCrash, site, model.NoSite, model.TxnID{}, 0)
+	if lc.OnCrash != nil {
+		lc.OnCrash(site)
+	}
+	g.Unlock()
 }
 
-// Restart brings a crashed site back.
+// Restart brings a crashed site back. The Lifecycle OnRestart hook runs
+// first, with the delivery gate still write-held and the site still
+// marked down: the rebuilt engine's recovery-time sends are dropped
+// (crashed-from) and survive only through the reliable sublayer's
+// retransmission, exactly like a real site whose first packets race its
+// NIC coming up. Only after the hook returns is the site marked up; the
+// SiteRestart trace event therefore marks the instant the site is
+// actually serving again, not when recovery began.
 func (t *Transport) Restart(site model.SiteID) {
+	g := t.gate(site)
+	g.Lock()
+	t.mu.Lock()
+	lc := t.lifecycle
+	t.mu.Unlock()
+	if lc.OnRestart != nil {
+		lc.OnRestart(site)
+	}
 	t.mu.Lock()
 	delete(t.crashed, site)
 	rec := t.trace
 	t.mu.Unlock()
 	t.ctr.restarts.Inc()
 	rec.Record(trace.SiteRestart, site, model.NoSite, model.TxnID{}, 0)
+	g.Unlock()
 }
 
 // Crashed reports whether site is currently down.
@@ -270,9 +343,15 @@ func (t *Transport) Heal(from, to model.SiteID) {
 
 // Register implements comm.Transport. The handler is wrapped so messages
 // arriving at a crashed site are dropped: a down site neither sends nor
-// receives, even messages already in flight.
+// receives, even messages already in flight. Each delivery holds the
+// site's gate shared for the whole handler call, so a Crash either
+// happens entirely before a delivery (which is then dropped) or entirely
+// after it (which then completed, fsync and all) — never in the middle.
 func (t *Transport) Register(site model.SiteID, h comm.Handler) {
 	t.inner.Register(site, func(m comm.Message) {
+		g := t.gate(site)
+		g.RLock()
+		defer g.RUnlock()
 		t.mu.Lock()
 		down := t.crashed[site]
 		rec := t.trace

@@ -212,6 +212,37 @@ func (r *Recorder) CheckSerializable() error {
 	return nil
 }
 
+// Involving returns a formatted dump of every recorded observation that
+// mentions one of the given transactions: each write with its copy and
+// version slot, and each read with the version it observed. Debug helper
+// for explaining a serialization cycle.
+func (r *Recorder) Involving(tids ...model.TxnID) []string {
+	if r == nil {
+		return nil
+	}
+	want := make(map[model.TxnID]bool, len(tids))
+	for _, t := range tids {
+		want[t] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for k, ws := range r.writes {
+		for i, w := range ws {
+			if want[w] {
+				out = append(out, fmt.Sprintf("write s%d item%d v%d by %v", k.Site, k.Item, i+1, w))
+			}
+		}
+	}
+	for _, ro := range r.reads {
+		if want[ro.Reader] {
+			out = append(out, fmt.Sprintf("read  s%d item%d v%d by %v", ro.Site, ro.Item, ro.Version, ro.Reader))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // WriteHistory returns the writer of each installed version (index =
 // version-1) of item's copy at site. Debug helper.
 func (r *Recorder) WriteHistory(site model.SiteID, item model.ItemID) []model.TxnID {

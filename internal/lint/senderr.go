@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // NewSendErr returns the senderr analyzer. The exactly-once contract
@@ -23,7 +24,11 @@ import (
 //   - SendFrame methods taking a telemetry.Frame and returning error
 //     (the telemetry plane's sinks): a silently dropped frame error
 //     makes the cluster console lie — the publisher must count the
-//     failure and schedule the resync.
+//     failure and schedule the resync;
+//   - (*wal.SiteLog).Append and Sync, the write-ahead log's durability
+//     points: a dropped append or fsync error means the engine
+//     externalizes a transition the disk never recorded, so a crash
+//     silently forgets work the rest of the cluster saw acknowledged.
 //
 // Sites where dropping is the contract (ARQ retransmission covers the
 // loss; a lost reply is indistinguishable from a lost response message)
@@ -84,6 +89,9 @@ func watchedSendCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	case fn.Name() == "SendFrame" && sig.Recv() != nil && sig.Params().Len() == 1 &&
 		typeFrom(sig.Params().At(0).Type(), "telemetry", "Frame"):
 		return recvTypeName(sig) + ".SendFrame", true
+	case (fn.Name() == "Append" || fn.Name() == "Sync") && sig.Recv() != nil &&
+		typeFrom(sig.Recv().Type(), "wal", "SiteLog"):
+		return "SiteLog." + fn.Name(), true
 	}
 	return "", false
 }
@@ -101,9 +109,15 @@ func recvTypeName(sig *types.Signature) string {
 }
 
 func reportDroppedSend(pass *Pass, info *types.Info, call *ast.CallExpr, how string) {
-	if name, ok := watchedSendCall(info, call); ok {
-		pass.Reportf(call.Pos(), "error from %s %s: a lost message breaks exactly-once accounting (check it, count it, or annotate the contract)", name, how)
+	name, ok := watchedSendCall(info, call)
+	if !ok {
+		return
 	}
+	why := "a lost message breaks exactly-once accounting"
+	if strings.HasPrefix(name, "SiteLog.") {
+		why = "an unlogged transition silently survives no crash"
+	}
+	pass.Reportf(call.Pos(), "error from %s %s: %s (check it, count it, or annotate the contract)", name, how, why)
 }
 
 // checkBlankSend flags watched calls whose error lands in the blank

@@ -7,6 +7,7 @@ import (
 	"comm"
 	"telemetry"
 	"twopc"
+	"wal"
 )
 
 func drops(t *comm.Transport, m comm.Message) {
@@ -59,4 +60,24 @@ func checkedFrame(s *telemetry.Sink, f telemetry.Frame) error {
 func allowedFrameDrop(s *telemetry.Sink, f telemetry.Frame) {
 	//lint:allow senderr best-effort final flush on shutdown
 	_ = s.SendFrame(f)
+}
+
+func dropsWAL(l *wal.SiteLog, rec wal.Record) {
+	l.Append(rec)     // want "error from SiteLog.Append discarded"
+	_ = l.Append(rec) // want "error from SiteLog.Append assigned to _"
+	l.Sync()          // want "error from SiteLog.Sync discarded"
+	go l.Sync()       // want "discarded by go statement"
+	defer l.Sync()    // want "discarded by defer"
+}
+
+func checkedWAL(l *wal.SiteLog, rec wal.Record) error {
+	if err := l.Append(rec); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+func allowedWALDrop(l *wal.SiteLog, rec wal.Record) {
+	//lint:allow senderr advisory record; losing it only causes a duplicate re-forward
+	_ = l.Append(rec)
 }

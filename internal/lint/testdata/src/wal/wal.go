@@ -1,0 +1,15 @@
+// Package wal is a miniature of the repository's write-ahead log, just
+// enough surface for the senderr analyzer's type matching.
+package wal
+
+// Record is one redo-log entry.
+type Record struct {
+	Kind uint8
+}
+
+// SiteLog is the per-site log; Append and Sync are the durability points
+// senderr watches.
+type SiteLog struct{}
+
+func (l *SiteLog) Append(rec Record) error { return nil }
+func (l *SiteLog) Sync() error             { return nil }

@@ -83,6 +83,22 @@ func (s *Store) Apply(item model.ItemID, value int64, writer model.TxnID) (Versi
 	return cs.ver, nil
 }
 
+// Load installs a recovered version of item verbatim — value, version
+// number, and writer — when rebuilding a store from the redo log. Unlike
+// Apply it does not advance the version counter: the log already replayed
+// the advances. Loading an item with no copy here is an error (placement
+// is static).
+func (s *Store) Load(item model.ItemID, ver Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.items[item]
+	if !ok {
+		return fmt.Errorf("storage: no copy of item %d at this site", item)
+	}
+	cs.ver = ver
+	return nil
+}
+
 // Snapshot returns the current value of every copy. Only meaningful when
 // the site is quiesced.
 func (s *Store) Snapshot() map[model.ItemID]int64 {

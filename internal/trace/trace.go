@@ -96,6 +96,13 @@ const (
 	// Event.Dur holds nanoseconds) to the transaction at Site; recorded
 	// span-less so wall-clock durations never perturb span-tree structure.
 	PhaseLatency
+	// WALSnapshot marks Site's write-ahead log serializing a storage
+	// snapshot and truncating the segments it covers (docs/DURABILITY.md).
+	WALSnapshot
+	// WALRecover marks Site finishing crash recovery: snapshot load, redo
+	// replay, and engine rebuild from its WAL directory; Event.Dur holds
+	// the recovery latency in nanoseconds.
+	WALRecover
 
 	kindEnd
 )
@@ -125,6 +132,8 @@ var kindNames = [kindEnd]string{
 	WatchAlert:         "WatchAlert",
 	WatchClear:         "WatchClear",
 	PhaseLatency:       "PhaseLatency",
+	WALSnapshot:        "WALSnapshot",
+	WALRecover:         "WALRecover",
 }
 
 func (k Kind) String() string {
@@ -298,6 +307,24 @@ func (r *Recorder) RecordSpan(k Kind, site, peer model.SiteID, tid model.TxnID, 
 	ev := Event{
 		T: int64(time.Since(r.start)), Kind: k, Site: site, Peer: peer,
 		TID: tid, Span: span, Parent: parent, Proto: proto,
+	}
+	s := &r.shards[uint(site)%shardCount]
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+	r.emit(ev)
+}
+
+// RecordDur appends one event carrying a wall-clock duration (e.g.
+// WALRecover's recovery latency). Span-less like RecordPhase: durations
+// vary between same-seed runs and must not perturb span-tree structure.
+func (r *Recorder) RecordDur(k Kind, site, peer model.SiteID, tid model.TxnID, proto uint8, d time.Duration) {
+	if r == nil {
+		return
+	}
+	ev := Event{
+		T: int64(time.Since(r.start)), Kind: k, Site: site, Peer: peer,
+		TID: tid, Proto: proto, Dur: int64(d),
 	}
 	s := &r.shards[uint(site)%shardCount]
 	s.mu.Lock()

@@ -46,8 +46,9 @@ type Coordinator struct {
 // know that no participant will inquire again, and a missing entry must
 // keep meaning "not decided yet", never "decided and forgotten".
 type DecisionLog struct {
-	mu sync.Mutex
-	m  map[model.TxnID]bool
+	mu   sync.Mutex
+	m    map[model.TxnID]bool
+	sink func(tid model.TxnID, commit bool) error
 }
 
 // NewDecisionLog returns an empty decision log.
@@ -55,9 +56,23 @@ func NewDecisionLog() *DecisionLog {
 	return &DecisionLog{m: make(map[model.TxnID]bool)}
 }
 
-// Record writes tid's decision. The first record wins; a decision, once
-// logged, never changes.
-func (l *DecisionLog) Record(tid model.TxnID, commit bool) {
+// SetSink installs the persistence hook Record drives: typically a
+// closure appending the decision to the site's write-ahead log and
+// waiting for the group commit. With a sink installed, the in-memory map
+// caches what the sink made durable; without one the map itself is the
+// log (the pre-WAL in-process stand-in).
+func (l *DecisionLog) SetSink(sink func(tid model.TxnID, commit bool) error) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = sink
+	l.mu.Unlock()
+}
+
+// Seed pre-loads a recovered decision without driving the sink — it is
+// already durable; that is where it was recovered from.
+func (l *DecisionLog) Seed(tid model.TxnID, commit bool) {
 	if l == nil {
 		return
 	}
@@ -66,6 +81,28 @@ func (l *DecisionLog) Record(tid model.TxnID, commit bool) {
 		l.m[tid] = commit
 	}
 	l.mu.Unlock()
+}
+
+// Record writes tid's decision, driving the persistence sink first when
+// one is installed. The first successful record wins; a decision, once
+// logged, never changes. An error means the decision is NOT durable and
+// must not be acted on (the coordinator's site is crashing).
+func (l *DecisionLog) Record(tid model.TxnID, commit bool) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.m[tid]; ok {
+		return nil
+	}
+	if l.sink != nil {
+		if err := l.sink(tid, commit); err != nil {
+			return err
+		}
+	}
+	l.m[tid] = commit
+	return nil
 }
 
 // Lookup returns tid's decision and whether one has been recorded.
@@ -110,8 +147,13 @@ func Run(tid model.TxnID, participants []model.SiteID, c Coordinator, sc model.S
 	}
 	// The decision point: log it before any participant can learn it, so
 	// an inquiry after a lost phase-2 message (or a coordinator crash and
-	// restart) always finds the recorded outcome.
-	c.Log.Record(tid, commit)
+	// restart) always finds the recorded outcome. If the record cannot be
+	// made durable the decision never happened — report abort and skip
+	// phase 2; participants resolve by inquiry, which finds no decision
+	// and presumes abort.
+	if err := c.Log.Record(tid, commit); err != nil {
+		return false, fmt.Errorf("twopc: decision record: %w", err)
+	}
 	// Phase 2: deliver the decision in parallel.
 	errs := make([]error, len(participants))
 	for i, p := range participants {
@@ -182,11 +224,18 @@ func (t *Table) Begin(tid model.TxnID) error {
 }
 
 // Prepare moves tid from working to prepared and returns the yes vote;
-// if tid was already aborted (a racing abort won) the vote is no.
+// if tid was already aborted (a racing abort won) — or was never
+// registered at all, which after a participant crash means its execution
+// was wiped with the heap — the vote is no. Voting yes for an unknown
+// tid would promise an installation this site cannot deliver.
 func (t *Table) Prepare(tid model.TxnID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	switch t.m[tid] {
+	s, ok := t.m[tid]
+	if !ok {
+		return false
+	}
+	switch s {
 	case StateWorking:
 		t.m[tid] = StatePrepared
 		return true

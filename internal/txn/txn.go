@@ -69,7 +69,18 @@ type Txn struct {
 	readObs    []history.ReadObs
 	prio       lock.Priority
 	finished   bool
+	durable    func() error
 }
+
+// SetDurable installs the write-ahead hook Commit runs before any store
+// mutation: typically an engine closure that appends the commit's redo
+// record to the site log and waits for the group commit. If the hook
+// fails (the site's log was fenced by a crash) Commit releases all locks
+// and returns an error wrapping both ErrAborted and the hook's error —
+// nothing was installed, exactly as if the transaction never committed.
+// Conversely, once the hook returns nil the commit is durable and Commit
+// always completes the in-memory installation.
+func (t *Txn) SetDurable(hook func() error) { t.durable = hook }
 
 // Begin starts a transaction with the given system-wide unique id.
 func (m *Manager) Begin(id model.TxnID) *Txn {
@@ -135,6 +146,15 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("txn %v: double finish", t.ID)
 	}
 	t.finished = true
+	if t.durable != nil {
+		// Log then mutate: the redo record must be on disk before any
+		// effect of this commit can be observed (or externalized by the
+		// caller under its commit critical section).
+		if err := t.durable(); err != nil {
+			t.m.Locks.ReleaseAll(t.ID)
+			return fmt.Errorf("txn %v: %w: %w", t.ID, ErrAborted, err)
+		}
+	}
 	var applyStart time.Time
 	if t.m.metrics != nil && len(t.writeOrder) > 0 {
 		applyStart = time.Now()

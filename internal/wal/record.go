@@ -1,0 +1,275 @@
+// Package wal is the per-site write-ahead redo log (docs/DURABILITY.md).
+//
+// Every state transition a site must survive a crash with — message
+// receipts, committed applies, propagation obligations, 2PC registrations
+// and decisions, remote read-lock grants — is appended as one framed
+// record and made durable with a group-committed fsync *before* the
+// transition is externalized (before the transport acknowledges, before a
+// reply is sent, before the cluster's pending-work accounting is
+// released). Recovery is then a pure fold over the durable prefix: load
+// the newest snapshot, replay the records after it, and hand the engine a
+// State describing exactly what the disk knows.
+//
+// The log is honest about loss: records buffered but not yet fsynced at
+// crash time are gone, and everything that depended on them (an
+// unacknowledged message, an unreleased pending obligation) is redone by
+// the sender's retransmission or by recovery replay — never silently
+// resurrected.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/model"
+	"repro/internal/ts"
+)
+
+// Kind enumerates the redo-record taxonomy. The set is closed: recovery
+// is a switch over these, and an unknown kind in a log is corruption.
+type Kind uint8
+
+const (
+	// KindBoot opens every log generation: it carries the incarnation
+	// number the booting engine must use to keep its TxnIDs unique across
+	// restarts.
+	KindBoot Kind = iota + 1
+	// KindReceipt records a propagation message (secondary, special, or
+	// backedge-execute) the moment it is received, before the reliable
+	// sublayer acknowledges it: acked means durable. An unconsumed receipt
+	// at recovery is re-enqueued for processing.
+	KindReceipt
+	// KindApply records a transaction's writes committing at this site,
+	// appended inside the commit critical section before the store
+	// mutates (log-then-mutate). Its Role says what the apply resolves.
+	KindApply
+	// KindConsumed marks one receipt of TID as fully processed without an
+	// apply (a deduplicated duplicate, a special arriving home). Exactly
+	// one consumption marker — an apply with Consumes set, or this —
+	// eventually matches every receipt.
+	KindConsumed
+	// KindForwarded marks an apply's propagation obligation discharged
+	// (children were sent their secondaries). It may be appended without
+	// an fsync: losing it only causes a duplicate re-forward, which
+	// receivers deduplicate.
+	KindForwarded
+	// KindPrepared records a backedge participant registering an eagerly
+	// executed subtransaction, before it relays the special onward. At
+	// recovery these are the in-doubt transactions resolved by 2PC
+	// decision inquiry.
+	KindPrepared
+	// KindResolved marks an in-doubt prepared entry resolved by an abort
+	// decision. (A commit decision resolves it through the KindApply
+	// record with RoleResolve.)
+	KindResolved
+	// KindDecision records a 2PC coordinator decision, replacing the
+	// ad-hoc in-memory decision side log: it must be durable before any
+	// participant learns the outcome.
+	KindDecision
+	// KindEagerStart records a backedge origin dispatching an eager
+	// subtransaction, before the execute message is sent. At recovery an
+	// undecided eager start is presumed aborted; a decided-commit one
+	// whose local apply is missing is redone.
+	KindEagerStart
+	// KindRLock records a PSL primary granting a remote read lock, before
+	// the grant reply is sent; recovery re-acquires it so a post-crash
+	// writer cannot slip under a still-outstanding remote reader.
+	KindRLock
+	// KindRUnlock records a PSL remote transaction releasing its read
+	// locks (and tombstoning the TID), before the locks are dropped.
+	KindRUnlock
+	// KindEpoch records a DAG(T) source site advancing its epoch counter
+	// (TS.Epoch carries the new value), before any timestamp bearing that
+	// epoch is shipped. Epochs are compared first and cross-site
+	// (ts.Compare), so a recovered site must resume at exactly the largest
+	// epoch it ever shipped: regressing breaks per-edge timestamp
+	// monotonicity, and overshooting starves its entries in every child's
+	// min-timestamp head selection until the other sources catch up.
+	KindEpoch
+)
+
+var kindNames = map[Kind]string{
+	KindBoot: "boot", KindReceipt: "receipt", KindApply: "apply",
+	KindConsumed: "consumed", KindForwarded: "forwarded",
+	KindPrepared: "prepared", KindResolved: "resolved",
+	KindDecision: "decision", KindEagerStart: "eagerstart",
+	KindRLock: "rlock", KindRUnlock: "runlock", KindEpoch: "epoch",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Role says what a KindApply record resolves besides installing writes.
+type Role uint8
+
+const (
+	// RoleOrigin is a primary subtransaction committing at its origin.
+	RoleOrigin Role = iota
+	// RoleSecondary is a propagated subtransaction committing at a
+	// replica; it consumes one receipt of its TID.
+	RoleSecondary
+	// RoleResolve is an in-doubt prepared backedge subtransaction
+	// committing on a 2PC commit decision; it resolves the prepared
+	// entry (its receipt was consumed when the special was relayed).
+	RoleResolve
+)
+
+// Record is the single schema every log entry shares; which fields are
+// meaningful depends on Kind (see the constants above). One flat struct
+// keeps the codec trivial and the fuzz surface small.
+type Record struct {
+	Kind Kind
+	TID  model.TxnID
+
+	// Receipt fields: the sending site and the engine message kind, so
+	// recovery can re-enqueue an equivalent message.
+	From    model.SiteID
+	MsgKind int
+
+	// Origin site of a special/eager subtransaction (Prepared, EagerStart,
+	// and Receipt records for special payloads).
+	Origin model.SiteID
+
+	// Writes carried: the full payload write set for receipts and applies
+	// (applies keep the payload, not the locally filtered subset, so
+	// recovery can re-forward), the local write set for EagerStart.
+	Writes []model.WriteOp
+
+	// Span is the causal context the work ran under, so recovery-time
+	// re-forwards keep the deterministic span tree intact.
+	Span model.SpanContext
+
+	// DAG(T) ordering state: the timestamp carried by the payload or
+	// stamped at commit, and the committing site's LTS counter at that
+	// moment. The last apply record fully determines the site timestamp.
+	TS   ts.Timestamp
+	LTSI uint64
+
+	Role     Role
+	Consumes bool // apply doubles as the receipt-consumption marker
+	Forwards bool // apply leaves a propagation obligation behind
+
+	Commit      bool // decision outcome
+	Item        model.ItemID
+	Incarnation uint64 // boot
+}
+
+// Frame layout: u32 little-endian body length, u32 IEEE CRC of the body,
+// then the gob-encoded Record. Each frame is independently decodable so
+// a torn tail never poisons the prefix before it.
+const (
+	frameHeader  = 8
+	maxFrameBody = 16 << 20
+)
+
+// appendRawFrame appends one length+CRC framed body to dst.
+func appendRawFrame(dst, body []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// takeRawFrame extracts the first frame's body from data; ok is false on
+// a torn or corrupt frame.
+func takeRawFrame(data []byte) ([]byte, bool) {
+	if len(data) < frameHeader {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if n > maxFrameBody || len(data) < frameHeader+int(n) {
+		return nil, false
+	}
+	body := data[frameHeader : frameHeader+int(n)]
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, false
+	}
+	return body, true
+}
+
+// encodeFrame appends the framed encoding of rec to dst and returns the
+// extended slice.
+func encodeFrame(dst []byte, rec *Record) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
+		return dst, fmt.Errorf("wal: encode %v record: %w", rec.Kind, err)
+	}
+	return appendRawFrame(dst, body.Bytes()), nil
+}
+
+// ReadRecords decodes every whole, checksum-valid record from r, stopping
+// cleanly at the first torn or corrupt frame — the bytes past a crash
+// point are garbage by contract, not an error. It never panics on any
+// input (FuzzWALDecode holds it to that).
+func ReadRecords(r io.Reader) []Record {
+	var out []Record
+	br := newByteReader(r)
+	for {
+		hdr, ok := br.take(frameHeader)
+		if !ok {
+			return out
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxFrameBody {
+			return out // implausible length: torn or corrupt header
+		}
+		body, ok := br.take(int(n))
+		if !ok {
+			return out // torn tail
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return out // bit rot or a partially written frame
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
+			return out // checksummed garbage (e.g. a schema from the future)
+		}
+		if _, known := kindNames[rec.Kind]; !known {
+			return out
+		}
+		out = append(out, rec)
+	}
+}
+
+// byteReader accumulates reads so take never over-reads past what it
+// hands out.
+type byteReader struct {
+	r   io.Reader
+	buf []byte
+	off int
+	eof bool
+}
+
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+// take returns the next n bytes, reading more as needed; ok is false at
+// a clean or torn end.
+func (b *byteReader) take(n int) ([]byte, bool) {
+	for len(b.buf)-b.off < n && !b.eof {
+		chunk := make([]byte, 64<<10)
+		m, err := b.r.Read(chunk)
+		if m > 0 {
+			b.buf = append(b.buf, chunk[:m]...)
+		}
+		if err != nil {
+			b.eof = true
+		}
+	}
+	if len(b.buf)-b.off < n {
+		return nil, false
+	}
+	out := b.buf[b.off : b.off+n]
+	b.off += n
+	return out, true
+}

@@ -1,0 +1,255 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/ts"
+)
+
+func openT(t *testing.T, dir string, opts Options) *SiteLog {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendSync(t *testing.T, l *SiteLog, rec Record) {
+	t.Helper()
+	if err := l.Append(rec); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	items := []model.ItemID{1, 2, 9}
+	l := openT(t, dir, Options{Items: items})
+	if got := l.Incarnation(); got != 1 {
+		t.Fatalf("first incarnation = %d, want 1", got)
+	}
+	tid := model.TxnID{Site: 0, Seq: 7}
+	appendSync(t, l, Record{Kind: KindReceipt, TID: tid, From: 2, MsgKind: 1,
+		Writes: []model.WriteOp{{Item: 1, Value: 10}}, TS: ts.New(2)})
+	appendSync(t, l, Record{
+		Kind: KindApply, TID: tid, Role: RoleSecondary, Consumes: true, Forwards: true,
+		Writes: []model.WriteOp{{Item: 1, Value: 10}, {Item: 5, Value: 3}}, // 5 not placed here
+	})
+	tid2 := model.TxnID{Site: 1, Seq: 1}
+	appendSync(t, l, Record{Kind: KindReceipt, TID: tid2, From: 3, MsgKind: 1})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := openT(t, dir, Options{Items: items})
+	defer l2.Close()
+	st := l2.Recovered()
+	if l2.Incarnation() != 2 {
+		t.Fatalf("second incarnation = %d, want 2", l2.Incarnation())
+	}
+	if got := st.Items[1]; got != (ItemState{Value: 10, Num: 1, Writer: tid}) {
+		t.Fatalf("item 1 state = %+v", got)
+	}
+	if _, ok := st.Items[5]; ok {
+		t.Fatalf("item 5 leaked into a site that does not place it")
+	}
+	if !st.Applied[tid] {
+		t.Fatalf("tid not in applied set")
+	}
+	// The apply consumed the first receipt; the second is still pending.
+	if len(st.Receipts) != 1 || st.Receipts[0].TID != tid2 {
+		t.Fatalf("receipts = %+v, want only %v", st.Receipts, tid2)
+	}
+	if len(st.Forwards) != 1 || st.Forwards[0].TID != tid {
+		t.Fatalf("forwards = %+v", st.Forwards)
+	}
+	if !l2.WasApplied(tid) || l2.WasApplied(tid2) {
+		t.Fatalf("WasApplied wrong: %v %v", l2.WasApplied(tid), l2.WasApplied(tid2))
+	}
+}
+
+func TestFenceDiscardsUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	tid := model.TxnID{Site: 0, Seq: 1}
+	appendSync(t, l, Record{Kind: KindReceipt, TID: tid, From: 1, MsgKind: 1})
+	// Buffered but never synced: must be lost at the fence.
+	if err := l.Append(Record{Kind: KindConsumed, TID: tid}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l.Fence()
+	if err := l.Append(Record{Kind: KindConsumed, TID: tid}); err != ErrFenced {
+		t.Fatalf("Append after fence = %v, want ErrFenced", err)
+	}
+	if err := l.Sync(); err != ErrFenced {
+		t.Fatalf("Sync after fence = %v, want ErrFenced", err)
+	}
+
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	st := l2.Recovered()
+	if len(st.Receipts) != 1 {
+		t.Fatalf("receipt count = %d, want 1 (unsynced consumption must be lost)", len(st.Receipts))
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	// A wide flush window so every writer's records land in the same
+	// group commit, deterministically.
+	l := openT(t, dir, Options{FlushInterval: 50 * time.Millisecond, Obs: reg})
+	defer l.Close()
+	const writers, per = 8, 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tid := model.TxnID{Site: model.SiteID(w), Seq: uint64(i + 1)}
+				if err := l.Append(Record{Kind: KindReceipt, TID: tid, MsgKind: 1}); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+			if err := l.Sync(); err != nil {
+				t.Errorf("Sync: %v", err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	var appends, fsyncs int64
+	for k, v := range snap {
+		if strings.HasPrefix(k, "repl_wal_appends_total") {
+			appends += v
+		}
+		if strings.HasPrefix(k, "repl_wal_fsyncs_total") {
+			fsyncs += v
+		}
+	}
+	if appends != writers*per+1 { // +1 boot record
+		t.Fatalf("appends = %d, want %d", appends, writers*per+1)
+	}
+	// One inline boot flush plus a handful of ticks, not one per record.
+	if fsyncs > 10 {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d appends", fsyncs, appends)
+	}
+}
+
+func TestSnapshotTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	items := []model.ItemID{0, 1, 2, 3}
+	l := openT(t, dir, Options{Items: items, SnapshotBytes: 2 << 10})
+	var lastTID model.TxnID
+	for i := 1; i <= 200; i++ {
+		lastTID = model.TxnID{Site: 0, Seq: uint64(i)}
+		appendSync(t, l, Record{Kind: KindApply, TID: lastTID, Role: RoleOrigin,
+			Writes: []model.WriteOp{{Item: model.ItemID(i % 4), Value: int64(i)}}})
+	}
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatalf("no snapshot written after %d applies", 200)
+	}
+	if len(segs) > 2 {
+		t.Fatalf("truncation left %d segments: %v", len(segs), segs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir, Options{Items: items})
+	defer l2.Close()
+	st := l2.Recovered()
+	if got := st.Items[0].Value; got != 200 {
+		t.Fatalf("item 0 = %d, want 200", got)
+	}
+	if got := st.Items[0].Num; got != 50 {
+		t.Fatalf("item 0 version = %d, want 50", got)
+	}
+	if !st.Applied[lastTID] {
+		t.Fatalf("last apply missing from recovered state")
+	}
+}
+
+func TestTornTailStopsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	for i := 1; i <= 5; i++ {
+		appendSync(t, l, Record{Kind: KindReceipt, TID: model.TxnID{Site: 0, Seq: uint64(i)}, MsgKind: 1})
+	}
+	l.Close()
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.log")
+	if len(segs) != 1 || segs[0] != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-record: drop the last 3 bytes.
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs := ReadRecords(bytes.NewReader(data[:len(data)-3]))
+	if len(recs) != 5 { // boot + 4 whole receipts
+		t.Fatalf("torn replay got %d records, want 5", len(recs))
+	}
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	if got := len(l2.Recovered().Receipts); got != 4 {
+		t.Fatalf("recovered %d receipts from torn log, want 4", got)
+	}
+}
+
+func TestDecisionFirstWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	defer l.Close()
+	tid := model.TxnID{Site: 2, Seq: 4}
+	appendSync(t, l, Record{Kind: KindDecision, TID: tid, Commit: true})
+	appendSync(t, l, Record{Kind: KindDecision, TID: tid, Commit: false})
+	commit, known := l.Decision(tid)
+	if !known || !commit {
+		t.Fatalf("decision = (%v, %v), want first-write-wins commit", commit, known)
+	}
+}
+
+func TestRLockReleaseRace(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	tid := model.TxnID{Site: 1, Seq: 2}
+	// Release recorded before a racing grant: the grant must not
+	// resurrect the lock at recovery.
+	appendSync(t, l, Record{Kind: KindRUnlock, TID: tid})
+	appendSync(t, l, Record{Kind: KindRLock, TID: tid, Item: 3})
+	l.Close()
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	st := l2.Recovered()
+	if len(st.RLocks[tid]) != 0 {
+		t.Fatalf("released txn still holds %v", st.RLocks[tid])
+	}
+	if !st.Released[tid] {
+		t.Fatalf("tombstone lost")
+	}
+}

@@ -49,6 +49,9 @@ const (
 	// holding locks, awaiting the coordinator's decision — beyond
 	// PendingDeadline.
 	PendingTwoPC
+	// RecoveryStall means a crashed site has been down — torn down but
+	// not yet rebuilt from its write-ahead log — beyond StallDeadline.
+	RecoveryStall
 )
 
 func (k Kind) String() string {
@@ -61,6 +64,8 @@ func (k Kind) String() string {
 		return "queue_stall"
 	case PendingTwoPC:
 		return "pending_2pc"
+	case RecoveryStall:
+		return "recovery_stall"
 	default:
 		return fmt.Sprintf("watch.Kind(%d)", uint8(k))
 	}
@@ -98,6 +103,14 @@ type PendingStatus struct {
 	Count       int
 	Oldest      model.TxnID
 	OldestSince time.Time
+}
+
+// RecoveryStatus is a cluster's answer to the crash-recovery probe for
+// one site: whether it is currently down (crashed, not yet rebuilt from
+// its write-ahead log) and since when.
+type RecoveryStatus struct {
+	Down  bool
+	Since time.Time
 }
 
 // Progress is a queue's liveness handle: engines Push on enqueue and
@@ -224,15 +237,16 @@ type queueSample struct {
 type Watchdog struct {
 	opts Options
 
-	mu      sync.Mutex
-	reg     *obs.Registry
-	tr      *trace.Recorder
-	obs     watchObs
-	queues  []*Progress
-	qs      map[*Progress]queueSample
-	epochs  map[model.SiteID]func() EpochStatus
-	epochAt map[model.SiteID]queueSample // pops field reused as the epoch
-	pending map[model.SiteID]func() PendingStatus
+	mu       sync.Mutex
+	reg      *obs.Registry
+	tr       *trace.Recorder
+	obs      watchObs
+	queues   []*Progress
+	qs       map[*Progress]queueSample
+	epochs   map[model.SiteID]func() EpochStatus
+	epochAt  map[model.SiteID]queueSample // pops field reused as the epoch
+	pending  map[model.SiteID]func() PendingStatus
+	recovery map[model.SiteID]func() RecoveryStatus
 
 	// outstanding[dest][tid] tracks forwarded-but-unapplied secondary
 	// subtransactions, fed from the trace sink.
@@ -262,6 +276,7 @@ func New(o Options) *Watchdog {
 		epochs:      make(map[model.SiteID]func() EpochStatus),
 		epochAt:     make(map[model.SiteID]queueSample),
 		pending:     make(map[model.SiteID]func() PendingStatus),
+		recovery:    make(map[model.SiteID]func() RecoveryStatus),
 		outstanding: make(map[model.SiteID]map[model.TxnID]outEntry),
 		active:      make(map[alertKey]*Alert),
 		raised:      make(map[Kind]int),
@@ -329,6 +344,18 @@ func (w *Watchdog) RegisterPending(site model.SiteID, probe func() PendingStatus
 	}
 	w.mu.Lock()
 	w.pending[site] = probe
+	w.mu.Unlock()
+}
+
+// RegisterRecovery installs a site's crash-recovery probe: the watchdog
+// flags a site that stays down past StallDeadline — a recovery that hung
+// replaying its log, or a crash the harness forgot to restart.
+func (w *Watchdog) RegisterRecovery(site model.SiteID, probe func() RecoveryStatus) {
+	if w == nil || probe == nil {
+		return
+	}
+	w.mu.Lock()
+	w.recovery[site] = probe
 	w.mu.Unlock()
 }
 
@@ -521,6 +548,21 @@ func (w *Watchdog) tick() {
 			want[k] = &Alert{
 				Kind: PendingTwoPC, Site: site, Peer: st.Oldest.Site, TID: st.Oldest, Age: age,
 				Detail: fmt.Sprintf("%d prepared, oldest %v", st.Count, st.Oldest),
+			}
+		}
+	}
+
+	// Crashed sites that have stayed down suspiciously long.
+	for site, probe := range w.recovery {
+		st := probe()
+		if !st.Down || st.Since.IsZero() {
+			continue
+		}
+		if age := now.Sub(st.Since); age > w.opts.StallDeadline {
+			k := alertKey{kind: RecoveryStall, site: site, peer: model.NoSite}
+			want[k] = &Alert{
+				Kind: RecoveryStall, Site: site, Peer: model.NoSite, Age: age,
+				Detail: fmt.Sprintf("site down %v without completing recovery", age.Round(time.Millisecond)),
 			}
 		}
 	}

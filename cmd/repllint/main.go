@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	repllint [-only name[,name]] [-list] [packages]
+//	repllint [-only name[,name]] [-list] [-tests] [-json] [packages]
 //
 // Packages default to ./... relative to the current directory. -only
 // restricts the run to a comma-separated subset of analyzers; -list
-// prints the suite and exits.
+// prints the suite and exits. -tests includes each package's in-package
+// _test.go files. -json emits one machine-readable diagnostic object per
+// line instead of the human format (the exit status is unchanged).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +24,22 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonDiag is the machine-readable diagnostic shape: flat fields a CI
+// problem matcher or artifact consumer can pick apart without knowing
+// go/token types.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON lines")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -56,7 +72,11 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	prog, err := lint.Load(".", patterns...)
+	loadFn := lint.Load
+	if *tests {
+		loadFn = lint.LoadTests
+	}
+	prog, err := loadFn(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repllint:", err)
 		os.Exit(2)
@@ -66,7 +86,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repllint:", err)
 		os.Exit(2)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *asJSON {
+			_ = enc.Encode(jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {

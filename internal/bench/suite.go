@@ -91,7 +91,8 @@ func RunSuite(cfg SuiteConfig, opts RunOptions) (*Snapshot, error) {
 		Label:         label,
 		Suite:         cfg.Name,
 		Seed:          cfg.Seed,
-		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		//lint:allow nodeterminism the snapshot's creation stamp is provenance metadata; comparisons key on seed and counts
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 		Environment:   CaptureEnvironment(),
 	}
 	prof, err := startProfiles(opts.ProfileDir)

@@ -126,20 +126,22 @@ type Cluster struct {
 	// engMu guards engines: restartSite swaps in a rebuilt engine while
 	// client threads fetch theirs per transaction.
 	engMu   sync.RWMutex
-	engines []core.Engine
+	engines []core.Engine // repl:guardedby(engMu)
 
 	// lcMu serializes crash/restart lifecycle transitions and guards the
 	// wals map they rewrite (the fault layer already excludes deliveries
 	// per site; this excludes concurrent transitions of different sites).
 	lcMu sync.Mutex
-	wals map[model.SiteID]*wal.SiteLog // non-nil iff Cfg.WALDir was set
+	wals map[model.SiteID]*wal.SiteLog // non-nil iff Cfg.WALDir was set // repl:guardedby(lcMu)
 
 	mu        sync.Mutex
-	failure   error                      // first non-abort Execute error
-	downSince map[model.SiteID]time.Time // sites torn down, awaiting restart
+	failure   error                      // first non-abort Execute error // repl:guardedby(mu)
+	downSince map[model.SiteID]time.Time // sites torn down, awaiting restart // repl:guardedby(mu)
 }
 
 // New builds (but does not start) a cluster.
+//
+//lint:allow guardedby construction is single-threaded; the fault hooks and client threads that contend for engines and wals only run after New returns and Start spawns the sites
 func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -374,6 +376,7 @@ func (c *Cluster) openWAL(s model.SiteID) (*wal.SiteLog, error) {
 // delivery is mid-handler — everything acknowledged is on disk.
 func (c *Cluster) crashSite(site model.SiteID) {
 	c.mu.Lock()
+	//lint:allow nodeterminism downSince only feeds the recovery-status gauge a human reads; it never orders protocol events
 	c.downSince[site] = time.Now()
 	c.mu.Unlock()
 	c.lcMu.Lock()
@@ -391,6 +394,7 @@ func (c *Cluster) crashSite(site model.SiteID) {
 // state survives, so retransmissions of everything unacknowledged flow
 // into the rebuilt site.
 func (c *Cluster) restartSite(site model.SiteID) {
+	//lint:allow nodeterminism start only times the recovery for the WALRecover trace duration; replay does not consume it
 	start := time.Now()
 	c.lcMu.Lock()
 	_ = c.wals[site].Close() // fenced: flushes nothing, releases the files
@@ -414,8 +418,10 @@ func (c *Cluster) restartSite(site model.SiteID) {
 	c.mu.Lock()
 	delete(c.downSince, site)
 	c.mu.Unlock()
+	//lint:allow nodeterminism the recovery duration is observability payload, not protocol state
+	dur := time.Since(start)
 	c.Cfg.Trace.RecordDur(trace.WALRecover, site, model.NoSite, model.TxnID{},
-		uint8(c.Cfg.Protocol), time.Since(start))
+		uint8(c.Cfg.Protocol), dur)
 }
 
 func (c *Cluster) recoveryStatus(site model.SiteID) watch.RecoveryStatus {
@@ -516,9 +522,11 @@ func (c *Cluster) Run() (metrics.Report, error) {
 					// reconnecting after a server bounce. Bounded so a
 					// schedule that never restarts the site cannot hang
 					// the run.
+					//lint:allow nodeterminism the deadline only bounds how long a client retries into a crashed site; timing out fails the run rather than changing its schedule
 					deadline := time.Now().Add(60 * time.Second)
 					for {
 						err := c.engine(site).Execute(ops)
+						//lint:allow nodeterminism same retry bound: the clock gates giving up, not protocol ordering
 						if err != nil && errors.Is(err, wal.ErrFenced) && time.Now().Before(deadline) {
 							time.Sleep(5 * time.Millisecond)
 							continue
@@ -581,8 +589,14 @@ func (c *Cluster) CheckConvergence() error {
 	if !c.Cfg.Protocol.Propagates() {
 		return fmt.Errorf("cluster: %v does not propagate updates; convergence is undefined", c.Cfg.Protocol)
 	}
-	snaps := make([]map[model.ItemID]int64, len(c.engines))
-	for s := range c.engines {
+	// Read the site count under engMu: restartSite swaps rebuilt engines
+	// into the slice concurrently. The count itself never changes, and
+	// storeSnapshot re-locks per site to fetch whatever engine is current.
+	c.engMu.RLock()
+	n := len(c.engines)
+	c.engMu.RUnlock()
+	snaps := make([]map[model.ItemID]int64, n)
+	for s := 0; s < n; s++ {
 		snaps[s] = c.storeSnapshot(model.SiteID(s))
 	}
 	for item := 0; item < c.Placement.NumItems; item++ {

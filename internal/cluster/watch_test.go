@@ -14,6 +14,8 @@ import (
 
 // pollFor retries cond every millisecond until it holds or the timeout
 // expires.
+//
+//lint:allow nodeterminism the wall clock only bounds how long the test polls; it never orders protocol events
 func pollFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)

@@ -53,8 +53,8 @@ type backedgeEngine struct {
 	decisions *twopc.DecisionLog
 
 	mu       sync.Mutex
-	prepared map[model.TxnID]*pendingBE   // executed backedge subtxns awaiting the decision
-	waiters  map[model.TxnID]*originState // origin-side transactions awaiting their special
+	prepared map[model.TxnID]*pendingBE   // executed backedge subtxns awaiting the decision // repl:guardedby(mu)
+	waiters  map[model.TxnID]*originState // origin-side transactions awaiting their special // repl:guardedby(mu)
 }
 
 // pendingBE is a participant-side executed backedge subtransaction
@@ -119,6 +119,8 @@ func newBackEdge(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *backedg
 // undecided one is presumed aborted — made durable so participant
 // inquiries find it; a decided-commit one whose local apply is missing
 // is redone), then unmarked forwards, then unconsumed receipts.
+//
+//lint:allow guardedby recovery runs inside newBackEdge before Start; no dispatcher or inquiry sweeper shares the prepared map yet
 func (e *backedgeEngine) recover() {
 	if e.wal == nil {
 		return
@@ -457,6 +459,7 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 		p := msg.Payload.(preparePayload)
 		e.obs.bePrepares.Inc()
 		e.traceCtx(trace.BackedgePrepare, msg.From, msg.Span)
+		//lint:allow waldiscipline the vote's Prepared record was appended and synced by executeHolding before the special was relayed, so the coordinator can only reach this prepare after the registration is durable
 		e.rpc.Reply(msg, prepareResp{Vote: e.table.Prepare(p.TID)})
 	case kindDecision:
 		// Decisions may take a lock-release step; keep the transport pair
@@ -468,6 +471,7 @@ func (e *backedgeEngine) Handle(msg comm.Message) {
 		// keeps waiting.
 		q := msg.Payload.(inquiryPayload)
 		commit, known := e.decisions.Lookup(q.TID)
+		//lint:allow waldiscipline inquiry answers only from the durable decision log: the Decision record was appended and synced before any participant could learn the outcome and start inquiring
 		e.rpc.Reply(msg, inquiryResp{Known: known, Commit: commit})
 	default:
 		panic("core: BackEdge received unexpected message kind")

@@ -32,14 +32,14 @@ type dagtEngine struct {
 	// tsMu guards the site timestamp state; it is the §3.2.2 critical
 	// section together with commitMu.
 	tsMu     sync.Mutex
-	siteTS   ts.Timestamp
-	ltsi     uint64 // primary subtransactions committed here (LTSi)
-	lastSent map[model.SiteID]time.Time
+	siteTS   ts.Timestamp // repl:guardedby(tsMu)
+	ltsi     uint64       // primary subtransactions committed here (LTSi) // repl:guardedby(tsMu)
+	lastSent map[model.SiteID]time.Time // repl:guardedby(tsMu)
 
 	// qMu/qCond guard the per-parent queues.
 	qMu    sync.Mutex
 	qCond  *sync.Cond
-	queues map[model.SiteID][]tsItem
+	queues map[model.SiteID][]tsItem // repl:guardedby(qMu)
 
 	prog *watch.Progress
 }
@@ -52,6 +52,7 @@ type tsItem struct {
 	at time.Time
 }
 
+//lint:allow guardedby construction is single-threaded; the scheduler, tickers, and watchdog callback that share these fields only start in Start, after newDAGT returns
 func newDAGT(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *dagtEngine {
 	e := &dagtEngine{
 		base:       newBase(cfg, DAGT, id, tr),
@@ -125,6 +126,8 @@ func (e *dagtEngine) Start() {
 // recoverWAL rebuilds the timestamp state from the last durable apply,
 // re-sends unmarked forwards, and re-enqueues unconsumed receipts (in
 // log order, which is per-parent arrival order).
+//
+//lint:allow guardedby recovery runs inside newDAGT before any goroutine that shares the timestamp or queue state exists
 func (e *dagtEngine) recoverWAL() {
 	if e.wal == nil {
 		return
@@ -464,16 +467,17 @@ func (e *dagtEngine) applySecondary(p secondaryPayload, sc model.SpanContext) bo
 			continue
 		}
 		e.commitMu.Lock()
-		if e.base.wal != nil {
-			e.tsMu.Lock()
-			ltsi := e.ltsi
-			e.tsMu.Unlock()
-			e.armDurable(t, wal.Record{
-				Kind: wal.KindApply, TID: p.TID, Role: wal.RoleSecondary,
-				Consumes: true, Writes: p.Writes,
-				TS: p.TS, LTSI: ltsi, Span: sc,
-			})
-		}
+		// Arm unconditionally: armDurable is a no-op without a log, and
+		// guarding it here would leave Commit undominated by the redo
+		// append on the guarded path (waldiscipline).
+		e.tsMu.Lock()
+		ltsi := e.ltsi
+		e.tsMu.Unlock()
+		e.armDurable(t, wal.Record{
+			Kind: wal.KindApply, TID: p.TID, Role: wal.RoleSecondary,
+			Consumes: true, Writes: p.Writes,
+			TS: p.TS, LTSI: ltsi, Span: sc,
+		})
 		err := t.Commit()
 		if err == nil {
 			e.advanceTS(p.TS)

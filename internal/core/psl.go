@@ -40,7 +40,7 @@ type pslEngine struct {
 	// by the run length, which matches the model's finite workloads; a
 	// production system would age entries out.
 	relMu    sync.Mutex
-	released map[model.TxnID]bool
+	released map[model.TxnID]bool // repl:guardedby(relMu)
 
 	prog *watch.Progress
 }
@@ -60,6 +60,8 @@ func newPSL(cfg *SharedConfig, id model.SiteID, tr comm.Transport) *pslEngine {
 // release tombstones, and the shared locks granted to still-outstanding
 // remote readers — re-acquired on the fresh lock manager so a post-crash
 // writer cannot slip under a reader the pre-crash primary promised.
+//
+//lint:allow guardedby recovery runs inside newPSL before Start; the read server that shares the released map has not been spawned
 func (e *pslEngine) recover() {
 	if e.wal == nil {
 		return

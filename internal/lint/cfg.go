@@ -1,0 +1,465 @@
+package lint
+
+// cfg.go builds the intra-procedural control-flow graph the flow-
+// sensitive analyzers (waldiscipline, guardedby) run over. Each basic
+// block holds the interesting evaluation events — field selections,
+// calls, function literals — in evaluation order; successor edges model
+// branches, loops, switch/select dispatch, break/continue/goto, and the
+// short-circuit operators (the right operand of && and || lives in its
+// own conditionally-executed block). `defer` and `go` call sites are
+// recorded at their syntactic position but flagged Deferred, because the
+// call itself does not run at that program point; transfer functions
+// must skip them (a deferred Unlock keeps the mutex held for the rest of
+// the function, a deferred Sync dominates nothing).
+//
+// Function literal bodies are NOT traversed: a closure runs at an
+// unknown time, so it is a separate function to the dataflow framework.
+// The literal itself appears as one event so analyzers can find and
+// queue it.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFGNode is one evaluation event inside a basic block.
+type CFGNode struct {
+	N ast.Node
+	// Deferred marks `defer` and `go` call events: registered here,
+	// executed elsewhere (at return, or concurrently).
+	Deferred bool
+}
+
+// CFGBlock is one basic block: events in evaluation order plus edges.
+type CFGBlock struct {
+	Index int
+	Nodes []CFGNode
+	Succs []*CFGBlock
+	Preds []*CFGBlock
+}
+
+// CFG is the control-flow graph of one function body. Entry has no
+// predecessors; every return statement (and the fall-off-the-end path)
+// edges to Exit.
+type CFG struct {
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+	Blocks []*CFGBlock
+}
+
+// BuildCFG builds the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, labels: make(map[string]*CFGBlock)}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+// loopTarget pairs an optional statement label with its break or
+// continue destination; the innermost entry is last.
+type loopTarget struct {
+	label string
+	block *CFGBlock
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *CFGBlock
+
+	breaks    []loopTarget
+	continues []loopTarget
+	labels    map[string]*CFGBlock // goto/labeled-statement targets
+	label     string               // pending label for the next loop/switch
+	fall      *CFGBlock            // fallthrough target inside a switch
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, CFGNode{N: n})
+}
+
+// labelBlock returns (creating on demand) the block a label names, so
+// forward gotos resolve before the LabeledStmt is reached.
+func (b *cfgBuilder) labelBlock(name string) *CFGBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the pending statement label (set by LabeledStmt)
+// for the loop or switch about to be built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func findTarget(stack []loopTarget, label string) *CFGBlock {
+	if label == "" {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.ExprStmt:
+		b.expr(s.X)
+
+	case *ast.SendStmt:
+		b.expr(s.Chan)
+		b.expr(s.Value)
+
+	case *ast.IncDecStmt:
+		b.expr(s.X)
+
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			b.expr(r)
+		}
+		for _, l := range s.Lhs {
+			b.expr(l)
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						b.expr(v)
+					}
+				}
+			}
+		}
+
+	case *ast.DeferStmt:
+		b.deferredCall(s.Call)
+
+	case *ast.GoStmt:
+		b.deferredCall(s.Call)
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.expr(r)
+		}
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock() // anything after is unreachable
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, label); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continues, label); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.GOTO:
+			b.edge(b.cur, b.labelBlock(label))
+		case token.FALLTHROUGH:
+			if b.fall != nil {
+				b.edge(b.cur, b.fall)
+			}
+		}
+		b.cur = b.newBlock()
+
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.expr(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.expr(s.Cond) // may split on short-circuit operators
+		test := b.cur
+		body := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		b.edge(test, body)
+		if s.Cond != nil {
+			b.edge(test, after) // `for {}` exits only via break
+		}
+		b.breaks = append(b.breaks, loopTarget{label, after})
+		b.continues = append(b.continues, loopTarget{label, post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.edge(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.expr(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.expr(s.Key)
+		b.expr(s.Value)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, body)
+		b.edge(b.cur, after)
+		b.breaks = append(b.breaks, loopTarget{label, after})
+		b.continues = append(b.continues, loopTarget{label, head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		b.expr(s.Tag)
+		b.switchClauses(label, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		// The asserted operand evaluates once, whatever shape the guard
+		// takes (`x.(type)` or `v := x.(type)`).
+		switch a := s.Assign.(type) {
+		case *ast.ExprStmt:
+			b.expr(a.X)
+		case *ast.AssignStmt:
+			for _, r := range a.Rhs {
+				b.expr(r)
+			}
+		}
+		b.switchClauses(label, s.Body.List)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, loopTarget{label, after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			body := b.newBlock()
+			b.edge(head, body)
+			b.cur = body
+			b.stmt(cc.Comm)
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		// A select with no cases blocks forever: `after` keeps zero
+		// predecessors and everything following is unreachable.
+		b.cur = after
+	}
+}
+
+// switchClauses builds the clause bodies of a switch or type switch:
+// every body is reachable from the dispatch point, a missing default
+// adds a fall-past edge, and `fallthrough` edges to the next body.
+func (b *cfgBuilder) switchClauses(label string, list []ast.Stmt) {
+	// Case expressions evaluate on the dispatch path (approximated as
+	// all-evaluated: clauses past the matching one never run, but a
+	// must-analysis only gains facts from them, and case expressions
+	// with side effects are vanishingly rare).
+	for _, c := range list {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			for _, e := range cc.List {
+				b.expr(e)
+			}
+		}
+	}
+	test := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	bodies := make([]*CFGBlock, len(list))
+	for i, c := range list {
+		bodies[i] = b.newBlock()
+		b.edge(test, bodies[i])
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(test, after)
+	}
+	b.breaks = append(b.breaks, loopTarget{label, after})
+	savedFall := b.fall
+	for i, c := range list {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if i+1 < len(bodies) {
+			b.fall = bodies[i+1]
+		} else {
+			b.fall = nil
+		}
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fall = savedFall
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// deferredCall evaluates the operands of a defer/go statement (those run
+// immediately, per the spec) and records the call itself as a Deferred
+// event.
+func (b *cfgBuilder) deferredCall(call *ast.CallExpr) {
+	b.expr(call.Fun)
+	for _, a := range call.Args {
+		b.expr(a)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, CFGNode{N: call, Deferred: true})
+}
+
+// expr appends e's evaluation events to the current block in left-to-
+// right order, splitting blocks at && and || so the right operand is
+// conditionally executed.
+func (b *cfgBuilder) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+
+	case *ast.ParenExpr:
+		b.expr(e.X)
+
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND || e.Op == token.LOR {
+			b.expr(e.X)
+			after := b.newBlock()
+			rhs := b.newBlock()
+			b.edge(b.cur, rhs)   // operand evaluated
+			b.edge(b.cur, after) // short-circuited past it
+			b.cur = rhs
+			b.expr(e.Y)
+			b.edge(b.cur, after)
+			b.cur = after
+			return
+		}
+		b.expr(e.X)
+		b.expr(e.Y)
+
+	case *ast.UnaryExpr:
+		b.expr(e.X)
+
+	case *ast.StarExpr:
+		b.expr(e.X)
+
+	case *ast.SelectorExpr:
+		b.expr(e.X)
+		b.emit(e)
+
+	case *ast.IndexExpr:
+		b.expr(e.X)
+		b.expr(e.Index)
+
+	case *ast.IndexListExpr:
+		b.expr(e.X)
+		for _, i := range e.Indices {
+			b.expr(i)
+		}
+
+	case *ast.SliceExpr:
+		b.expr(e.X)
+		b.expr(e.Low)
+		b.expr(e.High)
+		b.expr(e.Max)
+
+	case *ast.TypeAssertExpr:
+		b.expr(e.X)
+
+	case *ast.CallExpr:
+		b.expr(e.Fun)
+		for _, a := range e.Args {
+			b.expr(a)
+		}
+		b.emit(e)
+
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			b.expr(el)
+		}
+
+	case *ast.KeyValueExpr:
+		b.expr(e.Key)
+		b.expr(e.Value)
+
+	case *ast.FuncLit:
+		b.emit(e) // body is a separate function; deliberately not traversed
+	}
+	// Identifiers, literals and type expressions produce no events.
+}

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The CFG builder is tested through a toy must-analysis over parsed (not
+// type-checked) snippets: calls to mark() establish the fact, calls to
+// unmark() kill it, and each probeN() call records whether the fact must
+// hold at that point. This pins the graph shapes the real analyzers
+// depend on — defer, loops, short-circuit, switch dispatch, goto —
+// without coupling the tests to any one analyzer's semantics.
+
+// cfgProbe parses src (a single function declaration), builds its CFG,
+// and returns for every executed probe call whether the "m" fact held.
+// Probes in unreachable code never execute and are absent from the map.
+func cfgProbe(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", "package p\n\nfunc snippet() {\n"+body+"\n}", parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	g := BuildCFG(fd.Body)
+
+	name := func(n ast.Node) string {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return ""
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		return id.Name
+	}
+	transfer := func(ev CFGNode, facts FactSet) {
+		if ev.Deferred {
+			return
+		}
+		switch n := name(ev.N); {
+		case strings.HasPrefix(n, "unmark"):
+			delete(facts, "m")
+		case strings.HasPrefix(n, "mark"):
+			facts["m"] = true
+		}
+	}
+	probes := make(map[string]bool)
+	check := func(ev CFGNode, facts FactSet) {
+		if ev.Deferred {
+			return
+		}
+		if n := name(ev.N); strings.HasPrefix(n, "probe") {
+			probes[n] = facts["m"]
+		}
+	}
+	ForwardMust(g, NewFactSet(), transfer, check)
+	return probes
+}
+
+// expectProbes asserts each probe's must-fact (or its absence when the
+// expected value is omitted from want).
+func expectProbes(t *testing.T, body string, want map[string]bool) {
+	t.Helper()
+	got := cfgProbe(t, body)
+	for probe, held := range want {
+		v, ok := got[probe]
+		if !ok {
+			t.Errorf("%s never executed (unreachable?); want fact=%v", probe, held)
+			continue
+		}
+		if v != held {
+			t.Errorf("%s: fact held = %v, want %v", probe, v, held)
+		}
+	}
+	for probe := range got {
+		if _, ok := want[probe]; !ok {
+			t.Errorf("%s executed unexpectedly (expected unreachable)", probe)
+		}
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	expectProbes(t, `
+	probe1()
+	mark()
+	probe2()
+	unmark()
+	probe3()
+`, map[string]bool{"probe1": false, "probe2": true, "probe3": false})
+}
+
+func TestCFGDefer(t *testing.T) {
+	// A deferred mark runs at return, establishing nothing mid-body; a
+	// deferred unmark keeps the fact alive to the end.
+	expectProbes(t, `
+	defer mark()
+	probe1()
+	mark()
+	defer unmark()
+	probe2()
+`, map[string]bool{"probe1": false, "probe2": true})
+}
+
+func TestCFGGoStmt(t *testing.T) {
+	expectProbes(t, `
+	go mark()
+	probe1()
+`, map[string]bool{"probe1": false})
+}
+
+func TestCFGBranches(t *testing.T) {
+	// Both arms establish: the fact survives the join. One arm: it dies.
+	expectProbes(t, `
+	if cond() {
+		mark()
+	} else {
+		mark()
+	}
+	probe1()
+	if cond() {
+		unmark()
+	}
+	probe2()
+`, map[string]bool{"probe1": true, "probe2": false})
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	expectProbes(t, `
+	if cond() {
+		probe1()
+		return
+	}
+	mark()
+	probe2()
+`, map[string]bool{"probe1": false, "probe2": true})
+}
+
+func TestCFGLoop(t *testing.T) {
+	// A mark inside the loop body does not dominate the loop exit (zero
+	// iterations), and an unmark inside kills the fact on the back edge.
+	expectProbes(t, `
+	for cond() {
+		mark()
+	}
+	probe1()
+	mark()
+	for cond() {
+		probe2()
+		unmark()
+	}
+`, map[string]bool{"probe1": false, "probe2": false})
+}
+
+func TestCFGLoopCarries(t *testing.T) {
+	// A fact established before the loop survives body and back edge.
+	expectProbes(t, `
+	mark()
+	for i := 0; cond(); i++ {
+		probe1()
+	}
+	probe2()
+`, map[string]bool{"probe1": true, "probe2": true})
+}
+
+func TestCFGRange(t *testing.T) {
+	expectProbes(t, `
+	mark()
+	for range xs() {
+		probe1()
+	}
+	probe2()
+	for range xs() {
+		mark2()
+	}
+	for range xs() {
+		unmark()
+	}
+	probe3()
+`, map[string]bool{"probe1": true, "probe2": true, "probe3": false})
+}
+
+func TestCFGShortCircuit(t *testing.T) {
+	// The right operand of && and || is conditionally executed: marks
+	// there do not dominate what follows, and probes there see facts
+	// from the left.
+	expectProbes(t, `
+	mark()
+	_ = cond() && use(probe1())
+	probe2()
+	unmark()
+	_ = cond() || markBool()
+	probe3()
+`, map[string]bool{"probe1": true, "probe2": true, "probe3": false})
+}
+
+func TestCFGShortCircuitMarkConditional(t *testing.T) {
+	expectProbes(t, `
+	_ = cond() && markBool()
+	probe1()
+`, map[string]bool{"probe1": false})
+}
+
+func TestCFGSwitch(t *testing.T) {
+	// All arms plus default establish the fact; without a default the
+	// fall-past path skips every arm.
+	expectProbes(t, `
+	switch k() {
+	case 1:
+		mark()
+	default:
+		mark()
+	}
+	probe1()
+	unmark()
+	switch k() {
+	case 1:
+		mark()
+	case 2:
+		mark()
+	}
+	probe2()
+`, map[string]bool{"probe1": true, "probe2": false})
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	expectProbes(t, `
+	switch k() {
+	case 1:
+		mark()
+		fallthrough
+	case 2:
+		probe1()
+	default:
+		probe2()
+	}
+`, map[string]bool{"probe1": false, "probe2": false})
+}
+
+func TestCFGSelect(t *testing.T) {
+	// Every comm arm establishes the fact, and select blocks until one
+	// arm runs, so the fact holds after.
+	expectProbes(t, `
+	select {
+	case <-ch():
+		mark()
+	case <-ch2():
+		mark()
+	}
+	probe1()
+`, map[string]bool{"probe1": true})
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	expectProbes(t, `
+	for cond() {
+		if cond2() {
+			break
+		}
+		mark()
+		if cond3() {
+			continue
+		}
+		probe1()
+	}
+	probe2()
+`, map[string]bool{"probe1": true, "probe2": false})
+}
+
+func TestCFGGoto(t *testing.T) {
+	// The goto edge joins retry with the fall-through path; the unmark
+	// before the jump kills the fact at the label.
+	expectProbes(t, `
+	mark()
+retry:
+	probe1()
+	if cond() {
+		unmark()
+		goto retry
+	}
+	probe2()
+`, map[string]bool{"probe1": false, "probe2": false})
+}
+
+func TestCFGUnreachable(t *testing.T) {
+	expectProbes(t, `
+	mark()
+	return
+	probe1()
+`, map[string]bool{})
+}
+
+func TestCFGFuncLitNotTraversed(t *testing.T) {
+	// Events inside a closure body belong to the closure, not to the
+	// enclosing flow: the mark inside the literal establishes nothing
+	// here, and the probe inside it is never executed by this CFG.
+	expectProbes(t, `
+	f := func() {
+		mark()
+		probe1()
+	}
+	probe2()
+	_ = f
+`, map[string]bool{"probe2": false})
+}

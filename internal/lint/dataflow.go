@@ -1,0 +1,108 @@
+package lint
+
+// dataflow.go is the forward must-analysis framework the flow-sensitive
+// analyzers share. Facts are named strings ("a WAL append happened",
+// "core.dagt.tsMu is held"); the join at block boundaries is set
+// intersection, so a fact holds at a point only if it holds on EVERY
+// path from the function entry — exactly the "dominated by" obligation
+// waldiscipline checks and the "must hold the mutex" obligation
+// guardedby checks. Iteration terminates because the first visit seeds a
+// block with a finite set and joins only ever remove facts.
+
+// FactSet is a mutable set of dataflow facts.
+type FactSet map[string]bool
+
+// NewFactSet builds a set from the given facts.
+func NewFactSet(facts ...string) FactSet {
+	s := make(FactSet, len(facts))
+	for _, f := range facts {
+		s[f] = true
+	}
+	return s
+}
+
+// Clone copies the set (nil clones to an empty set).
+func (s FactSet) Clone() FactSet {
+	c := make(FactSet, len(s))
+	for k, v := range s {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+// Keys returns the facts currently in the set, unordered.
+func (s FactSet) Keys() []string {
+	var out []string
+	for k, v := range s {
+		if v {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// ForwardMust runs a forward must-analysis over g.
+//
+// entry seeds the facts at the function entry. transfer folds one event
+// into the fact set, mutating it in place (add facts the event
+// establishes, delete facts it kills). After the fixed point, check is
+// invoked once per event in every reachable block with the facts holding
+// immediately BEFORE that event executes; events in unreachable blocks
+// (dead code after return/branch) are never checked. check may be nil
+// when only the fixed point's side effects matter.
+func ForwardMust(g *CFG, entry FactSet, transfer func(ev CFGNode, facts FactSet), check func(ev CFGNode, facts FactSet)) {
+	in := make([]FactSet, len(g.Blocks))
+	seen := make([]bool, len(g.Blocks))
+	in[g.Entry.Index] = entry.Clone()
+	seen[g.Entry.Index] = true
+
+	worklist := []*CFGBlock{g.Entry}
+	queued := make([]bool, len(g.Blocks))
+	queued[g.Entry.Index] = true
+	for len(worklist) > 0 {
+		blk := worklist[0]
+		worklist = worklist[1:]
+		queued[blk.Index] = false
+
+		facts := in[blk.Index].Clone()
+		for _, ev := range blk.Nodes {
+			transfer(ev, facts)
+		}
+		for _, succ := range blk.Succs {
+			changed := false
+			if !seen[succ.Index] {
+				seen[succ.Index] = true
+				in[succ.Index] = facts.Clone()
+				changed = true
+			} else {
+				// Must-join: drop everything not established on this path.
+				for k := range in[succ.Index] {
+					if !facts[k] {
+						delete(in[succ.Index], k)
+						changed = true
+					}
+				}
+			}
+			if changed && !queued[succ.Index] {
+				queued[succ.Index] = true
+				worklist = append(worklist, succ)
+			}
+		}
+	}
+
+	if check == nil {
+		return
+	}
+	for _, blk := range g.Blocks {
+		if !seen[blk.Index] {
+			continue
+		}
+		facts := in[blk.Index].Clone()
+		for _, ev := range blk.Nodes {
+			check(ev, facts)
+			transfer(ev, facts)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+func TestGuardedByGolden(t *testing.T) {
+	runGolden(t, NewGuardedBy("guardedby"), "guardedby")
+}
+
+func TestAllowReasonGolden(t *testing.T) {
+	// Any analyzer will do: the mandatory-reason diagnostic is produced
+	// by Program.Run itself, independent of the suite it runs.
+	runGolden(t, NewNodeterminism("allowreason"), "allowreason")
+}

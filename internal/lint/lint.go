@@ -19,9 +19,12 @@
 //
 //	//lint:allow <analyzer> <reason>
 //
-// on the flagged line or the line immediately above it. The reason is
-// mandatory by convention (the analyzers cannot check prose, but review
-// can) and documents why the invariant does not apply at that site.
+// on the flagged line or the line immediately above it; placed in a
+// function's doc comment it covers the whole function body (for
+// single-threaded constructors and recovery code). The reason is
+// mandatory: a directive with no prose after the analyzer names is
+// itself a diagnostic (analyzer name "allowreason"), because an
+// unexplained suppression is indistinguishable from a silenced bug.
 package lint
 
 import (
@@ -100,34 +103,96 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowRange is a function-scoped suppression: a directive in a FuncDecl
+// doc comment covers every line of the function for that analyzer.
+type allowRange struct {
+	file       string
+	start, end int
+	analyzer   string
+}
+
+// allowSet is every suppression directive in a program.
+type allowSet struct {
+	lines  map[allowKey]bool
+	ranges []allowRange
+}
+
 // collectAllows scans every comment in the program for //lint:allow
-// directives.
-func collectAllows(prog *Program) map[allowKey]bool {
-	allows := make(map[allowKey]bool)
+// directives. Directives inside a function's doc comment additionally
+// suppress across the whole function body. A directive whose text ends
+// at the analyzer names — no reason — still suppresses, but is reported
+// as an "allowreason" diagnostic so it cannot land silently. (A trailing
+// `// want ...` marker does not count as a reason; the golden tests for
+// allowreason itself depend on that.)
+func collectAllows(prog *Program) (*allowSet, []Diagnostic) {
+	allows := &allowSet{lines: make(map[allowKey]bool)}
+	var missing []Diagnostic
+	directive := func(c *ast.Comment) []string {
+		m := allowRe.FindStringSubmatch(c.Text)
+		if m == nil {
+			return nil
+		}
+		rest := strings.TrimSpace(c.Text[len(m[0]):])
+		if rest == "" || strings.HasPrefix(rest, "//") {
+			missing = append(missing, Diagnostic{
+				Pos:      prog.Fset.Position(c.Pos()),
+				Analyzer: "allowreason",
+				Message:  fmt.Sprintf("lint:allow %s has no reason; write //lint:allow %s <why the invariant does not apply here>", m[1], m[1]),
+			})
+		}
+		return strings.Split(m[1], ",")
+	}
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
+					names := directive(c)
+					if names == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, name := range names {
+						allows.lines[allowKey{pos.Filename, pos.Line, name}] = true
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
 					m := allowRe.FindStringSubmatch(c.Text)
 					if m == nil {
 						continue
 					}
-					pos := prog.Fset.Position(c.Pos())
+					start := prog.Fset.Position(fd.Pos())
+					end := prog.Fset.Position(fd.End())
 					for _, name := range strings.Split(m[1], ",") {
-						allows[allowKey{pos.Filename, pos.Line, name}] = true
+						allows.ranges = append(allows.ranges, allowRange{
+							file: start.Filename, start: start.Line, end: end.Line, analyzer: name,
+						})
 					}
 				}
 			}
 		}
 	}
-	return allows
+	return allows, missing
 }
 
-// allowed reports whether a directive at d's line or the line above
-// suppresses it.
-func allowed(allows map[allowKey]bool, d Diagnostic) bool {
-	return allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-		allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+// allowed reports whether a directive at d's line, the line above, or an
+// enclosing function-scoped directive suppresses it.
+func (s *allowSet) allowed(d Diagnostic) bool {
+	if s.lines[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		s.lines[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+		return true
+	}
+	for _, r := range s.ranges {
+		if r.analyzer == d.Analyzer && r.file == d.Pos.Filename && r.start <= d.Pos.Line && d.Pos.Line <= r.end {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes the analyzers over the program and returns the surviving
@@ -155,10 +220,11 @@ func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	allows := collectAllows(prog)
+	allows, missingReasons := collectAllows(prog)
+	diags = append(diags, missingReasons...)
 	kept := diags[:0]
 	for _, d := range diags {
-		if !allowed(allows, d) {
+		if !allows.allowed(d) {
 			kept = append(kept, d)
 		}
 	}
@@ -186,6 +252,8 @@ func Analyzers() []*Analyzer {
 		NewSendErr(),
 		NewObsComplete(),
 		NewTSCompare(),
+		NewWaldiscipline(),
+		NewGuardedBy(),
 	}
 }
 

@@ -26,12 +26,13 @@ import (
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	Dir        string
-	ImportPath string
-	Export     string
-	Standard   bool
-	Name       string
-	GoFiles    []string
+	Dir         string
+	ImportPath  string
+	Export      string
+	Standard    bool
+	Name        string
+	GoFiles     []string
+	TestGoFiles []string
 }
 
 // goList runs `go list` in dir with the given arguments and decodes the
@@ -63,21 +64,48 @@ func goList(dir string, args ...string) ([]listPkg, error) {
 // dir (the module root or any directory inside it). Test files are not
 // included: the analyzers enforce invariants on production code.
 func Load(dir string, patterns ...string) (*Program, error) {
+	return load(dir, patterns, false)
+}
+
+// LoadTests is Load with each package's in-package _test.go files
+// type-checked alongside its production files, so analyzers also see
+// test harness code (the chaos and bench suites lean on timing and
+// randomness, where the determinism discipline matters most). External
+// test packages (package foo_test) are not loaded: they are separate
+// packages whose import graph would need test-variant export data, and
+// this repository keeps its tests in-package.
+func LoadTests(dir string, patterns ...string) (*Program, error) {
+	return load(dir, patterns, true)
+}
+
+func load(dir string, patterns []string, tests bool) (*Program, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	// One walk for the full dependency closure with export data, one for
-	// the target set.
-	deps, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export,Dir,GoFiles,Standard,Name"}, patterns...)...)
+	// the target set. In tests mode the closure walk adds -test so the
+	// extra imports test files pull in (testing, os, sibling packages)
+	// have export data too.
+	depsArgs := []string{"-deps", "-export", "-json=ImportPath,Export,Dir,GoFiles,Standard,Name"}
+	if tests {
+		depsArgs = []string{"-deps", "-test", "-export", "-json=ImportPath,Export,Dir,GoFiles,Standard,Name"}
+	}
+	deps, err := goList(dir, append(depsArgs, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
-	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,Name"}, patterns...)...)
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,TestGoFiles,Name"}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
 	exports := make(map[string]string, len(deps))
 	for _, p := range deps {
+		// Skip the synthesized test variants ("pkg [root.test]", the
+		// generated "root.test" main): imports always resolve to the
+		// plain package, and a test-variant export must not shadow it.
+		if strings.Contains(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
@@ -95,7 +123,11 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	imp := importer.ForCompiler(fset, "gc", lookup)
 	prog := &Program{Fset: fset}
 	for _, t := range targets {
-		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		files := t.GoFiles
+		if tests && len(t.TestGoFiles) > 0 {
+			files = append(append([]string(nil), t.GoFiles...), t.TestGoFiles...)
+		}
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, files)
 		if err != nil {
 			return nil, err
 		}

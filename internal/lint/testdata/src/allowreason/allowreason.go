@@ -1,0 +1,16 @@
+// Package allowreason exercises the mandatory-reason rule: a bare
+// //lint:allow still suppresses, but is itself flagged until a reason is
+// written after the analyzer name.
+package allowreason
+
+import "time"
+
+func deadlineBare() time.Time {
+	//lint:allow nodeterminism // want "has no reason"
+	return time.Now()
+}
+
+func deadlineExplained() time.Time {
+	//lint:allow nodeterminism timeout machinery needs real time
+	return time.Now()
+}

@@ -1,0 +1,124 @@
+// Package guardedby exercises the guarded-by lock analyzer: fields
+// annotated repl:guardedby(mu) may only be accessed with the named
+// sibling mutex held on every path.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// repl:guardedby(mu)
+	n int
+
+	wmu sync.RWMutex
+	// repl:guardedby(wmu)
+	vals map[string]int
+
+	// repl:guardedby(missing)
+	orphan int // want "names no sibling"
+}
+
+// inc is the straight-line good case.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// get: a deferred Unlock keeps the mutex held to the end.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// read: an RLock satisfies the guard for readers.
+func (c *counter) read(k string) int {
+	c.wmu.RLock()
+	defer c.wmu.RUnlock()
+	return c.vals[k]
+}
+
+// loopHeld: the lock survives the loop back edge.
+func (c *counter) loopHeld(n int) {
+	c.mu.Lock()
+	for i := 0; i < n; i++ {
+		c.n++
+	}
+	c.mu.Unlock()
+}
+
+// addLocked and flushLocked are caller-holds helpers two levels deep:
+// every static call site holds mu, so their entry set includes it.
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+func (c *counter) flushLocked() {
+	c.addLocked(0)
+}
+
+func (c *counter) addBoth() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(1)
+	c.flushLocked()
+}
+
+// Reset has no static caller, so it is an entry point with nothing held.
+func (c *counter) Reset() {
+	c.n = 0 // want "accessed without holding"
+}
+
+// badEarly releases before the read.
+func (c *counter) badEarly() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "accessed without holding"
+}
+
+// badBranch only locks on one path.
+func (c *counter) badBranch(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want "accessed without holding"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// badLoop unlocks inside the loop, so the second iteration's access is
+// unprotected.
+func (c *counter) badLoop(n int) {
+	c.mu.Lock()
+	for i := 0; i < n; i++ {
+		c.n++ // want "accessed without holding"
+		c.mu.Unlock()
+	}
+}
+
+// spawn: a goroutine body is its own entry point — the first closure
+// races, the second locks properly.
+func (c *counter) spawn() {
+	go func() {
+		c.n++ // want "accessed without holding"
+	}()
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+// newCounter is the sanctioned false positive: it touches guarded fields
+// before the value is published, which no flow analysis over one
+// function can see. The function-scoped directive covers the body.
+//
+//lint:allow guardedby construction precedes publication; no other goroutine holds a reference yet
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.vals = make(map[string]int)
+	return c
+}

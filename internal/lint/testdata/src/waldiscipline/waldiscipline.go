@@ -1,0 +1,101 @@
+// Package waldiscipline exercises the WAL durability-order analyzer:
+// sinks marked repl:durable must be append-dominated, sinks marked
+// repl:durable sync must be sync-dominated, on every path.
+package waldiscipline
+
+import "wal"
+
+type txn struct {
+	log *wal.SiteLog
+}
+
+// Commit installs the write set into durable state.
+//
+// repl:durable
+func (t *txn) Commit() {}
+
+// Reply externalizes an outcome to a peer.
+//
+// repl:durable sync
+func (t *txn) Reply() {}
+
+// appendSync is the walAppendSync idiom: append one record and group-
+// commit it.
+func (t *txn) appendSync() error {
+	if err := t.log.Append(wal.Record{}); err != nil {
+		return err
+	}
+	return t.log.Sync()
+}
+
+// arm registers the durable hook as a closure; the closure body counts
+// as part of arm, so calling arm establishes both facts.
+func (t *txn) arm() func() error {
+	return func() error { return t.appendSync() }
+}
+
+// good: the helper chain dominates both sinks on every path, including
+// the early error return.
+func good(t *txn) {
+	if err := t.appendSync(); err != nil {
+		return
+	}
+	t.Commit()
+	t.Reply()
+}
+
+// goodSwitch: every dispatch arm (default included) appends before the
+// shared commit.
+func goodSwitch(t *txn, k int) {
+	switch k {
+	case 0:
+		_ = t.appendSync()
+	default:
+		_ = t.log.Append(wal.Record{})
+	}
+	t.Commit()
+}
+
+// bad: the arm call is conditional, so one path reaches Commit with no
+// redo record logged.
+func bad(t *txn, cond bool) {
+	if cond {
+		_ = t.arm()
+	}
+	t.Commit() // want "not dominated by a WAL Append"
+}
+
+// badSync: appended but never fsynced before externalizing.
+func badSync(t *txn) {
+	_ = t.log.Append(wal.Record{})
+	t.Reply() // want "not dominated by a WAL Sync"
+}
+
+// badDeferred: a deferred Sync runs at return — it dominates nothing.
+func badDeferred(t *txn) {
+	defer t.log.Sync()
+	t.Reply() // want "not dominated by a WAL Sync"
+}
+
+// badLoop: zero iterations is a path that skips the append.
+func badLoop(t *txn, n int) {
+	for i := 0; i < n; i++ {
+		_ = t.log.Append(wal.Record{})
+	}
+	t.Commit() // want "not dominated by a WAL Append"
+}
+
+// badShortCircuit: the right operand of && only runs when the left is
+// true, so the append is conditional.
+func badShortCircuit(t *txn, ok bool) {
+	_ = ok && t.appendSync() == nil
+	t.Commit() // want "not dominated by a WAL Append"
+}
+
+// allowedCrossFunction is the sanctioned false positive: the durable
+// record was written by the function that dispatched this work, which
+// the intra-procedural domination check cannot see.
+func allowedCrossFunction(t *txn) {
+	//lint:allow waldiscipline the caller logged and synced the Prepared record before dispatch
+	t.Reply()
+}

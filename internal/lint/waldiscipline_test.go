@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestWaldisciplineGolden(t *testing.T) {
+	runGolden(t, NewWaldiscipline("waldiscipline"), "waldiscipline", "wal")
+}

@@ -72,6 +72,13 @@ func (s *Store) Read(item model.ItemID) (Version, error) {
 // Apply installs a new committed value for item on behalf of writer and
 // returns the new version. The caller must hold the exclusive lock on the
 // item.
+//
+// Apply mutates durable state, so on WAL-backed paths every direct call
+// must be dominated by an append of the redo record that describes it
+// (log-then-mutate); the waldiscipline analyzer enforces this at every
+// call site in the engines.
+//
+// repl:durable
 func (s *Store) Apply(item model.ItemID, value int64, writer model.TxnID) (Version, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

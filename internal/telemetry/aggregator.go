@@ -64,33 +64,33 @@ type siteTID struct {
 // deployment can wire Publisher→Aggregator→repltop with no sockets.
 type Aggregator struct {
 	mu    sync.Mutex
-	procs map[string]*procState
+	procs map[string]*procState // repl:guardedby(mu)
 
-	events   []trace.Event
-	evDrop   uint64 // events dropped by the maxEvents cap
-	recent   []model.TxnID
-	recentIn map[model.TxnID]bool
+	events   []trace.Event        // repl:guardedby(mu)
+	evDrop   uint64               // events dropped by the maxEvents cap // repl:guardedby(mu)
+	recent   []model.TxnID        // repl:guardedby(mu)
+	recentIn map[model.TxnID]bool // repl:guardedby(mu)
 
 	// Federated staleness: outstanding forwarded-but-unapplied
 	// subtransactions per edge, stamped with aggregator receipt time.
 	// Frames from different connections interleave arbitrarily, so an
 	// apply may be ingested before its forward: tombstones remember
 	// applies (and aborts) that arrived early.
-	inflight    map[edgeKey]map[model.TxnID]time.Time
-	appliedTomb map[siteTID]struct{}
-	abortedTomb map[model.TxnID]struct{}
+	inflight    map[edgeKey]map[model.TxnID]time.Time // repl:guardedby(mu)
+	appliedTomb map[siteTID]struct{}                  // repl:guardedby(mu)
+	abortedTomb map[model.TxnID]struct{}              // repl:guardedby(mu)
 
 	// Rate bookkeeping for Snapshot.
-	lastSnapAt    time.Time
-	lastCommitted map[string]int64 // per protocol
+	lastSnapAt    time.Time        // repl:guardedby(mu)
+	lastCommitted map[string]int64 // per protocol // repl:guardedby(mu)
 
 	start time.Time
 
-	ln          net.Listener
+	ln          net.Listener // repl:guardedby(mu)
 	wg          sync.WaitGroup
-	closed      bool
-	activeConns int
-	totalConns  int
+	closed      bool // repl:guardedby(mu)
+	activeConns int  // repl:guardedby(mu)
+	totalConns  int  // repl:guardedby(mu)
 }
 
 // NewAggregator returns an empty aggregator.

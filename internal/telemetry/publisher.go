@@ -67,27 +67,32 @@ type Publisher struct {
 	pubMu sync.Mutex
 	mu    sync.Mutex
 
-	reg    *obs.Registry
-	po     pubObs
-	wd     *watch.Watchdog
-	report func() metrics.Report
-	hello  Hello
+	reg    *obs.Registry         // repl:guardedby(mu)
+	po     pubObs                // repl:guardedby(mu)
+	wd     *watch.Watchdog       // repl:guardedby(mu)
+	report func() metrics.Report // repl:guardedby(mu)
+	hello  Hello                 // repl:guardedby(mu)
 
-	buf      []trace.Event
-	bufStart int
-	bufN     int
-	dropped  uint64
-	last     map[string]int64
-	seq      uint64
+	buf      []trace.Event    // repl:guardedby(mu)
+	bufStart int              // repl:guardedby(mu)
+	bufN     int              // repl:guardedby(mu)
+	dropped  uint64           // repl:guardedby(mu)
+	last     map[string]int64 // repl:guardedby(mu)
+	seq      uint64           // repl:guardedby(mu)
 
-	sink  Sink // active destination; owned (closable) iff dialed from Addr
-	owned bool
+	// The connection is owned by the publish cycle, which pubMu
+	// serializes; mu is additionally held on the mutating accesses so
+	// readers inside a cycle see a consistent (sink, owned) pair.
+	sink  Sink // active destination; owned (closable) iff dialed from Addr // repl:guardedby(pubMu)
+	owned bool // repl:guardedby(pubMu)
 
 	stop chan struct{}
 	done chan struct{}
 }
 
 // NewPublisher returns a stopped publisher.
+//
+//lint:allow guardedby construction is single-threaded; the publish loop and trace sinks that share the ring only exist after Start
 func NewPublisher(o Options) (*Publisher, error) {
 	if o.Proc == "" {
 		return nil, fmt.Errorf("telemetry: Options.Proc is required")

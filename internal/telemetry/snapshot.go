@@ -137,6 +137,7 @@ func (a *Aggregator) Snapshot() ClusterSnapshot {
 			if r == nil {
 				rowProc, rowProto := proc, ps.hello.Protocol
 				if own, ok := owner[site]; ok {
+					//lint:allow guardedby the row closure only runs inside Snapshot's critical section; the analyzer cannot see through the variable-bound call
 					rowProc, rowProto = own, a.procs[own].hello.Protocol
 				}
 				r = &SiteRow{Site: site, Proc: rowProc, Protocol: rowProto}

@@ -47,8 +47,8 @@ type Coordinator struct {
 // keep meaning "not decided yet", never "decided and forgotten".
 type DecisionLog struct {
 	mu   sync.Mutex
-	m    map[model.TxnID]bool
-	sink func(tid model.TxnID, commit bool) error
+	m    map[model.TxnID]bool                     // repl:guardedby(mu)
+	sink func(tid model.TxnID, commit bool) error // repl:guardedby(mu)
 }
 
 // NewDecisionLog returns an empty decision log.
@@ -204,7 +204,7 @@ func (s State) String() string {
 // transitions. All methods are safe for concurrent use.
 type Table struct {
 	mu sync.Mutex
-	m  map[model.TxnID]State
+	m  map[model.TxnID]State // repl:guardedby(mu)
 }
 
 // NewTable returns an empty state table.

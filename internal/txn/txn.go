@@ -141,6 +141,13 @@ func (t *Txn) Write(item model.ItemID, value int64) error {
 // commit to be atomic with respect to other commits at the site (the
 // critical sections of §2 and §3.2.2) serialize calls with a site-level
 // commit mutex.
+//
+// Commit mutates durable state, so on WAL-backed paths every call must
+// be dominated by arming the write-ahead hook (armDurable/SetDurable
+// reaching the site log's Append); the waldiscipline analyzer enforces
+// this at every call site in the engines.
+//
+// repl:durable
 func (t *Txn) Commit() error {
 	if t.finished {
 		return fmt.Errorf("txn %v: double finish", t.ID)

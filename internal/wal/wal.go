@@ -59,19 +59,22 @@ type SiteLog struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond
-	f    *os.File
-	seg  uint64 // active segment index
+	f    *os.File // repl:guardedby(mu)
+	seg  uint64   // active segment index // repl:guardedby(mu)
 
-	buf      []byte   // frames appended since the last flush
-	staged   []Record // the records in buf, folded into state on flush
-	appended uint64   // records appended (generation numbers)
-	durable  uint64   // records fsynced
-	fenced   bool
-	fenceErr error
+	buf      []byte   // frames appended since the last flush // repl:guardedby(mu)
+	staged   []Record // the records in buf, folded into state on flush // repl:guardedby(mu)
+	appended uint64   // records appended (generation numbers) // repl:guardedby(mu)
+	durable  uint64   // records fsynced // repl:guardedby(mu)
+	fenced   bool     // repl:guardedby(mu)
+	fenceErr error    // repl:guardedby(mu)
 
-	state     *State // advances only at flush: always equals disk replay
-	recovered *State // frozen image from Open, consumed by the engine
-	sinceSnap int64
+	// state advances only at flush: always equals disk replay.
+	state *State // repl:guardedby(mu)
+	// recovered is the frozen image from Open, consumed by the engine;
+	// immutable after construction, so it needs no guard.
+	recovered *State
+	sinceSnap int64 // repl:guardedby(mu)
 
 	done    chan struct{} // stops the flusher
 	flusher sync.WaitGroup
@@ -84,6 +87,8 @@ type SiteLog struct {
 // active segment opened with a durable boot record carrying the next
 // incarnation number. The recovered logical state is frozen in
 // Recovered() for the engine to rebuild from.
+//
+//lint:allow guardedby Open constructs the log single-threaded; no other goroutine holds a reference until it returns, and the flusher it starts last takes mu before touching anything
 func Open(dir string, opts Options) (*SiteLog, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)

@@ -238,36 +238,38 @@ type Watchdog struct {
 	opts Options
 
 	mu       sync.Mutex
-	reg      *obs.Registry
-	tr       *trace.Recorder
-	obs      watchObs
-	queues   []*Progress
-	qs       map[*Progress]queueSample
-	epochs   map[model.SiteID]func() EpochStatus
-	epochAt  map[model.SiteID]queueSample // pops field reused as the epoch
-	pending  map[model.SiteID]func() PendingStatus
-	recovery map[model.SiteID]func() RecoveryStatus
+	reg      *obs.Registry                          // repl:guardedby(mu)
+	tr       *trace.Recorder                        // repl:guardedby(mu)
+	obs      watchObs                               // repl:guardedby(mu)
+	queues   []*Progress                            // repl:guardedby(mu)
+	qs       map[*Progress]queueSample              // repl:guardedby(mu)
+	epochs   map[model.SiteID]func() EpochStatus    // repl:guardedby(mu)
+	epochAt  map[model.SiteID]queueSample           // pops field reused as the epoch // repl:guardedby(mu)
+	pending  map[model.SiteID]func() PendingStatus  // repl:guardedby(mu)
+	recovery map[model.SiteID]func() RecoveryStatus // repl:guardedby(mu)
 
 	// outstanding[dest][tid] tracks forwarded-but-unapplied secondary
 	// subtransactions, fed from the trace sink.
-	outstanding map[model.SiteID]map[model.TxnID]outEntry
+	outstanding map[model.SiteID]map[model.TxnID]outEntry // repl:guardedby(mu)
 
 	// flight is the ring of most recent trace events.
-	flight    []trace.Event
-	flightIdx int
-	flightN   int
+	flight    []trace.Event // repl:guardedby(mu)
+	flightIdx int           // repl:guardedby(mu)
+	flightN   int           // repl:guardedby(mu)
 
-	active   map[alertKey]*Alert
-	history  []*Alert
-	dumps    []string
-	raised   map[Kind]int
-	maxStale time.Duration
+	active   map[alertKey]*Alert // repl:guardedby(mu)
+	history  []*Alert            // repl:guardedby(mu)
+	dumps    []string            // repl:guardedby(mu)
+	raised   map[Kind]int        // repl:guardedby(mu)
+	maxStale time.Duration       // repl:guardedby(mu)
 
 	stop chan struct{}
 	done chan struct{}
 }
 
 // New returns a stopped watchdog.
+//
+//lint:allow guardedby construction is single-threaded; the tick loop and trace sink that share this state only run after Start
 func New(o Options) *Watchdog {
 	o = o.withDefaults()
 	w := &Watchdog{
@@ -624,10 +626,10 @@ func (w *Watchdog) tick() {
 		}
 		w.mu.Lock()
 		w.dumps[dumpSlot] = path
-		w.mu.Unlock()
 		if path != "" {
 			w.obs.dumps.Inc()
 		}
+		w.mu.Unlock()
 	}
 }
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos lint cover bench bench-smoke telemetry-smoke recovery-smoke fuzz experiments shapes examples clean
+.PHONY: all build vet test race check chaos lint cover bench bench-smoke telemetry-smoke recovery-smoke contention-smoke fuzz experiments shapes examples clean
 
 all: check
 
@@ -31,8 +31,9 @@ lint:
 
 # The pre-merge gate: compile, static checks, full test suite, the race
 # detector, the chaos suite, the protocol-invariant lint, the
-# crash-recovery smoke, and the benchmark smoke gate.
-check: build vet test race chaos lint recovery-smoke bench-smoke
+# crash-recovery and contention-observatory smokes, and the benchmark
+# smoke gate.
+check: build vet test race chaos lint recovery-smoke contention-smoke bench-smoke
 
 cover:
 	$(GO) test -cover ./...
@@ -65,6 +66,14 @@ telemetry-smoke:
 # counters must show the crash, the restart, and a nonzero redo replay.
 recovery-smoke:
 	./scripts/recovery_smoke.sh
+
+# Contention-observatory smoke (docs/OBSERVABILITY.md): a seeded Zipfian
+# hotspot run through `replbench -contend` must yield a non-empty heat
+# table, a fully classified abort breakdown, a replexplain profile
+# covering end-to-end latency within 5%, and byte-identical wait-for
+# snapshots across same-seed runs.
+contention-smoke:
+	./scripts/contention_smoke.sh
 
 FUZZTIME ?= 30s
 

@@ -33,6 +33,7 @@ import (
 	"repro"
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/contend"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -59,6 +60,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "run one traced cluster and write its propagation events to this JSONL file")
 		traceProto = flag.String("traceproto", "backedge", "protocol for the -trace run: psl|dagwt|dagt|backedge")
 		traceSum   = flag.String("tracesummary", "", "summarize a JSONL trace file: per-protocol p50/p95/max propagation delay")
+		traceSkew  = flag.Float64("skew", 0, "with -trace: Zipf item-access skew (0 = the paper's uniform draw, >1 = Zipf s concentrating traffic on a hot set; pairs with -contend)")
 		jsonOut    = flag.Bool("json", false, "with -trace: print the run's metrics report as JSON; with -exp: print every point as a JSON array instead of tables")
 
 		faultDrop  = flag.Float64("faultdrop", 0, "with -trace: per-message drop probability injected under the engines")
@@ -75,6 +77,10 @@ func main() {
 		spansOut  = flag.String("spans", "", "with -trace: also write the run as Chrome/Perfetto trace-event JSON to this file (open at ui.perfetto.dev; see docs/OBSERVABILITY.md)")
 		watchOn   = flag.Bool("watch", false, "with -trace: run the staleness/liveness watchdog during the run and report its summary (a 'watch' block under -json)")
 		flightDir = flag.String("flightdump", "", "with -trace: directory for the watchdog's flight-recorder JSONL dumps on alert (implies -watch)")
+
+		contendOn  = flag.Bool("contend", false, "with -trace: report the contention observatory — top-K item heat, abort root-cause breakdown, final wait-for snapshot, and span critical-path attribution (a 'contention' block under -json; see docs/OBSERVABILITY.md)")
+		topK       = flag.Int("topk", 16, "with -contend: heat table size")
+		waitforOut = flag.String("waitfor", "", "with -contend: write the on-demand wait-for graph snapshot as JSONL to this file (readable by replexplain)")
 
 		suite     = flag.String("suite", "", "run a benchmark suite (smoke|medium|full) and print/emit a BenchSnapshot")
 		benchJSON = flag.String("benchjson", "", "with -suite: write the BenchSnapshot to this file (conventionally BENCH_<label>.json)")
@@ -128,13 +134,20 @@ func main() {
 			Enable: *watchOn || *flightDir != "", FlightDir: *flightDir, Spans: *spansOut,
 		}
 		wa := walOptions{Enable: *walOn || *walDir != "", Dir: *walDir, Flush: *walFlush}
-		if err := runTraced(*traceOut, *traceProto, *seed, *jsonOut, fo, wo, wa); err != nil {
+		co := contendOptions{Enable: *contendOn || *waitforOut != "", TopK: *topK, WaitFor: *waitforOut}
+		if err := runTraced(*traceOut, *traceProto, *seed, *traceSkew, *jsonOut, fo, wo, wa, co); err != nil {
 			fatal(err)
 		}
 		return
 	}
+	if *traceSkew != 0 {
+		fatal(fmt.Errorf("-skew only applies to a -trace run"))
+	}
 	if *spansOut != "" || *watchOn || *flightDir != "" {
 		fatal(fmt.Errorf("-spans/-watch/-flightdump only apply to a -trace run"))
+	}
+	if *contendOn || *waitforOut != "" {
+		fatal(fmt.Errorf("-contend/-waitfor only apply to a -trace run"))
 	}
 	if *walOn || *walDir != "" {
 		fatal(fmt.Errorf("-wal/-waldir only apply to a -trace run"))
@@ -320,6 +333,14 @@ type walOptions struct {
 	Flush  time.Duration
 }
 
+// contendOptions carries the -contend/-topk/-waitfor flags: the
+// contention observatory riding on the traced run.
+type contendOptions struct {
+	Enable  bool
+	TopK    int
+	WaitFor string
+}
+
 // runTraced runs one short Table 1 cluster with the propagation trace
 // recorder attached and writes every lifecycle event to out as JSONL.
 // With jsonReport, the run's metrics report is printed as JSON instead of
@@ -328,7 +349,7 @@ type walOptions struct {
 // repl_fault_*, repl_reliable_*, and repl_wal_* counters; with the
 // watchdog on, a watch summary block (alert counts, max staleness,
 // flight dumps).
-func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptions, wo watchOptions, wa walOptions) error {
+func runTraced(out, protoName string, seed int64, skew float64, jsonReport bool, fo faultOptions, wo watchOptions, wa walOptions, co contendOptions) error {
 	protocol, err := core.ParseProtocol(protoName)
 	if err != nil {
 		return err
@@ -341,6 +362,7 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 	if seed != 0 {
 		wl.Seed = seed
 	}
+	wl.Skew = skew
 	if !protocol.Propagates() || protocol == core.DAGWT || protocol == core.DAGT {
 		// The Table 1 placement induces backedges; the DAG-only protocols
 		// need them gone.
@@ -356,7 +378,7 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 		Trace:            rec,
 	}
 	var registry *obs.Registry
-	if fo.active() || fo.Reliable || wo.Enable || wa.Enable {
+	if fo.active() || fo.Reliable || wo.Enable || wa.Enable || co.Enable {
 		registry = obs.NewRegistry()
 		cfg.Obs = registry
 	}
@@ -406,6 +428,13 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 		return err
 	}
 	player.Wait()
+	// The on-demand wait-for snapshot is taken the moment the client load
+	// finishes — before the quiesce drain, while secondary appliers can
+	// still be parked on locks.
+	var waitGraphs []contend.SiteWaitGraph
+	if co.Enable {
+		waitGraphs = c.WaitGraphs()
+	}
 	if err := c.Quiesce(time.Minute); err != nil {
 		return err
 	}
@@ -438,6 +467,34 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 	// Stop before summarizing: Stop runs the watchdog's final tick, so the
 	// summary reflects the whole run.
 	stop()
+	var contention *contend.Report
+	if co.Enable {
+		events := rec.Snapshot()
+		paths := contend.AnalyzeCriticalPaths(events)
+		for _, p := range paths {
+			p.Protocol = core.Protocol(p.Proto).String()
+		}
+		contention = &contend.Report{
+			Heat:       c.Heat(co.TopK),
+			WaitGraphs: waitGraphs,
+			Aborts:     contend.AbortBreakdown(events),
+			Paths:      paths,
+		}
+		if co.WaitFor != "" {
+			wf, err := os.Create(co.WaitFor)
+			if err != nil {
+				return err
+			}
+			if err := contend.WriteWaitGraphs(wf, waitGraphs); err != nil {
+				wf.Close()
+				return err
+			}
+			if err := wf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "replbench: wrote wait-for snapshot to %s\n", co.WaitFor)
+		}
+	}
 	if jsonReport {
 		var b []byte
 		if registry != nil {
@@ -447,7 +504,7 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 			counters := make(map[string]int64)
 			for k, v := range registry.Snapshot() {
 				if strings.HasPrefix(k, "repl_fault_") || strings.HasPrefix(k, "repl_reliable_") ||
-					strings.HasPrefix(k, "repl_wal_") {
+					strings.HasPrefix(k, "repl_wal_") || strings.HasPrefix(k, "repl_lock_") {
 					counters[k] = v
 				}
 			}
@@ -457,10 +514,11 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 				ws = &s
 			}
 			b, err = json.MarshalIndent(struct {
-				Report   metrics.Report   `json:"report"`
-				Counters map[string]int64 `json:"counters"`
-				Watch    *watch.Summary   `json:"watch,omitempty"`
-			}{report, counters, ws}, "", "  ")
+				Report     metrics.Report   `json:"report"`
+				Counters   map[string]int64 `json:"counters"`
+				Watch      *watch.Summary   `json:"watch,omitempty"`
+				Contention *contend.Report  `json:"contention,omitempty"`
+			}{report, counters, ws, contention}, "", "  ")
 		} else {
 			b, err = report.JSON()
 		}
@@ -495,6 +553,9 @@ func runTraced(out, protoName string, seed int64, jsonReport bool, fo faultOptio
 			s := w.Summarize()
 			fmt.Printf("watch: raised=%v active=%d max_staleness=%dms flight_dumps=%d\n",
 				s.AlertsRaised, s.ActiveAlerts, s.MaxStalenessMs, len(s.FlightDumps))
+		}
+		if contention != nil {
+			fmt.Print(contention.String())
 		}
 	}
 	return nil
@@ -533,7 +594,31 @@ func summarizeTrace(path string) error {
 		}
 	}
 	summarizePhases(events)
+	summarizeContention(events)
 	return nil
+}
+
+// summarizeContention adds the contention observatory's trace-derived
+// views to -tracesummary: the abort root-cause breakdown and the
+// per-protocol critical-path profiles (docs/OBSERVABILITY.md).
+func summarizeContention(events []trace.Event) {
+	if aborts := contend.AbortBreakdown(events); len(aborts) > 0 {
+		fmt.Printf("\naborts by root cause:\n")
+		for _, l := range contend.FormatAborts(aborts) {
+			fmt.Printf("  %s\n", l)
+		}
+	}
+	paths := contend.AnalyzeCriticalPaths(events)
+	if len(paths) == 0 {
+		return
+	}
+	fmt.Printf("\ncommit critical paths:\n")
+	for _, p := range paths {
+		p.Protocol = core.Protocol(p.Proto).String()
+		for _, l := range contend.FormatProfile(p) {
+			fmt.Printf("  %s\n", l)
+		}
+	}
 }
 
 // summarizePhases aggregates the span-less PhaseLatency events that the

@@ -1,0 +1,148 @@
+// Command replexplain is the contention observatory's post-mortem
+// reader: it explains a finished run from its trace artifacts alone, no
+// live cluster required. Point it at a trace JSONL (replbench -trace, a
+// watchdog flight recording, or a replnode dump) and it reconstructs the
+// abort root-cause taxonomy and the per-protocol commit critical-path
+// profile; add the wait-for JSONL a run or watchdog dump produced and it
+// renders who was blocked on whom:
+//
+//	replbench -trace run.jsonl -traceproto backedge -contend -waitfor wf.jsonl
+//	replexplain run.jsonl
+//	replexplain -waitfor wf.jsonl run.jsonl
+//	replexplain -json run.jsonl | jq .aborts
+//
+// The -json report is a contend.Report without the heat table: heat lives
+// in the lock managers, not the trace, so a post-mortem can't recover it
+// (replbench -contend -json embeds it at run time instead).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/contend"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		waitfor  = flag.String("waitfor", "", "wait-for snapshot JSONL to render alongside the trace")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON instead of text")
+		verify   = flag.Bool("verify", false, "also run span invariant checks over the trace")
+		chainsOn = flag.Bool("chains", true, "include span chains in critical-path profiles")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: replexplain [-waitfor wf.jsonl] [-json] <trace.jsonl>  (use '-' for stdin)")
+		os.Exit(2)
+	}
+	events, err := readEvents(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	report := &contend.Report{Aborts: contend.AbortBreakdown(events)}
+	report.Paths = contend.AnalyzeCriticalPaths(events)
+	for _, p := range report.Paths {
+		p.Protocol = core.Protocol(p.Proto).String()
+		if !*chainsOn {
+			p.Chains = nil
+		}
+	}
+	if *waitfor != "" {
+		f, err := os.Open(*waitfor)
+		if err != nil {
+			fatal(err)
+		}
+		report.WaitGraphs, err = contend.ReadWaitGraphs(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *waitfor, err))
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+	} else {
+		printReport(report, len(events))
+	}
+
+	if *verify {
+		problems := trace.VerifySpans(events)
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "replexplain: span invariant: %s\n", p)
+		}
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "replexplain: span invariants hold")
+	}
+}
+
+// printReport renders the post-mortem for consoles. Unlike
+// contend.Report.String it has no heat section (a trace carries none) and
+// leads with what a post-mortem reader wants first: why transactions died.
+func printReport(r *contend.Report, nEvents int) {
+	fmt.Printf("%d trace events\n", nEvents)
+	if len(r.Aborts) == 0 {
+		fmt.Println("no aborts recorded")
+	} else {
+		var total, unknown uint64
+		for _, n := range r.Aborts {
+			total += n
+		}
+		unknown = contend.Unclassified(r.Aborts)
+		fmt.Printf("== aborts by root cause (%d total, %d unclassified) ==\n", total, unknown)
+		for _, l := range contend.FormatAborts(r.Aborts) {
+			fmt.Println(l)
+		}
+	}
+	if !contend.EmptyWaitGraphs(r.WaitGraphs) {
+		fmt.Println("== wait-for snapshot ==")
+		for _, l := range contend.FormatWaitGraphs(r.WaitGraphs) {
+			fmt.Println(l)
+		}
+	} else if r.WaitGraphs != nil {
+		fmt.Println("== wait-for snapshot ==")
+		fmt.Println("(no waiters)")
+	}
+	if len(r.Paths) > 0 {
+		fmt.Println("== commit critical paths ==")
+		for _, p := range r.Paths {
+			for _, l := range contend.FormatProfile(p) {
+				fmt.Println(l)
+			}
+		}
+	}
+}
+
+// readEvents loads a trace JSONL from a file or stdin.
+func readEvents(name string) ([]trace.Event, error) {
+	var in io.Reader = os.Stdin
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := trace.ReadJSONL(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return events, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "replexplain:", err)
+	os.Exit(1)
+}

@@ -23,8 +23,10 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -243,6 +245,30 @@ func main() {
 	engine, err := core.New(protocol, shared, model.SiteID(*site), tr)
 	if err != nil {
 		fatal(err)
+	}
+	// Contention observatory wiring (docs/OBSERVABILITY.md): a node sees
+	// one site, so it ships that site's heat table and abort breakdown
+	// each publish cycle (the aggregator merges across processes) and
+	// dumps its local wait-for snapshot when a contention alert fires.
+	type contender interface {
+		LockHeat() []lock.ItemStats
+		LockWaitGraph() []lock.WaitEdge
+		AbortReasons() map[string]uint64
+	}
+	ce := engine.(contender)
+	if watchdog != nil {
+		watchdog.RegisterWaitGraphs(func() []contend.SiteWaitGraph {
+			return []contend.SiteWaitGraph{{Site: model.SiteID(*site), Edges: ce.LockWaitGraph()}}
+		})
+	}
+	if publisher != nil {
+		publisher.SetContention(
+			func() []contend.HeatEntry {
+				sh := []contend.SiteHeat{{Site: model.SiteID(*site), Items: ce.LockHeat()}}
+				return contend.BuildHeat(sh, 32)
+			},
+			ce.AbortReasons,
+		)
 	}
 	engine.Start()
 	defer engine.Stop()

@@ -24,8 +24,12 @@ import (
 )
 
 // SchemaVersion is the BenchSnapshot schema generation. Bump only on an
-// incompatible change (rename/removal/semantic change of a field).
-const SchemaVersion = 1
+// incompatible change (rename/removal/semantic change of a field) or
+// when consumers must be able to rely on a new field's presence.
+// History: v1 the original contract; v2 added the per-reason abort
+// breakdown (abort_reasons — the contention observatory taxonomy).
+// Readers accept older generations; only newer ones are rejected.
+const SchemaVersion = 2
 
 // Environment pins the machine context a snapshot was measured in, so a
 // regression diff can tell a code change from a hardware change.
@@ -82,6 +86,12 @@ type ProtocolResult struct {
 	AbortRatePct      float64 `json:"abort_rate_pct"`
 	Committed         uint64  `json:"committed"`
 	Aborted           uint64  `json:"aborted"`
+	// AbortReasons splits Aborted by root cause, keyed by the stable
+	// contend.AbortReason names (lock_timeout, deadlock, wound,
+	// 2pc_no_vote, wal_fence, crash, unknown). The legacy total stays:
+	// v1 consumers keep reading it, and the two must agree (the reasons
+	// sum to Aborted when every abort was classified). Since schema v2.
+	AbortReasons map[string]uint64 `json:"abort_reasons,omitempty"`
 
 	MeanResponseUS float64 `json:"mean_response_us"`
 	P50ResponseUS  float64 `json:"p50_response_us"`

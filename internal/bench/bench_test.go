@@ -16,7 +16,7 @@ import (
 // its serialized form is pinned by testdata/golden_snapshot.json.
 func goldenSnapshot() *Snapshot {
 	return &Snapshot{
-		SchemaVersion: 1,
+		SchemaVersion: 2,
 		Label:         "golden",
 		Suite:         "smoke",
 		Seed:          1,
@@ -36,19 +36,24 @@ func goldenSnapshot() *Snapshot {
 				AbortRatePct:      1.5,
 				Committed:         810,
 				Aborted:           12,
-				MeanResponseUS:    420.5,
-				P50ResponseUS:     400,
-				P95ResponseUS:     900,
-				P99ResponseUS:     1200,
-				MaxResponseUS:     2500,
-				MeanPropUS:        300,
-				P95PropUS:         750,
-				MaxPropUS:         1800,
-				Messages:          4096,
-				RemoteReads:       64,
-				Secondaries:       1500,
-				Dummies:           20,
-				Retries:           3,
+				AbortReasons: map[string]uint64{
+					"lock_timeout": 7,
+					"deadlock":     2,
+					"2pc_no_vote":  3,
+				},
+				MeanResponseUS: 420.5,
+				P50ResponseUS:  400,
+				P95ResponseUS:  900,
+				P99ResponseUS:  1200,
+				MaxResponseUS:  2500,
+				MeanPropUS:     300,
+				P95PropUS:      750,
+				MaxPropUS:      1800,
+				Messages:       4096,
+				RemoteReads:    64,
+				Secondaries:    1500,
+				Dummies:        20,
+				Retries:        3,
 				Phases: map[string]PhaseBreakdown{
 					"lock_wait":    {Count: 810, MeanUS: 10.5, P50US: 8, P95US: 40, P99US: 70, MaxUS: 150},
 					"apply":        {Count: 810, MeanUS: 5.25, P50US: 4, P95US: 12, P99US: 20, MaxUS: 33},

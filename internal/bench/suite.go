@@ -92,8 +92,8 @@ func RunSuite(cfg SuiteConfig, opts RunOptions) (*Snapshot, error) {
 		Suite:         cfg.Name,
 		Seed:          cfg.Seed,
 		//lint:allow nodeterminism the snapshot's creation stamp is provenance metadata; comparisons key on seed and counts
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		Environment:   CaptureEnvironment(),
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		Environment: CaptureEnvironment(),
 	}
 	prof, err := startProfiles(opts.ProfileDir)
 	if err != nil {
@@ -187,11 +187,19 @@ func runProtocol(cfg SuiteConfig, proto core.Protocol, withTelemetry, withWAL bo
 	}
 	for k, v := range registry.Snapshot() {
 		if strings.HasPrefix(k, "repl_fault_") || strings.HasPrefix(k, "repl_reliable_") ||
-			strings.HasPrefix(k, "repl_wal_") {
+			strings.HasPrefix(k, "repl_wal_") || strings.HasPrefix(k, "repl_lock_") {
 			if pr.Counters == nil {
 				pr.Counters = make(map[string]int64)
 			}
 			pr.Counters[k] = v
+		}
+		// The abort taxonomy sums across sites into the per-reason
+		// breakdown (schema v2); the legacy aborted total stays beside it.
+		if reason, ok := abortReasonLabel(k); ok && v > 0 {
+			if pr.AbortReasons == nil {
+				pr.AbortReasons = make(map[string]uint64)
+			}
+			pr.AbortReasons[reason] += uint64(v)
 		}
 	}
 	if agg != nil {
@@ -206,6 +214,24 @@ func runProtocol(cfg SuiteConfig, proto core.Protocol, withTelemetry, withWAL bo
 		pr.Counters["telemetry_events"] = int64(len(agg.Events()))
 	}
 	return pr, nil
+}
+
+// abortReasonLabel extracts the reason label from a rendered
+// repl_txn_abort_reason_total series key
+// (`repl_txn_abort_reason_total{reason="lock_timeout",site="0"}`, the
+// obs.Registry.Snapshot form).
+func abortReasonLabel(key string) (string, bool) {
+	const family = "repl_txn_abort_reason_total{"
+	rest, ok := strings.CutPrefix(key, family)
+	if !ok {
+		return "", false
+	}
+	for _, part := range strings.Split(strings.TrimSuffix(rest, "}"), ",") {
+		if v, ok := strings.CutPrefix(part, "reason="); ok {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
 }
 
 // profiles owns the pprof capture of one suite run: a CPU profile spanning

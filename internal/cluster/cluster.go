@@ -14,10 +14,12 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/history"
+	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -356,8 +358,28 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.engines[s] = e
 	}
+
+	// Contention observatory wiring (docs/OBSERVABILITY.md): the watchdog
+	// dumps a wait-for snapshot alongside its flight recording when a
+	// Contention alert fires, and the publisher ships the heat table and
+	// abort breakdown every cycle. Both probes fetch engines lazily, so
+	// they keep working across crash-restart swaps.
+	if c.watchdog != nil {
+		c.watchdog.RegisterWaitGraphs(c.WaitGraphs)
+	}
+	if c.publisher != nil {
+		c.publisher.SetContention(
+			func() []contend.HeatEntry { return c.Heat(procHeatK) },
+			c.AbortReasons,
+		)
+	}
 	return c, nil
 }
+
+// procHeatK bounds the heat table each publish cycle ships. Wider than
+// the 10 rows repltop shows: the aggregator merges tables across
+// processes, and a too-narrow per-process cut would bias the merge.
+const procHeatK = 32
 
 // openWAL opens (or re-opens, after a crash) site s's redo log.
 func (c *Cluster) openWAL(s model.SiteID) (*wal.SiteLog, error) {
@@ -610,6 +632,65 @@ func (c *Cluster) CheckConvergence() error {
 		}
 	}
 	return nil
+}
+
+// contender is the contention-observatory surface every engine exposes
+// through its embedded base (internal/contend).
+type contender interface {
+	LockHeat() []lock.ItemStats
+	LockWaitGraph() []lock.WaitEdge
+	AbortReasons() map[string]uint64
+}
+
+// SiteHeat returns every site's per-item lock contention accounting,
+// site-ordered — the input to contend.BuildHeat.
+func (c *Cluster) SiteHeat() []contend.SiteHeat {
+	c.engMu.RLock()
+	n := len(c.engines)
+	c.engMu.RUnlock()
+	out := make([]contend.SiteHeat, 0, n)
+	for s := 0; s < n; s++ {
+		eng := c.engine(model.SiteID(s)).(contender)
+		out = append(out, contend.SiteHeat{Site: model.SiteID(s), Items: eng.LockHeat()})
+	}
+	return out
+}
+
+// Heat merges every site's accounting into the cluster's top-k item heat
+// table, hottest first (k <= 0 unbounded).
+func (c *Cluster) Heat(k int) []contend.HeatEntry {
+	return contend.BuildHeat(c.SiteHeat(), k)
+}
+
+// WaitGraphs snapshots every site's current lock wait-for state,
+// site-ordered. Sites with no queued waiter contribute an empty edge
+// list.
+func (c *Cluster) WaitGraphs() []contend.SiteWaitGraph {
+	c.engMu.RLock()
+	n := len(c.engines)
+	c.engMu.RUnlock()
+	out := make([]contend.SiteWaitGraph, 0, n)
+	for s := 0; s < n; s++ {
+		eng := c.engine(model.SiteID(s)).(contender)
+		out = append(out, contend.SiteWaitGraph{Site: model.SiteID(s), Edges: eng.LockWaitGraph()})
+	}
+	return out
+}
+
+// AbortReasons sums every site's abort root-cause breakdown, reason
+// name → count. Empty without Config.Obs (the per-reason counters live
+// in the registry).
+func (c *Cluster) AbortReasons() map[string]uint64 {
+	c.engMu.RLock()
+	n := len(c.engines)
+	c.engMu.RUnlock()
+	out := make(map[string]uint64)
+	for s := 0; s < n; s++ {
+		for reason, cnt := range c.engine(model.SiteID(s)).(contender).AbortReasons() {
+			out[reason] += cnt
+		}
+	}
+	return out
 }
 
 func (c *Cluster) storeSnapshot(s model.SiteID) map[model.ItemID]int64 {

@@ -1,0 +1,286 @@
+package contend
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/twopc"
+	"repro/internal/wal"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want AbortReason
+	}{
+		{nil, ReasonUnknown},
+		{errors.New("opaque"), ReasonUnknown},
+		{lock.ErrTimeout, ReasonLockTimeout},
+		{lock.ErrDeadlock, ReasonDeadlock},
+		{twopc.ErrNoVote, ReasonNoVote},
+		{wal.ErrFenced, ReasonWALFence},
+		// Wrapped the way the layers actually wrap: txn wraps lock,
+		// engines wrap txn. Classification must survive the chain.
+		{fmt.Errorf("txn: %w", fmt.Errorf("lock: %w", lock.ErrTimeout)), ReasonLockTimeout},
+		{fmt.Errorf("core: aborted by 2PC: %w", twopc.ErrNoVote), ReasonNoVote},
+		{fmt.Errorf("core: commit: %w", wal.ErrFenced), ReasonWALFence},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestReasonNamesRoundTrip(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, r := range Reasons() {
+		name := r.String()
+		if seen[name] {
+			t.Errorf("duplicate reason name %q", name)
+		}
+		seen[name] = true
+		var back AbortReason
+		if err := back.UnmarshalText([]byte(name)); err != nil {
+			t.Errorf("UnmarshalText(%q): %v", name, err)
+		} else if back != r {
+			t.Errorf("round trip %v -> %q -> %v", r, name, back)
+		}
+	}
+	var r AbortReason
+	if err := r.UnmarshalText([]byte("definitely-not-a-reason")); err == nil {
+		t.Error("unknown reason name parsed without error")
+	}
+}
+
+func TestBuildHeatMergesRanksAndBounds(t *testing.T) {
+	sites := []SiteHeat{
+		{Site: 0, Items: []lock.ItemStats{
+			{Item: 1, Acquired: 10, Waited: 2, WaitNS: 100},
+			{Item: 2, Acquired: 50}, // uncontended: must not appear
+			{Item: 3, Acquired: 5, Timeouts: 1, WaitNS: 500, MaxWaitNS: 500, QueuePeak: 2},
+		}},
+		{Site: 1, Items: []lock.ItemStats{
+			{Item: 1, Acquired: 4, Waited: 1, WaitNS: 700, MaxWaitNS: 650, QueuePeak: 3},
+			{Item: 9, Acquired: 1, Wounds: 1},
+		}},
+	}
+	heat := BuildHeat(sites, 0)
+	if len(heat) != 3 {
+		t.Fatalf("got %d entries, want 3 (uncontended item 2 excluded): %+v", len(heat), heat)
+	}
+	// Item 1: WaitNS 800 summed across two sites — hottest.
+	if heat[0].Item != 1 || heat[0].WaitNS != 800 || heat[0].Sites != 2 ||
+		heat[0].Acquired != 14 || heat[0].Waited != 3 ||
+		heat[0].MaxWaitNS != 650 || heat[0].QueuePeak != 3 {
+		t.Errorf("hottest entry wrong: %+v", heat[0])
+	}
+	if heat[1].Item != 3 || heat[2].Item != 9 {
+		t.Errorf("rank order wrong: %v, %v", heat[1].Item, heat[2].Item)
+	}
+	if top := BuildHeat(sites, 1); len(top) != 1 || top[0].Item != 1 {
+		t.Errorf("k=1 cut wrong: %+v", top)
+	}
+}
+
+func TestMergeHeatFoldsTables(t *testing.T) {
+	a := []HeatEntry{{Item: 7, Acquired: 3, Waited: 1, WaitNS: 40, MaxWaitNS: 40, QueuePeak: 1, Sites: 1}}
+	b := []HeatEntry{
+		{Item: 7, Acquired: 2, Waited: 2, WaitNS: 60, MaxWaitNS: 55, QueuePeak: 4, Sites: 2},
+		{Item: 8, Timeouts: 1, WaitNS: 10, Sites: 1},
+	}
+	merged := MergeHeat([][]HeatEntry{a, b}, 0)
+	if len(merged) != 2 || merged[0].Item != 7 {
+		t.Fatalf("merge wrong: %+v", merged)
+	}
+	got := merged[0]
+	want := HeatEntry{Item: 7, Acquired: 5, Waited: 3, WaitNS: 100, MaxWaitNS: 55, QueuePeak: 4, Sites: 3}
+	if got != want {
+		t.Errorf("folded entry = %+v, want %+v", got, want)
+	}
+	if top := MergeHeat([][]HeatEntry{a, b}, 1); len(top) != 1 {
+		t.Errorf("k=1 cut wrong: %+v", top)
+	}
+}
+
+// park blocks a goroutine acquiring item for owner and returns once the
+// request is visibly queued in the manager's wait graph.
+func park(t *testing.T, m *lock.Manager, owner model.TxnID, item model.ItemID, wantEdges int) chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(owner, item, lock.Exclusive, 5*time.Second) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(m.WaitGraph()) < wantEdges {
+		if time.Now().After(deadline) {
+			t.Fatalf("request %v never queued", owner)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return done
+}
+
+// TestWaitGraphDumpDeterministic pins the satellite requirement that the
+// same captured wait-for state always serializes to the same bytes, and
+// that the dump round-trips.
+func TestWaitGraphDumpDeterministic(t *testing.T) {
+	m := lock.NewManager(false)
+	holder := model.TxnID{Site: 0, Seq: 1}
+	if err := m.Acquire(holder, 5, lock.Exclusive, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w1 := park(t, m, model.TxnID{Site: 1, Seq: 2}, 5, 1)
+	w2 := park(t, m, model.TxnID{Site: 2, Seq: 3}, 5, 2)
+
+	snap := []SiteWaitGraph{
+		{Site: 3, Edges: nil}, // quiet site: must not appear in the dump
+		{Site: 0, Edges: m.WaitGraph()},
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := WriteWaitGraphs(&buf1, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteWaitGraphs(&buf2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Errorf("same state serialized differently:\n%s\n---\n%s", buf1.Bytes(), buf2.Bytes())
+	}
+
+	back, err := ReadWaitGraphs(&buf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Site != 0 || len(back[0].Edges) != 2 {
+		t.Fatalf("round trip wrong: %+v", back)
+	}
+	// AgeNS is capture-time wall clock, deliberately excluded from the
+	// serialization; everything structural must survive.
+	wantEdges := append([]lock.WaitEdge(nil), snap[1].Edges...)
+	for i := range wantEdges {
+		wantEdges[i].AgeNS = 0
+	}
+	if !reflect.DeepEqual(back[0].Edges, wantEdges) {
+		t.Errorf("edges round trip:\ngot  %+v\nwant %+v", back[0].Edges, wantEdges)
+	}
+	if back[0].Edges[0].Waiter != (model.TxnID{Site: 1, Seq: 2}) || back[0].Edges[0].Pos != 0 {
+		t.Errorf("queue order lost: %+v", back[0].Edges)
+	}
+
+	m.ReleaseAll(holder)
+	for i, done := range []chan error{w1, w2} {
+		if err := <-done; err != nil {
+			t.Errorf("waiter %d: %v", i, err)
+		}
+		m.ReleaseAll(model.TxnID{Site: model.SiteID(i + 1), Seq: uint64(i + 2)})
+	}
+}
+
+// synthetic trace events for one committed txn: begin at t0, commit at
+// t0+e2e, with the given (phase, site, dur) samples inside the window.
+func committedTxn(tid model.TxnID, proto uint8, t0, e2e int64, samples ...trace.Event) []trace.Event {
+	evs := []trace.Event{
+		{T: t0, Kind: trace.TxnBegin, Site: tid.Site, Peer: model.NoSite, TID: tid, Proto: proto},
+	}
+	evs = append(evs, samples...)
+	evs = append(evs, trace.Event{T: t0 + e2e, Kind: trace.TxnCommit, Site: tid.Site, Peer: model.NoSite, TID: tid, Proto: proto})
+	return evs
+}
+
+func phaseEv(tid model.TxnID, proto uint8, at int64, phase string, site model.SiteID, dur int64) trace.Event {
+	return trace.Event{T: at, Kind: trace.PhaseLatency, Site: site, Peer: model.NoSite,
+		TID: tid, Proto: proto, Phase: phase, Dur: dur}
+}
+
+func TestAnalyzeCriticalPathsAttribution(t *testing.T) {
+	a := model.TxnID{Site: 0, Seq: 1}
+	b := model.TxnID{Site: 0, Seq: 2}
+	aborted := model.TxnID{Site: 0, Seq: 3}
+	var events []trace.Event
+	// Txn a: 100ns window, 40ns lock_wait at the origin, 60ns residual.
+	events = append(events, committedTxn(a, 1, 0, 100,
+		phaseEv(a, 1, 50, "lock_wait", 0, 40))...)
+	// Txn b: 100ns window, two phases claiming 130ns — 30ns overlap.
+	events = append(events, committedTxn(b, 1, 1000, 100,
+		phaseEv(b, 1, 1050, "lock_wait", 0, 80),
+		phaseEv(b, 1, 1090, "2pc_vote", 1, 50))...)
+	// An aborted txn and an out-of-window phase sample: both ignored.
+	events = append(events,
+		trace.Event{T: 2000, Kind: trace.TxnBegin, Site: 0, TID: aborted, Proto: 1},
+		trace.Event{T: 2010, Kind: trace.TxnAbort, Site: 0, TID: aborted, Proto: 1, Phase: "lock_timeout"},
+		phaseEv(a, 1, 5000, "apply", 2, 999))
+
+	profiles := AnalyzeCriticalPaths(events)
+	if len(profiles) != 1 {
+		t.Fatalf("got %d profiles, want 1", len(profiles))
+	}
+	p := profiles[0]
+	if p.Proto != 1 || p.Committed != 2 {
+		t.Fatalf("profile header wrong: %+v", p)
+	}
+	if p.EndToEndNS != 200 || p.AttributedNS != 200 || p.OverlapNS != 30 {
+		t.Errorf("e2e=%d attributed=%d overlap=%d, want 200/200/30",
+			p.EndToEndNS, p.AttributedNS, p.OverlapNS)
+	}
+	if got := p.CoveragePct(); got != 100 {
+		t.Errorf("CoveragePct = %v, want 100", got)
+	}
+	want := []Segment{
+		{Phase: PhaseExecute, Site: 0, Count: 1, TotalNS: 60},
+		{Phase: "lock_wait", Site: 0, Count: 2, TotalNS: 120},
+		{Phase: "2pc_vote", Site: 1, Count: 1, TotalNS: 50},
+	}
+	if !reflect.DeepEqual(p.Segments, want) {
+		t.Errorf("segments:\ngot  %+v\nwant %+v", p.Segments, want)
+	}
+}
+
+// TestAnalyzeCriticalPathsDeterministic pins the acceptance criterion
+// that the profile structure is identical across same-seed runs: the
+// analyzer must be a pure function of the event multiset, independent of
+// interleaving-dependent event order.
+func TestAnalyzeCriticalPathsDeterministic(t *testing.T) {
+	a := model.TxnID{Site: 0, Seq: 1}
+	b := model.TxnID{Site: 1, Seq: 1}
+	events := append(
+		committedTxn(a, 3, 0, 100, phaseEv(a, 3, 10, "lock_wait", 0, 30)),
+		committedTxn(b, 3, 50, 200, phaseEv(b, 3, 80, "transport", 2, 90))...)
+	reversed := make([]trace.Event, len(events))
+	for i, ev := range events {
+		reversed[len(events)-1-i] = ev
+	}
+	p1 := AnalyzeCriticalPaths(events)
+	p2 := AnalyzeCriticalPaths(reversed)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("profile depends on event order:\n%+v\n---\n%+v", p1, p2)
+	}
+	if p1[0].StructureString() != p2[0].StructureString() {
+		t.Errorf("structure strings differ: %q vs %q",
+			p1[0].StructureString(), p2[0].StructureString())
+	}
+}
+
+func TestAbortBreakdownAndUnclassified(t *testing.T) {
+	tid := model.TxnID{Site: 0, Seq: 1}
+	events := []trace.Event{
+		{Kind: trace.TxnAbort, Site: 0, TID: tid, Phase: "lock_timeout"},
+		{Kind: trace.TxnAbort, Site: 0, TID: tid, Phase: "lock_timeout"},
+		{Kind: trace.TxnAbort, Site: 1, TID: tid, Phase: "wound"},
+		{Kind: trace.TxnAbort, Site: 1, TID: tid}, // legacy event, no tag
+		{Kind: trace.TxnCommit, Site: 0, TID: tid},
+	}
+	got := AbortBreakdown(events)
+	want := map[string]uint64{"lock_timeout": 2, "wound": 1, "unknown": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("breakdown = %v, want %v", got, want)
+	}
+	if Unclassified(got) != 1 {
+		t.Errorf("Unclassified = %d, want 1", Unclassified(got))
+	}
+}

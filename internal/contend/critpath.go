@@ -1,0 +1,254 @@
+// The critical-path analyzer: for each committed transaction it measures
+// end-to-end commit latency from the TxnBegin/TxnCommit pair at the
+// origin, attributes it to named (phase, site) segments from the
+// PhaseLatency events inside that window, charges whatever no phase
+// claims to an explicit "execute" residual at the origin (simulated op
+// cost plus scheduling), and walks the deterministic span tree for the
+// longest causal chain. Aggregated per protocol, the result says where a
+// protocol's commit latency actually goes — the evidence base the
+// ROADMAP-1 batching work is judged against.
+package contend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// PhaseExecute names the residual segment: commit latency not claimed by
+// any recorded phase — the simulated operation cost plus scheduling.
+const PhaseExecute = "execute"
+
+// Segment is one (phase, site) slice of a protocol's aggregate commit
+// latency.
+type Segment struct {
+	Phase string       `json:"phase"`
+	Site  model.SiteID `json:"site"`
+	// Count is the number of samples (per-op for lock_wait, per-txn for
+	// execute) and TotalNS their summed duration over all committed txns.
+	Count   uint64 `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+}
+
+// Chain is one critical-chain shape ("s0 -> s2 -> s5": the deepest
+// root-to-leaf path of a committed transaction's span tree) and how many
+// committed transactions propagated that way.
+type Chain struct {
+	Path  string `json:"path"`
+	Count int    `json:"count"`
+}
+
+// PathProfile is one protocol's aggregated critical-path profile.
+type PathProfile struct {
+	Proto uint8 `json:"proto"`
+	// Protocol is the display name; the analyzer leaves it empty (contend
+	// cannot depend on core's enum) and callers that know the mapping fill
+	// it in.
+	Protocol  string `json:"protocol,omitempty"`
+	Committed int    `json:"committed"`
+	// EndToEndNS sums measured begin-to-commit latency over the committed
+	// transactions; AttributedNS is the part the segments account for
+	// (equal unless phases overlapped, see OverlapNS).
+	EndToEndNS   int64 `json:"end_to_end_ns"`
+	AttributedNS int64 `json:"attributed_ns"`
+	// OverlapNS is phase time in excess of wall-clock latency: segments
+	// that ran concurrently (parallel 2PC votes) double-charge the window.
+	// The excess is reported, not hidden, so coverage stays honest.
+	OverlapNS int64     `json:"overlap_ns,omitempty"`
+	Segments  []Segment `json:"segments"`
+	Chains    []Chain   `json:"chains"`
+}
+
+// CoveragePct is the percentage of measured end-to-end latency the
+// segments attribute — 100 when every nanosecond is claimed exactly once.
+func (p *PathProfile) CoveragePct() float64 {
+	if p.EndToEndNS == 0 {
+		return 100
+	}
+	return 100 * float64(p.AttributedNS) / float64(p.EndToEndNS)
+}
+
+// StructureString renders the seed-stable part of the profile — the
+// protocol and its critical chains with counts, no durations — so two
+// same-seed runs can be compared byte-for-byte.
+func (p *PathProfile) StructureString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proto=%d committed=%d\n", p.Proto, p.Committed)
+	for _, c := range p.Chains {
+		fmt.Fprintf(&b, "  %s x%d\n", c.Path, c.Count)
+	}
+	return b.String()
+}
+
+// AnalyzeCriticalPaths builds one profile per protocol present in the
+// event stream. A transaction counts as committed when its origin site
+// recorded both TxnBegin and TxnCommit; its attribution window is the
+// span between those two timestamps, so post-commit propagation (lazy
+// secondary applies) never pollutes commit-latency segments.
+func AnalyzeCriticalPaths(events []trace.Event) []*PathProfile {
+	byProto := make(map[uint8][]trace.Event)
+	for _, ev := range events {
+		byProto[ev.Proto] = append(byProto[ev.Proto], ev)
+	}
+	protos := make([]uint8, 0, len(byProto))
+	for p := range byProto {
+		protos = append(protos, p)
+	}
+	sort.Slice(protos, func(i, j int) bool { return protos[i] < protos[j] })
+	var out []*PathProfile
+	for _, proto := range protos {
+		if prof := analyzeProto(proto, byProto[proto]); prof != nil {
+			out = append(out, prof)
+		}
+	}
+	return out
+}
+
+type window struct{ begin, commit int64 }
+
+type segKey struct {
+	phase string
+	site  model.SiteID
+}
+
+func analyzeProto(proto uint8, events []trace.Event) *PathProfile {
+	// Commit windows, from the begin/commit pair at each origin.
+	begins := make(map[model.TxnID]int64)
+	for _, ev := range events {
+		if ev.Kind == trace.TxnBegin && ev.Site == ev.TID.Site {
+			begins[ev.TID] = ev.T
+		}
+	}
+	windows := make(map[model.TxnID]window)
+	for _, ev := range events {
+		if ev.Kind == trace.TxnCommit && ev.Site == ev.TID.Site {
+			if b, ok := begins[ev.TID]; ok {
+				windows[ev.TID] = window{begin: b, commit: ev.T}
+			}
+		}
+	}
+	if len(windows) == 0 {
+		return nil
+	}
+	p := &PathProfile{Proto: proto, Committed: len(windows)}
+
+	// Phase segments inside each commit window. PhaseLatency events are
+	// stamped at segment end, so "T within the window" keeps pre-commit
+	// work (including work other sites did on the txn's behalf: PSL remote
+	// reads, 2PC votes, the backedge round trip) and drops post-commit
+	// propagation.
+	segs := make(map[segKey]*Segment)
+	attributed := make(map[model.TxnID]int64)
+	for _, ev := range events {
+		if ev.Kind != trace.PhaseLatency {
+			continue
+		}
+		w, ok := windows[ev.TID]
+		if !ok || ev.T < w.begin || ev.T > w.commit {
+			continue
+		}
+		k := segKey{phase: ev.Phase, site: ev.Site}
+		s := segs[k]
+		if s == nil {
+			s = &Segment{Phase: k.phase, Site: k.site}
+			segs[k] = s
+		}
+		s.Count++
+		s.TotalNS += ev.Dur
+		attributed[ev.TID] += ev.Dur
+	}
+
+	// The execute residual, per transaction: what the window measured but
+	// no phase claimed. A negative residual means phases overlapped
+	// (parallel votes); the excess is reported as overlap.
+	for tid, w := range windows {
+		e2e := w.commit - w.begin
+		p.EndToEndNS += e2e
+		got := attributed[tid]
+		if resid := e2e - got; resid >= 0 {
+			k := segKey{phase: PhaseExecute, site: tid.Site}
+			s := segs[k]
+			if s == nil {
+				s = &Segment{Phase: PhaseExecute, Site: tid.Site}
+				segs[k] = s
+			}
+			s.Count++
+			s.TotalNS += resid
+			p.AttributedNS += e2e
+		} else {
+			// Phases overlapped (parallel 2PC votes): they claim more than
+			// the wall clock. The window is fully covered; the excess is
+			// reported as overlap rather than inflating attribution.
+			p.AttributedNS += e2e
+			p.OverlapNS += -resid
+		}
+	}
+
+	p.Segments = make([]Segment, 0, len(segs))
+	for _, s := range segs {
+		p.Segments = append(p.Segments, *s)
+	}
+	sort.Slice(p.Segments, func(i, j int) bool {
+		a, b := p.Segments[i], p.Segments[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Phase < b.Phase
+	})
+
+	// Critical chains from the span trees: the deepest root-to-leaf path,
+	// deterministic because children are ordered and ties keep the first.
+	chains := make(map[string]int)
+	for tid, tr := range trace.BuildSpanTrees(events) {
+		if _, ok := windows[tid]; !ok {
+			continue
+		}
+		if tr.Root == nil {
+			continue
+		}
+		chains[chainOf(tr.Root)]++
+	}
+	p.Chains = make([]Chain, 0, len(chains))
+	for path, n := range chains {
+		p.Chains = append(p.Chains, Chain{Path: path, Count: n})
+	}
+	sort.Slice(p.Chains, func(i, j int) bool { return p.Chains[i].Path < p.Chains[j].Path })
+	return p
+}
+
+// chainOf renders the deepest root-to-leaf site path of a span tree.
+func chainOf(root *trace.SpanNode) string {
+	var b strings.Builder
+	n := root
+	for {
+		if b.Len() > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "s%d", n.Site)
+		var next *trace.SpanNode
+		best := -1
+		for _, c := range n.Children {
+			if d := depthOf(c); d > best {
+				best = d
+				next = c
+			}
+		}
+		if next == nil {
+			return b.String()
+		}
+		n = next
+	}
+}
+
+func depthOf(n *trace.SpanNode) int {
+	best := 0
+	for _, c := range n.Children {
+		if d := depthOf(c); d > best {
+			best = d
+		}
+	}
+	return best + 1
+}

@@ -1,0 +1,112 @@
+// Wait-for graph snapshots: the cluster's who-waits-on-whom-for-what
+// state at one instant, serialized as JSONL next to the watchdog flight
+// recorder. The serialized form is structure-only (lock.WaitEdge excludes
+// wait ages from JSON), so the same captured state always produces the
+// same bytes — the property the same-seed snapshot test pins.
+package contend
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/lock"
+	"repro/internal/model"
+)
+
+// SiteWaitGraph is one site's wait-for snapshot: every live queued lock
+// request at that site, in the lock manager's deterministic order.
+type SiteWaitGraph struct {
+	Site  model.SiteID    `json:"site"`
+	Edges []lock.WaitEdge `json:"edges"`
+}
+
+// EmptyWaitGraphs reports whether nothing was waiting in the snapshot.
+func EmptyWaitGraphs(gs []SiteWaitGraph) bool {
+	for _, g := range gs {
+		if len(g.Edges) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SortWaitGraphs orders a snapshot by site, the canonical dump order.
+func SortWaitGraphs(gs []SiteWaitGraph) {
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Site < gs[j].Site })
+}
+
+// WriteWaitGraphs writes a cluster snapshot as JSONL, one site per line,
+// sites in ascending order. Sites with no waiters are skipped, so an
+// all-quiet snapshot writes nothing.
+func WriteWaitGraphs(w io.Writer, gs []SiteWaitGraph) error {
+	sorted := append([]SiteWaitGraph(nil), gs...)
+	SortWaitGraphs(sorted)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, g := range sorted {
+		if len(g.Edges) == 0 {
+			continue
+		}
+		if err := enc.Encode(g); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWaitGraphs parses a snapshot produced by WriteWaitGraphs. Blank
+// lines are skipped, so concatenated dumps parse cleanly.
+func ReadWaitGraphs(r io.Reader) ([]SiteWaitGraph, error) {
+	var out []SiteWaitGraph
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var g SiteWaitGraph
+		if err := json.Unmarshal(b, &g); err != nil {
+			return nil, fmt.Errorf("contend: wait-for line %d: %w", line, err)
+		}
+		out = append(out, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatWaitGraphs renders a snapshot for consoles: one line per edge,
+// "s2: T(s0:7) waits X[17] pos=0 behind T(s1:3)(X)".
+func FormatWaitGraphs(gs []SiteWaitGraph) []string {
+	sorted := append([]SiteWaitGraph(nil), gs...)
+	SortWaitGraphs(sorted)
+	var lines []string
+	for _, g := range sorted {
+		for _, e := range g.Edges {
+			holders := ""
+			for i, h := range e.Holders {
+				if i > 0 {
+					holders += ","
+				}
+				holders += fmt.Sprintf("%v(%s)", h.Owner, h.Mode)
+			}
+			if holders == "" {
+				holders = "-"
+			}
+			up := ""
+			if e.Upgrade {
+				up = " upgrade"
+			}
+			lines = append(lines, fmt.Sprintf("s%d: %v waits %s[%d]%s pos=%d behind %s",
+				g.Site, e.Waiter, e.Mode, e.Item, up, e.Pos, holders))
+		}
+	}
+	return lines
+}

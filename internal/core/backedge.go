@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/trace"
@@ -250,7 +251,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	e.traceCtx(trace.TxnBegin, model.NoSite, octx)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
-		e.recAbort(tid)
+		e.recAbort(tid, contend.Classify(err))
 		return err
 	}
 	writes := t.Writes()
@@ -270,7 +271,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		}
 		e.commitMu.Unlock()
 		if err != nil {
-			e.recAbort(tid)
+			e.recAbort(tid, contend.Classify(err))
 			return err
 		}
 		e.recCommit(tid, start)
@@ -285,8 +286,8 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		Kind: wal.KindEagerStart, TID: tid, Writes: writes, Span: octx,
 	}); werr != nil {
 		t.Abort()
-		e.recAbort(tid)
-		return fmt.Errorf("core: %v aborted: %w: %v", tid, txn.ErrAborted, werr)
+		e.recAbort(tid, contend.ReasonWALFence)
+		return fmt.Errorf("core: %v aborted: %w: %w", tid, txn.ErrAborted, werr)
 	}
 
 	// Register for the special's homecoming, then launch the backedge
@@ -319,7 +320,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		Payload: specialPayload{TID: tid, Origin: e.id, Writes: writes},
 	})
 
-	abortEager := func(why string) error {
+	abortEager := func(why string, reason contend.AbortReason) error {
 		e.locks.ClearVulnerable(tid)
 		e.mu.Lock()
 		delete(e.waiters, tid)
@@ -332,7 +333,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		_ = e.decisions.Record(tid, false)
 		t.Abort()
 		e.abortBackedges(octx, targets)
-		e.recAbort(tid)
+		e.recAbort(tid, reason)
 		return fmt.Errorf("core: %v aborted %s: %w", tid, why, txn.ErrAborted)
 	}
 
@@ -342,13 +343,17 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	case <-st.arrived:
 		e.locks.ClearVulnerable(tid)
 	case <-wound:
-		return abortEager("as global-deadlock victim (wounded by a secondary)")
+		return abortEager("as global-deadlock victim (wounded by a secondary)", contend.ReasonWound)
 	case <-timer.C:
 		// Global deadlock suspicion (Example 4.1): abort and release.
-		return abortEager("waiting for backedge round-trip")
+		return abortEager("waiting for backedge round-trip", contend.ReasonDeadlock)
 	case <-e.stop:
 		e.locks.ClearVulnerable(tid)
 		t.Abort()
+		// The site was stopped (chaos crash or shutdown) with the txn
+		// parked on its round trip — an abort with a cause of its own,
+		// previously invisible to the abort accounting.
+		e.recAbort(tid, contend.ReasonCrash)
 		return fmt.Errorf("core: engine stopped: %w", txn.ErrAborted)
 	}
 
@@ -387,8 +392,8 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	}
 	if !committed {
 		t.Abort()
-		e.recAbort(tid)
-		return fmt.Errorf("core: %v aborted by 2PC: %w", tid, txn.ErrAborted)
+		e.recAbort(tid, contend.ReasonNoVote)
+		return fmt.Errorf("core: %v aborted by 2PC: %w: %w", tid, twopc.ErrNoVote, txn.ErrAborted)
 	}
 	e.obs.beCommits.Inc()
 	e.traceCtx(trace.BackedgeCommit, targets[0], octx)
@@ -404,7 +409,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	}
 	e.commitMu.Unlock()
 	if err != nil {
-		e.recAbort(tid)
+		e.recAbort(tid, contend.Classify(err))
 		return err
 	}
 	e.recCommit(tid, start)

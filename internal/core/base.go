@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -81,6 +82,14 @@ func newBase(cfg *SharedConfig, proto Protocol, id model.SiteID, tr comm.Transpo
 	rpc.SetLateHook(func(model.SiteID, int) { so.rpcLate.Inc() })
 	tm := txn.NewManager(id, st, lm, cfg.Params.LockTimeout, cfg.Recorder)
 	tm.SetMetrics(cfg.Metrics)
+	if cfg.Trace != nil {
+		// Per-transaction lock-wait and apply segments for the critical-path
+		// analyzer (internal/contend): the aggregate PhaseSample the manager
+		// already takes cannot say whose latency it was.
+		tm.SetPhaseTrace(func(p metrics.Phase, tid model.TxnID, d time.Duration) {
+			cfg.Trace.RecordPhase(id, model.NoSite, tid, uint8(proto), p.String(), d)
+		})
+	}
 	return base{
 		cfg:     cfg,
 		id:      id,
@@ -110,10 +119,23 @@ func (b *base) newTxnID() model.TxnID {
 }
 
 // halt closes the stop channel exactly once, so a crash (the cluster's
-// OnCrash lifecycle hook) and the end-of-run Stop can both call it.
+// OnCrash lifecycle hook) and the end-of-run Stop can both call it. The
+// lock manager's counters are published on the way down — the one moment
+// they are both final and still reachable.
 func (b *base) halt() {
-	b.stopOnce.Do(func() { close(b.stop) })
+	b.stopOnce.Do(func() {
+		b.flushLockStats()
+		close(b.stop)
+	})
 }
+
+// LockHeat returns the site's per-item lock contention accounting, for
+// the cluster-wide heat table (internal/contend).
+func (b *base) LockHeat() []lock.ItemStats { return b.locks.ItemStats() }
+
+// LockWaitGraph snapshots the site's current wait-for state: every live
+// queued lock request, deterministically ordered.
+func (b *base) LockWaitGraph() []lock.WaitEdge { return b.locks.WaitGraph() }
 
 // walAppendSync appends one record and waits for the group commit; nil
 // without a log. A non-nil error means the record is NOT durable — the

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/trace"
@@ -32,8 +33,8 @@ type dagtEngine struct {
 	// tsMu guards the site timestamp state; it is the §3.2.2 critical
 	// section together with commitMu.
 	tsMu     sync.Mutex
-	siteTS   ts.Timestamp // repl:guardedby(tsMu)
-	ltsi     uint64       // primary subtransactions committed here (LTSi) // repl:guardedby(tsMu)
+	siteTS   ts.Timestamp               // repl:guardedby(tsMu)
+	ltsi     uint64                     // primary subtransactions committed here (LTSi) // repl:guardedby(tsMu)
 	lastSent map[model.SiteID]time.Time // repl:guardedby(tsMu)
 
 	// qMu/qCond guard the per-parent queues.
@@ -191,7 +192,7 @@ func (e *dagtEngine) Execute(ops []model.Op) error {
 	e.traceCtx(trace.TxnBegin, model.NoSite, octx)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
-		e.recAbort(tid)
+		e.recAbort(tid, contend.Classify(err))
 		return err
 	}
 	writes := t.Writes()
@@ -214,7 +215,7 @@ func (e *dagtEngine) Execute(ops []model.Op) error {
 	}
 	e.commitMu.Unlock()
 	if err != nil {
-		e.recAbort(tid)
+		e.recAbort(tid, contend.Classify(err))
 		return err
 	}
 	e.recCommit(tid, start)

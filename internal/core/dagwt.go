@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/trace"
@@ -71,7 +72,7 @@ func (e *dagwtEngine) Execute(ops []model.Op) error {
 	e.traceCtx(trace.TxnBegin, model.NoSite, octx)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
-		e.recAbort(tid)
+		e.recAbort(tid, contend.Classify(err))
 		return err
 	}
 	writes := t.Writes()
@@ -87,7 +88,7 @@ func (e *dagwtEngine) Execute(ops []model.Op) error {
 	}
 	e.commitMu.Unlock()
 	if err != nil {
-		e.recAbort(tid)
+		e.recAbort(tid, contend.Classify(err))
 		return err
 	}
 	e.recCommit(tid, start)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // testParams are Table 1 parameters scaled for test speed.
@@ -33,6 +34,7 @@ type system struct {
 	recorder  *history.Recorder
 	collector *metrics.Collector
 	registry  *obs.Registry
+	tracer    *trace.Recorder
 	pending   sync.WaitGroup
 }
 
@@ -88,6 +90,7 @@ func buildSystemFull(t *testing.T, proto Protocol, p *model.Placement, params Pa
 		recorder:  history.NewRecorder(),
 		collector: metrics.NewCollector(true),
 		registry:  obs.NewRegistry(),
+		tracer:    trace.NewRecorder(),
 	}
 	shared := &SharedConfig{
 		Placement:    p,
@@ -100,6 +103,7 @@ func buildSystemFull(t *testing.T, proto Protocol, p *model.Placement, params Pa
 		Recorder:     s.recorder,
 		Metrics:      s.collector,
 		Obs:          s.registry,
+		Trace:        s.tracer,
 		Pending:      &s.pending,
 	}
 	s.collector.Begin()

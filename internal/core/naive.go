@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -85,7 +86,7 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 	e.traceCtx(trace.TxnBegin, model.NoSite, octx)
 	t := e.tm.Begin(tid)
 	if err := e.runLocalOps(t, ops); err != nil {
-		e.recAbort(tid)
+		e.recAbort(tid, contend.Classify(err))
 		return err
 	}
 	writes := t.Writes()
@@ -103,7 +104,7 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 	}
 	e.commitMu.Unlock()
 	if err != nil {
-		e.recAbort(tid)
+		e.recAbort(tid, contend.Classify(err))
 		return err
 	}
 	e.recCommit(tid, start)

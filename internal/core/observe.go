@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -34,6 +35,20 @@ type siteObs struct {
 	beDecisionErrs *obs.Counter
 	rpcLate        *obs.Counter
 
+	// abortReasons splits the aborted counter by root cause, one counter
+	// per contend.AbortReason, labelled reason=<name>; every recAbort
+	// increments exactly one of them (docs/OBSERVABILITY.md, contention
+	// observatory).
+	abortReasons [contend.NumReasons]*obs.Counter
+
+	// Lock-manager counters (repl_lock_*_total), published from
+	// lock.Manager.Stats by flushLockStats when the site halts.
+	lockGrants    *obs.Counter
+	lockWaits     *obs.Counter
+	lockWounds    *obs.Counter
+	lockTimeouts  *obs.Counter
+	lockDeadlocks *obs.Counter
+
 	// Queue-depth gauges: the DAG(WT)/BackEdge FIFO applier queue, the
 	// DAG(T) timestamp-hold queues, the BackEdge origins parked on their
 	// backedge round-trip, and the PSL remote-read service queue.
@@ -51,7 +66,7 @@ func newSiteObs(r *obs.Registry, id model.SiteID) siteObs {
 	queue := func(q string) *obs.Gauge {
 		return r.Gauge("repl_queue_depth", site, obs.Label{Key: "queue", Value: q})
 	}
-	return siteObs{
+	so := siteObs{
 		committed:      r.Counter("repl_txn_committed_total", site),
 		aborted:        r.Counter("repl_txn_aborted_total", site),
 		applied:        r.Counter("repl_secondary_applied_total", site),
@@ -69,7 +84,43 @@ func newSiteObs(r *obs.Registry, id model.SiteID) siteObs {
 		tsDepth:        queue("ts"),
 		eagerDepth:     queue("eager"),
 		readsDepth:     queue("reads"),
+		lockGrants:     r.Counter("repl_lock_grants_total", site),
+		lockWaits:      r.Counter("repl_lock_waits_total", site),
+		lockWounds:     r.Counter("repl_lock_wounds_total", site),
+		lockTimeouts:   r.Counter("repl_lock_timeouts_total", site),
+		lockDeadlocks:  r.Counter("repl_lock_deadlocks_total", site),
 	}
+	for _, reason := range contend.Reasons() {
+		so.abortReasons[reason] = r.Counter("repl_txn_abort_reason_total",
+			site, obs.Label{Key: "reason", Value: reason.String()})
+	}
+	return so
+}
+
+// AbortReasons returns the site's cumulative abort root-cause breakdown,
+// reason name → count, zero-count reasons omitted. Backed by the
+// per-reason obs counters, so it is empty when observation is disabled.
+func (b *base) AbortReasons() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, reason := range contend.Reasons() {
+		if n := b.obs.abortReasons[reason].Value(); n > 0 {
+			out[reason.String()] = n
+		}
+	}
+	return out
+}
+
+// flushLockStats publishes the lock manager's cumulative counters into the
+// live registry. Called once, when the site halts, so the cumulative
+// values ARE the deltas; reading Stats per grant would put a second mutex
+// acquisition on the lock hot path for numbers nobody scrapes mid-run.
+func (b *base) flushLockStats() {
+	s := b.locks.Stats()
+	b.obs.lockGrants.Add(s.Acquired)
+	b.obs.lockWaits.Add(s.Waited)
+	b.obs.lockWounds.Add(s.Wounds)
+	b.obs.lockTimeouts.Add(s.Timeouts)
+	b.obs.lockDeadlocks.Add(s.Deadlocks)
 }
 
 // traceEvent records one lifecycle event tagged with this site and
@@ -104,11 +155,20 @@ func (b *base) recCommit(tid model.TxnID, start time.Time) {
 }
 
 // recAbort folds the bookkeeping for an aborted primary subtransaction.
-// Aborts happen at the origin, so the event sits on the root span.
-func (b *base) recAbort(tid model.TxnID) {
+// Aborts happen at the origin, so the event sits on the root span. Every
+// abort carries its root cause: the reason both tags the TxnAbort trace
+// event and selects the per-reason counter, so no engine can abort
+// without classifying (the compiler enforces what a convention could
+// not).
+func (b *base) recAbort(tid model.TxnID, reason contend.AbortReason) {
 	b.cfg.Metrics.TxnAborted()
 	b.obs.aborted.Inc()
-	b.traceCtx(trace.TxnAbort, model.NoSite, model.SpanContext{TID: tid})
+	b.obs.abortReasons[reason].Inc()
+	if b.cfg.Trace != nil {
+		sc := model.SpanContext{TID: tid}
+		b.cfg.Trace.RecordTag(trace.TxnAbort, b.id, model.NoSite, tid,
+			uint8(b.proto), sc.SpanAt(b.id), sc.Parent, reason.String())
+	}
 }
 
 // recApplied folds the bookkeeping for a committed secondary

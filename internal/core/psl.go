@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -104,10 +105,10 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 	t := e.tm.Begin(tid)
 	remotes := make(map[model.SiteID]bool)
 
-	fail := func(err error) error {
+	fail := func(err error, reason contend.AbortReason) error {
 		t.Abort()
 		e.releaseRemotes(octx, remotes)
-		e.recAbort(tid)
+		e.recAbort(tid, reason)
 		return err
 	}
 
@@ -119,7 +120,7 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 			if primary == e.id {
 				if _, err := t.Read(op.Item); err != nil {
 					e.releaseRemotes(octx, remotes)
-					e.recAbort(tid)
+					e.recAbort(tid, contend.Classify(err))
 					return err
 				}
 				continue
@@ -133,18 +134,26 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 				// The lock may still be granted remotely after our timeout;
 				// the release below cancels or undoes it.
 				remotes[primary] = true
-				return fail(fmt.Errorf("%w: remote r[%d] at s%d: %v", txn.ErrAborted, op.Item, primary, err))
+				// The remote error crossed an RPC boundary, which flattens
+				// the wrapped chain: a failed remote read IS a lock wait
+				// that outlasted its deadline (the primary's lock timeout
+				// or the RPC timeout bounding it), so classify it here.
+				return fail(fmt.Errorf("%w: remote r[%d] at s%d: %v", txn.ErrAborted, op.Item, primary, err),
+					contend.ReasonLockTimeout)
 			}
 			remotes[primary] = true
 			rr := resp.(pslReadResp)
 			t.ObserveRemoteRead(primary, op.Item, rr.Version)
 		case model.OpWrite:
 			if !e.cfg.Placement.IsPrimary(e.id, op.Item) {
-				return fail(fmt.Errorf("core: s%d is not the primary of item %d", e.id, op.Item))
+				// Workload misconfiguration, not contention; no reason fits
+				// and none should: a nonzero unknown count points here.
+				return fail(fmt.Errorf("core: s%d is not the primary of item %d", e.id, op.Item),
+					contend.ReasonUnknown)
 			}
 			if err := t.Write(op.Item, op.Value); err != nil {
 				e.releaseRemotes(octx, remotes)
-				e.recAbort(tid)
+				e.recAbort(tid, contend.Classify(err))
 				return err
 			}
 		}
@@ -155,7 +164,7 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 	})
 	if err := t.Commit(); err != nil {
 		e.releaseRemotes(octx, remotes)
-		e.recAbort(tid)
+		e.recAbort(tid, contend.Classify(err))
 		return err
 	}
 	e.traceCtx(trace.TxnCommit, model.NoSite, octx)

@@ -34,9 +34,11 @@ type obsUpdate struct {
 //     outside trace — an event that exists but is never emitted means a
 //     protocol lifecycle step silently lost its instrumentation;
 //   - every obs handle field (struct field of type *obs.Counter,
-//     *obs.Gauge or *obs.Histogram) must be updated somewhere — a handle
-//     that is registered but never Inc/Add/Observe'd exports a
-//     permanently-zero series that masquerades as "nothing happened";
+//     *obs.Gauge or *obs.Histogram, or an array/slice of those — a
+//     label-indexed handle bank like the per-reason abort counters) must
+//     be updated somewhere — a handle that is registered but never
+//     Inc/Add/Observe'd exports a permanently-zero series that
+//     masquerades as "nothing happened";
 //   - every *obs.Gauge field that is ever Inc'd must also be Dec'd (or
 //     Set/Add'd) somewhere — a level gauge that only rises, like a queue
 //     depth counting arrivals but not departures, reads as an
@@ -187,8 +189,25 @@ func isTelemetryFrameKindConst(c *types.Const) bool {
 }
 
 // obsHandleKind classifies a field type as a pointer to an obs handle or
-// a watchdog queue-liveness handle.
+// a watchdog queue-liveness handle. Arrays and slices of *obs.* handle
+// pointers (a handle bank indexed by a label enum, like the per-reason
+// abort counters) classify as their element: a bank nobody ever indexes
+// into is as dead as a single unused handle. Progress collections are
+// deliberately excluded — a []*watch.Progress is the watchdog's own
+// monitor-side registry, which reads depths and never pushes.
 func obsHandleKind(t types.Type) string {
+	switch seq := t.(type) {
+	case *types.Array:
+		if k := obsHandleKind(seq.Elem()); k != "Progress" {
+			return k
+		}
+		return ""
+	case *types.Slice:
+		if k := obsHandleKind(seq.Elem()); k != "Progress" {
+			return k
+		}
+		return ""
+	}
 	if _, isPtr := t.(*types.Pointer); !isPtr {
 		return ""
 	}
@@ -212,14 +231,19 @@ func fieldOwner(info *types.Info, name *ast.Ident) string {
 	return ""
 }
 
-// recordObsUpdate marks handle mutations of the form x.field.Method().
+// recordObsUpdate marks handle mutations of the form x.field.Method()
+// and, for handle banks, x.field[i].Method().
 func recordObsUpdate(pkgPath string, info *types.Info, sel *ast.SelectorExpr, update func(string) *obsUpdate) {
 	switch sel.Sel.Name {
 	case "Inc", "Add", "Dec", "Set", "Observe", "Push", "Pop":
 	default:
 		return
 	}
-	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	recv := ast.Unparen(sel.X)
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		recv = ast.Unparen(ix.X)
+	}
+	inner, ok := recv.(*ast.SelectorExpr)
 	if !ok {
 		return
 	}

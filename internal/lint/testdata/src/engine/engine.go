@@ -15,6 +15,11 @@ type siteObs struct {
 	orphans   *obs.Counter // want "obs handle .*orphans is registered but never updated"
 	depth     *obs.Gauge   // want "gauge .*depth only ever increments"
 	inflight  *obs.Gauge
+	// Handle banks: arrays/slices of handles indexed by a label enum.
+	// Indexed updates count; a bank nobody indexes into is dead.
+	reasons  [3]*obs.Counter
+	perSite  []*obs.Histogram
+	deadBank [3]*obs.Counter // want "obs handle .*deadBank is registered but never updated"
 	latency   *obs.Histogram
 	//lint:allow obscomplete wired up by the next engine
 	reserved *obs.Counter
@@ -36,6 +41,8 @@ func (e *engine) run() {
 	e.out = append(e.out, trace.TxnBegin, trace.TxnCommit)
 	e.phases = append(e.phases, metrics.PhaseLockWait, metrics.PhaseApply)
 	e.o.committed.Inc()
+	e.o.reasons[1].Inc()
+	e.o.perSite[0].Observe(2)
 	e.o.depth.Inc()
 	e.o.inflight.Inc()
 	e.o.inflight.Dec()

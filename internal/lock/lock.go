@@ -50,6 +50,7 @@ type Stats struct {
 	Waited    uint64
 	Timeouts  uint64
 	Deadlocks uint64 // detector-resolved
+	Wounds    uint64 // vulnerable holders wounded by blocking secondaries
 	WaitTime  time.Duration
 }
 
@@ -58,6 +59,7 @@ type waiter struct {
 	item    model.ItemID
 	mode    Mode
 	upgrade bool
+	since   time.Time  // when the request queued (wait-age observation only)
 	granted chan error // buffered(1); nil error = granted
 	dead    bool       // timed out / cancelled; skip when granting
 }
@@ -65,6 +67,10 @@ type waiter struct {
 type entry struct {
 	holders map[model.TxnID]Mode
 	queue   []*waiter
+	// stats is the item's contention accounting (contention.go); kept in
+	// the entry so the hot paths never pay a second map lookup. Its Item
+	// field is filled in at snapshot time.
+	stats ItemStats
 }
 
 // Priority marks a lock request made on behalf of a secondary
@@ -173,6 +179,7 @@ func (m *Manager) AcquireEx(owner model.TxnID, item model.ItemID, mode Mode, tim
 	if m.canGrant(e, owner, mode) {
 		m.grantLocked(e, owner, item, mode)
 		m.stats.Acquired++
+		e.stats.Acquired++
 		m.mu.Unlock()
 		return nil
 	}
@@ -182,6 +189,7 @@ func (m *Manager) AcquireEx(owner model.TxnID, item model.ItemID, mode Mode, tim
 	}
 	if m.detect && m.wouldDeadlock(owner, e) {
 		m.stats.Deadlocks++
+		e.stats.Deadlocks++
 		m.mu.Unlock()
 		return ErrDeadlock
 	}
@@ -189,7 +197,10 @@ func (m *Manager) AcquireEx(owner model.TxnID, item model.ItemID, mode Mode, tim
 	// already past the grace period now, the rest when their grace runs
 	// out (woundAt).
 	wounds, woundAt := m.collectWoundsLocked(e, owner, mode, prio)
-	w := &waiter{owner: owner, item: item, mode: mode, upgrade: upgrading, granted: make(chan error, 1)}
+	m.stats.Wounds += uint64(len(wounds))
+	e.stats.Wounds += uint64(len(wounds))
+	start := time.Now()
+	w := &waiter{owner: owner, item: item, mode: mode, upgrade: upgrading, since: start, granted: make(chan error, 1)}
 	if upgrading {
 		// Upgraders jump the queue: they already hold Shared, so making
 		// them wait behind queued writers guarantees deadlock.
@@ -199,7 +210,10 @@ func (m *Manager) AcquireEx(owner model.TxnID, item model.ItemID, mode Mode, tim
 	}
 	m.waits[owner] = item
 	m.stats.Waited++
-	start := time.Now()
+	e.stats.Waited++
+	if live := liveWaiters(e); live > e.stats.QueuePeak {
+		e.stats.QueuePeak = live
+	}
 	m.mu.Unlock()
 
 	for _, fn := range wounds {
@@ -222,7 +236,7 @@ func (m *Manager) AcquireEx(owner model.TxnID, item model.ItemID, mode Mode, tim
 			}
 			m.mu.Lock()
 			delete(m.waits, owner)
-			m.stats.WaitTime += time.Since(start)
+			m.noteWaitLocked(e, time.Since(start))
 			m.mu.Unlock()
 			return err
 		case <-woundTimer:
@@ -230,6 +244,8 @@ func (m *Manager) AcquireEx(owner model.TxnID, item model.ItemID, mode Mode, tim
 			// ones still in the way and keep waiting.
 			m.mu.Lock()
 			wounds, woundAt = m.collectWoundsLocked(e, owner, mode, prio)
+			m.stats.Wounds += uint64(len(wounds))
+			e.stats.Wounds += uint64(len(wounds))
 			m.mu.Unlock()
 			for _, fn := range wounds {
 				fn()
@@ -244,18 +260,40 @@ func (m *Manager) AcquireEx(owner model.TxnID, item model.ItemID, mode Mode, tim
 			case err := <-w.granted:
 				// Granted in the race window; keep the lock.
 				delete(m.waits, owner)
-				m.stats.WaitTime += time.Since(start)
+				m.noteWaitLocked(e, time.Since(start))
 				return err
 			default:
 			}
 			w.dead = true
 			delete(m.waits, owner)
 			m.stats.Timeouts++
-			m.stats.WaitTime += time.Since(start)
+			e.stats.Timeouts++
+			m.noteWaitLocked(e, time.Since(start))
 			m.sweepLocked(e)
 			return ErrTimeout
 		}
 	}
+}
+
+// noteWaitLocked folds one finished wait into the manager-wide and
+// per-item accounting. Caller holds m.mu.
+func (m *Manager) noteWaitLocked(e *entry, d time.Duration) {
+	m.stats.WaitTime += d
+	e.stats.WaitNS += int64(d)
+	if int64(d) > e.stats.MaxWaitNS {
+		e.stats.MaxWaitNS = int64(d)
+	}
+}
+
+// liveWaiters counts the non-dead queued requests on e.
+func liveWaiters(e *entry) int {
+	n := 0
+	for _, w := range e.queue {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
 }
 
 // collectWoundsLocked gathers the wound callbacks of vulnerable holders
@@ -363,6 +401,7 @@ func (m *Manager) sweepLocked(e *entry) {
 		e.queue = e.queue[1:]
 		m.grantLocked(e, w.owner, w.item, w.mode)
 		m.stats.Acquired++
+		e.stats.Acquired++
 		w.granted <- nil
 		if w.mode == Exclusive {
 			return

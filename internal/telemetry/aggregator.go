@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/watch"
@@ -38,6 +39,8 @@ type procState struct {
 	phases   map[string]PhaseQuantiles
 	alerts   []watch.Alert
 	summary  watch.Summary
+	heat     []contend.HeatEntry
+	aborts   map[string]uint64
 	lastSeen time.Time
 }
 
@@ -253,6 +256,10 @@ func (a *Aggregator) Ingest(f Frame) {
 			ps.alerts = f.Alerts.Active
 			ps.summary = f.Alerts.Summary
 		}
+	case FrameHeat:
+		ps.heat = f.Heat // absolute table: replay-safe
+	case FrameAborts:
+		ps.aborts = f.Aborts // absolute counts: replay-safe
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/contend"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -67,11 +68,13 @@ type Publisher struct {
 	pubMu sync.Mutex
 	mu    sync.Mutex
 
-	reg    *obs.Registry         // repl:guardedby(mu)
-	po     pubObs                // repl:guardedby(mu)
-	wd     *watch.Watchdog       // repl:guardedby(mu)
-	report func() metrics.Report // repl:guardedby(mu)
-	hello  Hello                 // repl:guardedby(mu)
+	reg    *obs.Registry              // repl:guardedby(mu)
+	po     pubObs                     // repl:guardedby(mu)
+	wd     *watch.Watchdog            // repl:guardedby(mu)
+	report func() metrics.Report      // repl:guardedby(mu)
+	heat   func() []contend.HeatEntry // repl:guardedby(mu)
+	aborts func() map[string]uint64   // repl:guardedby(mu)
+	hello  Hello                      // repl:guardedby(mu)
 
 	buf      []trace.Event    // repl:guardedby(mu)
 	bufStart int              // repl:guardedby(mu)
@@ -150,6 +153,21 @@ func (p *Publisher) SetReport(fn func() metrics.Report) {
 	}
 	p.mu.Lock()
 	p.report = fn
+	p.mu.Unlock()
+}
+
+// SetContention installs the contention probes: heat supplies the
+// process's merged per-item heat table (contend.BuildHeat over its
+// sites) and aborts its cumulative abort-reason breakdown. Either may be
+// nil; both must return absolute values (frames carry state, not
+// deltas, so replay is harmless).
+func (p *Publisher) SetContention(heat func() []contend.HeatEntry, aborts func() map[string]uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.heat = heat
+	p.aborts = aborts
 	p.mu.Unlock()
 }
 
@@ -248,6 +266,7 @@ func (p *Publisher) Flush() error {
 	// have their own locks).
 	p.mu.Lock()
 	reg, wd, report := p.reg, p.wd, p.report
+	heatFn, abortsFn := p.heat, p.aborts
 	hello := p.hello
 	hello.Sites = append([]model.SiteID(nil), p.hello.Sites...)
 	p.mu.Unlock()
@@ -264,6 +283,14 @@ func (p *Publisher) Flush() error {
 	var alerts *AlertFrame
 	if wd != nil {
 		alerts = &AlertFrame{Active: wd.Active(), Summary: wd.Summarize()}
+	}
+	var heat []contend.HeatEntry
+	if heatFn != nil {
+		heat = heatFn()
+	}
+	var aborts map[string]uint64
+	if abortsFn != nil {
+		aborts = abortsFn()
 	}
 
 	// Assemble the cycle's frames under p.mu.
@@ -304,6 +331,12 @@ func (p *Publisher) Flush() error {
 	}
 	if alerts != nil {
 		frames = append(frames, Frame{Kind: FrameAlerts, Alerts: alerts})
+	}
+	if len(heat) > 0 {
+		frames = append(frames, Frame{Kind: FrameHeat, Heat: heat})
+	}
+	if len(aborts) > 0 {
+		frames = append(frames, Frame{Kind: FrameAborts, Aborts: aborts})
 	}
 	for i := range frames {
 		p.seq++

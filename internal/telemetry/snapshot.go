@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/contend"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/watch"
@@ -83,7 +84,18 @@ type ClusterSnapshot struct {
 	SpanTrees      int                       `json:"span_trees"`
 	SpanProblems   int                       `json:"span_problems"`
 	RecentSpans    []SpanRender              `json:"recent_spans,omitempty"`
+	// HotItems is the cluster-wide contention heat table (per-proc
+	// FrameHeat tables merged, hottest first); AbortReasons the summed
+	// abort root-cause breakdown. Part of the contention observatory
+	// (docs/OBSERVABILITY.md).
+	HotItems     []contend.HeatEntry `json:"hot_items,omitempty"`
+	AbortReasons map[string]uint64   `json:"abort_reasons,omitempty"`
 }
+
+// hotItemsShown bounds the merged heat table a snapshot carries — the
+// console panel and the -json document both want the head, not a
+// million-item dump.
+const hotItemsShown = 10
 
 // Snapshot computes the current cluster view. Commit rates are measured
 // between consecutive Snapshot calls, so a renderer polling at a fixed
@@ -118,6 +130,7 @@ func (a *Aggregator) Snapshot() ClusterSnapshot {
 	committedByProto := make(map[string]int64)
 	abortedByProto := make(map[string]int64)
 	phases := make(map[string]PhaseQuantiles)
+	var heatTables [][]contend.HeatEntry
 	for _, proc := range procNames {
 		ps := a.procs[proc]
 		info := ProcInfo{
@@ -219,7 +232,17 @@ func (a *Aggregator) Snapshot() ClusterSnapshot {
 		if ps.summary.MaxStalenessMs > snap.MaxStalenessMS {
 			snap.MaxStalenessMS = ps.summary.MaxStalenessMs
 		}
+		if len(ps.heat) > 0 {
+			heatTables = append(heatTables, ps.heat)
+		}
+		for reason, n := range ps.aborts {
+			if snap.AbortReasons == nil {
+				snap.AbortReasons = make(map[string]uint64)
+			}
+			snap.AbortReasons[reason] += n
+		}
 	}
+	snap.HotItems = contend.MergeHeat(heatTables, hotItemsShown)
 	if len(phases) > 0 {
 		snap.Phases = phases
 	}
@@ -360,6 +383,34 @@ func (s *ClusterSnapshot) Render(w io.Writer) {
 			q := s.Phases[n]
 			fmt.Fprintf(w, "%-14s %10d %9.0fµ %9.0fµ %9.0fµ %9.0fµ\n",
 				n, q.Count, q.MeanUS, q.P95US, q.P99US, q.MaxUS)
+		}
+	}
+
+	if len(s.HotItems) > 0 {
+		fmt.Fprintf(w, "\nHOT ITEMS\n%-8s %9s %8s %8s %10s %8s %10s %6s\n",
+			"ITEM", "ACQUIRED", "WAITED", "FAILED", "WAIT", "MAX", "QPEAK", "SITES")
+		for _, h := range s.HotItems {
+			fmt.Fprintf(w, "x[%-5d] %9d %8d %8d %8dms %6dms %10d %6d\n",
+				h.Item, h.Acquired, h.Waited, h.Failures(),
+				h.WaitNS/int64(time.Millisecond), h.MaxWaitNS/int64(time.Millisecond),
+				h.QueuePeak, h.Sites)
+		}
+	}
+
+	if len(s.AbortReasons) > 0 {
+		reasons := make([]string, 0, len(s.AbortReasons))
+		for r := range s.AbortReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Slice(reasons, func(i, j int) bool {
+			if s.AbortReasons[reasons[i]] != s.AbortReasons[reasons[j]] {
+				return s.AbortReasons[reasons[i]] > s.AbortReasons[reasons[j]]
+			}
+			return reasons[i] < reasons[j]
+		})
+		fmt.Fprintf(w, "\nABORT REASONS\n")
+		for _, r := range reasons {
+			fmt.Fprintf(w, "  %-14s %d\n", r, s.AbortReasons[r])
 		}
 	}
 

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/comm"
+	"repro/internal/contend"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/watch"
@@ -82,6 +83,13 @@ const (
 	// FrameAlerts carries the process watchdog's active alerts and its
 	// running summary.
 	FrameAlerts
+	// FrameHeat carries the process's merged per-item contention heat
+	// table (contend.BuildHeat over its sites), absolute counters — like
+	// FrameMetrics, a replayed frame cannot corrupt aggregator state.
+	FrameHeat
+	// FrameAborts carries the process's abort root-cause breakdown,
+	// reason name → cumulative count, absolute values.
+	FrameAborts
 
 	frameKindEnd
 )
@@ -92,6 +100,8 @@ var frameKindNames = [frameKindEnd]string{
 	FrameSpans:   "spans",
 	FramePhases:  "phases",
 	FrameAlerts:  "alerts",
+	FrameHeat:    "heat",
+	FrameAborts:  "aborts",
 }
 
 func (k FrameKind) String() string {
@@ -151,6 +161,10 @@ type Frame struct {
 	// Phases maps metrics.Phase names to quantiles (FramePhases).
 	Phases map[string]PhaseQuantiles
 	Alerts *AlertFrame // FrameAlerts
+	// Heat is the process's contention heat table (FrameHeat); Aborts its
+	// abort-reason breakdown (FrameAborts). Both absolute, not deltas.
+	Heat   []contend.HeatEntry
+	Aborts map[string]uint64
 }
 
 var registerOnce sync.Once

@@ -315,6 +315,27 @@ func (r *Recorder) RecordSpan(k Kind, site, peer model.SiteID, tid model.TxnID, 
 	r.emit(ev)
 }
 
+// RecordTag appends one span-attributed event carrying a short string
+// tag in the Phase field — e.g. the abort root cause on TxnAbort events
+// (docs/OBSERVABILITY.md, contention observatory). The tag rides the
+// existing phase wire field, so older readers simply ignore it, and it
+// must be seed-stable (a classification, never a duration or count) so
+// tagged streams stay byte-comparable across same-seed runs.
+func (r *Recorder) RecordTag(k Kind, site, peer model.SiteID, tid model.TxnID, proto uint8, span, parent model.SpanID, tag string) {
+	if r == nil {
+		return
+	}
+	ev := Event{
+		T: int64(time.Since(r.start)), Kind: k, Site: site, Peer: peer,
+		TID: tid, Span: span, Parent: parent, Proto: proto, Phase: tag,
+	}
+	s := &r.shards[uint(site)%shardCount]
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+	r.emit(ev)
+}
+
 // RecordDur appends one event carrying a wall-clock duration (e.g.
 // WALRecover's recovery latency). Span-less like RecordPhase: durations
 // vary between same-seed runs and must not perturb span-tree structure.

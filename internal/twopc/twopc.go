@@ -12,11 +12,19 @@
 package twopc
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/model"
 )
+
+// ErrNoVote marks an atomic-commit round that decided abort because some
+// participant voted no (or its vote was lost and counted as no). Engines
+// wrap it into the abort error they surface, so the contention
+// observatory's root-cause taxonomy can tell a 2PC abort from a lock
+// timeout without parsing message text.
+var ErrNoVote = errors.New("twopc: participant voted no")
 
 // Coordinator supplies the per-participant communication callbacks. The
 // span context of the coordinating work is passed through to each

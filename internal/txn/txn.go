@@ -30,7 +30,8 @@ type Manager struct {
 	Timeout  time.Duration     // lock-wait timeout (the paper's 50 ms)
 	Recorder *history.Recorder // nil disables observation recording
 
-	metrics *metrics.Collector // nil disables phase attribution
+	metrics    *metrics.Collector // nil disables phase attribution
+	phaseTrace func(p metrics.Phase, tid model.TxnID, d time.Duration)
 }
 
 // NewManager returns a transaction manager over the given store and lock
@@ -44,17 +45,33 @@ func NewManager(site model.SiteID, st *storage.Store, lm *lock.Manager, timeout 
 // default) keeps both hot paths free of clock reads.
 func (m *Manager) SetMetrics(c *metrics.Collector) { m.metrics = c }
 
+// SetPhaseTrace installs fn, invoked with each lock-wait and write-apply
+// segment alongside the aggregate metrics sample, carrying the owning
+// transaction's id. Engines use it to emit per-transaction PhaseLatency
+// trace events at the origin, which the contention observatory's
+// critical-path analyzer needs to attribute commit latency (aggregate
+// phase samples cannot say whose latency it was). A nil hook (the
+// default) adds one branch to the instrumented paths and nothing to the
+// uninstrumented ones.
+func (m *Manager) SetPhaseTrace(fn func(p metrics.Phase, tid model.TxnID, d time.Duration)) {
+	m.phaseTrace = fn
+}
+
 // acquire wraps Locks.AcquireEx with lock-wait phase attribution. The
 // clock is read only when a collector is installed, so the default path
 // costs one nil check.
 func (t *Txn) acquire(item model.ItemID, mode lock.Mode) error {
 	m := t.m
-	if m.metrics == nil {
+	if m.metrics == nil && m.phaseTrace == nil {
 		return m.Locks.AcquireEx(t.ID, item, mode, m.Timeout, t.prio)
 	}
 	start := time.Now()
 	err := m.Locks.AcquireEx(t.ID, item, mode, m.Timeout, t.prio)
-	m.metrics.PhaseSample(metrics.PhaseLockWait, time.Since(start))
+	d := time.Since(start)
+	m.metrics.PhaseSample(metrics.PhaseLockWait, d)
+	if m.phaseTrace != nil {
+		m.phaseTrace(metrics.PhaseLockWait, t.ID, d)
+	}
 	return err
 }
 
@@ -107,7 +124,9 @@ func (t *Txn) Read(item model.ItemID) (int64, error) {
 	}
 	if err := t.acquire(item, lock.Shared); err != nil {
 		t.Abort()
-		return 0, fmt.Errorf("%w: r[%d] at s%d: %v", ErrAborted, item, t.m.Site, err)
+		// Wrap (not format) the lock error: abort classification walks the
+		// chain with errors.Is to tell a timeout from a detected deadlock.
+		return 0, fmt.Errorf("%w: r[%d] at s%d: %w", ErrAborted, item, t.m.Site, err)
 	}
 	ver, err := t.m.Store.Read(item)
 	if err != nil {
@@ -127,7 +146,9 @@ func (t *Txn) Write(item model.ItemID, value int64) error {
 	}
 	if err := t.acquire(item, lock.Exclusive); err != nil {
 		t.Abort()
-		return fmt.Errorf("%w: w[%d] at s%d: %v", ErrAborted, item, t.m.Site, err)
+		// Wrap (not format) the lock error, as in Read, for abort
+		// classification.
+		return fmt.Errorf("%w: w[%d] at s%d: %w", ErrAborted, item, t.m.Site, err)
 	}
 	if _, ok := t.writes[item]; !ok {
 		t.writeOrder = append(t.writeOrder, item)
@@ -163,7 +184,7 @@ func (t *Txn) Commit() error {
 		}
 	}
 	var applyStart time.Time
-	if t.m.metrics != nil && len(t.writeOrder) > 0 {
+	if (t.m.metrics != nil || t.m.phaseTrace != nil) && len(t.writeOrder) > 0 {
 		applyStart = time.Now()
 	}
 	for _, item := range t.writeOrder {
@@ -176,7 +197,11 @@ func (t *Txn) Commit() error {
 		t.m.Recorder.Write(t.m.Site, item, ver.Num, t.ID)
 	}
 	if !applyStart.IsZero() {
-		t.m.metrics.PhaseSample(metrics.PhaseApply, time.Since(applyStart))
+		d := time.Since(applyStart)
+		t.m.metrics.PhaseSample(metrics.PhaseApply, d)
+		if t.m.phaseTrace != nil {
+			t.m.phaseTrace(metrics.PhaseApply, t.ID, d)
+		}
 	}
 	for _, ro := range t.readObs {
 		t.m.Recorder.Read(ro.Site, ro.Item, ro.Version, ro.Reader)

@@ -27,10 +27,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/contend"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+// lockWaitRing bounds the recent lock_wait samples the contention check
+// computes its p99 over; small enough to sort every tick, large enough
+// that one quiet burst cannot wash out a hot tail.
+const lockWaitRing = 4096
+
+// contentionMinSamples gates the checks so a handful of early samples
+// cannot fire an alert: the p99 needs this many lock waits, the abort
+// rate this many finished transactions.
+const contentionMinSamples = 32
 
 // Kind enumerates the alert taxonomy.
 type Kind uint8
@@ -52,6 +64,12 @@ const (
 	// RecoveryStall means a crashed site has been down — torn down but
 	// not yet rebuilt from its write-ahead log — beyond StallDeadline.
 	RecoveryStall
+	// Contention means the cluster crossed a contention threshold: the
+	// live lock_wait p99 exceeded LockWaitP99, or the abort rate exceeded
+	// AbortRatePct. Raising it triggers a wait-for graph dump when a
+	// wait-graph probe is registered (docs/OBSERVABILITY.md, contention
+	// observatory).
+	Contention
 )
 
 func (k Kind) String() string {
@@ -66,6 +84,8 @@ func (k Kind) String() string {
 		return "pending_2pc"
 	case RecoveryStall:
 		return "recovery_stall"
+	case Contention:
+		return "contention"
 	default:
 		return fmt.Sprintf("watch.Kind(%d)", uint8(k))
 	}
@@ -166,6 +186,13 @@ type Options struct {
 	FlightDir string
 	// MaxDumps caps dumps per run so a flapping alert cannot fill a disk.
 	MaxDumps int
+	// LockWaitP99 is the live lock_wait p99 (over the recent-sample ring)
+	// above which Contention fires; 0 takes the default, negative
+	// disables the check.
+	LockWaitP99 time.Duration
+	// AbortRatePct is the cumulative abort percentage above which
+	// Contention fires; 0 takes the default, negative disables the check.
+	AbortRatePct float64
 }
 
 // DefaultOptions returns deadlines suited to the in-process simulation,
@@ -178,6 +205,11 @@ func DefaultOptions() Options {
 		Tick:              25 * time.Millisecond,
 		FlightSize:        4096,
 		MaxDumps:          3,
+		// Just under the paper's 50 ms lock timeout: a p99 here means the
+		// tail of lock waits is being resolved by the timeout, not by
+		// grants.
+		LockWaitP99:  45 * time.Millisecond,
+		AbortRatePct: 50,
 	}
 }
 
@@ -200,6 +232,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDumps <= 0 {
 		o.MaxDumps = d.MaxDumps
+	}
+	if o.LockWaitP99 == 0 {
+		o.LockWaitP99 = d.LockWaitP99
+	}
+	if o.AbortRatePct == 0 {
+		o.AbortRatePct = d.AbortRatePct
 	}
 	return o
 }
@@ -256,6 +294,17 @@ type Watchdog struct {
 	flight    []trace.Event // repl:guardedby(mu)
 	flightIdx int           // repl:guardedby(mu)
 	flightN   int           // repl:guardedby(mu)
+
+	// Contention watch state: a ring of recent lock_wait durations (fed
+	// from PhaseLatency events) and the cumulative commit/abort tally,
+	// compared against LockWaitP99 / AbortRatePct each tick.
+	lockWaits   [lockWaitRing]int64 // repl:guardedby(mu)
+	lockWaitIdx int                 // repl:guardedby(mu)
+	lockWaitN   int                 // repl:guardedby(mu)
+	commits     uint64              // repl:guardedby(mu)
+	aborts      uint64              // repl:guardedby(mu)
+	waitGraphs  func() []contend.SiteWaitGraph // repl:guardedby(mu)
+	waitDumps   []string                       // repl:guardedby(mu)
 
 	active   map[alertKey]*Alert // repl:guardedby(mu)
 	history  []*Alert            // repl:guardedby(mu)
@@ -361,6 +410,20 @@ func (w *Watchdog) RegisterRecovery(site model.SiteID, probe func() RecoveryStat
 	w.mu.Unlock()
 }
 
+// RegisterWaitGraphs installs the cluster's wait-for snapshot probe.
+// When a Contention alert is raised the watchdog calls it (outside its
+// own lock) and writes the snapshot as a waitfor-*.jsonl dump next to
+// the flight recorder, so the post-mortem has the who-waits-on-whom
+// state from the moment the threshold was crossed.
+func (w *Watchdog) RegisterWaitGraphs(probe func() []contend.SiteWaitGraph) {
+	if w == nil || probe == nil {
+		return
+	}
+	w.mu.Lock()
+	w.waitGraphs = probe
+	w.mu.Unlock()
+}
+
 // Ingest consumes one live trace event: it maintains the
 // forwarded-but-unapplied bookkeeping behind the staleness alert and
 // appends to the flight-recorder ring. Install it as the recorder's
@@ -396,9 +459,23 @@ func (w *Watchdog) Ingest(ev trace.Event) {
 		for _, m := range w.outstanding {
 			delete(m, ev.TID)
 		}
+		w.aborts++
+	case trace.TxnCommit:
+		w.commits++
+	case trace.PhaseLatency:
+		if ev.Phase == lockWaitPhase {
+			w.lockWaits[w.lockWaitIdx] = ev.Dur
+			w.lockWaitIdx = (w.lockWaitIdx + 1) % lockWaitRing
+			if w.lockWaitN < lockWaitRing {
+				w.lockWaitN++
+			}
+		}
 	}
 	w.mu.Unlock()
 }
+
+// lockWaitPhase is the PhaseLatency tag the contention check watches.
+var lockWaitPhase = metrics.PhaseLockWait.String()
 
 // Start launches the evaluation loop.
 func (w *Watchdog) Start() {
@@ -569,6 +646,37 @@ func (w *Watchdog) tick() {
 		}
 	}
 
+	// Contention thresholds: the lock_wait p99 over the recent ring, and
+	// the cumulative abort rate. Site-less — the thresholds are cluster
+	// conditions; the dump that follows says where the waiting is.
+	if w.opts.LockWaitP99 > 0 && w.lockWaitN >= contentionMinSamples {
+		s := make([]int64, w.lockWaitN)
+		copy(s, w.lockWaits[:w.lockWaitN])
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		p99 := time.Duration(s[(99*len(s)+99)/100-1])
+		if p99 > w.opts.LockWaitP99 {
+			k := alertKey{kind: Contention, site: model.NoSite, peer: model.NoSite, name: "lock_wait_p99"}
+			want[k] = &Alert{
+				Kind: Contention, Site: model.NoSite, Peer: model.NoSite,
+				Detail: fmt.Sprintf("lock_wait p99 %v over %d recent samples (threshold %v)",
+					p99.Round(time.Microsecond), len(s), w.opts.LockWaitP99),
+			}
+		}
+	}
+	if w.opts.AbortRatePct > 0 {
+		if done := w.commits + w.aborts; done >= contentionMinSamples {
+			rate := 100 * float64(w.aborts) / float64(done)
+			if rate > w.opts.AbortRatePct {
+				k := alertKey{kind: Contention, site: model.NoSite, peer: model.NoSite, name: "abort_rate"}
+				want[k] = &Alert{
+					Kind: Contention, Site: model.NoSite, Peer: model.NoSite,
+					Detail: fmt.Sprintf("abort rate %.1f%% (%d of %d, threshold %.1f%%)",
+						rate, w.aborts, done, w.opts.AbortRatePct),
+				}
+			}
+		}
+	}
+
 	// Diff against the active set.
 	var newly, cleared []*Alert
 	for k, a := range want {
@@ -609,6 +717,20 @@ func (w *Watchdog) tick() {
 		w.dumps = append(w.dumps, "") // reserve the slot; path filled below
 	}
 	dumpSlot := len(w.dumps) - 1
+
+	// A newly raised Contention alert additionally snapshots the wait-for
+	// graphs. The probe reaches into the engines' lock managers, so it
+	// runs after w.mu is released (same discipline as the trace records).
+	var waitProbe func() []contend.SiteWaitGraph
+	for _, a := range newly {
+		if a.Kind == Contention && w.waitGraphs != nil &&
+			w.opts.FlightDir != "" && len(w.waitDumps) < w.opts.MaxDumps {
+			waitProbe = w.waitGraphs
+			w.waitDumps = append(w.waitDumps, "") // reserve; path filled below
+			break
+		}
+	}
+	waitSlot := len(w.waitDumps) - 1
 	w.mu.Unlock()
 
 	// Outside the lock: trace events and the flight dump.
@@ -631,6 +753,35 @@ func (w *Watchdog) tick() {
 		}
 		w.mu.Unlock()
 	}
+	if waitProbe != nil {
+		gs := waitProbe()
+		path := filepath.Join(w.opts.FlightDir, fmt.Sprintf("waitfor-%03d.jsonl", waitSlot+1))
+		if err := w.writeWaitDump(path, gs); err != nil {
+			path = ""
+		}
+		w.mu.Lock()
+		w.waitDumps[waitSlot] = path
+		if path != "" {
+			w.obs.dumps.Inc()
+		}
+		w.mu.Unlock()
+	}
+}
+
+// writeWaitDump writes a wait-for snapshot as JSONL.
+func (w *Watchdog) writeWaitDump(path string, gs []contend.SiteWaitGraph) error {
+	if err := os.MkdirAll(w.opts.FlightDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := contend.WriteWaitGraphs(f, gs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeDump writes the flight ring as JSONL.
@@ -679,6 +830,22 @@ func (w *Watchdog) History() []Alert {
 	return out
 }
 
+// WaitDumps returns the wait-for snapshot dump paths written so far.
+func (w *Watchdog) WaitDumps() []string {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []string
+	for _, p := range w.waitDumps {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Dumps returns the flight-recorder dump paths written so far.
 func (w *Watchdog) Dumps() []string {
 	if w == nil {
@@ -718,6 +885,9 @@ type Summary struct {
 	MaxStalenessMs int64 `json:"max_staleness_ms"`
 	// FlightDumps lists the flight-recorder dumps written.
 	FlightDumps []string `json:"flight_dumps,omitempty"`
+	// WaitGraphDumps lists the wait-for snapshots written on Contention
+	// alerts.
+	WaitGraphDumps []string `json:"waitfor_dumps,omitempty"`
 }
 
 // Summarize returns the run-so-far summary.
@@ -739,6 +909,11 @@ func (w *Watchdog) Summarize() Summary {
 	for _, p := range w.dumps {
 		if p != "" {
 			s.FlightDumps = append(s.FlightDumps, p)
+		}
+	}
+	for _, p := range w.waitDumps {
+		if p != "" {
+			s.WaitGraphDumps = append(s.WaitGraphDumps, p)
 		}
 	}
 	w.mu.Unlock()

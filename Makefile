@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos lint cover bench bench-smoke telemetry-smoke recovery-smoke contention-smoke fuzz experiments shapes examples clean
+.PHONY: all build vet test race check chaos lint cover bench bench-smoke telemetry-smoke recovery-smoke contention-smoke freshness-smoke fuzz experiments shapes examples clean
 
 all: check
 
@@ -31,9 +31,9 @@ lint:
 
 # The pre-merge gate: compile, static checks, full test suite, the race
 # detector, the chaos suite, the protocol-invariant lint, the
-# crash-recovery and contention-observatory smokes, and the benchmark
-# smoke gate.
-check: build vet test race chaos lint recovery-smoke contention-smoke bench-smoke
+# crash-recovery, contention- and freshness-observatory smokes, and the
+# benchmark smoke gate.
+check: build vet test race chaos lint recovery-smoke contention-smoke freshness-smoke bench-smoke
 
 cover:
 	$(GO) test -cover ./...
@@ -52,7 +52,7 @@ bench-smoke:
 	mkdir -p $(BENCH_DIR)
 	$(GO) run ./cmd/replbench -suite smoke -telemetry -wal -benchjson $(BENCH_DIR)/BENCH_smoke.json -pprofdir $(BENCH_DIR)/pprof
 	$(GO) run ./cmd/replbench -compare BENCH_smoke.json \
-		-threshold 50 -latthreshold 400 -allocthreshold 100 -abortthreshold 25 \
+		-threshold 50 -latthreshold 400 -allocthreshold 100 -abortthreshold 25 -stalethreshold 25 \
 		$(BENCH_DIR)/BENCH_smoke.json
 
 # Cluster telemetry plane smoke (docs/OBSERVABILITY.md): two replnode
@@ -74,6 +74,13 @@ recovery-smoke:
 # snapshots across same-seed runs.
 contention-smoke:
 	./scripts/contention_smoke.sh
+
+# Freshness-observatory smoke (docs/OBSERVABILITY.md): a seeded lazy run
+# through `replbench -fresh` must yield non-empty propagation waterfalls,
+# certificate coverage of at least 95% of reads, stale certificates, and
+# byte-identical canonical freshness summaries across same-seed runs.
+freshness-smoke:
+	./scripts/freshness_smoke.sh
 
 FUZZTIME ?= 30s
 

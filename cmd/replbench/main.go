@@ -36,6 +36,7 @@ import (
 	"repro/internal/contend"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/fresh"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -82,6 +83,9 @@ func main() {
 		topK       = flag.Int("topk", 16, "with -contend: heat table size")
 		waitforOut = flag.String("waitfor", "", "with -contend: write the on-demand wait-for graph snapshot as JSONL to this file (readable by replexplain)")
 
+		freshOn  = flag.Bool("fresh", false, "with -trace: report the freshness observatory — propagation waterfalls, replica staleness distributions, read-freshness certificates (a 'freshness' block under -json; see docs/OBSERVABILITY.md)")
+		freshSum = flag.String("freshsummary", "", "with -fresh: write the canonical (same-seed byte-stable) freshness summary to this file (implies -fresh)")
+
 		suite     = flag.String("suite", "", "run a benchmark suite (smoke|medium|full) and print/emit a BenchSnapshot")
 		benchJSON = flag.String("benchjson", "", "with -suite: write the BenchSnapshot to this file (conventionally BENCH_<label>.json)")
 		label     = flag.String("label", "", "with -suite: snapshot label (default: the suite name)")
@@ -92,6 +96,7 @@ func main() {
 		latPct    = flag.Float64("latthreshold", 30, "with -compare: max tolerated latency growth (p50/p95/p99 response, p95 prop), percent")
 		allocPct  = flag.Float64("allocthreshold", 50, "with -compare: max tolerated allocs/bytes-per-txn growth, percent")
 		abortPts  = flag.Float64("abortthreshold", 5, "with -compare: max tolerated abort-rate growth, absolute percentage points")
+		stalePts  = flag.Float64("stalethreshold", 5, "with -compare: max tolerated stale-read-rate growth, absolute percentage points (freshness block, schema v3)")
 	)
 	flag.Parse()
 
@@ -100,7 +105,8 @@ func main() {
 			fatal(fmt.Errorf("-compare needs the new snapshot as the positional argument: replbench -compare old.json new.json"))
 		}
 		runCompare(*compare, flag.Arg(0), bench.Thresholds{
-			ThroughputPct: *thrPct, LatencyPct: *latPct, AllocPct: *allocPct, AbortPts: *abortPts,
+			ThroughputPct: *thrPct, LatencyPct: *latPct, AllocPct: *allocPct,
+			AbortPts: *abortPts, StalePts: *stalePts,
 		})
 		return
 	}
@@ -135,10 +141,14 @@ func main() {
 		}
 		wa := walOptions{Enable: *walOn || *walDir != "", Dir: *walDir, Flush: *walFlush}
 		co := contendOptions{Enable: *contendOn || *waitforOut != "", TopK: *topK, WaitFor: *waitforOut}
-		if err := runTraced(*traceOut, *traceProto, *seed, *traceSkew, *jsonOut, fo, wo, wa, co); err != nil {
+		fr := freshOptions{Enable: *freshOn || *freshSum != "", Summary: *freshSum}
+		if err := runTraced(*traceOut, *traceProto, *seed, *traceSkew, *jsonOut, fo, wo, wa, co, fr); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *freshOn || *freshSum != "" {
+		fatal(fmt.Errorf("-fresh/-freshsummary only apply to a -trace run"))
 	}
 	if *traceSkew != 0 {
 		fatal(fmt.Errorf("-skew only applies to a -trace run"))
@@ -295,8 +305,8 @@ func runCompare(oldPath, newPath string, th bench.Thresholds) {
 	fmt.Printf("comparing %s (%s) -> %s (%s)\n\n", oldPath, oldSnap.Label, newPath, newSnap.Label)
 	bench.WriteDiff(os.Stdout, deltas, false)
 	if regressions > 0 {
-		fmt.Printf("\n%d regression(s) past thresholds (throughput -%.0f%%, latency +%.0f%%, allocs +%.0f%%, aborts +%.1f pts)\n",
-			regressions, th.ThroughputPct, th.LatencyPct, th.AllocPct, th.AbortPts)
+		fmt.Printf("\n%d regression(s) past thresholds (throughput -%.0f%%, latency +%.0f%%, allocs +%.0f%%, aborts +%.1f pts, stale reads +%.1f pts)\n",
+			regressions, th.ThroughputPct, th.LatencyPct, th.AllocPct, th.AbortPts, th.StalePts)
 		os.Exit(1)
 	}
 	fmt.Println("\nno regressions past thresholds")
@@ -341,6 +351,14 @@ type contendOptions struct {
 	WaitFor string
 }
 
+// freshOptions carries the -fresh/-freshsummary flags: the freshness
+// observatory riding on the traced run, and the canonical (same-seed
+// byte-stable) summary document the smoke gate compares.
+type freshOptions struct {
+	Enable  bool
+	Summary string
+}
+
 // runTraced runs one short Table 1 cluster with the propagation trace
 // recorder attached and writes every lifecycle event to out as JSONL.
 // With jsonReport, the run's metrics report is printed as JSON instead of
@@ -349,7 +367,7 @@ type contendOptions struct {
 // repl_fault_*, repl_reliable_*, and repl_wal_* counters; with the
 // watchdog on, a watch summary block (alert counts, max staleness,
 // flight dumps).
-func runTraced(out, protoName string, seed int64, skew float64, jsonReport bool, fo faultOptions, wo watchOptions, wa walOptions, co contendOptions) error {
+func runTraced(out, protoName string, seed int64, skew float64, jsonReport bool, fo faultOptions, wo watchOptions, wa walOptions, co contendOptions, fr freshOptions) error {
 	protocol, err := core.ParseProtocol(protoName)
 	if err != nil {
 		return err
@@ -378,7 +396,7 @@ func runTraced(out, protoName string, seed int64, skew float64, jsonReport bool,
 		Trace:            rec,
 	}
 	var registry *obs.Registry
-	if fo.active() || fo.Reliable || wo.Enable || wa.Enable || co.Enable {
+	if fo.active() || fo.Reliable || wo.Enable || wa.Enable || co.Enable || fr.Enable {
 		registry = obs.NewRegistry()
 		cfg.Obs = registry
 	}
@@ -495,6 +513,37 @@ func runTraced(out, protoName string, seed int64, skew float64, jsonReport bool,
 			fmt.Fprintf(os.Stderr, "replbench: wrote wait-for snapshot to %s\n", co.WaitFor)
 		}
 	}
+	var freshness *bench.Freshness
+	if fr.Enable {
+		reads := countReads(registry)
+		freshness = bench.FreshnessFromSummary(c.FreshSummary(), reads)
+		if fr.Summary != "" {
+			// The canonical document deliberately excludes every count and
+			// timing: abort outcomes (and so read/apply tallies) depend on
+			// wall-clock lock timeouts, but the topology, segment schema, and
+			// certificate coverage are schedule-stable — two same-seed runs
+			// must produce byte-identical files (the freshness smoke cmps
+			// them).
+			var coverage float64
+			if s := c.FreshSummary(); s != nil && reads > 0 {
+				coverage = 100 * float64(s.Reads()) / float64(reads)
+			}
+			canon := fresh.NewCanonical(protocol.String(), wl.Seed, wl.Sites,
+				!protocol.Propagates(), c.PropEdges(), coverage)
+			cf, err := os.Create(fr.Summary)
+			if err != nil {
+				return err
+			}
+			if err := canon.Encode(cf); err != nil {
+				cf.Close()
+				return err
+			}
+			if err := cf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "replbench: wrote canonical freshness summary to %s\n", fr.Summary)
+		}
+	}
 	if jsonReport {
 		var b []byte
 		if registry != nil {
@@ -518,7 +567,8 @@ func runTraced(out, protoName string, seed int64, skew float64, jsonReport bool,
 				Counters   map[string]int64 `json:"counters"`
 				Watch      *watch.Summary   `json:"watch,omitempty"`
 				Contention *contend.Report  `json:"contention,omitempty"`
-			}{report, counters, ws, contention}, "", "  ")
+				Freshness  *bench.Freshness `json:"freshness,omitempty"`
+			}{report, counters, ws, contention, freshness}, "", "  ")
 		} else {
 			b, err = report.JSON()
 		}
@@ -557,8 +607,39 @@ func runTraced(out, protoName string, seed int64, skew float64, jsonReport bool,
 		if contention != nil {
 			fmt.Print(contention.String())
 		}
+		if freshness != nil {
+			fmt.Printf("freshness: reads=%d fresh=%d stale=%d (%.1f%% stale, %.1f%% certified)  p95_read_lag=%dus  p95_apply_lag=%dus\n",
+				freshness.Reads, freshness.ReadsFresh, freshness.ReadsStale,
+				freshness.StaleReadPct, freshness.CoveragePct,
+				uint64(freshness.P95ReadLagUS), uint64(freshness.P95ApplyLagUS))
+			wfs := fresh.BuildWaterfalls(rec.Snapshot())
+			if len(wfs) > 0 {
+				fmt.Println("propagation waterfalls:")
+				for _, wf := range wfs {
+					wf.Protocol = core.Protocol(wf.Proto).String()
+				}
+				for _, l := range fresh.FormatWaterfalls(wfs) {
+					fmt.Printf("  %s\n", l)
+				}
+			}
+		}
 	}
 	return nil
+}
+
+// countReads sums the repl_txn_reads_total series across sites — the
+// independently counted denominator of certificate coverage.
+func countReads(r *obs.Registry) uint64 {
+	if r == nil {
+		return 0
+	}
+	var total uint64
+	for k, v := range r.Snapshot() {
+		if strings.HasPrefix(k, "repl_txn_reads_total") && v > 0 {
+			total += uint64(v)
+		}
+	}
+	return total
 }
 
 // summarizeTrace reads a JSONL trace (possibly the concatenation of
@@ -595,7 +676,63 @@ func summarizeTrace(path string) error {
 	}
 	summarizePhases(events)
 	summarizeContention(events)
+	summarizeFreshness(events)
 	return nil
+}
+
+// summarizeFreshness adds the freshness observatory's trace-derived views
+// to -tracesummary: per-(protocol, edge) propagation waterfalls joined
+// from the lifecycle spans and phase events, and the read-freshness
+// certificate tallies (docs/OBSERVABILITY.md).
+func summarizeFreshness(events []trace.Event) {
+	wfs := fresh.BuildWaterfalls(events)
+	if len(wfs) > 0 {
+		for _, wf := range wfs {
+			wf.Protocol = core.Protocol(wf.Proto).String()
+		}
+		fmt.Printf("\npropagation waterfalls:\n")
+		for _, l := range fresh.FormatWaterfalls(wfs) {
+			fmt.Printf("  %s\n", l)
+		}
+	}
+	type tally struct {
+		fresh, stale int
+		behind       []time.Duration
+	}
+	byProto := make(map[uint8]*tally)
+	for _, ev := range events {
+		if ev.Kind != trace.ReadCertificate {
+			continue
+		}
+		t := byProto[ev.Proto]
+		if t == nil {
+			t = &tally{}
+			byProto[ev.Proto] = t
+		}
+		if ev.Phase == "stale" {
+			t.stale++
+			t.behind = append(t.behind, time.Duration(ev.Dur))
+		} else {
+			t.fresh++
+		}
+	}
+	if len(byProto) == 0 {
+		return
+	}
+	protos := make([]int, 0, len(byProto))
+	for p := range byProto {
+		protos = append(protos, int(p))
+	}
+	sort.Ints(protos)
+	fmt.Printf("\nread-freshness certificates:\n")
+	fmt.Printf("%-10s %8s %8s %8s %12s %12s\n", "protocol", "reads", "fresh", "stale", "p95 behind", "max behind")
+	for _, p := range protos {
+		t := byProto[uint8(p)]
+		fmt.Printf("%-10s %8d %8d %8d %12s %12s\n",
+			core.Protocol(p), t.fresh+t.stale, t.fresh, t.stale,
+			trace.Quantile(t.behind, 0.95).Round(time.Microsecond),
+			trace.Quantile(t.behind, 1).Round(time.Microsecond))
+	}
 }
 
 // summarizeContention adds the contention observatory's trace-derived

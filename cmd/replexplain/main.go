@@ -1,10 +1,11 @@
-// Command replexplain is the contention observatory's post-mortem
-// reader: it explains a finished run from its trace artifacts alone, no
-// live cluster required. Point it at a trace JSONL (replbench -trace, a
-// watchdog flight recording, or a replnode dump) and it reconstructs the
-// abort root-cause taxonomy and the per-protocol commit critical-path
-// profile; add the wait-for JSONL a run or watchdog dump produced and it
-// renders who was blocked on whom:
+// Command replexplain is the contention and freshness observatories'
+// post-mortem reader: it explains a finished run from its trace artifacts
+// alone, no live cluster required. Point it at a trace JSONL (replbench
+// -trace, a watchdog flight recording, or a replnode dump) and it
+// reconstructs the abort root-cause taxonomy, the per-protocol commit
+// critical-path profile, and the per-(protocol, edge) propagation
+// waterfalls; add the wait-for JSONL a run or watchdog dump produced and
+// it renders who was blocked on whom:
 //
 //	replbench -trace run.jsonl -traceproto backedge -contend -waitfor wf.jsonl
 //	replexplain run.jsonl
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/contend"
 	"repro/internal/core"
+	"repro/internal/fresh"
 	"repro/internal/trace"
 )
 
@@ -53,6 +55,10 @@ func main() {
 			p.Chains = nil
 		}
 	}
+	waterfalls := fresh.BuildWaterfalls(events)
+	for _, wf := range waterfalls {
+		wf.Protocol = core.Protocol(wf.Proto).String()
+	}
 	if *waitfor != "" {
 		f, err := os.Open(*waitfor)
 		if err != nil {
@@ -68,11 +74,14 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
+		if err := enc.Encode(struct {
+			*contend.Report
+			Waterfalls []*fresh.Waterfall `json:"waterfalls,omitempty"`
+		}{report, waterfalls}); err != nil {
 			fatal(err)
 		}
 	} else {
-		printReport(report, len(events))
+		printReport(report, waterfalls, len(events))
 	}
 
 	if *verify {
@@ -90,7 +99,7 @@ func main() {
 // printReport renders the post-mortem for consoles. Unlike
 // contend.Report.String it has no heat section (a trace carries none) and
 // leads with what a post-mortem reader wants first: why transactions died.
-func printReport(r *contend.Report, nEvents int) {
+func printReport(r *contend.Report, waterfalls []*fresh.Waterfall, nEvents int) {
 	fmt.Printf("%d trace events\n", nEvents)
 	if len(r.Aborts) == 0 {
 		fmt.Println("no aborts recorded")
@@ -120,6 +129,12 @@ func printReport(r *contend.Report, nEvents int) {
 			for _, l := range contend.FormatProfile(p) {
 				fmt.Println(l)
 			}
+		}
+	}
+	if len(waterfalls) > 0 {
+		fmt.Println("== propagation waterfalls ==")
+		for _, l := range fresh.FormatWaterfalls(waterfalls) {
+			fmt.Println(l)
 		}
 	}
 }

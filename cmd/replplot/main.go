@@ -128,7 +128,10 @@ func isSnapshotArgs(args []string) bool {
 }
 
 // plotTrajectory charts throughput and p95 response per protocol across
-// the given snapshots, x = snapshot position in argument order.
+// the given snapshots, x = snapshot position in argument order. When the
+// snapshots carry a freshness block (schema v3), it adds the
+// staleness-vs-throughput frontier; schema v2 files still plot the perf
+// charts and skip the frontier with a note.
 func plotTrajectory(paths []string, width, height int) error {
 	var snaps []*bench.Snapshot
 	for _, p := range paths {
@@ -138,11 +141,25 @@ func plotTrajectory(paths []string, width, height int) error {
 		}
 		snaps = append(snaps, s)
 	}
+	if len(snaps) == 0 {
+		fmt.Println("(no snapshots)")
+		return nil
+	}
 	res := harness.Result{
 		Name:   "trajectory",
 		Title:  "perf trajectory",
 		XLabel: "snapshot",
 	}
+	// The frontier plots each (snapshot, protocol) point at its measured
+	// throughput instead of its argument position, so the chart answers
+	// the protocol-design question directly: what staleness does each
+	// engine pay for its throughput?
+	frontier := harness.Result{
+		Name:   "freshness-frontier",
+		Title:  "staleness-vs-throughput frontier",
+		XLabel: "throughput/site",
+	}
+	staleBy := map[core.Protocol]map[float64]float64{}
 	fmt.Println("snapshots:")
 	for i, s := range snaps {
 		fmt.Printf("  %d: %s (suite=%s seed=%d %s)\n", i, s.Label, s.Suite, s.Seed, s.CreatedAt)
@@ -159,13 +176,34 @@ func plotTrajectory(paths []string, width, height int) error {
 					P95Response:       time.Duration(pr.P95ResponseUS * float64(time.Microsecond)),
 				},
 			})
+			if pr.Freshness != nil {
+				frontier.Points = append(frontier.Points, harness.Point{
+					X:        pr.ThroughputPerSite,
+					Protocol: proto,
+					Report:   metrics.Report{ThroughputPerSite: pr.ThroughputPerSite},
+				})
+				if staleBy[proto] == nil {
+					staleBy[proto] = map[float64]float64{}
+				}
+				staleBy[proto][pr.ThroughputPerSite] = pr.Freshness.StaleReadPct
+			}
 		}
+	}
+	if len(snaps) == 1 {
+		fmt.Println("  (single snapshot: trajectory charts collapse to one column; pass two or more to see movement)")
 	}
 	fmt.Println()
 	res.PlotASCII(os.Stdout, width, height)
 	fmt.Println()
 	res.PlotSeriesASCII(os.Stdout, width, height, "p95 response (µs)",
 		func(p harness.Point) float64 { return float64(p.Report.P95Response) / float64(time.Microsecond) })
+	fmt.Println()
+	if len(frontier.Points) == 0 {
+		fmt.Println("(no freshness blocks in these snapshots — schema v2 or older; staleness frontier skipped)")
+		return nil
+	}
+	frontier.PlotSeriesASCII(os.Stdout, width, height, "stale reads (%)",
+		func(p harness.Point) float64 { return staleBy[p.Protocol][p.X] })
 	return nil
 }
 

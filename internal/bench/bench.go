@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fresh"
 	"repro/internal/metrics"
 )
 
@@ -27,9 +28,11 @@ import (
 // incompatible change (rename/removal/semantic change of a field) or
 // when consumers must be able to rely on a new field's presence.
 // History: v1 the original contract; v2 added the per-reason abort
-// breakdown (abort_reasons — the contention observatory taxonomy).
+// breakdown (abort_reasons — the contention observatory taxonomy); v3
+// added the per-protocol freshness block (freshness — the freshness
+// observatory's read-certificate and staleness rollup).
 // Readers accept older generations; only newer ones are rejected.
-const SchemaVersion = 2
+const SchemaVersion = 3
 
 // Environment pins the machine context a snapshot was measured in, so a
 // regression diff can tell a code change from a hardware change.
@@ -136,6 +139,66 @@ type ProtocolResult struct {
 	// attached. Informational — the regression gate compares the
 	// latency/throughput metrics, not these.
 	Counters map[string]int64 `json:"counters,omitempty"`
+
+	// Freshness is the run's freshness-observatory rollup: certificate
+	// coverage, stale-read rate, and staleness percentiles. Since schema
+	// v3; the gate's freshness checks skip when either side lacks it (v2
+	// files stay comparable).
+	Freshness *Freshness `json:"freshness,omitempty"`
+}
+
+// Freshness condenses a fresh.Summary (plus the independently counted
+// read total) into the snapshot's flat, unit-suffixed form.
+type Freshness struct {
+	// Reads counts read operations (repl_txn_reads_total, summed);
+	// ReadsFresh+ReadsStale counts certificates. CoveragePct is their
+	// ratio — 100 means every read issued a certificate.
+	Reads       uint64  `json:"reads"`
+	ReadsFresh  uint64  `json:"reads_fresh"`
+	ReadsStale  uint64  `json:"reads_stale"`
+	CoveragePct float64 `json:"coverage_pct"`
+	// StaleReadPct is the share of certified reads that observed a
+	// non-latest version. Structurally zero for PSL (every read observes
+	// the primary copy); the gate treats an increase as a regression.
+	StaleReadPct float64 `json:"stale_read_pct"`
+	// Read-staleness distribution: versions and µs behind the primary at
+	// read time (bucket-upper-bound percentiles, conservative within 2×).
+	P95ReadLagVersions uint64  `json:"p95_read_lag_versions"`
+	P95ReadLagUS       float64 `json:"p95_read_lag_us"`
+	MaxReadLagUS       float64 `json:"max_read_lag_us"`
+	// Replica-staleness distribution, sampled on every secondary apply
+	// and by the periodic probe. Applies is structurally zero for PSL.
+	Applies       uint64  `json:"applies"`
+	P95VersionLag uint64  `json:"p95_version_lag"`
+	P95ApplyLagUS float64 `json:"p95_apply_lag_us"`
+	MaxApplyLagUS float64 `json:"max_apply_lag_us"`
+}
+
+// FreshnessFromSummary flattens a tracker summary into the snapshot
+// block; reads is the independently counted read-operation total the
+// coverage ratio is measured against (pass the certificate count when no
+// independent counter is available).
+func FreshnessFromSummary(s *fresh.Summary, reads uint64) *Freshness {
+	if s == nil {
+		return nil
+	}
+	f := &Freshness{
+		Reads:              reads,
+		ReadsFresh:         s.ReadsFresh,
+		ReadsStale:         s.ReadsStale,
+		StaleReadPct:       s.StaleReadPct(),
+		P95ReadLagVersions: s.ReadVersionLag.P95,
+		P95ReadLagUS:       float64(s.ReadTimeLagUS.P95),
+		MaxReadLagUS:       float64(s.ReadTimeLagUS.Max),
+		Applies:            s.Applies,
+		P95VersionLag:      s.VersionLag.P95,
+		P95ApplyLagUS:      float64(s.TimeLagUS.P95),
+		MaxApplyLagUS:      float64(s.TimeLagUS.Max),
+	}
+	if reads > 0 {
+		f.CoveragePct = 100 * float64(s.Reads()) / float64(reads)
+	}
+	return f
 }
 
 // Snapshot is one suite run's complete record — the unit of the repo's

@@ -22,13 +22,18 @@ type Thresholds struct {
 	// AbortPts fails an abort rate that grew by more than this many
 	// absolute percentage points.
 	AbortPts float64
+	// StalePts fails a stale-read rate (freshness block, schema v3) that
+	// grew by more than this many absolute percentage points. Absolute
+	// like AbortPts and for the same reason: the interesting baselines sit
+	// near zero (PSL is structurally 0%), where relative change is noise.
+	StalePts float64
 }
 
 // DefaultThresholds is tuned for same-machine comparisons: latency and
 // allocation get more headroom than throughput because their tails are
 // noisier at smoke-suite sample counts.
 func DefaultThresholds() Thresholds {
-	return Thresholds{ThroughputPct: 10, LatencyPct: 30, AllocPct: 50, AbortPts: 5}
+	return Thresholds{ThroughputPct: 10, LatencyPct: 30, AllocPct: 50, AbortPts: 5, StalePts: 5}
 }
 
 // Delta is one compared metric for one protocol. Pct is the relative
@@ -99,6 +104,24 @@ func Compare(oldSnap, newSnap *Snapshot, th Thresholds) ([]Delta, int) {
 			regressions++
 		}
 		deltas = append(deltas, ad)
+
+		// Freshness (schema v3): skipped entirely when either snapshot
+		// lacks the block, so v2 baselines stay comparable.
+		if op.Freshness != nil && np.Freshness != nil {
+			of, nf := op.Freshness, np.Freshness
+			sd := Delta{
+				Protocol: np.Protocol, Metric: "stale_read_pct",
+				Old: of.StaleReadPct, New: nf.StaleReadPct,
+				Pct: nf.StaleReadPct - of.StaleReadPct,
+			}
+			sd.Regression = th.StalePts > 0 && sd.Pct > th.StalePts
+			if sd.Regression {
+				regressions++
+			}
+			deltas = append(deltas, sd)
+			add("p95_read_lag_us", of.P95ReadLagUS, nf.P95ReadLagUS, th.LatencyPct, lowerIsBetter)
+			add("p95_apply_lag_us", of.P95ApplyLagUS, nf.P95ApplyLagUS, th.LatencyPct, lowerIsBetter)
+		}
 	}
 	return deltas, regressions
 }
@@ -111,7 +134,7 @@ func WriteDiff(w io.Writer, deltas []Delta, onlyChanged bool) {
 	fmt.Fprintln(tw, "protocol\tmetric\told\tnew\tchange\t")
 	for _, d := range deltas {
 		if onlyChanged && !d.Regression {
-			if d.Metric == "abort_rate_pct" {
+			if d.Metric == "abort_rate_pct" || d.Metric == "stale_read_pct" {
 				if d.Pct > -0.1 && d.Pct < 0.1 {
 					continue
 				}
@@ -130,7 +153,7 @@ func WriteDiff(w io.Writer, deltas []Delta, onlyChanged bool) {
 			natural = -natural
 		}
 		change := fmt.Sprintf("%+.1f%%", natural)
-		if d.Metric == "abort_rate_pct" {
+		if d.Metric == "abort_rate_pct" || d.Metric == "stale_read_pct" {
 			change = fmt.Sprintf("%+.2f pts", natural)
 		} else if d.Old == 0 {
 			change = "n/a (no baseline)"

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// freshPoint runs one small seeded cluster with the trace recorder and
+// registry attached and returns the three freshness surfaces the
+// observatory must keep in agreement: the ReadCertificate trace tags,
+// the repl_read_staleness_* registry counters, and the bench snapshot's
+// freshness block.
+func freshPoint(t *testing.T, proto core.Protocol, seed int64) (freshTags, staleTags uint64, snap map[string]int64, fr *Freshness) {
+	t.Helper()
+	wl := workload.Default()
+	wl.TxnsPerThread = 40
+	wl.Seed = seed
+	if !proto.Propagates() || proto == core.DAGWT || proto == core.DAGT {
+		wl.BackedgeProb = 0
+	}
+	params := core.DefaultParams()
+	params.OpCost = 20 * time.Microsecond
+	rec := trace.NewRecorder()
+	registry := obs.NewRegistry()
+	c, err := cluster.New(cluster.Config{
+		Workload:         wl,
+		Protocol:         proto,
+		Params:           params,
+		Latency:          time.Millisecond,
+		TrackPropagation: true,
+		Trace:            rec,
+		Obs:              registry,
+	})
+	if err != nil {
+		t.Fatalf("New(%v): %v", proto, err)
+	}
+	c.Start()
+	defer c.Stop()
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("Run(%v): %v", proto, err)
+	}
+	if err := c.Quiesce(time.Minute); err != nil {
+		t.Fatalf("Quiesce(%v): %v", proto, err)
+	}
+	for _, ev := range rec.Snapshot() {
+		if ev.Kind != trace.ReadCertificate {
+			continue
+		}
+		if ev.Phase == "stale" {
+			staleTags++
+		} else {
+			freshTags++
+		}
+	}
+	snap = registry.Snapshot()
+	fr = FreshnessFromSummary(c.FreshSummary(), countReads(registry))
+	return freshTags, staleTags, snap, fr
+}
+
+// counterSum adds up one metric family across its label sets (sites).
+func counterSum(snap map[string]int64, family string) uint64 {
+	var sum int64
+	for k, v := range snap {
+		if k == family || strings.HasPrefix(k, family+"{") {
+			sum += v
+		}
+	}
+	return uint64(sum)
+}
+
+// TestEagerVsLazyReadStaleness is the observatory's ground-truth check,
+// one seed, two engines: PSL reads observe the primary copy by
+// construction, so every surface must report zero read staleness; DAG(WT)
+// reads observe replicas that lag the primary, so under the same seed
+// every surface must report some — and all three surfaces must agree
+// with each other exactly.
+func TestEagerVsLazyReadStaleness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const seed = 7
+
+	freshTags, staleTags, snap, fr := freshPoint(t, core.PSL, seed)
+	if freshTags == 0 {
+		t.Fatal("PSL: no fresh read certificates in the trace")
+	}
+	if staleTags != 0 {
+		t.Errorf("PSL: %d stale certificates in trace, want 0 (reads observe the primary)", staleTags)
+	}
+	if got := counterSum(snap, "repl_read_staleness_stale_total"); got != 0 {
+		t.Errorf("PSL: repl_read_staleness_stale_total = %d, want 0", got)
+	}
+	if got := counterSum(snap, "repl_read_staleness_fresh_total"); got == 0 {
+		t.Error("PSL: repl_read_staleness_fresh_total is 0; certificates not wired")
+	}
+	if fr == nil {
+		t.Fatal("PSL: no freshness block")
+	}
+	if fr.StaleReadPct != 0 || fr.ReadsStale != 0 {
+		t.Errorf("PSL: bench block reports staleness: %+v", fr)
+	}
+	if fr.Reads == 0 || fr.CoveragePct < 95 {
+		t.Errorf("PSL: coverage %.1f%% of %d reads, want >=95%%", fr.CoveragePct, fr.Reads)
+	}
+
+	freshTags, staleTags, snap, fr = freshPoint(t, core.DAGWT, seed)
+	if staleTags == 0 {
+		t.Fatal("DAG(WT): no stale read certificates in trace under 1ms propagation latency")
+	}
+	staleCtr := counterSum(snap, "repl_read_staleness_stale_total")
+	if staleCtr == 0 {
+		t.Error("DAG(WT): repl_read_staleness_stale_total is 0")
+	}
+	if fr == nil {
+		t.Fatal("DAG(WT): no freshness block")
+	}
+	if fr.StaleReadPct == 0 || fr.ReadsStale == 0 {
+		t.Errorf("DAG(WT): bench block reports zero staleness: %+v", fr)
+	}
+	// The three surfaces count the same certificates.
+	if staleTags != staleCtr || staleCtr != fr.ReadsStale {
+		t.Errorf("stale counts disagree: trace=%d obs=%d bench=%d", staleTags, staleCtr, fr.ReadsStale)
+	}
+	if fresh := counterSum(snap, "repl_read_staleness_fresh_total"); freshTags != fresh || fresh != fr.ReadsFresh {
+		t.Errorf("fresh counts disagree: trace=%d obs=%d bench=%d", freshTags, fresh, fr.ReadsFresh)
+	}
+	if fr.CoveragePct < 95 {
+		t.Errorf("DAG(WT): coverage %.1f%%, want >=95%%", fr.CoveragePct)
+	}
+	if fr.Applies == 0 || fr.P95VersionLag == 0 {
+		t.Errorf("DAG(WT): replica staleness distribution empty: %+v", fr)
+	}
+}

@@ -174,13 +174,14 @@ func runProtocol(cfg SuiteConfig, proto core.Protocol, withTelemetry, withWAL bo
 			SpanBuffer: 1 << 16,
 		}
 	}
-	rep, err := harness.RunPoint(clusterCfg)
+	rep, freshSum, err := harness.RunPointFresh(clusterCfg)
 	if err != nil {
 		return ProtocolResult{}, err
 	}
 	runtime.ReadMemStats(&after)
 
 	pr := resultFromReport(proto.String(), rep)
+	pr.Freshness = FreshnessFromSummary(freshSum, countReads(registry))
 	if rep.Committed > 0 {
 		pr.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(rep.Committed)
 		pr.BytesPerTxn = float64(after.TotalAlloc-before.TotalAlloc) / float64(rep.Committed)
@@ -214,6 +215,19 @@ func runProtocol(cfg SuiteConfig, proto core.Protocol, withTelemetry, withWAL bo
 		pr.Counters["telemetry_events"] = int64(len(agg.Events()))
 	}
 	return pr, nil
+}
+
+// countReads sums the repl_txn_reads_total series across sites: the
+// independently counted denominator of the freshness block's coverage
+// ratio.
+func countReads(r *obs.Registry) uint64 {
+	var total uint64
+	for k, v := range r.Snapshot() {
+		if strings.HasPrefix(k, "repl_txn_reads_total") && v > 0 {
+			total += uint64(v)
+		}
+	}
+	return total
 }
 
 // abortReasonLabel extracts the reason label from a rendered

@@ -17,6 +17,7 @@ import (
 	"repro/internal/contend"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/fresh"
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/lock"
@@ -118,6 +119,7 @@ type Cluster struct {
 	Metrics   *metrics.Collector
 
 	transport *comm.MemTransport
+	fresh     *fresh.Tracker       // always non-nil: bounded state, one sharded-lock sample per commit/apply/read
 	faultTr   *fault.Transport     // non-nil iff Cfg.Fault was set
 	top       comm.Transport       // the layer engines actually send through
 	watchdog  *watch.Watchdog      // non-nil iff Cfg.Watch was set
@@ -304,6 +306,13 @@ func New(cfg Config) (*Cluster, error) {
 		c.publisher = pub
 	}
 
+	// The freshness observatory is always on (docs/OBSERVABILITY.md):
+	// unlike the opt-in trace/obs planes its state is bounded by
+	// items×replicas and its hot-path cost is one sharded-lock sample, so
+	// every run — including bench suite runs — gets staleness
+	// distributions and read certificates without extra configuration.
+	c.fresh = fresh.New(m)
+
 	shared := &core.SharedConfig{
 		Placement:    placement,
 		Graph:        gdag, // engines see the DAG; backedges are handled eagerly
@@ -317,6 +326,7 @@ func New(cfg Config) (*Cluster, error) {
 		Trace:        cfg.Trace,
 		Obs:          cfg.Obs,
 		Watch:        c.watchdog,
+		Fresh:        c.fresh,
 		Pending:      &c.pending,
 	}
 	c.shared = shared
@@ -372,6 +382,7 @@ func New(cfg Config) (*Cluster, error) {
 			func() []contend.HeatEntry { return c.Heat(procHeatK) },
 			c.AbortReasons,
 		)
+		c.publisher.SetFresh(c.FreshSummary)
 	}
 	return c, nil
 }
@@ -490,6 +501,30 @@ func (c *Cluster) Watch() *watch.Watchdog { return c.watchdog }
 // Config.Telemetry was not set.
 func (c *Cluster) Publisher() *telemetry.Publisher { return c.publisher }
 
+// Fresh returns the freshness tracker (always non-nil).
+func (c *Cluster) Fresh() *fresh.Tracker { return c.fresh }
+
+// FreshSummary returns the current staleness and read-certificate
+// distributions, per site plus totals.
+func (c *Cluster) FreshSummary() *fresh.Summary { return c.fresh.Summarize() }
+
+// PropEdges returns the configured propagation edges — the tree edges
+// updates travel along — or nil for protocols that do not propagate
+// (PSL serves reads from the primary instead). Part of the canonical
+// freshness summary: topology is schedule-derived, timing is not.
+func (c *Cluster) PropEdges() []fresh.Edge {
+	if !c.Cfg.Protocol.Propagates() {
+		return nil
+	}
+	var out []fresh.Edge
+	for s := 0; s < c.Placement.NumSites; s++ {
+		for _, child := range c.Tree.Children(model.SiteID(s)) {
+			out = append(out, fresh.Edge{From: model.SiteID(s), To: child})
+		}
+	}
+	return out
+}
+
 // Start launches every engine's background workers, the watchdog, and
 // the telemetry publisher.
 func (c *Cluster) Start() {
@@ -498,6 +533,7 @@ func (c *Cluster) Start() {
 		e.Start()
 	}
 	c.engMu.RUnlock()
+	c.fresh.StartProbe(0)
 	c.watchdog.Start()
 	c.publisher.Start()
 }
@@ -511,6 +547,7 @@ func (c *Cluster) Stop() {
 		e.Stop()
 	}
 	c.engMu.RUnlock()
+	c.fresh.StopProbe()
 	c.watchdog.Stop()
 	c.publisher.Stop()
 	_ = c.top.Close()

@@ -267,6 +267,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 		err := t.Commit()
 		if err == nil {
 			e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+			e.noteCommitted(writes)
 			e.forward(octx, writes)
 		}
 		e.commitMu.Unlock()
@@ -405,6 +406,7 @@ func (e *backedgeEngine) Execute(ops []model.Op) error {
 	err := t.Commit()
 	if err == nil {
 		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+		e.noteCommitted(writes)
 		e.forward(octx, writes)
 	}
 	e.commitMu.Unlock()
@@ -672,6 +674,7 @@ func (e *backedgeEngine) finishDecision(tid model.TxnID, commit bool, from model
 			}
 			e.obs.beCommits.Inc()
 			e.traceCtx(trace.BackedgeCommit, from, p.sc)
+			e.noteApplied(p.writes)
 			e.recApplied(p.sc)
 		} else {
 			p.t.Abort()
@@ -862,6 +865,7 @@ func (e *backedgeEngine) applySecondary(p secondaryPayload, sc model.SpanContext
 			e.retryBackoff()
 			continue
 		}
+		e.noteApplied(p.Writes)
 		e.recApplied(sc)
 		return true
 	}

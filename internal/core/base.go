@@ -247,9 +247,11 @@ func (b *base) runLocalOps(t *txn.Txn, ops []model.Op) error {
 				t.Abort()
 				return fmt.Errorf("core: s%d has no copy of item %d to read", b.id, op.Item)
 			}
-			if _, err := t.Read(op.Item); err != nil {
+			_, ver, fromStore, err := t.ReadVersioned(op.Item)
+			if err != nil {
 				return err
 			}
+			b.certifyRead(t.ID, op.Item, ver, fromStore)
 		case model.OpWrite:
 			if !b.cfg.Placement.IsPrimary(b.id, op.Item) {
 				t.Abort()

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/fresh"
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/metrics"
@@ -190,6 +191,12 @@ type SharedConfig struct {
 	// Watch is the staleness/liveness watchdog; nil disables it — engines
 	// then hold nil progress handles and register no probes, all no-ops.
 	Watch *watch.Watchdog
+	// Fresh is the freshness observatory tracker (docs/OBSERVABILITY.md):
+	// engines note primary commits and secondary applies into it and
+	// certify every read against it. Nil disables the observatory —
+	// certificates, staleness distributions, and their metrics all become
+	// one-branch no-ops.
+	Fresh *fresh.Tracker
 	// Pending tracks in-flight real (non-dummy) propagation messages so
 	// the cluster can quiesce; nil disables tracking.
 	Pending *sync.WaitGroup

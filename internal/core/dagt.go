@@ -211,6 +211,7 @@ func (e *dagtEngine) Execute(ops []model.Op) error {
 	err := t.Commit()
 	if err == nil {
 		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+		e.noteCommitted(writes)
 		e.schedule(octx, tsT, writes)
 	}
 	e.commitMu.Unlock()
@@ -489,6 +490,7 @@ func (e *dagtEngine) applySecondary(p secondaryPayload, sc model.SpanContext) bo
 			e.retryBackoff()
 			continue
 		}
+		e.noteApplied(p.Writes)
 		e.recApplied(sc)
 		return true
 	}

@@ -84,6 +84,7 @@ func (e *dagwtEngine) Execute(ops []model.Op) error {
 	err := t.Commit()
 	if err == nil {
 		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+		e.noteCommitted(writes)
 		e.forward(octx, writes)
 	}
 	e.commitMu.Unlock()
@@ -193,6 +194,7 @@ func (e *dagwtEngine) applySecondary(p secondaryPayload, sc model.SpanContext) b
 			e.retryBackoff()
 			continue
 		}
+		e.noteApplied(p.Writes)
 		e.recApplied(sc)
 		return true
 	}

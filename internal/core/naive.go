@@ -98,6 +98,7 @@ func (e *naiveEngine) Execute(ops []model.Op) error {
 	err := t.Commit()
 	if err == nil {
 		e.traceCtx(trace.TxnCommit, model.NoSite, octx)
+		e.noteCommitted(writes)
 		if len(writes) > 0 {
 			e.fanOut(octx, tid, writes)
 		}
@@ -171,6 +172,7 @@ func (e *naiveEngine) applySecondary(p secondaryPayload, sc model.SpanContext) {
 			e.retryBackoff()
 			continue
 		}
+		e.noteApplied(p.Writes)
 		e.recApplied(sc)
 		e.pendDone()
 		return

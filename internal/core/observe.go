@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/contend"
+	"repro/internal/fresh"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -56,6 +57,20 @@ type siteObs struct {
 	tsDepth    *obs.Gauge
 	eagerDepth *obs.Gauge
 	readsDepth *obs.Gauge
+
+	// Freshness observatory handles (docs/OBSERVABILITY.md): every read
+	// issues a certificate (reads = readsFresh + readsStale, the coverage
+	// identity the freshness smoke checks), stale ones also accumulate how
+	// many versions behind they were and a time-behind histogram; the
+	// repl_fresh_* pair mirrors the tracker's commit/apply bookkeeping so a
+	// scrape can see propagation progress without the tracker.
+	reads         *obs.Counter
+	readsFresh    *obs.Counter
+	readsStale    *obs.Counter
+	staleVersions *obs.Counter
+	readBehind    *obs.Histogram
+	freshCommits  *obs.Counter
+	freshApplies  *obs.Counter
 }
 
 func newSiteObs(r *obs.Registry, id model.SiteID) siteObs {
@@ -89,6 +104,13 @@ func newSiteObs(r *obs.Registry, id model.SiteID) siteObs {
 		lockWounds:     r.Counter("repl_lock_wounds_total", site),
 		lockTimeouts:   r.Counter("repl_lock_timeouts_total", site),
 		lockDeadlocks:  r.Counter("repl_lock_deadlocks_total", site),
+		reads:          r.Counter("repl_txn_reads_total", site),
+		readsFresh:     r.Counter("repl_read_staleness_fresh_total", site),
+		readsStale:     r.Counter("repl_read_staleness_stale_total", site),
+		staleVersions:  r.Counter("repl_read_staleness_versions_total", site),
+		readBehind:     r.Histogram("repl_read_staleness_behind", site),
+		freshCommits:   r.Counter("repl_fresh_commits_total", site),
+		freshApplies:   r.Counter("repl_fresh_applies_total", site),
 	}
 	for _, reason := range contend.Reasons() {
 		so.abortReasons[reason] = r.Counter("repl_txn_abort_reason_total",
@@ -223,4 +245,99 @@ func (b *base) phaseSince(p metrics.Phase, peer model.SiteID, tid model.TxnID, s
 // are ignored.
 func (b *base) recTransport(msg comm.Message, tid model.TxnID) {
 	b.phaseSince(metrics.PhaseTransport, msg.From, tid, msg.SentAt)
+}
+
+// Freshness observatory hooks (docs/OBSERVABILITY.md). Like the phase
+// helpers, these keep every disabled hot path down to one nil check; the
+// wall-clock reads live inside internal/fresh, outside the deterministic
+// core — the engines pass only item ids and version numbers.
+
+// noteCommitted mirrors a committed primary's writes into the freshness
+// tracker. Engines call it inside the commit critical section,
+// immediately after Txn.Commit installed the writes, so the tracker's
+// latest version for each item equals the storage version number this
+// commit minted.
+func (b *base) noteCommitted(writes []model.WriteOp) {
+	if b.cfg.Fresh == nil || len(writes) == 0 {
+		return
+	}
+	for _, w := range writes {
+		b.cfg.Fresh.NoteCommit(w.Item)
+	}
+	b.obs.freshCommits.Add(uint64(len(writes)))
+}
+
+// noteApplied advances the tracker's per-(item, site) applied counters
+// for a propagated update installed at this secondary, sampling the
+// replica's version and time lag. Writes without a local copy are
+// skipped, mirroring the appliers' own store.Has filter, so the applied
+// counter only advances for versions this site actually installed.
+func (b *base) noteApplied(writes []model.WriteOp) {
+	if b.cfg.Fresh == nil || len(writes) == 0 {
+		return
+	}
+	n := uint64(0)
+	for _, w := range writes {
+		if !b.store.Has(w.Item) {
+			continue
+		}
+		b.cfg.Fresh.NoteApply(b.id, w.Item)
+		n++
+	}
+	if n > 0 {
+		b.obs.freshApplies.Add(n)
+	}
+}
+
+// certifyRead records a read-freshness certificate for a read that
+// observed the given storage version of item at this site; fromStore is
+// false for reads served from the transaction's own write buffer, which
+// are certified fresh (the value is newer than anything committed). The
+// reads counter bumps BEFORE the tracker check, so certificate coverage
+// (certificates ÷ reads) is a measured ratio, not an identity: an engine
+// read path that forgets to certify shows up as coverage < 100%.
+func (b *base) certifyRead(tid model.TxnID, item model.ItemID, version uint64, fromStore bool) {
+	b.obs.reads.Inc()
+	f := b.cfg.Fresh
+	if f == nil {
+		return
+	}
+	var c fresh.Cert
+	if fromStore {
+		c = f.CertifyRead(b.id, item, version)
+	} else {
+		c = f.CertifyFresh(b.id)
+	}
+	b.recCert(tid, c)
+}
+
+// certifyPrimaryRead certifies a read that observed the primary copy
+// itself (PSL's local primary reads and remote-read replies): zero
+// staleness by construction, counted so certificate coverage stays
+// total.
+func (b *base) certifyPrimaryRead(tid model.TxnID) {
+	b.obs.reads.Inc()
+	f := b.cfg.Fresh
+	if f == nil {
+		return
+	}
+	b.recCert(tid, f.CertifyFresh(b.id))
+}
+
+// recCert folds one certificate into the live registry and, when
+// tracing, a span-less ReadCertificate event tagged fresh/stale with the
+// time behind as its duration. Span-less because whether a particular
+// read catches the latest version races propagation timing — hanging
+// certificates off spans would make same-seed span trees diverge.
+func (b *base) recCert(tid model.TxnID, c fresh.Cert) {
+	tag := "fresh"
+	if c.Stale() {
+		tag = "stale"
+		b.obs.readsStale.Inc()
+		b.obs.staleVersions.Add(c.Versions)
+		b.obs.readBehind.Observe(c.Behind)
+	} else {
+		b.obs.readsFresh.Inc()
+	}
+	b.cfg.Trace.RecordTagDur(trace.ReadCertificate, b.id, model.NoSite, tid, uint8(b.proto), tag, c.Behind)
 }

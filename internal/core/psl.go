@@ -123,6 +123,8 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 					e.recAbort(tid, contend.Classify(err))
 					return err
 				}
+				// Local primary read: the primary copy IS the latest version.
+				e.certifyPrimaryRead(tid)
 				continue
 			}
 			// Replica read: shared lock + value ship from the primary.
@@ -144,6 +146,9 @@ func (e *pslEngine) Execute(ops []model.Op) error {
 			remotes[primary] = true
 			rr := resp.(pslReadResp)
 			t.ObserveRemoteRead(primary, op.Item, rr.Version)
+			// The reply shipped the primary copy's current value: fresh by
+			// construction, whatever the local replica's lag.
+			e.certifyPrimaryRead(tid)
 		case model.OpWrite:
 			if !e.cfg.Placement.IsPrimary(e.id, op.Item) {
 				// Workload misconfiguration, not contention; no reason fits

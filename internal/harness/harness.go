@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fresh"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
@@ -138,30 +139,39 @@ type Result struct {
 // RunPoint executes one cluster configuration through its full lifecycle
 // and returns the report.
 func RunPoint(cfg cluster.Config) (metrics.Report, error) {
+	rep, _, err := RunPointFresh(cfg)
+	return rep, err
+}
+
+// RunPointFresh is RunPoint plus the run's freshness summary
+// (cluster.FreshSummary), captured after the quiesce drain — so every
+// propagated update has been applied and the staleness distributions
+// cover the whole run, not a mid-flight cut.
+func RunPointFresh(cfg cluster.Config) (metrics.Report, *fresh.Summary, error) {
 	c, err := cluster.New(cfg)
 	if err != nil {
-		return metrics.Report{}, err
+		return metrics.Report{}, nil, err
 	}
 	c.Start()
 	defer c.Stop()
 	rep, err := c.Run()
 	if err != nil {
-		return rep, err
+		return rep, c.FreshSummary(), err
 	}
 	if qerr := c.Quiesce(2 * time.Minute); qerr != nil {
-		return rep, qerr
+		return rep, c.FreshSummary(), qerr
 	}
 	if cfg.Record && cfg.Protocol.Serializable() {
 		if serr := c.CheckSerializable(); serr != nil {
-			return rep, fmt.Errorf("harness: %v claimed serializability but: %w", cfg.Protocol, serr)
+			return rep, c.FreshSummary(), fmt.Errorf("harness: %v claimed serializability but: %w", cfg.Protocol, serr)
 		}
 		if cfg.Protocol.Propagates() {
 			if cerr := c.CheckConvergence(); cerr != nil {
-				return rep, fmt.Errorf("harness: %v replicas diverged: %w", cfg.Protocol, cerr)
+				return rep, c.FreshSummary(), fmt.Errorf("harness: %v replicas diverged: %w", cfg.Protocol, cerr)
 			}
 		}
 	}
-	return rep, nil
+	return rep, c.FreshSummary(), nil
 }
 
 // sweep runs protocols × xs, mutating the workload per x.

@@ -21,6 +21,15 @@ type siteObs struct {
 	perSite  []*obs.Histogram
 	deadBank [3]*obs.Counter // want "obs handle .*deadBank is registered but never updated"
 	latency   *obs.Histogram
+	// Freshness observatory handles: the read-staleness certificate
+	// counters and behind-histogram (repl_read_staleness_*) and the
+	// commit/apply mirrors (repl_fresh_*); one left unwired to prove the
+	// analyzer still sees through the bank.
+	readsFresh   *obs.Counter
+	readsStale   *obs.Counter
+	staleBehind  *obs.Histogram
+	freshCommits *obs.Counter
+	freshOrphan  *obs.Counter // want "obs handle .*freshOrphan is registered but never updated"
 	//lint:allow obscomplete wired up by the next engine
 	reserved *obs.Counter
 	fifo     *watch.Progress
@@ -38,9 +47,13 @@ type engine struct {
 }
 
 func (e *engine) run() {
-	e.out = append(e.out, trace.TxnBegin, trace.TxnCommit)
+	e.out = append(e.out, trace.TxnBegin, trace.TxnCommit, trace.ReadCertificate)
 	e.phases = append(e.phases, metrics.PhaseLockWait, metrics.PhaseApply)
 	e.o.committed.Inc()
+	e.o.readsFresh.Inc()
+	e.o.readsStale.Inc()
+	e.o.staleBehind.Observe(3)
+	e.o.freshCommits.Add(2)
 	e.o.reasons[1].Inc()
 	e.o.perSite[0].Observe(2)
 	e.o.depth.Inc()

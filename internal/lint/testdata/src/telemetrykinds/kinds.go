@@ -12,6 +12,7 @@ type FrameKind uint8
 const (
 	FrameHello  FrameKind = iota + 1 // sent by emit
 	FrameSpans                       // handled by handle
+	FrameFresh                       // sent by emitFresh (freshness observatory)
 	FrameOrphan                      // want "telemetry frame kind FrameOrphan is declared but never sent or handled"
 
 	frameKindEnd // unexported sentinel: exempt
@@ -24,6 +25,8 @@ const FrameReserved FrameKind = 99
 type Frame struct{ Kind FrameKind }
 
 func emit() Frame { return Frame{Kind: FrameHello} }
+
+func emitFresh() Frame { return Frame{Kind: FrameFresh} }
 
 func handle(f Frame) bool { return f.Kind == FrameSpans }
 

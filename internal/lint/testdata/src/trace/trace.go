@@ -6,9 +6,10 @@ package trace
 type Kind uint8
 
 const (
-	TxnBegin  Kind = iota // recorded by engine
-	TxnCommit             // recorded by engine
-	Orphaned              // want "trace event Orphaned is declared but never recorded"
+	TxnBegin        Kind = iota // recorded by engine
+	TxnCommit                   // recorded by engine
+	ReadCertificate             // recorded by engine (freshness observatory)
+	Orphaned                    // want "trace event Orphaned is declared but never recorded"
 )
 
 //lint:allow obscomplete reserved for the next protocol revision

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/contend"
+	"repro/internal/fresh"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/watch"
@@ -41,6 +42,7 @@ type procState struct {
 	summary  watch.Summary
 	heat     []contend.HeatEntry
 	aborts   map[string]uint64
+	fresh    *fresh.Summary
 	lastSeen time.Time
 }
 
@@ -260,6 +262,8 @@ func (a *Aggregator) Ingest(f Frame) {
 		ps.heat = f.Heat // absolute table: replay-safe
 	case FrameAborts:
 		ps.aborts = f.Aborts // absolute counts: replay-safe
+	case FrameFresh:
+		ps.fresh = f.Fresh // absolute summary: replay-safe
 	}
 }
 

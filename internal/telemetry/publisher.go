@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/contend"
+	"repro/internal/fresh"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -74,6 +75,7 @@ type Publisher struct {
 	report func() metrics.Report      // repl:guardedby(mu)
 	heat   func() []contend.HeatEntry // repl:guardedby(mu)
 	aborts func() map[string]uint64   // repl:guardedby(mu)
+	freshp func() *fresh.Summary      // repl:guardedby(mu)
 	hello  Hello                      // repl:guardedby(mu)
 
 	buf      []trace.Event    // repl:guardedby(mu)
@@ -168,6 +170,18 @@ func (p *Publisher) SetContention(heat func() []contend.HeatEntry, aborts func()
 	p.mu.Lock()
 	p.heat = heat
 	p.aborts = aborts
+	p.mu.Unlock()
+}
+
+// SetFresh installs the freshness probe supplying the process's current
+// fresh.Summary (cluster.FreshSummary). Like the contention probes it
+// must return absolute state, so replayed frames are harmless.
+func (p *Publisher) SetFresh(fn func() *fresh.Summary) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.freshp = fn
 	p.mu.Unlock()
 }
 
@@ -266,7 +280,7 @@ func (p *Publisher) Flush() error {
 	// have their own locks).
 	p.mu.Lock()
 	reg, wd, report := p.reg, p.wd, p.report
-	heatFn, abortsFn := p.heat, p.aborts
+	heatFn, abortsFn, freshFn := p.heat, p.aborts, p.freshp
 	hello := p.hello
 	hello.Sites = append([]model.SiteID(nil), p.hello.Sites...)
 	p.mu.Unlock()
@@ -291,6 +305,10 @@ func (p *Publisher) Flush() error {
 	var aborts map[string]uint64
 	if abortsFn != nil {
 		aborts = abortsFn()
+	}
+	var freshSum *fresh.Summary
+	if freshFn != nil {
+		freshSum = freshFn()
 	}
 
 	// Assemble the cycle's frames under p.mu.
@@ -337,6 +355,9 @@ func (p *Publisher) Flush() error {
 	}
 	if len(aborts) > 0 {
 		frames = append(frames, Frame{Kind: FrameAborts, Aborts: aborts})
+	}
+	if freshSum != nil && len(freshSum.Sites) > 0 {
+		frames = append(frames, Frame{Kind: FrameFresh, Fresh: freshSum})
 	}
 	for i := range frames {
 		p.seq++

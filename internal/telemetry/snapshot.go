@@ -90,6 +90,23 @@ type ClusterSnapshot struct {
 	// (docs/OBSERVABILITY.md).
 	HotItems     []contend.HeatEntry `json:"hot_items,omitempty"`
 	AbortReasons map[string]uint64   `json:"abort_reasons,omitempty"`
+	// Freshness is the cluster-wide replica-staleness and read-
+	// certificate view (per-proc FrameFresh summaries merged per site:
+	// counts sum, quantiles take the max, same pessimistic discipline as
+	// the phase merge). Part of the freshness observatory
+	// (docs/OBSERVABILITY.md).
+	Freshness []FreshRow `json:"freshness,omitempty"`
+}
+
+// FreshRow is one site's merged freshness view.
+type FreshRow struct {
+	Site          model.SiteID `json:"site"`
+	Applies       uint64       `json:"applies"`
+	VersionLagP95 uint64       `json:"version_lag_p95"`
+	TimeLagP95US  uint64       `json:"time_lag_p95_us"`
+	ReadsFresh    uint64       `json:"reads_fresh"`
+	ReadsStale    uint64       `json:"reads_stale"`
+	ReadLagP95US  uint64       `json:"read_lag_p95_us"`
 }
 
 // hotItemsShown bounds the merged heat table a snapshot carries — the
@@ -131,6 +148,7 @@ func (a *Aggregator) Snapshot() ClusterSnapshot {
 	abortedByProto := make(map[string]int64)
 	phases := make(map[string]PhaseQuantiles)
 	var heatTables [][]contend.HeatEntry
+	var freshRows map[model.SiteID]*FreshRow
 	for _, proc := range procNames {
 		ps := a.procs[proc]
 		info := ProcInfo{
@@ -241,8 +259,29 @@ func (a *Aggregator) Snapshot() ClusterSnapshot {
 			}
 			snap.AbortReasons[reason] += n
 		}
+		if ps.fresh != nil {
+			if freshRows == nil {
+				freshRows = make(map[model.SiteID]*FreshRow)
+			}
+			for _, sf := range ps.fresh.Sites {
+				fr := freshRows[sf.Site]
+				if fr == nil {
+					fr = &FreshRow{Site: sf.Site}
+					freshRows[sf.Site] = fr
+				}
+				fr.Applies += sf.Applies
+				fr.ReadsFresh += sf.ReadsFresh
+				fr.ReadsStale += sf.ReadsStale
+				fr.VersionLagP95 = max(fr.VersionLagP95, sf.VersionLag.P95)
+				fr.TimeLagP95US = max(fr.TimeLagP95US, sf.TimeLagUS.P95)
+				fr.ReadLagP95US = max(fr.ReadLagP95US, sf.ReadTimeLagUS.P95)
+			}
+		}
 	}
 	snap.HotItems = contend.MergeHeat(heatTables, hotItemsShown)
+	for _, sid := range sortedSiteIDs(freshRows) {
+		snap.Freshness = append(snap.Freshness, *freshRows[sid])
+	}
 	if len(phases) > 0 {
 		snap.Phases = phases
 	}
@@ -414,6 +453,16 @@ func (s *ClusterSnapshot) Render(w io.Writer) {
 		}
 	}
 
+	if len(s.Freshness) > 0 {
+		fmt.Fprintf(w, "\nFRESHNESS\n%-6s %9s %9s %12s %9s %9s %12s\n",
+			"SITE", "APPLIES", "VLAG P95", "TLAG P95", "FRESH", "STALE", "RLAG P95")
+		for _, f := range s.Freshness {
+			fmt.Fprintf(w, "s%-5d %9d %9d %12s %9d %9d %12s\n",
+				f.Site, f.Applies, f.VersionLagP95, usDur(f.TimeLagP95US),
+				f.ReadsFresh, f.ReadsStale, usDur(f.ReadLagP95US))
+		}
+	}
+
 	fmt.Fprintf(w, "\nspans: %d tree(s), %d problem(s)\n", s.SpanTrees, s.SpanProblems)
 	if len(s.Alerts) > 0 {
 		fmt.Fprintf(w, "\nALERTS\n")
@@ -458,6 +507,11 @@ func splitLines(s string) []string {
 		out = append(out, s[start:])
 	}
 	return out
+}
+
+// usDur renders a µs quantity as a rounded duration string.
+func usDur(us uint64) string {
+	return (time.Duration(us) * time.Microsecond).Round(time.Microsecond).String()
 }
 
 func maxf(a, b float64) float64 {

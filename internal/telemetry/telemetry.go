@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/contend"
+	"repro/internal/fresh"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/watch"
@@ -90,6 +91,10 @@ const (
 	// FrameAborts carries the process's abort root-cause breakdown,
 	// reason name → cumulative count, absolute values.
 	FrameAborts
+	// FrameFresh carries the process's freshness summary — per-site
+	// staleness distributions and read-certificate tallies
+	// (fresh.Summary). Absolute like FrameMetrics, so replay is harmless.
+	FrameFresh
 
 	frameKindEnd
 )
@@ -102,6 +107,7 @@ var frameKindNames = [frameKindEnd]string{
 	FrameAlerts:  "alerts",
 	FrameHeat:    "heat",
 	FrameAborts:  "aborts",
+	FrameFresh:   "fresh",
 }
 
 func (k FrameKind) String() string {
@@ -165,6 +171,8 @@ type Frame struct {
 	// abort-reason breakdown (FrameAborts). Both absolute, not deltas.
 	Heat   []contend.HeatEntry
 	Aborts map[string]uint64
+	// Fresh is the process's freshness summary (FrameFresh), absolute.
+	Fresh *fresh.Summary
 }
 
 var registerOnce sync.Once

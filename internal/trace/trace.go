@@ -103,6 +103,12 @@ const (
 	// replay, and engine rebuild from its WAL directory; Event.Dur holds
 	// the recovery latency in nanoseconds.
 	WALRecover
+	// ReadCertificate marks a read-freshness certificate at Site: the
+	// Phase tag says "fresh" or "stale" and Event.Dur holds how long (ns)
+	// behind the primary the observed value was. Recorded span-less, like
+	// PhaseLatency, because the fresh/stale outcome races propagation
+	// timing and must never perturb byte-stable span-tree structure.
+	ReadCertificate
 
 	kindEnd
 )
@@ -134,6 +140,7 @@ var kindNames = [kindEnd]string{
 	PhaseLatency:       "PhaseLatency",
 	WALSnapshot:        "WALSnapshot",
 	WALRecover:         "WALRecover",
+	ReadCertificate:    "ReadCertificate",
 }
 
 func (k Kind) String() string {
@@ -346,6 +353,26 @@ func (r *Recorder) RecordDur(k Kind, site, peer model.SiteID, tid model.TxnID, p
 	ev := Event{
 		T: int64(time.Since(r.start)), Kind: k, Site: site, Peer: peer,
 		TID: tid, Proto: proto, Dur: int64(d),
+	}
+	s := &r.shards[uint(site)%shardCount]
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+	r.emit(ev)
+}
+
+// RecordTagDur appends one span-less event carrying both a short string
+// tag (in the Phase field) and a wall-clock duration — the shape of a
+// read-freshness certificate, whose fresh/stale outcome and lag both
+// depend on propagation timing. Span-less for the same reason RecordPhase
+// is: timing-dependent payloads must never perturb span-tree structure.
+func (r *Recorder) RecordTagDur(k Kind, site, peer model.SiteID, tid model.TxnID, proto uint8, tag string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	ev := Event{
+		T: int64(time.Since(r.start)), Kind: k, Site: site, Peer: peer,
+		TID: tid, Proto: proto, Phase: tag, Dur: int64(d),
 	}
 	s := &r.shards[uint(site)%shardCount]
 	s.mu.Lock()

@@ -116,25 +116,36 @@ func (m *Manager) BeginSecondary(id model.TxnID) *Txn {
 // transaction's own write buffer, otherwise taking a shared lock and
 // reading the store. A lock timeout aborts the transaction.
 func (t *Txn) Read(item model.ItemID) (int64, error) {
+	v, _, _, err := t.ReadVersioned(item)
+	return v, err
+}
+
+// ReadVersioned is Read plus freshness provenance: it additionally
+// returns the storage version number the value came from and whether the
+// read hit the store at all (false for a value served from the
+// transaction's own write buffer, whose version is meaningless until
+// commit). The version feeds read-freshness certificates
+// (internal/fresh) without a second store access.
+func (t *Txn) ReadVersioned(item model.ItemID) (int64, uint64, bool, error) {
 	if t.finished {
-		return 0, fmt.Errorf("txn %v: read after finish", t.ID)
+		return 0, 0, false, fmt.Errorf("txn %v: read after finish", t.ID)
 	}
 	if v, ok := t.writes[item]; ok {
-		return v, nil
+		return v, 0, false, nil
 	}
 	if err := t.acquire(item, lock.Shared); err != nil {
 		t.Abort()
 		// Wrap (not format) the lock error: abort classification walks the
 		// chain with errors.Is to tell a timeout from a detected deadlock.
-		return 0, fmt.Errorf("%w: r[%d] at s%d: %w", ErrAborted, item, t.m.Site, err)
+		return 0, 0, false, fmt.Errorf("%w: r[%d] at s%d: %w", ErrAborted, item, t.m.Site, err)
 	}
 	ver, err := t.m.Store.Read(item)
 	if err != nil {
 		t.Abort()
-		return 0, err
+		return 0, 0, false, err
 	}
 	t.readObs = append(t.readObs, history.ReadObs{Site: t.m.Site, Item: item, Version: ver.Num, Reader: t.ID})
-	return ver.Value, nil
+	return ver.Value, ver.Num, true, nil
 }
 
 // Write buffers a new value for item after taking the exclusive lock

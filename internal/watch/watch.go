@@ -311,6 +311,9 @@ type Watchdog struct {
 	dumps    []string            // repl:guardedby(mu)
 	raised   map[Kind]int        // repl:guardedby(mu)
 	maxStale time.Duration       // repl:guardedby(mu)
+	// staleBySite keeps the worst unapplied age per replica, so the
+	// summary can say WHICH replica went stale, not just that one did.
+	staleBySite map[model.SiteID]time.Duration // repl:guardedby(mu)
 
 	stop chan struct{}
 	done chan struct{}
@@ -331,6 +334,7 @@ func New(o Options) *Watchdog {
 		outstanding: make(map[model.SiteID]map[model.TxnID]outEntry),
 		active:      make(map[alertKey]*Alert),
 		raised:      make(map[Kind]int),
+		staleBySite: make(map[model.SiteID]time.Duration),
 	}
 	if o.FlightSize > 0 {
 		w.flight = make([]trace.Event, o.FlightSize)
@@ -536,6 +540,9 @@ func (w *Watchdog) tick() {
 		age := now.Sub(oldest.since)
 		if age > w.maxStale {
 			w.maxStale = age
+		}
+		if age > w.staleBySite[site] {
+			w.staleBySite[site] = age
 		}
 		if age > w.opts.StalenessDeadline {
 			k := alertKey{kind: StaleReplica, site: site, peer: oldest.from}
@@ -883,6 +890,10 @@ type Summary struct {
 	ActiveAlerts int `json:"active_alerts"`
 	// MaxStalenessMs is the worst forwarded-but-unapplied age observed.
 	MaxStalenessMs int64 `json:"max_staleness_ms"`
+	// MaxStalenessBySiteMs breaks MaxStalenessMs down per replica: the
+	// worst unapplied age each site accumulated. MaxStalenessMs stays for
+	// compatibility (it equals this map's maximum).
+	MaxStalenessBySiteMs map[model.SiteID]int64 `json:"max_staleness_by_site_ms,omitempty"`
 	// FlightDumps lists the flight-recorder dumps written.
 	FlightDumps []string `json:"flight_dumps,omitempty"`
 	// WaitGraphDumps lists the wait-for snapshots written on Contention
@@ -899,6 +910,12 @@ func (w *Watchdog) Summarize() Summary {
 	s := Summary{
 		ActiveAlerts:   len(w.active),
 		MaxStalenessMs: w.maxStale.Milliseconds(),
+	}
+	if len(w.staleBySite) > 0 {
+		s.MaxStalenessBySiteMs = make(map[model.SiteID]int64, len(w.staleBySite))
+		for site, d := range w.staleBySite {
+			s.MaxStalenessBySiteMs[site] = d.Milliseconds()
+		}
 	}
 	if len(w.raised) > 0 {
 		s.AlertsRaised = make(map[string]int, len(w.raised))
